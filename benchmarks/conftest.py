@@ -1,0 +1,19 @@
+"""Shared configuration for the pytest-benchmark drivers.
+
+Each benchmark regenerates one evaluation artifact (Table 2 cells, the
+Fig. 4 check counts, the Section 5.4 scaling series, the ablations).  The
+workload scales are kept small so the whole directory runs in well under a
+minute; pass ``--scale`` to grow them toward the paper's durations.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--scale", action="store", type=float, default=0.25,
+                     help="workload scale factor for benchmark drivers")
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config.getoption("--scale")

@@ -1,0 +1,81 @@
+"""Benchmarks: design-choice ablations (beyond the paper's tables).
+
+* optimized vs. raw translated representation (Appendix A.3's payoff);
+* ENUMERATE vs. SCAN on the same bounded representation;
+* RD2 with full vs. maps-only instrumentation (the paper's "overhead would
+  be lower" remark).
+"""
+
+import pytest
+
+from repro.apps.polepos.circuits import CIRCUITS, CircuitConfig
+from repro.bench.ablation import render_ablations, run_ablations
+from repro.bench.harness import analyzer_stack
+from repro.bench.scaling import scaling_trace
+from repro.bench.table2 import _circuit_workload
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.logic.translate import (build_raw_translation,
+                                   build_representation, translate)
+from repro.runtime.monitor import Monitor
+from repro.specs.dictionary import dictionary_spec
+
+TRACE = scaling_trace(600, seed=3)
+
+
+def _detect(representation, strategy):
+    detector = CommutativityRaceDetector(root=0, strategy=strategy,
+                                         keep_reports=False)
+    detector.register_object("o", representation, strategy=strategy)
+    for event in TRACE:
+        detector.process(event)
+    return detector.stats
+
+
+def test_ablation_raw_translation(benchmark):
+    representation = build_representation(
+        build_raw_translation(dictionary_spec()))
+    stats = benchmark(lambda: _detect(representation, Strategy.ENUMERATE))
+    benchmark.extra_info["points_per_action"] = round(
+        stats.points_touched / stats.actions, 2)
+
+
+def test_ablation_optimized_translation(benchmark):
+    representation = translate(dictionary_spec())
+    stats = benchmark(lambda: _detect(representation, Strategy.ENUMERATE))
+    benchmark.extra_info["points_per_action"] = round(
+        stats.points_touched / stats.actions, 2)
+    assert stats.points_touched / stats.actions <= 2.5
+
+
+def test_ablation_scan_on_bounded_representation(benchmark):
+    representation = translate(dictionary_spec())
+    stats = benchmark(lambda: _detect(representation, Strategy.SCAN))
+    benchmark.extra_info["checks_per_action"] = round(
+        stats.checks_per_action(), 1)
+
+
+@pytest.mark.parametrize("config", ["rd2", "rd2-maps-only"])
+def test_ablation_instrumentation_cost(benchmark, config, scale):
+    circuit = CIRCUITS["ComplexConcurrency"]
+    circuit = CircuitConfig(**{**circuit.__dict__,
+                               "ops_per_worker":
+                               max(5, int(circuit.ops_per_worker * scale))})
+    workload = _circuit_workload(circuit, seed=0, switch_probability=1.0)
+    low_level = config == "rd2"
+
+    def run():
+        monitor = Monitor(analyzers=analyzer_stack(config),
+                          low_level=low_level)
+        workload(monitor)
+        return monitor
+
+    monitor = benchmark(run)
+    benchmark.extra_info["events"] = monitor.events_emitted
+
+
+def test_ablation_report(benchmark, capsys):
+    rows = benchmark.pedantic(lambda: run_ablations(scale=0.15),
+                              rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_ablations(rows))

@@ -1,0 +1,63 @@
+"""Benchmark: Fig. 4 — conflict checks on invocations vs. access points.
+
+Times the direct (specification-level) detector against the access-point
+detector on the figure's scenario (k parallel puts + one size) and asserts
+the check-count claim: k comparisons versus one.
+"""
+
+import pytest
+
+from repro.bench.fig4 import fig4_trace, render_fig4, run_fig4
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.core.direct import DirectDetector
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+
+PUT_COUNTS = [10, 100, 400]
+
+
+@pytest.mark.parametrize("puts", PUT_COUNTS)
+def test_fig4_direct_detector(benchmark, puts):
+    trace = fig4_trace(puts).build()
+    spec = dictionary_spec()
+
+    def run():
+        detector = DirectDetector(root=0, keep_reports=False)
+        detector.register_object("o", spec.commutes)
+        for event in trace:
+            detector.process(event)
+        return detector.stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["checks_per_action"] = round(
+        stats.checks_per_action(), 2)
+    # Θ(k): the size() alone compared against every put.
+    assert stats.conflict_checks >= puts
+
+
+@pytest.mark.parametrize("puts", PUT_COUNTS)
+def test_fig4_access_point_detector(benchmark, puts):
+    trace = fig4_trace(puts).build()
+
+    def run():
+        detector = CommutativityRaceDetector(
+            root=0, strategy=Strategy.ENUMERATE, keep_reports=False)
+        detector.register_object("o", dictionary_representation())
+        for event in trace:
+            detector.process(event)
+        return detector.stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["checks_per_action"] = round(
+        stats.checks_per_action(), 2)
+    # Θ(1) per action: bounded by the representation's conflict degree.
+    assert stats.checks_per_action() <= 4
+
+
+def test_fig4_report(benchmark, capsys):
+    points = benchmark.pedantic(lambda: run_fig4(), rounds=1, iterations=1)
+    for point in points:
+        assert point.direct_checks_for_size == point.puts
+        assert point.access_point_checks_for_size == 1
+    with capsys.disabled():
+        print()
+        print(render_fig4(points))

@@ -1,0 +1,125 @@
+"""Benchmark: per-event analysis overhead of each detector.
+
+Micro-level counterpart of Table 2's performance columns: the same recorded
+trace is replayed through every analyzer, isolating pure analysis cost from
+workload and scheduling cost.
+"""
+
+import pytest
+
+from repro.baselines.eraser import Eraser
+from repro.baselines.fasttrack import FastTrack
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.core.hb import HappensBeforeTracker
+from repro.core.trace import TraceBuilder
+from repro.sched.workload import WorkloadConfig, generate_trace
+from repro.specs.dictionary import dictionary_representation
+
+
+def interface_trace():
+    workload = generate_trace(WorkloadConfig(
+        threads=4, ops_per_thread=150, seed=1,
+        objects=(("dictionary", 2),)))
+    return workload
+
+
+def memory_trace():
+    builder = TraceBuilder(root=0)
+    for worker in range(1, 5):
+        builder.fork(0, worker)
+    import random
+    rng = random.Random(0)
+    for index in range(600):
+        tid = rng.randrange(1, 5)
+        location = f"x{rng.randrange(32)}"
+        if rng.random() < 0.3:
+            builder.write(tid, location)
+        else:
+            builder.read(tid, location)
+    return builder.build(stamp=False)
+
+
+def test_overhead_hb_tracking_only(benchmark):
+    workload = interface_trace()
+
+    def run():
+        tracker = HappensBeforeTracker(root=0)
+        for event in workload.trace:
+            tracker.observe(event)
+
+    benchmark(run)
+
+
+def test_overhead_rd2(benchmark):
+    workload = interface_trace()
+
+    def run():
+        detector = CommutativityRaceDetector(
+            root=0, strategy=Strategy.ENUMERATE, keep_reports=False)
+        for obj_id in workload.objects:
+            detector.register_object(obj_id, dictionary_representation())
+        for event in workload.trace:
+            detector.process(event)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["races"] = detector.stats.races
+    benchmark.extra_info["events"] = detector.stats.events
+
+
+def test_overhead_fasttrack(benchmark):
+    trace = memory_trace()
+
+    def run():
+        detector = FastTrack(root=0, keep_reports=False)
+        for event in trace:
+            detector.process(event)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["races"] = detector.race_count
+
+
+def test_overhead_djit(benchmark):
+    """The epochs-vs-vector-clocks comparison of the FastTrack paper."""
+    from repro.baselines.djit import Djit
+    trace = memory_trace()
+
+    def run():
+        detector = Djit(root=0, keep_reports=False)
+        for event in trace:
+            detector.process(event)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["races"] = detector.race_count
+
+
+def test_overhead_rd2_with_pruning(benchmark):
+    workload = interface_trace()
+
+    def run():
+        detector = CommutativityRaceDetector(
+            root=0, strategy=Strategy.ENUMERATE, keep_reports=False,
+            prune_interval=32)
+        for obj_id in workload.objects:
+            detector.register_object(obj_id, dictionary_representation())
+        for event in workload.trace:
+            detector.process(event)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["active_points"] = detector.active_point_count()
+
+
+def test_overhead_eraser(benchmark):
+    trace = memory_trace()
+
+    def run():
+        detector = Eraser(root=0, keep_reports=False)
+        for event in trace:
+            detector.process(event)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["warnings"] = detector.warning_count

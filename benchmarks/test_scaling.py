@@ -1,0 +1,84 @@
+"""Benchmark: the Section 5.4 complexity series — Θ(1) vs Θ(|active|).
+
+Times the three detector variants over growing dictionary workloads and
+asserts the asymptotic claim: per-action checks stay flat for the
+ENUMERATE strategy over the translated representation, and grow linearly
+for the SCAN strategy over the naive representation (and for the direct
+specification-level detector).
+"""
+
+import pytest
+
+from repro.bench.scaling import (render_scaling, run_scaling, scaling_trace)
+from repro.core.access_points import NaiveRepresentation
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.core.direct import DirectDetector
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+
+SIZES = [200, 800]
+
+
+def _run_enumerate(trace):
+    detector = CommutativityRaceDetector(root=0, strategy=Strategy.ENUMERATE,
+                                         keep_reports=False)
+    detector.register_object("o", dictionary_representation())
+    for event in trace:
+        detector.process(event)
+    return detector.stats
+
+
+def _run_scan(trace):
+    detector = CommutativityRaceDetector(root=0, strategy=Strategy.SCAN,
+                                         keep_reports=False)
+    detector.register_object(
+        "o", NaiveRepresentation("dictionary", dictionary_spec().commutes))
+    for event in trace:
+        detector.process(event)
+    return detector.stats
+
+
+def _run_direct(trace):
+    detector = DirectDetector(root=0, keep_reports=False)
+    detector.register_object("o", dictionary_spec().commutes)
+    for event in trace:
+        detector.process(event)
+    return detector.stats
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_enumerate(benchmark, size):
+    trace = scaling_trace(size, seed=0)
+    stats = benchmark(lambda: _run_enumerate(trace))
+    benchmark.extra_info["checks_per_action"] = round(
+        stats.checks_per_action(), 2)
+    assert stats.checks_per_action() <= 5
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_scan(benchmark, size):
+    trace = scaling_trace(size, seed=0)
+    stats = benchmark(lambda: _run_scan(trace))
+    benchmark.extra_info["checks_per_action"] = round(
+        stats.checks_per_action(), 1)
+    assert stats.checks_per_action() >= size / 4
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_direct(benchmark, size):
+    trace = scaling_trace(size, seed=0)
+    stats = benchmark(lambda: _run_direct(trace))
+    benchmark.extra_info["checks_per_action"] = round(
+        stats.checks_per_action(), 1)
+    assert stats.checks_per_action() >= size / 4
+
+
+def test_scaling_report(benchmark, capsys):
+    points = benchmark.pedantic(
+        lambda: run_scaling(sizes=(100, 300, 1000)), rounds=1, iterations=1)
+    small, medium, large = points
+    assert large.enumerate_checks_per_action <= \
+        small.enumerate_checks_per_action * 1.5 + 1
+    assert large.scan_checks_per_action > small.scan_checks_per_action * 5
+    with capsys.disabled():
+        print()
+        print(render_scaling(points))

@@ -1,0 +1,96 @@
+"""Benchmark: regenerate Table 2 (the paper's whole evaluation table).
+
+Each (benchmark, configuration) cell is one pytest-benchmark entry timing
+the circuit/snitch workload under that analyzer stack; race tallies are
+attached as extra_info and the shape assertions of the reproduction are
+checked inline.  A final reporting entry prints the full rendered table
+next to the paper's published numbers.
+"""
+
+import pytest
+
+from repro.bench.harness import analyzer_stack, measure
+from repro.bench.table2 import (PAPER_TABLE2, _circuit_workload,
+                                _snitch_workload, render, run_table2)
+from repro.apps.polepos.circuits import CIRCUITS, CircuitConfig
+from repro.apps.snitch.snitch import SnitchTestConfig
+from repro.runtime.monitor import Monitor
+
+H2_ROWS = [name for name in PAPER_TABLE2 if name != "DynamicEndpointSnitch"]
+CONFIGS = ["uninstrumented", "fasttrack", "rd2"]
+
+
+def scaled_circuit(name, scale):
+    config = CIRCUITS[name]
+    return CircuitConfig(**{**config.__dict__,
+                            "ops_per_worker":
+                            max(5, int(config.ops_per_worker * scale))})
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("row", H2_ROWS)
+def test_table2_h2_cell(benchmark, row, config, scale):
+    circuit = scaled_circuit(row, scale)
+    workload = _circuit_workload(circuit, seed=0, switch_probability=1.0)
+
+    def cell():
+        monitor = Monitor(analyzers=analyzer_stack(config))
+        return workload(monitor), monitor
+
+    (operations, monitor) = benchmark(cell)
+    measurement = measure(workload, config)
+    benchmark.extra_info["qps"] = round(measurement.qps)
+    benchmark.extra_info["races"] = str(measurement.races_for())
+    assert operations == circuit.workers * circuit.ops_per_worker
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_table2_snitch_cell(benchmark, config, scale):
+    snitch_config = SnitchTestConfig(
+        timings_per_producer=max(5, int(150 * scale)),
+        score_updates=max(2, int(40 * scale)))
+    workload = _snitch_workload(snitch_config, seed=0,
+                                switch_probability=1.0)
+
+    def cell():
+        monitor = Monitor(analyzers=analyzer_stack(config))
+        return workload(monitor)
+
+    operations = benchmark(cell)
+    measurement = measure(workload, config)
+    benchmark.extra_info["seconds"] = round(measurement.elapsed, 4)
+    benchmark.extra_info["races"] = str(measurement.races_for())
+    assert operations > 0
+
+
+def test_table2_shape_and_report(benchmark, scale, capsys):
+    """Regenerate the full table once and assert the paper's shape."""
+    rows = benchmark.pedantic(
+        lambda: run_table2(scale=scale, seed=0), rounds=1, iterations=1)
+    by_name = {row.benchmark: row for row in rows}
+
+    # Shape claim 1: instrumentation costs, RD2 comparable to FASTTRACK.
+    for row in rows:
+        uninstrumented = row.measurements["uninstrumented"]
+        rd2 = row.measurements["rd2"]
+        fasttrack = row.measurements["fasttrack"]
+        assert uninstrumented.elapsed <= rd2.elapsed
+        assert uninstrumented.elapsed <= fasttrack.elapsed
+        assert rd2.elapsed < fasttrack.elapsed * 3
+
+    # Shape claim 2: the clean rows.
+    for name in ("QueryCentricConcurrency", "Complex", "NestedLists"):
+        assert by_name[name].races("rd2").total == 0
+
+    # Shape claim 3: racy rows on few objects; FASTTRACK redundancy.
+    for name in ("ComplexConcurrency", "InsertCentricConcurrency",
+                 "DynamicEndpointSnitch"):
+        rd2_tally = by_name[name].races("rd2")
+        ft_tally = by_name[name].races("fasttrack")
+        assert rd2_tally.total >= 1
+        assert rd2_tally.distinct <= 3
+        assert ft_tally.total > ft_tally.distinct  # redundant reports
+
+    with capsys.disabled():
+        print()
+        print(render(rows))

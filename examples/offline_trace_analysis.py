@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Offline analysis: build a trace by hand, replay it through detectors.
+
+Not every use of the detector needs the runtime: the analysis consumes a
+*trace* (Section 3.1), so you can construct one directly — from a log, a
+simulator, or by hand — and replay it.  This example rebuilds the exact
+execution of the paper's Fig. 3, shows the vector clocks the detector
+computes, checks them against the figure, and cross-validates the online
+detector against the brute-force oracle (Theorem 5.1 in miniature).
+
+Run:  python examples/offline_trace_analysis.py
+"""
+
+from repro.core import (NIL, Action, CommutativityOracle,
+                        CommutativityRaceDetector, TraceBuilder)
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+
+
+def main() -> None:
+    # The trace of Fig. 3: τ3 and τ2 race on put('a.com', ...); the main
+    # thread joins both, then observes size()/1.
+    trace = (
+        TraceBuilder(root="m")
+        .fork("m", "t2")
+        .fork("m", "t3")
+        .action("t3", Action("o", "put", ("a.com", "c1"), (NIL,)))   # a1
+        .action("t2", Action("o", "put", ("a.com", "c2"), ("c1",)))  # a2
+        .join("m", "t2")
+        .join("m", "t3")
+        .action("m", Action("o", "size", (), (1,)))                  # a3
+        .build()
+    )
+
+    a1, a2, a3 = trace.actions("o")
+    order = ["m", "t2", "t3"]
+    print("vector clocks (as ⟨m, t2, t3⟩, cf. Fig. 3):")
+    for label, event in (("a1", a1), ("a2", a2), ("a3", a3)):
+        print(f"  {label}: {event.clock.to_tuple(order)}")
+    assert a1.clock.parallel(a2.clock), "a1 ‖ a2 (the racing pair)"
+    assert a1.clock.leq(a3.clock) and a2.clock.leq(a3.clock), \
+        "joinall orders size() after both puts"
+
+    # Online detection over the recorded trace.
+    detector = CommutativityRaceDetector(root="m")
+    detector.register_object("o", dictionary_representation())
+    trace.replay(detector.process)
+    print(f"\nonline detector: {len(detector.races)} race(s)")
+    for race in detector.races:
+        print(f"  {race}")
+
+    # The brute-force oracle (Definition 4.3, literally).
+    oracle = CommutativityOracle()
+    oracle.register_object("o", dictionary_spec().commutes)
+    pairs = oracle.racing_pairs(trace)
+    print(f"\noracle: {len(pairs)} racing pair(s)")
+    for first, second in pairs:
+        print(f"  {first.label()}  ‖  {second.label()}")
+
+    assert bool(detector.races) == bool(pairs)  # Theorem 5.1
+    assert {(p[0].index, p[1].index) for p in pairs} == {(a1.index, a2.index)}
+    print("\nDetector and oracle agree: the put/put pair races, and the "
+          "joinall-ordered\nsize() does not — matching Fig. 3 exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Schedule exploration on a producer/consumer pipeline.
+
+A work queue connects a producer to a consumer.  The *intended* protocol
+hands items over through a semaphore (release after enq, acquire before
+deq), which orders each handoff; a buggy variant skips the semaphore and
+polls the queue directly.  One interleaving proves nothing — this example
+uses :func:`repro.sched.explore` to sweep seeds, showing the buggy variant
+races on every schedule while the disciplined one never does, and prints
+the deduplicated findings with their witness seeds.
+
+A third variant — *multiple* producers, each feeding the queue — shows why
+FIFO enqueues themselves are commutativity races even with the consumer
+fully synchronized: concurrent ``enq``s do not commute (their order is
+observable through later ``deq``s), which is exactly the nondeterminism a
+work-sharing design should either accept (use an unordered bag — compare
+``repro.specs.list_spec``'s multiset log) or serialize.
+
+Run:  python examples/pipeline_exploration.py
+"""
+
+from repro.core.events import NIL
+from repro.runtime import MonitoredQueue
+from repro.sched import Semaphore, explore
+
+ITEMS = ["job-a", "job-b", "job-c"]
+
+
+def disciplined_pipeline(monitor, scheduler):
+    queue = MonitoredQueue(monitor, name="work")
+    ready = Semaphore(monitor, scheduler, permits=0, name="ready")
+    consumed = []
+
+    def producer():
+        for item in ITEMS:
+            queue.enq(item)
+            ready.release()      # publish: orders the enq before the deq
+
+    def consumer():
+        for _ in ITEMS:
+            ready.acquire()      # wait for a published item
+            consumed.append(queue.deq())
+
+    scheduler.join_all([scheduler.spawn(producer),
+                        scheduler.spawn(consumer)])
+    return consumed
+
+
+def polling_pipeline(monitor, scheduler):
+    queue = MonitoredQueue(monitor, name="work")
+    consumed = []
+
+    def producer():
+        for item in ITEMS:
+            queue.enq(item)
+
+    def consumer():
+        while len(consumed) < len(ITEMS):
+            item = queue.deq()   # unsynchronized poll: races with enq
+            if item is not NIL:
+                consumed.append(item)
+
+    scheduler.join_all([scheduler.spawn(producer),
+                        scheduler.spawn(consumer)])
+    return consumed
+
+
+def fan_in_pipeline(monitor, scheduler):
+    """Multiple producers, consumer fully synchronized — enq/enq races."""
+    queue = MonitoredQueue(monitor, name="work")
+    ready = Semaphore(monitor, scheduler, permits=0, name="ready")
+    consumed = []
+
+    def producer(item):
+        queue.enq(item)
+        ready.release()
+
+    def consumer():
+        for _ in ITEMS:
+            ready.acquire()
+            consumed.append(queue.deq())
+
+    handles = [scheduler.spawn(producer, item) for item in ITEMS]
+    handles.append(scheduler.spawn(consumer))
+    scheduler.join_all(handles)
+    return consumed
+
+
+def main() -> None:
+    seeds = range(12)
+
+    print(f"Exploring {len(list(seeds))} interleavings of each variant...\n")
+
+    polling = explore(polling_pipeline, seeds=seeds)
+    print("Polling consumer (no synchronization):")
+    print(f"  {polling.summary()}\n")
+
+    disciplined = explore(disciplined_pipeline, seeds=seeds)
+    print("Single producer + semaphore handoff:")
+    print(f"  {disciplined.summary()}\n")
+
+    fan_in = explore(fan_in_pipeline, seeds=seeds)
+    print("Concurrent producers + semaphore handoff:")
+    print(f"  {fan_in.summary()}\n")
+
+    assert polling.race_frequency > 0, \
+        "some schedule must interleave a deq with a concurrent enq"
+    assert disciplined.race_frequency == 0, \
+        "the semaphore orders every handoff and the producer is serial"
+    assert fan_in.race_frequency > 0, \
+        "concurrent FIFO enqueues do not commute"
+    assert all("enq" in str(group.sample.current) for seed_groups in
+               [fan_in.all_groups()] for group in seed_groups), \
+        "fan-in races are exactly the enq/enq pairs"
+
+    # Items are handed over completely in every variant — the races are
+    # about *interference potential*, not this run's outcome (the paper's
+    # point: a commutativity race indicates undesirable interference even
+    # when this execution got lucky).
+    for outcome in polling.outcomes:
+        assert sorted(outcome.result) == sorted(ITEMS)
+
+    print("Every polling run still delivered all items — the races flag "
+          "the\nunsynchronized enq/deq pairs whose order the schedule was "
+          "free to flip.\nThe fan-in variant is synchronized on the "
+          "consumer side yet still races:\nconcurrent FIFO enqueues do not "
+          "commute, so the delivered *order* is\nschedule-dependent — use "
+          "an unordered bag if that is acceptable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: detect the paper's running-example commutativity race.
+
+This is Fig. 1 of the paper: threads concurrently establish connections to
+a list of hosts and store them in a shared dictionary.  When the host list
+contains duplicates, two ``put`` invocations on the same key can happen in
+parallel and do not commute — a commutativity race (Fig. 3 walks through
+the detection).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import tally
+from repro.runtime import Monitor, MonitoredDict, Rd2Analyzer
+from repro.sched import Scheduler
+
+
+def main() -> None:
+    # 1. A monitor with the commutativity race detector attached.
+    rd2 = Rd2Analyzer()
+    monitor = Monitor(analyzers=[rd2])
+
+    # 2. A deterministic scheduler (the seed fixes the interleaving).
+    scheduler = Scheduler(monitor, seed=2014)
+
+    # Note the duplicate host — the bug the paper's example is about.
+    hosts = ["a.com", "a.com", "b.com", "c.com"]
+
+    def program() -> int:
+        connections = MonitoredDict(monitor, name="o")
+
+        def connect(host: str, serial: int) -> None:
+            # createConnection(host) stand-in:
+            connection = f"connection-{serial}->{host}"
+            connections.put(host, connection)
+
+        workers = [scheduler.spawn(connect, host, index)
+                   for index, host in enumerate(hosts)]
+        scheduler.join_all(workers)          # the paper's `joinall`
+        return connections.size()            # safely ordered after joins
+
+    established = scheduler.run(program)
+    print(f"{established} connections established")
+
+    # 3. Inspect the detector's verdicts.
+    races = rd2.races()
+    print(f"\ncommutativity races: {tally(races)}")
+    for race in races:
+        print(f"  {race}")
+
+    assert races, "expected the duplicate-host put/put race"
+    assert all(race.obj == "o" for race in races)
+    print("\nThe two put('a.com', ...) invocations may happen in parallel "
+          "and do not\ncommute — exactly the race of the paper's Fig. 1/3. "
+          "The final size() is\nrace-free because joinall orders it after "
+          "every put.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment this project targets ships setuptools but not the
+``wheel`` package, so PEP 660 editable installs (which build a wheel) fail.
+Keeping a ``setup.py`` and omitting ``[build-system]`` from pyproject.toml
+lets ``pip install -e .`` fall back to the classic ``setup.py develop``
+path, which needs neither network access nor ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Commutativity Race Detection" (PLDI 2014).
+
+Public API highlights:
+
+* :mod:`repro.core` — vector clocks, traces, access points, and the
+  commutativity race detector (Algorithm 1).
+* :mod:`repro.logic` — ECL formulas, specifications, and the translation to
+  access point representations.
+* :mod:`repro.specs` — bundled specifications (dictionary of Fig. 6, sets,
+  counters, registers, logs, accumulators).
+* :mod:`repro.runtime` — the dynamic method-interception runtime (monitored
+  collections, shared variables, locks) and pluggable analyzers.
+* :mod:`repro.sched` — the deterministic cooperative scheduler.
+* :mod:`repro.baselines` — FastTrack and Eraser read/write detectors.
+* :mod:`repro.apps` — the evaluation applications (MVStore/PolePosition,
+  DynamicEndpointSnitch).
+* :mod:`repro.atomicity` — Velodrome-style atomicity checking generalized
+  to access-point conflicts (the paper's Section 8 extension).
+* :mod:`repro.bench` — the Table 2 / figure harnesses and ablations.
+"""
+
+__version__ = "1.0.0"
+
+from .core import (NIL, Action, CommutativityRace, CommutativityRaceDetector,
+                   DataRace, Strategy, Trace, TraceBuilder, VectorClock,
+                   group_races, tally)
+from .logic import CommutativitySpec, parse_formula, translate
+from .specs import bundled_objects
+
+__all__ = [
+    "NIL", "Action", "CommutativityRace", "CommutativityRaceDetector",
+    "DataRace", "Strategy", "Trace", "TraceBuilder", "VectorClock",
+    "group_races", "tally",
+    "CommutativitySpec", "parse_formula", "translate",
+    "bundled_objects",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Evaluation applications: the H2-MVStore database with PolePosition-style
+circuits, and Cassandra's DynamicEndpointSnitch (Section 7 substitutes)."""
+
+from . import mvstore, polepos, snitch
+
+__all__ = ["mvstore", "polepos", "snitch"]

@@ -1,0 +1,7 @@
+"""H2-MVStore substitute: the multi-version store with the paper's two
+racy bookkeeping maps, plus a miniature database layer over it."""
+
+from .database import Database, Session
+from .store import MVMap, MVStore, PAGE_SIZE
+
+__all__ = ["Database", "Session", "MVMap", "MVStore", "PAGE_SIZE"]

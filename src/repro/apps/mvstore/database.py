@@ -1,0 +1,119 @@
+"""A miniature SQL-ish database server on top of the MVStore.
+
+H2 exposes JDBC; PolePosition drives it with inserts, selects, updates and
+multi-row "complex" queries.  This layer provides just enough of that
+surface for the circuits: named tables backed by MVMaps, per-connection
+sessions, and the handful of statement shapes the circuits issue.
+
+Rows are flat tuples; the key is the primary key.  A "complex query" walks
+a key range, which at the store level is a sequence of gets — reads commute,
+so query-heavy circuits are commutativity-quiet even when racy at the field
+level, matching Table 2's QueryCentricConcurrency row (FASTTRACK: hundreds
+of races; RD2: zero).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ...core.events import NIL
+from ...runtime.monitor import Monitor
+from ...runtime.shared import SharedVar
+from .store import MVStore
+
+__all__ = ["Database", "Session"]
+
+
+class Database:
+    """The server: one MVStore plus server-wide statistics fields."""
+
+    def __init__(self, monitor: Monitor, chunk_count: int = 8,
+                 name: str = "h2"):
+        self.monitor = monitor
+        self.store = MVStore(monitor, chunk_count=chunk_count, name=name)
+        # Unsynchronized server statistics — FASTTRACK fodder, like H2's
+        # query statistics counters.
+        self.statements_executed = SharedVar(monitor, 0,
+                                             name=f"{name}/stmtCount")
+        self.rows_read = SharedVar(monitor, 0, name=f"{name}/rowsRead")
+
+    def bind_scheduler(self, scheduler) -> None:
+        self.store.bind_scheduler(scheduler)
+
+    def connect(self) -> "Session":
+        return Session(self)
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class Session:
+    """A client connection issuing statements against the server."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._store = database.store
+
+    # -- statements --------------------------------------------------------
+
+    def insert(self, table: str, key: Any, row: Tuple[Any, ...]) -> bool:
+        """INSERT; returns False when the key already existed (H2 would
+        raise a duplicate-key error — the circuits count it instead)."""
+        self._db.statements_executed.add(1)
+        previous = self._store.open_map(table).put(key, row)
+        return previous is NIL
+
+    def select(self, table: str, key: Any) -> Optional[Tuple[Any, ...]]:
+        """SELECT by primary key; None when absent."""
+        self._db.statements_executed.add(1)
+        self._db.rows_read.add(1)
+        row = self._store.open_map(table).get(key)
+        return None if row is NIL else row
+
+    def update(self, table: str, key: Any,
+               row: Tuple[Any, ...]) -> bool:
+        """UPDATE; returns False when the key was absent (row inserted)."""
+        self._db.statements_executed.add(1)
+        previous = self._store.open_map(table).put(key, row)
+        return previous is not NIL
+
+    def delete(self, table: str, key: Any) -> bool:
+        self._db.statements_executed.add(1)
+        return self._store.open_map(table).remove(key) is not NIL
+
+    def select_range(self, table: str, keys: Iterable[Any]
+                     ) -> List[Tuple[Any, ...]]:
+        """A "complex" multi-row query: one get per candidate key."""
+        self._db.statements_executed.add(1)
+        mv_map = self._store.open_map(table)
+        rows: List[Tuple[Any, ...]] = []
+        for key in keys:
+            self._db.rows_read.add(1)
+            row = mv_map.get(key)
+            if row is not NIL:
+                rows.append(row)
+        return rows
+
+    def count(self, table: str) -> int:
+        """SELECT COUNT(*) — a size observation on the table map."""
+        self._db.statements_executed.add(1)
+        return self._store.open_map(table).size()
+
+    def commit(self) -> int:
+        return self._store.commit()
+
+    @contextmanager
+    def transaction(self):
+        """Mark a statement sequence as intended-atomic.
+
+        Purely an annotation for the atomicity analysis
+        (:mod:`repro.atomicity`): no isolation is enforced — H2's MVStore
+        sessions likewise interleave at the map level, which is exactly
+        what the checker then examines.
+        """
+        self._db.monitor.on_begin()
+        try:
+            yield self
+        finally:
+            self._db.monitor.on_commit()

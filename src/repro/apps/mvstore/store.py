@@ -1,0 +1,215 @@
+"""A Multi-Version Store modeled on H2's MVStore (the paper's Section 7).
+
+H2 1.3.174's MVStore keeps its bookkeeping in ConcurrentHashMaps; the paper
+reports two harmful commutativity races found by RD2 in it:
+
+1. **freedPageSpace** — concurrent accumulation of freed page space uses a
+   get-then-put sequence on the ``freedPageSpace`` map without holding the
+   store lock, so two threads freeing pages of the same chunk can lose an
+   update ("could lead to incorrect state of the server"; fixed upstream
+   after the paper's study).
+2. **chunks** — readers materialize chunk metadata on demand with a
+   contains-then-put on the ``chunks`` map, so two readers can both load
+   the same chunk ("the same result being computed multiple times, which
+   might be a performance issue").
+
+This module reproduces those exact access patterns on monitored
+dictionaries.  The store is versioned: ``commit`` bumps the version under
+the store lock (a correctly synchronized path, providing contrast), while
+the buggy paths deliberately bypass it, as in H2.
+
+The store also carries a handful of *plain* shared fields (`unsaved_memory`,
+`cache_hits`, ...) updated without synchronization — the kind of benign-ish
+field races RoadRunner's FASTTRACK floods Table 2 with.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Dict, Hashable, Optional
+
+from ...core.events import NIL
+from ...runtime.collections_rt import MonitoredDict
+from ...runtime.monitor import Monitor
+from ...runtime.shared import MonitoredLock, SharedVar
+
+__all__ = ["PAGE_SIZE", "MVStore", "MVMap"]
+
+PAGE_SIZE = 64
+
+_store_serial = itertools.count()
+
+
+class MVMap:
+    """A named key-value map inside the store (H2's MVMap).
+
+    Application rows live here; structural bookkeeping (which chunk a write
+    landed in, what space it freed) is delegated back to the store, which is
+    where the racy paths are.
+    """
+
+    def __init__(self, store: "MVStore", name: str):
+        self._store = store
+        self.name = name
+        self._data = MonitoredDict(store.monitor,
+                                   name=f"{store.store_id}/map/{name}")
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        previous = self._data.put(key, value)
+        # A write dirties a page; replacing an existing row frees the old
+        # page's space in its chunk — the freedPageSpace path.
+        self._store.on_page_write(self.name, key, replaced=previous is not NIL)
+        return previous
+
+    def get(self, key: Hashable) -> Any:
+        # A read may need the chunk holding the page — the chunks path.
+        self._store.on_page_read(self.name, key)
+        return self._data.get(key)
+
+    def remove(self, key: Hashable) -> Any:
+        previous = self._data.remove(key)
+        if previous is not NIL:
+            self._store.on_page_write(self.name, key, replaced=True)
+        return previous
+
+    def contains(self, key: Hashable) -> bool:
+        return self._data.contains(key)
+
+    def size(self) -> int:
+        return self._data.size()
+
+    def release(self) -> None:
+        self._data.release()
+
+
+class MVStore:
+    """The store: chunk registry, freed-space accounting, versioning.
+
+    Parameters
+    ----------
+    monitor:
+        Event hub for all the store's shared state.
+    chunk_count:
+        How many chunks the key space folds onto; a smaller count means
+        more collisions on ``freedPageSpace``/``chunks`` entries and hence
+        more races per operation.
+    """
+
+    def __init__(self, monitor: Monitor, chunk_count: int = 8,
+                 name: Optional[str] = None):
+        self.monitor = monitor
+        self.store_id = name if name is not None else f"mvstore#{next(_store_serial)}"
+        self.chunk_count = chunk_count
+
+        # The two maps the paper's H2 bugs live on.
+        self.chunks = MonitoredDict(monitor, name=f"{self.store_id}/chunks")
+        self.freed_page_space = MonitoredDict(
+            monitor, name=f"{self.store_id}/freedPageSpace")
+
+        # Correctly synchronized commit path.
+        self.store_lock = MonitoredLock(monitor,
+                                        name=f"{self.store_id}/storeLock")
+
+        # Plain fields — FASTTRACK's hunting ground.
+        self.current_version = SharedVar(monitor, 0,
+                                         name=f"{self.store_id}/currentVersion")
+        self.unsaved_memory = SharedVar(monitor, 0,
+                                        name=f"{self.store_id}/unsavedMemory")
+        self.cache_hits = SharedVar(monitor, 0,
+                                    name=f"{self.store_id}/cacheHits")
+        self.chunk_loads = SharedVar(monitor, 0,
+                                     name=f"{self.store_id}/chunkLoads")
+
+        self._maps: Dict[str, MVMap] = {}
+
+    def bind_scheduler(self, scheduler) -> None:
+        """Route the store lock's blocking through the scheduler."""
+        self.store_lock.bind_scheduler(scheduler)
+
+    # -- maps ----------------------------------------------------------------
+
+    def open_map(self, name: str) -> MVMap:
+        mv_map = self._maps.get(name)
+        if mv_map is None:
+            mv_map = MVMap(self, name)
+            self._maps[name] = mv_map
+        return mv_map
+
+    # -- page bookkeeping (the racy paths) ---------------------------------------
+
+    def chunk_of(self, map_name: str, key: Hashable) -> int:
+        # Deterministic across processes (unlike str.__hash__, which is
+        # randomized per interpreter) so benchmark runs are reproducible.
+        digest = zlib.crc32(repr((map_name, key)).encode())
+        return digest % self.chunk_count
+
+    def on_page_write(self, map_name: str, key: Hashable,
+                      replaced: bool) -> None:
+        """A page was (re)written: account memory; free replaced space.
+
+        The freed-space accumulation is H2 bug 1: a get-then-put on
+        ``freedPageSpace`` with no lock — two concurrent replacements in
+        the same chunk race on the entry (RD2: put/put and put/get
+        commutativity races) and one update can be lost.
+        """
+        self.unsaved_memory.add(PAGE_SIZE)
+        if not replaced:
+            return
+        chunk = self.chunk_of(map_name, key)
+        # The replaced page's chunk metadata is stale: drop it, so the next
+        # reader re-materializes it (and the contains-then-put of
+        # on_page_read can race again).
+        self.chunks.remove(chunk)
+        freed = self.freed_page_space.get(chunk)        # racy read
+        if freed is NIL:
+            freed = 0
+        self.freed_page_space.put(chunk, freed + PAGE_SIZE)  # racy write
+
+    def on_page_read(self, map_name: str, key: Hashable) -> None:
+        """A page was read: make sure its chunk metadata is materialized.
+
+        H2 bug 2: a contains-then-put on ``chunks`` — two concurrent
+        readers both miss, both load, and both publish; the duplicated
+        ``_load_chunk`` work is the performance issue the paper describes.
+        """
+        chunk = self.chunk_of(map_name, key)
+        if not self.chunks.contains(chunk):             # racy check
+            metadata = self._load_chunk(chunk)
+            self.chunk_loads.add(1)
+            self.chunks.put(chunk, metadata)            # racy act
+        else:
+            self.cache_hits.add(1)
+
+    def _load_chunk(self, chunk: int) -> Dict[str, int]:
+        # Stands in for H2's expensive chunk deserialization.
+        return {"id": chunk, "pages": PAGE_SIZE, "version":
+                self.current_version.read()}
+
+    # -- commit (the synchronized path) ---------------------------------------------
+
+    def commit(self) -> int:
+        """Persist pending writes and advance the version.
+
+        Runs under the store lock, so concurrent commits are ordered —
+        their freed-space *consumption* is race-free.  (The bug is that the
+        freeing *producers* above do not take this lock.)
+        """
+        with self.store_lock:
+            version = self.current_version.read() + 1
+            self.current_version.write(version)
+            chunk = version % self.chunk_count
+            consumed = self.freed_page_space.get(chunk)
+            if consumed is not NIL and consumed > 0:
+                self.freed_page_space.put(chunk, 0)
+            self.unsaved_memory.write(0)
+            return version
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release analyzer state for all store objects (Section 5.3)."""
+        for mv_map in self._maps.values():
+            mv_map.release()
+        self.chunks.release()
+        self.freed_page_space.release()

@@ -1,0 +1,7 @@
+"""PolePosition-style benchmark circuits driving the MVStore database."""
+
+from .circuits import (CIRCUITS, CircuitConfig, CircuitResult, circuit_names,
+                       get_circuit, run_circuit)
+
+__all__ = ["CIRCUITS", "CircuitConfig", "CircuitResult", "circuit_names",
+           "get_circuit", "run_circuit"]

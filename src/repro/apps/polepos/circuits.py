@@ -1,0 +1,267 @@
+"""PolePosition circuits: the benchmark scenarios of Table 2.
+
+PolePosition is the open-source database benchmark the paper drives H2
+with; its scenarios are called *circuits*.  The paper runs five against the
+MVStore build (plus a variant of the first with an alternate query
+distribution):
+
+* **ComplexConcurrency** — several connections issuing a mixed statement
+  stream (selects, inserts, updates, commits, multi-row queries) over a
+  small shared key space.  Both MVStore bookkeeping races are reachable.
+* **ComplexConcurrency (alternate query distribution)** — same shape,
+  shifted toward reads.
+* **QueryCentricConcurrency** — concurrent connections, but read-only over
+  a pre-populated (and chunk-warmed) table.  Reads commute: RD2 stays
+  silent while the low-level detectors still flag the server's statistics
+  fields, matching the paper's ``209 (4)`` vs ``0 (0)`` row.
+* **InsertCentricConcurrency** — insert-heavy with occasional re-inserts
+  (duplicate keys) and updates.
+* **Complex** and **NestedLists** — no concurrent *queries*: a single
+  client thread does the work while a background statistics thread reads
+  the server's plain counters (so the read/write baselines still find
+  field races but no library-level interference exists).
+
+Each circuit is a :class:`CircuitConfig`; :func:`run_circuit` executes one
+under a given monitor/scheduler seed and returns operation counts, which
+the bench harness converts to qps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...runtime.monitor import Monitor
+from ...sched.scheduler import Scheduler
+from ..mvstore.database import Database, Session
+
+__all__ = ["CircuitConfig", "CircuitResult", "CIRCUITS", "circuit_names",
+           "get_circuit", "run_circuit"]
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Parameters of one PolePosition-style circuit."""
+
+    name: str
+    workers: int = 4
+    ops_per_worker: int = 120
+    key_space: int = 24
+    tables: Tuple[str, ...] = ("t0",)
+    #: statement mix: weights over select/insert/update/range/count/commit
+    mix: Tuple[Tuple[str, float], ...] = (
+        ("select", 0.4), ("insert", 0.3), ("update", 0.2), ("commit", 0.1))
+    #: keys per worker are private (suffix by worker id) when True
+    private_keys: bool = False
+    #: pre-populate the table and warm the chunk cache before forking
+    prepopulate: int = 0
+    #: fork a background statistics reader alongside the workers
+    stats_thread: bool = False
+    range_span: int = 6
+    chunk_count: int = 8
+
+    def weights(self) -> Tuple[List[str], List[float]]:
+        ops = [op for op, _ in self.mix]
+        weights = [weight for _, weight in self.mix]
+        return ops, weights
+
+
+@dataclass
+class CircuitResult:
+    """What one circuit run did (used for qps and race accounting)."""
+
+    config: CircuitConfig
+    operations: int = 0
+    duplicate_inserts: int = 0
+    rows_returned: int = 0
+    commits: int = 0
+    final_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def _worker_body(session: Session, config: CircuitConfig, worker: int,
+                 seed: int, result: CircuitResult) -> None:
+    """One connection's statement stream (a PolePosition "driver lap")."""
+    rng = random.Random(f"{seed}/worker/{worker}")
+    ops, weights = config.weights()
+    for op_index in range(config.ops_per_worker):
+        table = config.tables[rng.randrange(len(config.tables))]
+        if config.private_keys:
+            key = f"w{worker}k{rng.randrange(config.key_space)}"
+        else:
+            key = f"k{rng.randrange(config.key_space)}"
+        op = rng.choices(ops, weights)[0]
+        if op == "select":
+            row = session.select(table, key)
+            if row is not None:
+                result.rows_returned += 1
+        elif op == "insert":
+            fresh = session.insert(table, key, (key, worker, op_index))
+            if not fresh:
+                result.duplicate_inserts += 1
+        elif op == "update":
+            session.update(table, key, (key, worker, -op_index))
+        elif op == "range":
+            start = rng.randrange(config.key_space)
+            keys = [f"k{(start + offset) % config.key_space}"
+                    for offset in range(config.range_span)]
+            result.rows_returned += len(session.select_range(table, keys))
+        elif op == "count":
+            session.count(table)
+        elif op == "commit":
+            session.commit()
+            result.commits += 1
+        else:
+            raise ValueError(f"unknown statement kind {op!r}")
+        result.operations += 1
+
+
+def _stats_body(database: Database, rounds: int) -> None:
+    """A background monitoring thread reading plain server counters.
+
+    This mirrors H2's unsynchronized statistics: the reads race with the
+    workers' writes at the field level (FASTTRACK reports them) but touch
+    no monitored collection (RD2 does not care).
+    """
+    observed = 0
+    for _ in range(rounds):
+        observed += database.statements_executed.read()
+        observed += database.rows_read.read()
+        observed += database.store.unsaved_memory.read()
+
+
+def run_circuit(config: CircuitConfig, monitor: Monitor,
+                seed: int = 0,
+                switch_probability: float = 1.0) -> CircuitResult:
+    """Execute one circuit under a fresh scheduler; returns its result."""
+    scheduler = Scheduler(monitor, seed=seed,
+                          switch_probability=switch_probability)
+    database = Database(monitor, chunk_count=config.chunk_count,
+                        name=f"h2/{config.name}/{seed}")
+    database.bind_scheduler(scheduler)
+    result = CircuitResult(config=config)
+
+    def main() -> None:
+        setup = database.connect()
+        for index in range(config.prepopulate):
+            for table in config.tables:
+                setup.insert(table, f"k{index % config.key_space}",
+                             ("seed", index))
+        if config.prepopulate:
+            # Warm the chunk cache so read-only circuits do not rebuild
+            # chunk metadata concurrently (H2 reaches steady state the
+            # same way during benchmark ramp-up).
+            for index in range(config.key_space):
+                for table in config.tables:
+                    setup.select(table, f"k{index}")
+
+        handles = []
+        for worker in range(config.workers):
+            session = database.connect()
+            handles.append(scheduler.spawn(
+                _worker_body, session, config, worker, seed, result))
+        if config.stats_thread:
+            handles.append(scheduler.spawn(
+                _stats_body, database,
+                config.ops_per_worker * max(1, config.workers) // 4))
+        scheduler.join_all(handles)
+        for table in config.tables:
+            result.final_counts[table] = setup.count(table)
+
+    scheduler.run(main)
+    return result
+
+
+# -- the Table 2 circuit catalog ----------------------------------------------------
+
+def _complex_concurrency() -> CircuitConfig:
+    return CircuitConfig(
+        name="ComplexConcurrency",
+        workers=4, ops_per_worker=120, key_space=24,
+        mix=(("select", 0.30), ("insert", 0.22), ("update", 0.22),
+             ("range", 0.10), ("count", 0.06), ("commit", 0.10)),
+        prepopulate=12,
+    )
+
+
+def _complex_concurrency_alt() -> CircuitConfig:
+    return CircuitConfig(
+        name="ComplexConcurrency-alt",
+        workers=4, ops_per_worker=120, key_space=24,
+        mix=(("select", 0.52), ("insert", 0.12), ("update", 0.12),
+             ("range", 0.14), ("count", 0.04), ("commit", 0.06)),
+        prepopulate=12,
+    )
+
+
+def _query_centric() -> CircuitConfig:
+    return CircuitConfig(
+        name="QueryCentricConcurrency",
+        workers=4, ops_per_worker=150, key_space=24,
+        mix=(("select", 0.80), ("range", 0.20)),
+        prepopulate=24,
+        stats_thread=True,
+    )
+
+
+def _insert_centric() -> CircuitConfig:
+    return CircuitConfig(
+        name="InsertCentricConcurrency",
+        workers=4, ops_per_worker=150, key_space=48,
+        mix=(("insert", 0.78), ("update", 0.10), ("select", 0.06),
+             ("commit", 0.06)),
+        prepopulate=0,
+        # Each connection inserts its own rows (as PolePosition does), so
+        # the table map itself is collision-free; the races come from the
+        # store's shared chunk bookkeeping, as in the paper's H2 findings.
+        private_keys=True,
+    )
+
+
+def _complex_single() -> CircuitConfig:
+    return CircuitConfig(
+        name="Complex",
+        workers=1, ops_per_worker=400, key_space=32,
+        mix=(("select", 0.25), ("insert", 0.20), ("update", 0.20),
+             ("range", 0.25), ("count", 0.05), ("commit", 0.05)),
+        prepopulate=16,
+        stats_thread=True,
+    )
+
+
+def _nested_lists() -> CircuitConfig:
+    return CircuitConfig(
+        name="NestedLists",
+        workers=1, ops_per_worker=400, key_space=16,
+        tables=("outer", "inner0", "inner1"),
+        mix=(("insert", 0.40), ("select", 0.30), ("range", 0.20),
+             ("update", 0.10)),
+        prepopulate=8,
+        stats_thread=True,
+    )
+
+
+CIRCUITS: Dict[str, CircuitConfig] = {
+    config.name: config
+    for config in (
+        _complex_concurrency(),
+        _complex_concurrency_alt(),
+        _query_centric(),
+        _insert_centric(),
+        _complex_single(),
+        _nested_lists(),
+    )
+}
+
+
+def circuit_names() -> List[str]:
+    return list(CIRCUITS)
+
+
+def get_circuit(name: str) -> CircuitConfig:
+    try:
+        return CIRCUITS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: {circuit_names()}"
+        ) from None

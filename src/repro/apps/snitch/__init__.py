@@ -1,0 +1,7 @@
+"""Cassandra DynamicEndpointSnitch substitute."""
+
+from .snitch import (DynamicEndpointSnitch, SnitchResult, SnitchTestConfig,
+                     run_snitch_test)
+
+__all__ = ["DynamicEndpointSnitch", "SnitchResult", "SnitchTestConfig",
+           "run_snitch_test"]

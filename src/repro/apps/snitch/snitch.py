@@ -1,0 +1,183 @@
+"""Cassandra's DynamicEndpointSnitch (the paper's third application).
+
+Cassandra ranks replica nodes by observed latency.  The
+``DynamicEndpointSnitch`` component accumulates per-host latency samples in
+a ConcurrentHashMap (``samples``) as reads complete, and a periodic task
+recalculates per-host scores from those samples.  The paper's reported bug:
+
+    "New entries to the ``samples`` map ... could be added while its size
+    is concurrently used as a performance hint during node rank
+    recalculation, causing the performance hint to become obsolete."
+
+This module reproduces the component: producer threads fold latencies into
+``samples`` with a get-then-put (put/put and put/get commutativity races
+between producers on a hot host), the updater reads ``samples.size()`` as
+its capacity hint (size vs. resize races — the reported bug) and publishes
+into ``scores``, which producers consult for routing (get vs. put races on
+``scores``).  Plain counters (`updates_since_reset`, `rank_generation`)
+feed the read/write baselines.
+
+The paper benchmarks this as a timed test case (seconds, not qps); the
+harness follows suit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...core.events import NIL
+from ...runtime.collections_rt import MonitoredDict
+from ...runtime.monitor import Monitor
+from ...runtime.shared import SharedVar
+from ...sched.scheduler import Scheduler
+
+__all__ = ["DynamicEndpointSnitch", "SnitchTestConfig", "SnitchResult",
+           "run_snitch_test"]
+
+
+class DynamicEndpointSnitch:
+    """Latency-based node ranking with the paper's racy access patterns."""
+
+    WINDOW = 16  # samples kept per host (Cassandra keeps a bounded window)
+
+    def __init__(self, monitor: Monitor, hosts: List[str],
+                 name: str = "snitch"):
+        self.monitor = monitor
+        self.hosts = list(hosts)
+        #: host -> (sample_count, latency_sum) — the paper's ``samples`` map
+        self.samples = MonitoredDict(monitor, name=f"{name}/samples")
+        #: host -> score published by the updater
+        self.scores = MonitoredDict(monitor, name=f"{name}/scores")
+        self.updates_since_reset = SharedVar(monitor, 0,
+                                             name=f"{name}/updateCount")
+        self.rank_generation = SharedVar(monitor, 0,
+                                         name=f"{name}/rankGeneration")
+
+    # -- producer path (reads completing on client threads) -----------------
+
+    def receive_timing(self, host: str, latency_ms: float) -> None:
+        """Fold one latency sample in — Cassandra's receiveTiming.
+
+        The get-then-put is unsynchronized exactly like the original's
+        ``AdaptiveLatencyTracker`` registration path.
+        """
+        current = self.samples.get(host)                    # racy read
+        if current is NIL:
+            count, total = 0, 0.0
+        else:
+            count, total = current
+        if count >= self.WINDOW:
+            count, total = count // 2, total / 2            # decay window
+        self.samples.put(host, (count + 1, total + latency_ms))  # racy write
+        self.updates_since_reset.add(1)
+
+    def best_endpoint(self) -> Optional[str]:
+        """Pick the currently best-ranked host (producers route with it)."""
+        best_host, best_score = None, None
+        for host in self.hosts:
+            score = self.scores.get(host)                   # races w/ updater
+            if score is NIL:
+                continue
+            if best_score is None or score < best_score:
+                best_host, best_score = host, score
+        return best_host
+
+    # -- updater path (the periodic rank recalculation) -------------------------
+
+    def update_scores(self) -> int:
+        """Recalculate all scores — Cassandra's updateScores.
+
+        ``samples.size()`` is the "performance hint" of the reported bug:
+        it sizes the score table while producers concurrently add hosts,
+        so the hint can be stale by the time the scores are published.
+        """
+        hint = self.samples.size()                          # the buggy hint
+        self.rank_generation.add(1)
+        published = 0
+        for host in self.hosts:
+            data = self.samples.get(host)
+            if data is NIL:
+                continue
+            count, total = data
+            if count == 0:
+                continue
+            self.scores.put(host, total / count)            # races w/ readers
+            published += 1
+        return hint
+
+
+@dataclass(frozen=True)
+class SnitchTestConfig:
+    """Parameters of the DynamicEndpointSnitch test (Table 2's last row)."""
+
+    hosts: Tuple[str, ...] = ("10.0.0.1", "10.0.0.2", "10.0.0.3",
+                              "10.0.0.4")
+    producers: int = 3
+    timings_per_producer: int = 150
+    score_updates: int = 40
+    #: producers consult the ranking every this many timings
+    route_every: int = 5
+
+
+@dataclass
+class SnitchResult:
+    config: SnitchTestConfig
+    timings: int = 0
+    score_rounds: int = 0
+    stale_hints: int = 0
+    final_scores: Dict[str, float] = field(default_factory=dict)
+
+
+def _producer_body(snitch: DynamicEndpointSnitch, config: SnitchTestConfig,
+                   producer: int, seed: int, result: SnitchResult) -> None:
+    rng = random.Random(f"{seed}/producer/{producer}")
+    for index in range(config.timings_per_producer):
+        # Hot-spot the first host so producers collide on its samples entry,
+        # like a primary replica absorbing most reads.
+        if rng.random() < 0.5:
+            host = snitch.hosts[0]
+        else:
+            host = rng.choice(snitch.hosts)
+        snitch.receive_timing(host, latency_ms=1.0 + rng.random() * 9.0)
+        result.timings += 1
+        if index % config.route_every == 0:
+            snitch.best_endpoint()
+
+
+def _updater_body(snitch: DynamicEndpointSnitch, config: SnitchTestConfig,
+                  result: SnitchResult) -> None:
+    for _ in range(config.score_updates):
+        hint = snitch.update_scores()
+        result.score_rounds += 1
+        if hint != snitch.samples.size():
+            result.stale_hints += 1
+
+
+def run_snitch_test(config: SnitchTestConfig, monitor: Monitor,
+                    seed: int = 0,
+                    switch_probability: float = 1.0) -> SnitchResult:
+    """The DynamicEndpointSnitch test: simulate changing node latencies."""
+    scheduler = Scheduler(monitor, seed=seed,
+                          switch_probability=switch_probability)
+    result = SnitchResult(config=config)
+
+    def main() -> None:
+        snitch = DynamicEndpointSnitch(monitor, list(config.hosts))
+        handles = [
+            scheduler.spawn(_producer_body, snitch, config, producer, seed,
+                            result)
+            for producer in range(config.producers)
+        ]
+        handles.append(scheduler.spawn(_updater_body, snitch, config,
+                                       result))
+        scheduler.join_all(handles)
+        snitch.update_scores()
+        for host in config.hosts:
+            score = snitch.scores.get(host)
+            if score is not NIL:
+                result.final_scores[host] = score
+
+    scheduler.run(main)
+    return result

@@ -1,0 +1,41 @@
+"""Atomicity (conflict-serializability) checking generalized to access
+points — the Section 8 extension of the paper, executable.
+
+Public surface:
+
+* :func:`atomic` — context manager marking an intended-atomic block in a
+  monitored program (emits BEGIN/COMMIT events);
+* :class:`AtomicityChecker` — offline Velodrome-style analysis of a
+  recorded trace, in COMMUTATIVITY (access points) or READ_WRITE (classic)
+  conflict mode;
+* :func:`split_transactions` — the trace → transactions partition.
+"""
+
+from contextlib import contextmanager
+
+from ..runtime.monitor import Monitor
+from .checker import (AtomicityChecker, AtomicityReport, AtomicityViolation,
+                      ConflictMode)
+from .online import AtomicityAnalyzer, OnlineAtomicityViolation
+from .transactions import Transaction, split_transactions
+
+__all__ = ["atomic", "AtomicityChecker", "AtomicityReport",
+           "AtomicityViolation", "AtomicityAnalyzer",
+           "OnlineAtomicityViolation", "ConflictMode", "Transaction",
+           "split_transactions"]
+
+
+@contextmanager
+def atomic(monitor: Monitor):
+    """Mark the enclosed operations as one intended-atomic block.
+
+    Purely an annotation: no locking is performed (the point of atomicity
+    *checking* is to find blocks that needed it).  BEGIN/COMMIT events are
+    recorded in the monitor's trace for offline analysis; the race
+    detectors ignore them.
+    """
+    monitor.on_begin()
+    try:
+        yield
+    finally:
+        monitor.on_commit()

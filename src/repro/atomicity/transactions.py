@@ -1,0 +1,106 @@
+"""Splitting a trace into transactions.
+
+Velodrome-style atomicity checking reasons about *transactions*: maximal
+intended-atomic blocks delimited by BEGIN/COMMIT events, with every event
+outside a block forming its own *unary* transaction.  This module performs
+that split and owns the bookkeeping types.
+
+The paper's Section 8 argues dynamic atomicity checkers "use a low-level
+notion of conflict based on reads and writes [which] can be extended to
+handle much richer commutativity specifications (with the appropriate
+modifications of the atomicity algorithms to deal with access points)" —
+:mod:`repro.atomicity.checker` is that modification; this module is the
+shared scaffolding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import MonitorError
+from ..core.events import Event, EventKind
+from ..core.trace import Trace
+from ..core.vector_clock import Tid
+
+__all__ = ["Transaction", "split_transactions"]
+
+
+@dataclass
+class Transaction:
+    """A maximal atomic block (or a unary wrapper around one event).
+
+    ``label`` is a human-readable handle used in violation reports:
+    ``"T3@t1"`` is the third transaction of thread ``t1``.
+    """
+
+    txn_id: int
+    tid: Tid
+    unary: bool
+    events: List[Event] = field(default_factory=list)
+
+    @property
+    def start_index(self) -> int:
+        return self.events[0].index if self.events else -1
+
+    @property
+    def end_index(self) -> int:
+        return self.events[-1].index if self.events else -1
+
+    @property
+    def label(self) -> str:
+        kind = "u" if self.unary else "T"
+        return f"{kind}{self.txn_id}@{self.tid}"
+
+    def operations(self) -> Iterator[Event]:
+        """The events that can conflict (everything but BEGIN/COMMIT)."""
+        for event in self.events:
+            if not event.kind.is_transactional():
+                yield event
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def split_transactions(trace: Trace) -> List[Transaction]:
+    """Partition a trace's events into transactions, in trace order.
+
+    Every event between a thread's BEGIN and its matching COMMIT belongs to
+    one transaction; everything else becomes a unary transaction.  Nested
+    BEGINs and COMMITs without a BEGIN are protocol errors.  An unterminated
+    block is closed at end-of-trace (the program was cut short; the events
+    observed so far still constitute the intended-atomic block).
+    """
+    transactions: List[Transaction] = []
+    open_blocks: Dict[Tid, Transaction] = {}
+    next_id = 0
+
+    for event in trace:
+        tid = event.tid
+        if event.kind is EventKind.BEGIN:
+            if tid in open_blocks:
+                raise MonitorError(
+                    f"thread {tid!r}: nested atomic blocks are not "
+                    f"supported (BEGIN inside BEGIN)")
+            txn = Transaction(txn_id=next_id, tid=tid, unary=False)
+            next_id += 1
+            txn.events.append(event)
+            open_blocks[tid] = txn
+            transactions.append(txn)
+            continue
+        if event.kind is EventKind.COMMIT:
+            txn = open_blocks.pop(tid, None)
+            if txn is None:
+                raise MonitorError(
+                    f"thread {tid!r}: COMMIT without a matching BEGIN")
+            txn.events.append(event)
+            continue
+        block = open_blocks.get(tid)
+        if block is not None:
+            block.events.append(event)
+        else:
+            txn = Transaction(txn_id=next_id, tid=tid, unary=True)
+            next_id += 1
+            txn.events.append(event)
+            transactions.append(txn)
+    return transactions

@@ -1,0 +1,9 @@
+"""Baseline detectors: FastTrack (the paper's Table 2 comparator), the
+DJIT+ full-vector-clock reference it optimizes, and an Eraser-style
+lockset checker (extra ablation points)."""
+
+from .djit import Djit
+from .eraser import Eraser, LocationState
+from .fasttrack import Epoch, FastTrack
+
+__all__ = ["Djit", "Eraser", "LocationState", "Epoch", "FastTrack"]

@@ -1,0 +1,128 @@
+"""DJIT+: the full-vector-clock read/write race detector.
+
+FastTrack's contribution was replacing most per-variable vector clocks of
+DJIT+ (Pozniansky & Schuster) with O(1) epochs while reporting races on
+exactly the same accesses.  This module is the unoptimized reference: every
+variable keeps a full read vector clock and a full write vector clock.
+
+It exists to *validate* our FastTrack — the property suite replays random
+traces through both and requires identical racing accesses — and as the
+slow end of an epochs-vs-vector-clocks micro-benchmark, mirroring how the
+FastTrack paper itself evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..core.errors import MonitorError
+from ..core.events import Event, EventKind
+from ..core.races import DataRace
+from ..core.vector_clock import MutableVectorClock, Tid
+
+__all__ = ["Djit"]
+
+
+@dataclass
+class _VarClocks:
+    reads: MutableVectorClock = field(default_factory=MutableVectorClock)
+    writes: MutableVectorClock = field(default_factory=MutableVectorClock)
+    last_writer: Optional[Tid] = None
+
+
+class Djit:
+    """Vector-clock read/write race detection (the FastTrack baseline's
+    own baseline)."""
+
+    def __init__(self, root: Tid = 0, keep_reports: bool = True):
+        self._threads: Dict[Tid, MutableVectorClock] = {}
+        self._locks: Dict[Hashable, MutableVectorClock] = {}
+        self._vars: Dict[Hashable, _VarClocks] = {}
+        self._keep_reports = keep_reports
+        self.races: List[DataRace] = []
+        self.race_count = 0
+        clock = MutableVectorClock()
+        clock.inc_in_place(root)
+        self._threads[root] = clock
+
+    def _clock(self, tid: Tid) -> MutableVectorClock:
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise MonitorError(
+                f"thread {tid!r} unknown to DJIT (missing fork?)") from None
+
+    def process(self, event: Event) -> Optional[DataRace]:
+        kind = event.kind
+        if kind is EventKind.READ:
+            return self._on_read(event.tid, event.location)
+        if kind is EventKind.WRITE:
+            return self._on_write(event.tid, event.location)
+        if kind is EventKind.FORK:
+            if event.peer in self._threads:
+                raise MonitorError(f"thread {event.peer!r} forked twice")
+            parent = self._clock(event.tid)
+            child = parent.copy()
+            child.inc_in_place(event.peer)
+            self._threads[event.peer] = child
+            parent.inc_in_place(event.tid)
+        elif kind is EventKind.JOIN:
+            self._clock(event.tid).join_in_place(self._clock(event.peer))
+        elif kind is EventKind.ACQUIRE:
+            held = self._locks.get(event.lock)
+            if held is not None:
+                self._clock(event.tid).join_in_place(held)
+        elif kind is EventKind.RELEASE:
+            clock = self._clock(event.tid)
+            self._locks[event.lock] = clock.copy()
+            clock.inc_in_place(event.tid)
+        return None
+
+    def _state(self, location: Hashable) -> _VarClocks:
+        state = self._vars.get(location)
+        if state is None:
+            state = _VarClocks()
+            self._vars[location] = state
+        return state
+
+    def _on_read(self, tid: Tid, location: Hashable) -> Optional[DataRace]:
+        clock = self._clock(tid)
+        state = self._state(location)
+        race = None
+        if not state.writes.leq(clock):
+            race = self._report(location, "read", tid, clock, "write",
+                                state.last_writer)
+        state.reads.set_component(tid, clock[tid])
+        return race
+
+    def _on_write(self, tid: Tid, location: Hashable) -> Optional[DataRace]:
+        clock = self._clock(tid)
+        state = self._state(location)
+        race = None
+        if not state.writes.leq(clock):
+            race = self._report(location, "write", tid, clock, "write",
+                                state.last_writer)
+        if not state.reads.leq(clock):
+            reader = next((reader for reader, stamp in state.reads.items()
+                           if stamp > clock[reader]), None)
+            race = self._report(location, "write", tid, clock, "read",
+                                reader)
+        state.writes.set_component(tid, clock[tid])
+        state.last_writer = tid
+        return race
+
+    def _report(self, location, access, tid, clock, conflicting,
+                conflicting_tid) -> DataRace:
+        race = DataRace(location=location, access=access, tid=tid,
+                        clock=clock.freeze(), conflicting=conflicting,
+                        conflicting_tid=conflicting_tid)
+        self.race_count += 1
+        if self._keep_reports:
+            self.races.append(race)
+        return race
+
+    def run(self, events) -> List[DataRace]:
+        for event in events:
+            self.process(event)
+        return self.races

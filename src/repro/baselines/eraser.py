@@ -1,0 +1,124 @@
+"""Eraser: lockset-based race detection (secondary baseline).
+
+Savage et al.'s Eraser checks a locking *discipline* rather than
+happens-before: every shared location should be consistently protected by
+at least one lock.  Per location, the detector refines a *candidate
+lockset* — the intersection of the locks held at every access — through the
+classic state machine::
+
+    VIRGIN → EXCLUSIVE → (SHARED | SHARED_MODIFIED)
+
+* EXCLUSIVE: only one thread has touched the location; no checking yet.
+* SHARED: multiple threads, reads only since sharing; the lockset is
+  refined but emptiness is not reported (read-sharing is benign).
+* SHARED_MODIFIED: multiple threads with at least one write; an empty
+  lockset triggers a :class:`~repro.core.races.LocksetWarning`.
+
+Included as an ablation point: lockset analysis flags *potential* races
+that never manifest in the observed interleaving (no happens-before
+reasoning, so fork/join ordering does not exonerate accesses), which makes
+an instructive contrast with both FastTrack and the commutativity detector
+in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set
+
+from ..core.events import Event, EventKind
+from ..core.races import LocksetWarning
+from ..core.vector_clock import Tid
+
+__all__ = ["Eraser", "LocationState"]
+
+
+class LocationState(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class _LocState:
+    state: LocationState = LocationState.VIRGIN
+    owner: Optional[Tid] = None
+    lockset: Optional[FrozenSet[Hashable]] = None  # None = not yet refined
+    reported: bool = False
+
+
+class Eraser:
+    """Lockset discipline checking over the runtime event stream."""
+
+    def __init__(self, root: Tid = 0, keep_reports: bool = True):
+        self._held: Dict[Tid, Set[Hashable]] = {root: set()}
+        self._locations: Dict[Hashable, _LocState] = {}
+        self._keep_reports = keep_reports
+        self.warnings: List[LocksetWarning] = []
+        self.warning_count = 0
+
+    def process(self, event: Event) -> Optional[LocksetWarning]:
+        kind = event.kind
+        if kind is EventKind.ACQUIRE:
+            self._held.setdefault(event.tid, set()).add(event.lock)
+        elif kind is EventKind.RELEASE:
+            self._held.setdefault(event.tid, set()).discard(event.lock)
+        elif kind is EventKind.FORK:
+            self._held.setdefault(event.peer, set())
+        elif kind is EventKind.READ:
+            return self._access(event.tid, event.location, is_write=False)
+        elif kind is EventKind.WRITE:
+            return self._access(event.tid, event.location, is_write=True)
+        return None
+
+    def _access(self, tid: Tid, location: Hashable,
+                is_write: bool) -> Optional[LocksetWarning]:
+        held = frozenset(self._held.setdefault(tid, set()))
+        loc = self._locations.get(location)
+        if loc is None:
+            loc = _LocState()
+            self._locations[location] = loc
+
+        if loc.state is LocationState.VIRGIN:
+            loc.state = LocationState.EXCLUSIVE
+            loc.owner = tid
+            loc.lockset = held
+            return None
+        if loc.state is LocationState.EXCLUSIVE:
+            if tid == loc.owner:
+                # Refine even while exclusive: the original Eraser discards
+                # the first thread's locks at the sharing transition, which
+                # misses inconsistent-lock patterns; keeping the owner's
+                # refined lockset catches them.
+                loc.lockset = (loc.lockset & held
+                               if loc.lockset is not None else held)
+                return None
+            loc.lockset = (loc.lockset & held
+                           if loc.lockset is not None else held)
+            loc.state = (LocationState.SHARED_MODIFIED if is_write
+                         else LocationState.SHARED)
+        else:
+            loc.lockset = (loc.lockset & held if loc.lockset is not None
+                           else held)
+            if is_write and loc.state is LocationState.SHARED:
+                loc.state = LocationState.SHARED_MODIFIED
+
+        if (loc.state is LocationState.SHARED_MODIFIED
+                and loc.lockset is not None and not loc.lockset
+                and not loc.reported):
+            loc.reported = True   # one warning per location, as in Eraser
+            warning = LocksetWarning(location=location,
+                                     access="write" if is_write else "read",
+                                     tid=tid)
+            self.warning_count += 1
+            if self._keep_reports:
+                self.warnings.append(warning)
+            return warning
+        return None
+
+    def run(self, events) -> List[LocksetWarning]:
+        for event in events:
+            self.process(event)
+        return self.warnings

@@ -1,0 +1,79 @@
+"""Command-line front end for all benchmark harnesses.
+
+``repro-bench table2``   — regenerate Table 2 (also: ``repro-table2``).
+``repro-bench fig4``     — the Fig. 4 check-count comparison.
+``repro-bench scaling``  — the Section 5.4 Θ(1)-vs-Θ(n) series.
+``repro-bench ablation`` — optimized vs. raw translation, and RD2 with vs.
+                           without low-level instrumentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .fig4 import render_fig4, run_fig4
+from .scaling import render_scaling, run_scaling
+from . import table2 as table2_mod
+
+__all__ = ["main"]
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = table2_mod.run_table2(seed=args.seed, repeats=args.repeats,
+                                 scale=args.scale)
+    print(table2_mod.render(rows, with_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    print(render_fig4(run_fig4(tuple(args.puts))))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    print(render_scaling(run_scaling(tuple(args.sizes))))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .ablation import render_ablations, run_ablations
+    print(render_ablations(run_ablations(scale=args.scale)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark harnesses for the commutativity race "
+                    "detection reproduction.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table2 = sub.add_parser("table2", help="regenerate Table 2")
+    p_table2.add_argument("--seed", type=int, default=0)
+    p_table2.add_argument("--repeats", type=int, default=1)
+    p_table2.add_argument("--scale", type=float, default=1.0)
+    p_table2.add_argument("--no-paper", action="store_true")
+    p_table2.set_defaults(fn=_cmd_table2)
+
+    p_fig4 = sub.add_parser("fig4", help="Fig. 4 conflict-check comparison")
+    p_fig4.add_argument("--puts", type=int, nargs="+",
+                        default=[3, 10, 30, 100, 300])
+    p_fig4.set_defaults(fn=_cmd_fig4)
+
+    p_scaling = sub.add_parser("scaling",
+                               help="Section 5.4 complexity series")
+    p_scaling.add_argument("--sizes", type=int, nargs="+",
+                           default=[100, 300, 1000, 3000])
+    p_scaling.set_defaults(fn=_cmd_scaling)
+
+    p_ablation = sub.add_parser("ablation", help="design-choice ablations")
+    p_ablation.add_argument("--scale", type=float, default=0.5)
+    p_ablation.set_defaults(fn=_cmd_ablation)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The harness outputs are meant to be read next to the paper's tables, so the
+renderer mimics that presentation: left-aligned row labels, right-aligned
+measurement columns, and the ``total (distinct)`` race format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_rate", "format_seconds"]
+
+
+def format_rate(value: float) -> str:
+    """Queries-per-second formatting (whole numbers read best)."""
+    return f"{value:,.0f} qps"
+
+
+def format_seconds(value: float) -> str:
+    return f"{value:.3f} s"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned monospace table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        out.append(line(row))
+    return "\n".join(out)

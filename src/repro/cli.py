@@ -1,0 +1,148 @@
+"""The ``repro-analyze`` command: offline analysis of saved traces.
+
+Record a trace in a monitored run (``Monitor(record_trace=True)``), park it
+with :func:`repro.core.serialize.dump_trace`, then analyze it later::
+
+    repro-analyze trace.jsonl --object o=dictionary --object s=set
+    repro-analyze trace.jsonl --object o=dictionary --detector direct
+    repro-analyze trace.jsonl --detector fasttrack
+    repro-analyze trace.jsonl --object o=dictionary --atomicity
+    repro-analyze trace.jsonl --spec-report dictionary
+
+``--object NAME=KIND`` binds a shared object in the trace to a bundled
+specification kind; the commutativity detectors need at least one binding,
+the read/write detectors none.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .core.races import group_races, tally
+from .core.serialize import load_trace
+from .specs import bundled_objects
+
+__all__ = ["main"]
+
+
+def _parse_bindings(pairs: Sequence[str]) -> List[Tuple[str, str]]:
+    registry = bundled_objects()
+    bindings = []
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(
+                f"--object expects NAME=KIND, got {pair!r}")
+        name, kind = pair.split("=", 1)
+        if kind not in registry:
+            raise SystemExit(
+                f"unknown object kind {kind!r}; available: "
+                f"{sorted(registry)}")
+        bindings.append((name, kind))
+    return bindings
+
+
+def _analyze_commutativity(trace, bindings, detector_kind: str) -> int:
+    registry = bundled_objects()
+    if not bindings:
+        raise SystemExit(
+            "commutativity analysis needs at least one --object NAME=KIND")
+    if detector_kind == "rd2":
+        from .core.detector import CommutativityRaceDetector
+        detector = CommutativityRaceDetector(root=trace.root)
+        for name, kind in bindings:
+            detector.register_object(name,
+                                     registry[kind].representation())
+    else:
+        from .core.direct import DirectDetector
+        detector = DirectDetector(root=trace.root)
+        for name, kind in bindings:
+            detector.register_object(name, registry[kind].spec().commutes)
+    detector.run(trace)
+    races = detector.races
+    print(f"{detector_kind}: {tally(races)} commutativity race report(s)")
+    for group in group_races(races):
+        print(f"  {group}")
+    return 1 if races else 0
+
+
+def _analyze_memory(trace, detector_kind: str) -> int:
+    if detector_kind == "fasttrack":
+        from .baselines.fasttrack import FastTrack
+        detector = FastTrack(root=trace.root)
+        detector.run(trace)
+        reports = detector.races
+    else:
+        from .baselines.eraser import Eraser
+        detector = Eraser(root=trace.root)
+        detector.run(trace)
+        reports = detector.warnings
+    print(f"{detector_kind}: {tally(reports)} report(s)")
+    for group in group_races(reports):
+        print(f"  {group}")
+    return 1 if reports else 0
+
+
+def _analyze_atomicity(trace, bindings) -> int:
+    from .atomicity import AtomicityChecker, ConflictMode
+    registry = bundled_objects()
+    checker = AtomicityChecker(ConflictMode.COMMUTATIVITY)
+    for name, kind in bindings:
+        checker.register_object(name, registry[kind].representation())
+    report = checker.analyze(trace)
+    print(f"atomicity: {len(report.transactions)} transactions, "
+          f"{report.conflict_edges} conflict edges, "
+          f"{len(report.violations)} violation(s)")
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 1 if report.violations else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Analyze a saved trace (JSONL) for commutativity "
+                    "races, read/write races, or atomicity violations.")
+    parser.add_argument("trace", nargs="?",
+                        help="path to a trace written by dump_trace()")
+    parser.add_argument("--object", action="append", default=[],
+                        metavar="NAME=KIND", dest="objects",
+                        help="bind a shared object to a bundled spec kind")
+    parser.add_argument("--detector", default="rd2",
+                        choices=("rd2", "direct", "fasttrack", "eraser"),
+                        help="which analysis to run (default rd2)")
+    parser.add_argument("--atomicity", action="store_true",
+                        help="run the atomicity checker instead")
+    parser.add_argument("--spec-report", metavar="KIND",
+                        help="print the Fig. 6/7-style report of a bundled "
+                             "spec and exit")
+    args = parser.parse_args(argv)
+
+    if args.spec_report:
+        registry = bundled_objects()
+        if args.spec_report not in registry:
+            raise SystemExit(f"unknown kind {args.spec_report!r}; "
+                             f"available: {sorted(registry)}")
+        from .logic.pretty import spec_report
+        print(spec_report(registry[args.spec_report].spec()))
+        return 0
+
+    if not args.trace:
+        parser.error("a trace file is required (or use --spec-report)")
+    with open(args.trace, "r", encoding="utf-8") as stream:
+        trace = load_trace(stream)
+    print(f"loaded {len(trace)} events "
+          f"({len(trace.actions())} actions, "
+          f"{len(trace.threads())} threads)")
+
+    bindings = _parse_bindings(args.objects)
+    if args.atomicity:
+        return _analyze_atomicity(trace, bindings)
+    if args.detector in ("rd2", "direct"):
+        return _analyze_commutativity(trace, bindings, args.detector)
+    return _analyze_memory(trace, args.detector)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Core of the reproduction: execution model, vector clocks, access points
+and the commutativity race detector (Sections 3–5 of the paper)."""
+
+from .access_points import (AccessPoint, AccessPointRepresentation,
+                            NaiveRepresentation, SchemaRepresentation,
+                            representations_equivalent)
+from .detector import CommutativityRaceDetector, DetectorStats, Strategy
+from .direct import DirectDetector
+from .errors import (FragmentError, MonitorError, ParseError, ReproError,
+                     SchedulerError, SpecificationError, TranslationError)
+from .events import (NIL, Action, Event, EventKind, Nil, ObjectId,
+                     acquire_event, action_event, begin_event, commit_event,
+                     fork_event, join_event, read_event, release_event,
+                     write_event)
+from .hb import HappensBeforeTracker
+from .oracle import CommutativityOracle, RacingPair
+from .graph import (concurrency_matrix, critical_path,
+                    happens_before_graph, parallelism_profile,
+                    racing_context)
+from .races import (CommutativityRace, DataRace, LocksetWarning, RaceGroup,
+                    RaceReport, RaceTally, group_races, tally)
+from .serialize import dump_trace, dumps_trace, load_trace, loads_trace
+from .trace import Trace, TraceBuilder
+from .vector_clock import BOTTOM, MutableVectorClock, Tid, VectorClock
+
+__all__ = [
+    "AccessPoint", "AccessPointRepresentation", "NaiveRepresentation",
+    "SchemaRepresentation", "representations_equivalent",
+    "CommutativityRaceDetector", "DetectorStats", "Strategy",
+    "DirectDetector",
+    "FragmentError", "MonitorError", "ParseError", "ReproError",
+    "SchedulerError", "SpecificationError", "TranslationError",
+    "NIL", "Nil", "Action", "Event", "EventKind", "ObjectId",
+    "acquire_event", "action_event", "fork_event", "join_event",
+    "read_event", "release_event", "write_event",
+    "HappensBeforeTracker",
+    "CommutativityOracle", "RacingPair",
+    "CommutativityRace", "DataRace", "LocksetWarning", "RaceGroup",
+    "RaceReport", "RaceTally", "group_races", "tally",
+    "concurrency_matrix", "critical_path", "happens_before_graph",
+    "parallelism_profile", "racing_context",
+    "dump_trace", "dumps_trace", "load_trace", "loads_trace",
+    "begin_event", "commit_event",
+    "Trace", "TraceBuilder",
+    "BOTTOM", "MutableVectorClock", "Tid", "VectorClock",
+]

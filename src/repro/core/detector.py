@@ -1,0 +1,363 @@
+"""The commutativity race detector — Algorithm 1 of the paper.
+
+Adaptive point clocks (``adaptive=True``)
+-----------------------------------------
+
+FastTrack's insight — most variables are accessed by one thread at a time,
+so a scalar *epoch* ``c@t`` usually suffices in place of a vector clock —
+transfers to access points: a point touched so far by a single thread can
+keep just its latest touch epoch, because same-thread touches are totally
+ordered (the last one's clock *is* their join).  On the first touch by a
+second thread the point is promoted to a full vector clock, and unlike
+FastTrack's write-epoch (which forgets racy history and only guarantees
+the same *first* race per variable), this adaptation is exactly
+verdict-preserving — the property suite checks report-for-report equality
+with the plain detector.
+
+
+The detector consumes a trace event-by-event.  Synchronization events update
+the happens-before state (Table 1, delegated to
+:class:`~repro.core.hb.HappensBeforeTracker`); each action event
+``e = τ : o.m(~x)/~y`` runs the two phases of Algorithm 1:
+
+Phase 1 (race check)
+    for each access point ``pt ∈ ηo(o.m(~x)/~y)``:
+    for each ``pt' ∈ active(o) ∩ Co(pt)``:
+    if ``pt'.vc ⋢ vc(e)`` report a commutativity race.
+
+Phase 2 (state update)
+    for each ``pt ∈ ηo(...)``: ``pt.vc ← pt.vc ⊔ vc(e)`` (initializing and
+    activating ``pt`` on first touch).
+
+The intersection in phase 1 can be enumerated two ways (Section 5.4):
+
+* :attr:`Strategy.ENUMERATE` — iterate the finite ``Co(pt)`` and probe
+  ``active(o)`` by hash lookup.  Constant work per action for ECL-derived
+  representations (Theorem 6.6), independent of trace length.
+* :attr:`Strategy.SCAN` — iterate ``active(o)`` and test ``Co`` membership.
+  Linear in ``|active(o)|`` but the only option when ``Co(pt)`` is infinite
+  (naive representations).
+
+:attr:`Strategy.AUTO` picks per representation.  The detector counts its
+conflict checks so the Fig. 4 / scaling benchmarks can report comparisons
+performed, not just wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, NamedTuple, Optional, Set, Union
+
+from .access_points import AccessPoint, AccessPointRepresentation
+from .errors import MonitorError
+from .events import Action, Event, EventKind, ObjectId
+from .hb import HappensBeforeTracker
+from .races import CommutativityRace
+from .vector_clock import Tid, VectorClock
+
+__all__ = ["Strategy", "DetectorStats", "CommutativityRaceDetector"]
+
+
+class _PointEpoch(NamedTuple):
+    """``c@t`` — the point's latest touch, while single-threaded.
+
+    Sound as the point's whole history because an event's own clock
+    component identifies it within its causal past: any later event whose
+    clock dominates ``c`` at ``t`` dominates the touch's entire clock.
+    """
+
+    tid: Tid
+    stamp: int
+
+    def as_clock(self) -> VectorClock:
+        return VectorClock({self.tid: self.stamp})
+
+
+_PointClock = Union[_PointEpoch, VectorClock]
+
+
+def _point_ordered(prior: _PointClock, clock: VectorClock) -> bool:
+    """``prior ⊑ vc(e)`` for either point-clock representation."""
+    if type(prior) is _PointEpoch:
+        return prior.stamp <= clock[prior.tid]
+    return prior.leq(clock)
+
+
+def _as_clock(prior: _PointClock) -> VectorClock:
+    return prior.as_clock() if type(prior) is _PointEpoch else prior
+
+
+class Strategy(enum.Enum):
+    """How phase 1 enumerates ``active(o) ∩ Co(pt)``."""
+
+    AUTO = "auto"
+    ENUMERATE = "enumerate"
+    SCAN = "scan"
+
+
+@dataclass
+class DetectorStats:
+    """Operation counters for the complexity experiments.
+
+    ``conflict_checks`` counts individual point-vs-point conflict/membership
+    probes in phase 1 — the quantity the paper's Θ(1) vs Θ(|A|) argument is
+    about (and what Fig. 4 contrasts with the direct approach).
+    """
+
+    events: int = 0
+    actions: int = 0
+    points_touched: int = 0
+    conflict_checks: int = 0
+    races: int = 0
+    #: adaptive mode: how many points ever needed a full vector clock
+    epoch_promotions: int = 0
+
+    def checks_per_action(self) -> float:
+        return self.conflict_checks / self.actions if self.actions else 0.0
+
+
+@dataclass
+class _ObjectState:
+    """Per-object auxiliary state attached at registration.
+
+    The paper notes (Section 5.3) that auxiliary state can be attached to
+    the object itself and reclaimed with it; :meth:`CommutativityRaceDetector.
+    release_object` implements that optimization.
+    """
+
+    representation: AccessPointRepresentation
+    strategy: Strategy
+    active: Set[AccessPoint] = field(default_factory=set)
+    point_clock: Dict[AccessPoint, _PointClock] = field(default_factory=dict)
+
+
+class CommutativityRaceDetector:
+    """Online commutativity race detection (the paper's RD2 analysis).
+
+    Usage::
+
+        det = CommutativityRaceDetector(root=0)
+        det.register_object("o", dictionary_representation())
+        det.process(fork_event(0, 1))
+        det.process(action_event(1, Action("o", "put", ("k", "v"), (NIL,))))
+        ...
+        det.races  # list of CommutativityRace reports
+
+    Parameters
+    ----------
+    root:
+        Thread id of the initial thread.
+    strategy:
+        Global phase-1 strategy; ``AUTO`` selects ENUMERATE for bounded
+        representations and SCAN otherwise, per object.
+    on_race:
+        Optional callback invoked for each race as it is found (the paper's
+        on-the-fly reporting); return value ignored.
+    keep_reports:
+        When false, races are counted but not accumulated (used by long
+        benchmark runs to keep memory flat).
+    """
+
+    def __init__(
+        self,
+        root: Tid = 0,
+        strategy: Strategy = Strategy.AUTO,
+        on_race: Optional[Callable[[CommutativityRace], None]] = None,
+        keep_reports: bool = True,
+        prune_interval: int = 0,
+        adaptive: bool = False,
+    ):
+        self._hb = HappensBeforeTracker(root=root)
+        self._strategy = strategy
+        self._on_race = on_race
+        self._keep_reports = keep_reports
+        self._prune_interval = prune_interval
+        self._adaptive = adaptive
+        self._actions_since_prune = 0
+        self._objects: Dict[ObjectId, _ObjectState] = {}
+        self.races: List[CommutativityRace] = []
+        self.stats = DetectorStats()
+
+    # -- object lifecycle ------------------------------------------------------
+
+    def register_object(self, obj: ObjectId,
+                        representation: AccessPointRepresentation,
+                        strategy: Optional[Strategy] = None) -> None:
+        """Attach an access point representation to a shared object."""
+        if obj in self._objects:
+            raise MonitorError(f"object {obj!r} registered twice")
+        chosen = strategy or self._strategy
+        if chosen is Strategy.AUTO:
+            chosen = (Strategy.ENUMERATE if representation.bounded
+                      else Strategy.SCAN)
+        if chosen is Strategy.ENUMERATE and not representation.bounded:
+            raise MonitorError(
+                f"object {obj!r}: ENUMERATE strategy requires a bounded "
+                f"representation ({representation!r} is unbounded)")
+        self._objects[obj] = _ObjectState(representation, chosen)
+
+    def release_object(self, obj: ObjectId) -> None:
+        """Drop the auxiliary state of a dead object (Section 5.3).
+
+        No new races can be reported on a reclaimed object, so its active
+        points and clocks can be discarded.
+        """
+        self._objects.pop(obj, None)
+
+    def prune_ordered_points(self) -> int:
+        """Reclaim active points that can never race again.
+
+        This is the optimization Section 5.3 leaves as future work
+        ("remove unnecessary active access points").  The criterion: a
+        point ``pt`` is dead once ``pt.vc ⊑ T(τ)`` for every thread τ that
+        may still perform events (threads not yet joined).  Every future
+        event ``e`` by a live thread τ — or by any thread it transitively
+        forks — satisfies ``vc(e) ⊒ T(τ) ⊒ pt.vc``, so phase 1's
+        ``pt.vc ⋢ vc(e)`` test can never fire on ``pt`` again.
+
+        After a ``joinall`` this empties the active sets entirely, bounding
+        the detector's memory by the *concurrent* footprint instead of the
+        whole execution history.  Returns the number of points reclaimed.
+        Enable automatic invocation with the ``prune_interval`` constructor
+        parameter (every N actions).
+        """
+        live_clocks = [self._hb.clock_of(tid)
+                       for tid in self._hb.live_threads()]
+        reclaimed = 0
+        for state in self._objects.values():
+            doomed = [pt for pt in state.active
+                      if all(_point_ordered(state.point_clock[pt], clock)
+                             for clock in live_clocks)]
+            for pt in doomed:
+                state.active.discard(pt)
+                del state.point_clock[pt]
+            reclaimed += len(doomed)
+        return reclaimed
+
+    def active_point_count(self) -> int:
+        """Total |active(o)| across objects (for memory accounting)."""
+        return sum(len(state.active) for state in self._objects.values())
+
+    def registered_objects(self):
+        return self._objects.keys()
+
+    # -- event processing --------------------------------------------------------
+
+    def process(self, event: Event) -> Optional[List[CommutativityRace]]:
+        """Consume one trace event; return races found on this event, if any."""
+        clock = self._hb.observe(event)
+        self.stats.events += 1
+        if event.kind is not EventKind.ACTION:
+            return None
+        found = self._process_action(event, clock)
+        if self._prune_interval:
+            self._actions_since_prune += 1
+            if self._actions_since_prune >= self._prune_interval:
+                self._actions_since_prune = 0
+                self.prune_ordered_points()
+        return found
+
+    def _process_action(self, event: Event,
+                        clock: VectorClock) -> Optional[List[CommutativityRace]]:
+        action = event.action
+        state = self._objects.get(action.obj)
+        if state is None:
+            # Unregistered objects are not analyzed (RoadRunner-style tools
+            # likewise only track instrumented classes).
+            return None
+        self.stats.actions += 1
+        rep = state.representation
+        points = rep.points_of(action)
+        self.stats.points_touched += len(points)
+
+        # Phase 1: check for commutativity races.
+        found: List[CommutativityRace] = []
+        for pt in points:
+            if state.strategy is Strategy.ENUMERATE:
+                self._check_enumerate(state, pt, event, clock, found)
+            else:
+                self._check_scan(state, pt, event, clock, found)
+
+        # Phase 2: update auxiliary state.
+        tid = event.tid
+        for pt in points:
+            prior = state.point_clock.get(pt)
+            if prior is None:
+                if self._adaptive:
+                    state.point_clock[pt] = _PointEpoch(tid, clock[tid])
+                else:
+                    state.point_clock[pt] = clock
+                state.active.add(pt)
+            elif type(prior) is _PointEpoch:
+                if prior.tid == tid:
+                    # Same thread: its touches are totally ordered, so the
+                    # latest epoch subsumes the join.
+                    state.point_clock[pt] = _PointEpoch(tid, clock[tid])
+                else:
+                    # Second thread: promote to a full vector clock.
+                    self.stats.epoch_promotions += 1
+                    state.point_clock[pt] = prior.as_clock().join(clock)
+            else:
+                state.point_clock[pt] = prior.join(clock)
+        return found or None
+
+    def _check_enumerate(self, state: _ObjectState, pt: AccessPoint,
+                         event: Event, clock: VectorClock,
+                         found: List[CommutativityRace]) -> None:
+        """Iterate Co(pt), probe active(o) — Θ(|Co(pt)|) per point."""
+        for candidate in state.representation.conflicting_candidates(pt):
+            self.stats.conflict_checks += 1
+            prior_clock = state.point_clock.get(candidate)
+            if prior_clock is None:
+                continue  # candidate not active
+            if not _point_ordered(prior_clock, clock):
+                self._report(state, pt, candidate, _as_clock(prior_clock),
+                             event, clock, found)
+
+    def _check_scan(self, state: _ObjectState, pt: AccessPoint,
+                    event: Event, clock: VectorClock,
+                    found: List[CommutativityRace]) -> None:
+        """Iterate active(o), test Co membership — Θ(|active(o)|) per point."""
+        rep = state.representation
+        for active_pt in state.active:
+            self.stats.conflict_checks += 1
+            if not rep.conflicts(pt, active_pt):
+                continue
+            prior_clock = state.point_clock[active_pt]
+            if not _point_ordered(prior_clock, clock):
+                self._report(state, pt, active_pt, _as_clock(prior_clock),
+                             event, clock, found)
+
+    def _report(self, state: _ObjectState, pt: AccessPoint,
+                prior_pt: AccessPoint, prior_clock: VectorClock,
+                event: Event, clock: VectorClock,
+                found: List[CommutativityRace]) -> None:
+        race = CommutativityRace(
+            obj=event.action.obj,
+            current=event.action,
+            current_clock=clock,
+            current_tid=event.tid,
+            point=pt,
+            prior_point=prior_pt,
+            prior_clock=prior_clock,
+        )
+        self.stats.races += 1
+        found.append(race)
+        if self._keep_reports:
+            self.races.append(race)
+        if self._on_race is not None:
+            self._on_race(race)
+
+    # -- convenience -----------------------------------------------------------
+
+    def run(self, events) -> List[CommutativityRace]:
+        """Process an iterable of events; return all races found."""
+        for event in events:
+            self.process(event)
+        return self.races
+
+    @property
+    def happens_before(self) -> HappensBeforeTracker:
+        """The underlying happens-before state (exposed for tests/tools)."""
+        return self._hb

@@ -1,0 +1,148 @@
+"""Happens-before graphs: structural views of a trace's partial order.
+
+Built on networkx, these utilities answer questions the detectors do not
+need but users debugging a race report do:
+
+* :func:`happens_before_graph` — the event-level DAG (edges from the
+  covering relation of ``⪯`` restricted to the recorded events);
+* :func:`concurrency_matrix` — which action pairs may happen in parallel;
+* :func:`critical_path` — the longest chain of ordered actions: the
+  execution's inherent sequential bottleneck (everything off it had slack
+  to move);
+* :func:`racing_context` — for a racing pair, the causal cones of both
+  events: everything either one depends on, which is exactly what fails to
+  connect them (inspect it to see which synchronization is missing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .events import Event, EventKind
+from .trace import Trace
+
+__all__ = ["happens_before_graph", "concurrency_matrix", "critical_path",
+           "parallelism_profile", "racing_context"]
+
+
+def _ordered(first: Event, second: Event) -> bool:
+    """``first ≺ second`` (strictly)."""
+    return (first.clock.leq(second.clock)
+            and first.clock != second.clock)
+
+
+def happens_before_graph(trace: Trace,
+                         actions_only: bool = True) -> "nx.DiGraph":
+    """The happens-before DAG over the trace's events.
+
+    Nodes are event indices (attributes carry the event); edges form the
+    *transitive reduction* of ``≺``, so the drawing is readable.  With
+    ``actions_only`` (default) synchronization and memory events are
+    elided, matching the granularity of race reports.
+    """
+    if not trace.stamped:
+        trace.stamp()
+    events = (trace.actions() if actions_only else list(trace))
+    graph = nx.DiGraph()
+    for event in events:
+        graph.add_node(event.index, event=event, label=event.label())
+    for i, first in enumerate(events):
+        for second in events[i + 1:]:
+            if _ordered(first, second):
+                graph.add_edge(first.index, second.index)
+    if graph.number_of_edges():
+        graph = nx.transitive_reduction(graph)
+        # transitive_reduction drops node attributes; restore them.
+        for event in events:
+            graph.nodes[event.index]["event"] = event
+            graph.nodes[event.index]["label"] = event.label()
+    return graph
+
+
+def concurrency_matrix(trace: Trace) -> Dict[Tuple[int, int], bool]:
+    """``(i, j) -> may-happen-in-parallel`` over action event indices.
+
+    Symmetric; only pairs with ``i < j`` are materialized.
+    """
+    if not trace.stamped:
+        trace.stamp()
+    actions = trace.actions()
+    matrix: Dict[Tuple[int, int], bool] = {}
+    for i, first in enumerate(actions):
+        for second in actions[i + 1:]:
+            matrix[(first.index, second.index)] = \
+                first.clock.parallel(second.clock)
+    return matrix
+
+
+def critical_path(trace: Trace) -> List[Event]:
+    """The longest happens-before chain of action events.
+
+    Its length bounds how much the execution could have been compressed by
+    more parallelism; an all-sequential trace's critical path is the whole
+    trace.
+    """
+    graph = happens_before_graph(trace, actions_only=True)
+    if graph.number_of_nodes() == 0:
+        return []
+    path_indices = nx.dag_longest_path(graph)
+    return [graph.nodes[index]["event"] for index in path_indices]
+
+
+def racing_context(trace: Trace, first: Event,
+                   second: Event) -> Dict[str, List[Event]]:
+    """The causal structure around a racing pair.
+
+    Returns three event lists (all kinds, trace order):
+
+    * ``"common"`` — the shared causal past (both events depend on these);
+    * ``"first_only"`` / ``"second_only"`` — each event's private cone.
+
+    For genuinely racing events the private cones are where the missing
+    synchronization would have to live; for ordered events one private
+    cone contains the other event, making the order visible.
+    """
+    if not trace.stamped:
+        trace.stamp()
+
+    def cone(event: Event) -> List[Event]:
+        return [candidate for candidate in trace
+                if candidate.index != event.index
+                and candidate.clock.leq(event.clock)]
+
+    first_cone = {event.index: event for event in cone(first)}
+    second_cone = {event.index: event for event in cone(second)}
+    common = [event for index, event in sorted(first_cone.items())
+              if index in second_cone]
+    first_only = [event for index, event in sorted(first_cone.items())
+                  if index not in second_cone]
+    second_only = [event for index, event in sorted(second_cone.items())
+                   if index not in first_cone]
+    return {"common": common, "first_only": first_only,
+            "second_only": second_only}
+
+
+def parallelism_profile(trace: Trace) -> Dict[str, float]:
+    """Summary statistics of the trace's concurrency structure.
+
+    * ``actions`` — number of action events;
+    * ``critical_path`` — longest ordered chain;
+    * ``parallel_fraction`` — share of action pairs that may happen in
+      parallel (0 for sequential traces, → 1 for embarrassingly parallel);
+    * ``average_width`` — actions / critical path length, a crude measure
+      of available parallelism.
+    """
+    actions = trace.actions()
+    pairs = concurrency_matrix(trace)
+    total_pairs = len(pairs)
+    parallel_pairs = sum(1 for is_parallel in pairs.values() if is_parallel)
+    chain = critical_path(trace)
+    return {
+        "actions": float(len(actions)),
+        "critical_path": float(len(chain)),
+        "parallel_fraction": (parallel_pairs / total_pairs
+                              if total_pairs else 0.0),
+        "average_width": (len(actions) / len(chain) if chain else 0.0),
+    }

@@ -1,0 +1,194 @@
+"""Race reports produced by the analyzers.
+
+Three report flavours mirror the evaluation (Table 2):
+
+* :class:`CommutativityRace` — RD2's verdicts: two method invocations that
+  may happen in parallel yet touch conflicting access points.
+* :class:`DataRace` — the FastTrack baseline's read/write races on memory
+  locations.
+* :class:`LocksetWarning` — the Eraser baseline's lockset violations.
+
+Each report knows a *distinct key* — the paper counts both total races and
+the number of distinct variables/objects racing ("1784 (26)" means 1784 race
+reports on 26 distinct memory locations).  :func:`tally` reproduces that
+``total (distinct)`` accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from .events import Action, Event, ObjectId
+from .vector_clock import VectorClock
+
+__all__ = [
+    "RaceReport",
+    "CommutativityRace",
+    "DataRace",
+    "LocksetWarning",
+    "RaceTally",
+    "RaceGroup",
+    "tally",
+    "group_races",
+]
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Common shape of all race verdicts."""
+
+    def distinct_key(self) -> Hashable:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CommutativityRace(RaceReport):
+    """Two unordered, non-commuting invocations (Definition 4.3).
+
+    ``current`` is the action whose processing flagged the race, stamped
+    ``current_clock``; ``point`` / ``prior_point`` are the conflicting access
+    points; ``prior_clock`` is the accumulated clock of all earlier touches
+    of ``prior_point`` (so ``prior_clock ⋢ current_clock`` witnesses some
+    earlier touching event that may happen in parallel with ``current``).
+    ``prior`` carries the specific earlier action when the analyzer retains
+    enough history to name it (the online detector keeps only clocks, the
+    oracle names both actions).
+    """
+
+    obj: ObjectId
+    current: Action
+    current_clock: VectorClock
+    point: Any
+    prior_point: Any
+    prior_clock: VectorClock
+    current_tid: Any = None
+    prior: Optional[Action] = None
+    prior_tid: Any = None
+
+    def distinct_key(self) -> Hashable:
+        return self.obj
+
+    def __str__(self) -> str:
+        who = f"thread {self.current_tid}: " if self.current_tid is not None else ""
+        versus = f" vs {self.prior}" if self.prior is not None else ""
+        return (f"commutativity race on {self.obj}: {who}{self.current}"
+                f"{versus} (points {self.point} ⨯ {self.prior_point}, "
+                f"clocks {self.current_clock} ∦ {self.prior_clock})")
+
+
+@dataclass(frozen=True)
+class DataRace(RaceReport):
+    """A classic read/write race on a single memory location."""
+
+    location: Hashable
+    access: str            # "read" or "write" — the access that raced
+    tid: Any
+    clock: VectorClock
+    conflicting: str       # kind of the earlier conflicting access
+    conflicting_tid: Any
+
+    def distinct_key(self) -> Hashable:
+        return self.location
+
+    def __str__(self) -> str:
+        return (f"data race on {self.location}: {self.access} by thread "
+                f"{self.tid} vs earlier {self.conflicting} by thread "
+                f"{self.conflicting_tid}")
+
+
+@dataclass(frozen=True)
+class LocksetWarning(RaceReport):
+    """An Eraser-style warning: a location's candidate lockset became empty."""
+
+    location: Hashable
+    access: str
+    tid: Any
+
+    def distinct_key(self) -> Hashable:
+        return self.location
+
+    def __str__(self) -> str:
+        return (f"lockset violation on {self.location}: unprotected "
+                f"{self.access} by thread {self.tid}")
+
+
+@dataclass(frozen=True)
+class RaceTally:
+    """Table 2's ``total (distinct)`` pair."""
+
+    total: int
+    distinct: int
+    distinct_keys: Tuple[Hashable, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.total} ({self.distinct})"
+
+
+def tally(reports: Iterable[RaceReport]) -> RaceTally:
+    """Count reports and the distinct objects/locations they occur on."""
+    total = 0
+    keys = []
+    seen = set()
+    for report in reports:
+        total += 1
+        key = report.distinct_key()
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    return RaceTally(total=total, distinct=len(seen), distinct_keys=tuple(keys))
+
+
+@dataclass(frozen=True)
+class RaceGroup:
+    """A redundancy class of race reports.
+
+    The paper observes "most races are highly redundant (meaning that they
+    occur on the same memory locations or on the same concurrent hash map
+    objects)".  Grouping collapses that redundancy into what a developer
+    actually triages: commutativity races group by object plus the pair of
+    conflicting access-point *schemas* (e.g. all ``w×w`` put/put races on
+    one map are a single group, regardless of key); data races and lockset
+    warnings group by location plus access kinds.
+    """
+
+    key: Hashable
+    count: int
+    sample: RaceReport
+
+    def __str__(self) -> str:
+        return f"[{self.count}x] {self.sample}"
+
+
+def _group_key(report: RaceReport) -> Hashable:
+    if isinstance(report, CommutativityRace):
+        schema_of = lambda point: getattr(point, "schema", type(point))
+        schemas = frozenset((schema_of(report.point),
+                             schema_of(report.prior_point)))
+        return ("commutativity", report.obj, schemas)
+    if isinstance(report, DataRace):
+        return ("data", report.location,
+                frozenset((report.access, report.conflicting)))
+    return ("lockset", report.distinct_key())
+
+
+def group_races(reports: Iterable[RaceReport]) -> Tuple[RaceGroup, ...]:
+    """Collapse reports into redundancy groups, largest first.
+
+    Each group keeps its first report as a representative sample; ties in
+    size break by first appearance, so output is deterministic.
+    """
+    order: list = []
+    counts: dict = {}
+    samples: dict = {}
+    for report in reports:
+        key = _group_key(report)
+        if key not in counts:
+            counts[key] = 0
+            samples[key] = report
+            order.append(key)
+        counts[key] += 1
+    groups = [RaceGroup(key=key, count=counts[key], sample=samples[key])
+              for key in order]
+    groups.sort(key=lambda group: -group.count)
+    return tuple(groups)

@@ -1,0 +1,163 @@
+"""Trace serialization: JSON-lines persistence for recorded executions.
+
+Traces are this library's interchange format (record once, replay through
+any analyzer), so being able to park them on disk matters: long benchmark
+runs can be analyzed offline, failing interleavings can be attached to bug
+reports, and regression suites can replay frozen traces.
+
+Format: one JSON object per line.  The first line is a header
+(``{"repro-trace": 1, "root": ...}``); each following line is one event::
+
+    {"kind": "action", "tid": 1, "obj": "o", "method": "put",
+     "args": ["a.com", "c1"], "returns": [{"$nil": true}]}
+
+Values are restricted to JSON scalars, lists/tuples and two sentinels:
+``{"$nil": true}`` encodes the paper's ``NIL`` and ``{"$tuple": [...]}``
+preserves tuple-ness (actions' argument containers are always tuples; this
+sentinel covers tuples *nested inside* argument values).  Unsupported
+values fail loudly — silent lossy encoding would corrupt replay verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable, List, Union
+
+from .errors import ReproError
+from .events import (NIL, Action, Event, EventKind, acquire_event,
+                     action_event, begin_event, commit_event, fork_event,
+                     join_event, read_event, release_event, write_event)
+from .trace import Trace
+
+__all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace"]
+
+_FORMAT_KEY = "repro-trace"
+_FORMAT_VERSION = 1
+
+
+class _TraceFormatError(ReproError):
+    pass
+
+
+def _encode_value(value: Any) -> Any:
+    if value is NIL:
+        return {"$nil": True}
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise _TraceFormatError(
+        f"cannot serialize value {value!r} of type {type(value).__name__}; "
+        f"traces may only carry JSON scalars, tuples/lists and NIL")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get("$nil") is True:
+            return NIL
+        if "$tuple" in value:
+            return tuple(_decode_value(item) for item in value["$tuple"])
+        raise _TraceFormatError(f"unknown value sentinel {value!r}")
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def _encode_event(event: Event) -> dict:
+    record: dict = {"kind": event.kind.value,
+                    "tid": _encode_value(event.tid)}
+    if event.kind is EventKind.ACTION:
+        action = event.action
+        record["obj"] = _encode_value(action.obj)
+        record["method"] = action.method
+        record["args"] = [_encode_value(v) for v in action.args]
+        record["returns"] = [_encode_value(v) for v in action.returns]
+    elif event.kind in (EventKind.FORK, EventKind.JOIN):
+        record["peer"] = _encode_value(event.peer)
+    elif event.kind in (EventKind.ACQUIRE, EventKind.RELEASE):
+        record["lock"] = _encode_value(event.lock)
+    elif event.kind.is_memory():
+        record["location"] = _encode_value(event.location)
+    return record
+
+
+def _decode_event(record: dict) -> Event:
+    try:
+        kind = EventKind(record["kind"])
+    except (KeyError, ValueError) as exc:
+        raise _TraceFormatError(f"bad event record {record!r}") from exc
+    tid = _decode_value(record["tid"])
+    if kind is EventKind.ACTION:
+        action = Action(
+            obj=_decode_value(record["obj"]),
+            method=record["method"],
+            args=tuple(_decode_value(v) for v in record["args"]),
+            returns=tuple(_decode_value(v) for v in record["returns"]))
+        return action_event(tid, action)
+    if kind is EventKind.FORK:
+        return fork_event(tid, _decode_value(record["peer"]))
+    if kind is EventKind.JOIN:
+        return join_event(tid, _decode_value(record["peer"]))
+    if kind is EventKind.ACQUIRE:
+        return acquire_event(tid, _decode_value(record["lock"]))
+    if kind is EventKind.RELEASE:
+        return release_event(tid, _decode_value(record["lock"]))
+    if kind is EventKind.READ:
+        return read_event(tid, _decode_value(record["location"]))
+    if kind is EventKind.WRITE:
+        return write_event(tid, _decode_value(record["location"]))
+    if kind is EventKind.BEGIN:
+        return begin_event(tid)
+    return commit_event(tid)
+
+
+def dump_trace(trace: Trace, stream: IO[str]) -> None:
+    """Write a trace to a text stream as JSON lines."""
+    header = {_FORMAT_KEY: _FORMAT_VERSION,
+              "root": _encode_value(trace.root),
+              "events": len(trace)}
+    stream.write(json.dumps(header) + "\n")
+    for event in trace:
+        stream.write(json.dumps(_encode_event(event)) + "\n")
+
+
+def dumps_trace(trace: Trace) -> str:
+    """The trace as a JSONL string."""
+    import io
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(stream: IO[str], stamp: bool = True) -> Trace:
+    """Read a trace written by :func:`dump_trace`; stamps by default."""
+    lines = iter(stream)
+    try:
+        header = json.loads(next(lines))
+    except StopIteration:
+        raise _TraceFormatError("empty trace stream") from None
+    if header.get(_FORMAT_KEY) != _FORMAT_VERSION:
+        raise _TraceFormatError(
+            f"not a repro trace (or unsupported version): header {header!r}")
+    trace = Trace(root=_decode_value(header["root"]))
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        trace.append(_decode_event(json.loads(line)))
+    declared = header.get("events")
+    if declared is not None and declared != len(trace):
+        raise _TraceFormatError(
+            f"truncated trace: header declares {declared} events, "
+            f"found {len(trace)}")
+    if stamp:
+        trace.stamp()
+    return trace
+
+
+def loads_trace(text: str, stamp: bool = True) -> Trace:
+    """Parse a trace from a JSONL string."""
+    import io
+    return load_trace(io.StringIO(text), stamp=stamp)

@@ -1,0 +1,209 @@
+"""Recorded traces: capture, inspection and replay.
+
+A :class:`Trace` is the sequence ``π`` of Section 3.1 — events in program
+order, each stamped with its position (``≤π``) and, after happens-before
+computation, its vector clock.  Traces are the interchange format between
+the runtime (which records them), the detectors (which consume them online
+or by replay) and the oracle/property tests (which enumerate event pairs).
+
+:class:`TraceBuilder` offers a small fluent API for constructing traces by
+hand — the unit tests build the paper's Fig. 3 trace this way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from .events import (Action, Event, EventKind, ObjectId, acquire_event,
+                     action_event, begin_event, commit_event, fork_event,
+                     join_event, read_event, release_event, write_event)
+from .hb import HappensBeforeTracker
+from .vector_clock import Tid, VectorClock
+
+__all__ = ["Trace", "TraceBuilder"]
+
+
+class Trace:
+    """An immutable-by-convention sequence of trace events.
+
+    Events appended via :meth:`append` receive consecutive ``index`` values.
+    :meth:`stamp` runs happens-before tracking over the whole trace, filling
+    in every event's ``clock`` — after which :meth:`may_happen_in_parallel`
+    and the pairwise iterators are meaningful.
+    """
+
+    def __init__(self, events: Iterable[Event] = (), root: Tid = 0):
+        self.root = root
+        self._events: List[Event] = []
+        self._stamped = False
+        for event in events:
+            self.append(event)
+
+    def append(self, event: Event) -> Event:
+        event.index = len(self._events)
+        self._events.append(event)
+        self._stamped = False
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        return tuple(self._events)
+
+    # -- happens-before -------------------------------------------------------
+
+    def stamp(self) -> "Trace":
+        """(Re)compute ``vc(e)`` for every event; returns self."""
+        tracker = HappensBeforeTracker(root=self.root)
+        for event in self._events:
+            tracker.observe(event)
+        self._stamped = True
+        return self
+
+    @property
+    def stamped(self) -> bool:
+        return self._stamped
+
+    def may_happen_in_parallel(self, e1: Event, e2: Event) -> bool:
+        """``e1 ‖ e2`` — requires :meth:`stamp` to have run."""
+        if not self._stamped:
+            self.stamp()
+        return e1.clock.parallel(e2.clock)
+
+    # -- views ------------------------------------------------------------------
+
+    def actions(self, obj: Optional[ObjectId] = None) -> List[Event]:
+        """Action events, optionally restricted to one object."""
+        out = []
+        for event in self._events:
+            if event.kind is not EventKind.ACTION:
+                continue
+            if obj is not None and event.action.obj != obj:
+                continue
+            out.append(event)
+        return out
+
+    def objects(self) -> List[ObjectId]:
+        """The shared objects touched by action events, in first-touch order."""
+        seen: Dict[ObjectId, None] = {}
+        for event in self._events:
+            if event.kind is EventKind.ACTION:
+                seen.setdefault(event.action.obj, None)
+        return list(seen)
+
+    def threads(self) -> List[Tid]:
+        """Thread ids appearing in the trace, in first-appearance order."""
+        seen: Dict[Tid, None] = {self.root: None}
+        for event in self._events:
+            seen.setdefault(event.tid, None)
+            if event.kind in (EventKind.FORK, EventKind.JOIN):
+                seen.setdefault(event.peer, None)
+        return list(seen)
+
+    def unordered_action_pairs(
+            self, obj: Optional[ObjectId] = None
+    ) -> Iterator[Tuple[Event, Event]]:
+        """All pairs of action events that may happen in parallel.
+
+        Pairs are yielded with the earlier event (by trace position) first.
+        This is the quadratic enumeration the oracle performs.
+        """
+        if not self._stamped:
+            self.stamp()
+        acts = self.actions(obj)
+        for i, e1 in enumerate(acts):
+            for e2 in acts[i + 1:]:
+                if e1.clock.parallel(e2.clock):
+                    yield (e1, e2)
+
+    def replay(self, sink: Callable[[Event], object]) -> None:
+        """Feed every event to ``sink`` (e.g. ``detector.process``)."""
+        for event in self._events:
+            sink(event)
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self._events)} events, root={self.root!r})"
+
+
+class TraceBuilder:
+    """Fluent construction of hand-written traces.
+
+    Example (the paper's Fig. 3)::
+
+        trace = (TraceBuilder(root="m")
+                 .fork("m", 2).fork("m", 3)
+                 .action(3, Action("o", "put", ("a.com", "c1"), (NIL,)))
+                 .action(2, Action("o", "put", ("a.com", "c2"), ("c1",)))
+                 .join("m", 2).join("m", 3)
+                 .action("m", Action("o", "size", (), (1,)))
+                 .build())
+    """
+
+    def __init__(self, root: Tid = 0):
+        self._trace = Trace(root=root)
+        self.root = root
+
+    def fork(self, tid: Tid, child: Tid) -> "TraceBuilder":
+        self._trace.append(fork_event(tid, child))
+        return self
+
+    def join(self, tid: Tid, child: Tid) -> "TraceBuilder":
+        self._trace.append(join_event(tid, child))
+        return self
+
+    def join_all(self, tid: Tid, children: Iterable[Tid]) -> "TraceBuilder":
+        """The ``joinall`` of the paper's examples."""
+        for child in children:
+            self.join(tid, child)
+        return self
+
+    def acquire(self, tid: Tid, lock: Hashable) -> "TraceBuilder":
+        self._trace.append(acquire_event(tid, lock))
+        return self
+
+    def release(self, tid: Tid, lock: Hashable) -> "TraceBuilder":
+        self._trace.append(release_event(tid, lock))
+        return self
+
+    def action(self, tid: Tid, action: Action) -> "TraceBuilder":
+        self._trace.append(action_event(tid, action))
+        return self
+
+    def begin(self, tid: Tid) -> "TraceBuilder":
+        """Open an intended-atomic block (for the atomicity analysis)."""
+        self._trace.append(begin_event(tid))
+        return self
+
+    def commit(self, tid: Tid) -> "TraceBuilder":
+        """Close the thread's intended-atomic block."""
+        self._trace.append(commit_event(tid))
+        return self
+
+    def invoke(self, tid: Tid, obj: ObjectId, method: str,
+               *args, returns=()) -> "TraceBuilder":
+        """Shorthand for :meth:`action` building the Action inline."""
+        if not isinstance(returns, tuple):
+            returns = (returns,)
+        self._trace.append(action_event(tid, Action(obj, method, args, returns)))
+        return self
+
+    def read(self, tid: Tid, location: Hashable) -> "TraceBuilder":
+        self._trace.append(read_event(tid, location))
+        return self
+
+    def write(self, tid: Tid, location: Hashable) -> "TraceBuilder":
+        self._trace.append(write_event(tid, location))
+        return self
+
+    def build(self, stamp: bool = True) -> Trace:
+        if stamp:
+            self._trace.stamp()
+        return self._trace

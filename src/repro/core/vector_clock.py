@@ -1,0 +1,230 @@
+"""Vector clocks: the lattice ``VC = Tid -> N`` of Section 3.2.
+
+The paper orders vector clocks pointwise, giving a lattice with bottom
+``⊥V = λτ.0``, join ``c1 ⊔ c2 = λτ. max(c1 τ, c2 τ)`` and a per-component
+increment ``incυ``.  Two events ``e1, e2`` *may happen in parallel*
+(``e1 ‖ e2``) iff their clocks are incomparable.
+
+Two implementations are provided:
+
+* :class:`VectorClock` — immutable, hashable, value-semantics.  Used in race
+  reports, recorded traces and tests, where aliasing bugs would be costly.
+* :class:`MutableVectorClock` — the in-place variant used by the hot paths of
+  the detectors (Table 1 bookkeeping touches clocks on every event).
+
+Both store clocks sparsely as ``tid -> timestamp`` with zero entries elided,
+so thread identifiers may be arbitrary hashables (ints in practice) and the
+clock of a freshly observed thread costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["Tid", "VectorClock", "MutableVectorClock", "BOTTOM"]
+
+Tid = Hashable
+"""Thread identifier.  Any hashable; the schedulers use small integers."""
+
+
+def _normalized(entries: Iterable[Tuple[Tid, int]]) -> Dict[Tid, int]:
+    """Drop zero entries and validate timestamps."""
+    out: Dict[Tid, int] = {}
+    for tid, stamp in entries:
+        if stamp < 0:
+            raise ValueError(f"negative timestamp {stamp} for thread {tid!r}")
+        if stamp:
+            out[tid] = stamp
+    return out
+
+
+class VectorClock:
+    """An immutable vector clock (an element of the lattice ``VC``).
+
+    Supports the lattice operations of the paper::
+
+        c1 <= c2      pointwise order (c1 ⊑ c2)
+        c1 | c2       join (c1 ⊔ c2)
+        c.inc(tid)    incυ(c)
+        c.parallel(d) neither c ⊑ d nor d ⊑ c
+
+    Instances compare equal iff they denote the same function ``Tid -> N``.
+    """
+
+    __slots__ = ("_entries", "_hash")
+
+    def __init__(self, entries: Mapping[Tid, int] | Iterable[Tuple[Tid, int]] = ()):
+        if isinstance(entries, Mapping):
+            entries = entries.items()
+        self._entries: Dict[Tid, int] = _normalized(entries)
+        self._hash: int | None = None
+
+    # -- accessors ---------------------------------------------------------
+
+    def __getitem__(self, tid: Tid) -> int:
+        """The timestamp recorded for ``tid`` (0 if never observed)."""
+        return self._entries.get(tid, 0)
+
+    def threads(self) -> Iterator[Tid]:
+        """Iterate over threads with a non-zero timestamp."""
+        return iter(self._entries)
+
+    def items(self) -> Iterator[Tuple[Tid, int]]:
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def is_bottom(self) -> bool:
+        return not self._entries
+
+    # -- lattice operations --------------------------------------------------
+
+    def leq(self, other: "VectorClock | MutableVectorClock") -> bool:
+        """Pointwise order ``self ⊑ other`` — the happens-before test."""
+        for tid, stamp in self._entries.items():
+            if stamp > other[tid]:
+                return False
+        return True
+
+    __le__ = leq
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self.leq(other) and not other.leq(self)
+
+    def parallel(self, other: "VectorClock | MutableVectorClock") -> bool:
+        """``self ‖ other``: the clocks are incomparable."""
+        return not self.leq(other) and not other.leq(self)
+
+    def join(self, other: "VectorClock | MutableVectorClock") -> "VectorClock":
+        """The least upper bound ``self ⊔ other``."""
+        merged = dict(self._entries)
+        for tid, stamp in other.items():
+            if stamp > merged.get(tid, 0):
+                merged[tid] = stamp
+        return VectorClock(merged)
+
+    __or__ = join
+
+    def inc(self, tid: Tid) -> "VectorClock":
+        """``incυ``: a copy with ``tid``'s component advanced by one step."""
+        bumped = dict(self._entries)
+        bumped[tid] = bumped.get(tid, 0) + 1
+        return VectorClock(bumped)
+
+    # -- conversions ---------------------------------------------------------
+
+    def thaw(self) -> "MutableVectorClock":
+        """An independent mutable copy."""
+        return MutableVectorClock(self._entries)
+
+    def to_tuple(self, tids: Iterable[Tid]) -> Tuple[int, ...]:
+        """Render as a dense tuple over a given thread ordering.
+
+        Convenience for matching the paper's ``⟨3, 0, 1⟩`` presentation.
+        """
+        return tuple(self[tid] for tid in tids)
+
+    # -- value semantics -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self._entries == other._entries
+        if isinstance(other, MutableVectorClock):
+            return self._entries == other._entries
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._entries.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{tid!r}: {ts}" for tid, ts in sorted(
+            self._entries.items(), key=lambda kv: repr(kv[0])))
+        return f"VectorClock({{{inner}}})"
+
+
+BOTTOM = VectorClock()
+"""The least vector clock ``⊥V`` (every component zero)."""
+
+
+class MutableVectorClock:
+    """In-place vector clock used by detector hot paths.
+
+    Mirrors :class:`VectorClock`'s read API and adds destructive updates
+    (:meth:`join_in_place`, :meth:`inc_in_place`).  Call :meth:`freeze` to
+    snapshot the current value as an immutable clock — detectors do this when
+    stamping events, so later in-place updates cannot corrupt past stamps.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[Tid, int] | Iterable[Tuple[Tid, int]] = ()):
+        if isinstance(entries, Mapping):
+            entries = entries.items()
+        self._entries: Dict[Tid, int] = _normalized(entries)
+
+    def __getitem__(self, tid: Tid) -> int:
+        return self._entries.get(tid, 0)
+
+    def items(self) -> Iterator[Tuple[Tid, int]]:
+        return iter(self._entries.items())
+
+    def threads(self) -> Iterator[Tid]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def leq(self, other: "VectorClock | MutableVectorClock") -> bool:
+        for tid, stamp in self._entries.items():
+            if stamp > other[tid]:
+                return False
+        return True
+
+    __le__ = leq
+
+    def parallel(self, other: "VectorClock | MutableVectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    def join_in_place(self, other: "VectorClock | MutableVectorClock") -> "MutableVectorClock":
+        """``self ← self ⊔ other`` (returns self for chaining)."""
+        mine = self._entries
+        for tid, stamp in other.items():
+            if stamp > mine.get(tid, 0):
+                mine[tid] = stamp
+        return self
+
+    def inc_in_place(self, tid: Tid) -> "MutableVectorClock":
+        """``self ← inc_tid(self)`` (returns self for chaining)."""
+        self._entries[tid] = self._entries.get(tid, 0) + 1
+        return self
+
+    def set_component(self, tid: Tid, stamp: int) -> None:
+        """Overwrite one component (used by FastTrack's read epochs)."""
+        if stamp < 0:
+            raise ValueError(f"negative timestamp {stamp} for thread {tid!r}")
+        if stamp:
+            self._entries[tid] = stamp
+        else:
+            self._entries.pop(tid, None)
+
+    def freeze(self) -> VectorClock:
+        """An immutable snapshot of the current value."""
+        return VectorClock(self._entries)
+
+    def copy(self) -> "MutableVectorClock":
+        return MutableVectorClock(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (VectorClock, MutableVectorClock)):
+            return dict(self.items()) == dict(other.items())
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable: not hashable
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{tid!r}: {ts}" for tid, ts in sorted(
+            self._entries.items(), key=lambda kv: repr(kv[0])))
+        return f"MutableVectorClock({{{inner}}})"

@@ -1,0 +1,50 @@
+"""Commutativity logic: formulas, the ECL fragment, specifications, the
+translation to access point representations, and executable semantics
+(Sections 4.1 and 6 of the paper)."""
+
+from .formulas import (FALSE, TRUE, And, Atom, Const, FalseF, Formula, Not,
+                       Or, Side, Term, TrueF, Var, atoms_of, conj, const,
+                       disj, eq, evaluate, ge, gt, le, lt, map_atoms, ne,
+                       negate, normalize_sides, register_predicate, sides_of,
+                       subformulas, swap_sides, var1, var2, vars_of)
+from .fragments import (canonical_lb_atom, is_ecl, is_lb, is_lb_atom,
+                        is_ls_atom, is_simple, lb_atoms, ls_atoms,
+                        require_ecl)
+from .parser import default_resolver, parse_formula
+from .semantics import (ObjectSemantics, SoundnessCounterexample,
+                        apply_action, check_soundness, commute_at,
+                        commute_on_states, final_state)
+from .simplify import simplify, substitute_beta, to_ls
+from .spec import CommutativitySpec, MethodSig
+from .translate import (DS, RawSchema, TranslatedRepresentation,
+                        TranslationResult, build_raw_translation,
+                        build_representation, translate)
+from .optimize import (merge_congruent, optimize_translation,
+                       remove_conflict_free)
+from .pretty import spec_report
+
+__all__ = [
+    # formulas
+    "FALSE", "TRUE", "And", "Atom", "Const", "FalseF", "Formula", "Not",
+    "Or", "Side", "Term", "TrueF", "Var", "atoms_of", "conj", "const",
+    "disj", "eq", "evaluate", "ge", "gt", "le", "lt", "map_atoms", "ne",
+    "negate", "normalize_sides", "register_predicate", "sides_of",
+    "subformulas", "swap_sides", "var1", "var2", "vars_of",
+    # fragments
+    "canonical_lb_atom", "is_ecl", "is_lb", "is_lb_atom", "is_ls_atom",
+    "is_simple", "lb_atoms", "ls_atoms", "require_ecl",
+    # parser
+    "default_resolver", "parse_formula",
+    # semantics
+    "ObjectSemantics", "SoundnessCounterexample", "apply_action",
+    "check_soundness", "commute_at", "commute_on_states", "final_state",
+    # simplify
+    "simplify", "substitute_beta", "to_ls",
+    # spec
+    "CommutativitySpec", "MethodSig",
+    # translate / optimize
+    "DS", "RawSchema", "TranslatedRepresentation", "TranslationResult",
+    "build_raw_translation", "build_representation", "translate",
+    "merge_congruent", "optimize_translation", "remove_conflict_free",
+    "spec_report",
+]

@@ -1,0 +1,361 @@
+"""Formula AST for commutativity specifications (Section 4.1 / 6.1).
+
+A specification formula ``ϕ_{m1,m2}(~x1; ~x2)`` relates the arguments and
+return values of two method invocations.  Variables carry a *side*: side 1
+variables bind the first action's values, side 2 the second's.  The ECL
+fragment (Definition 6.3) constrains how sides may mix:
+
+* ``LS`` atoms are cross-side disequalities ``x ≠ y`` (x on side 1, y on 2);
+* ``LB`` atoms are arbitrary predicates over variables of a *single* side.
+
+All nodes are frozen dataclasses — formulas are values: hashable, usable as
+dictionary keys (the translator keys β vectors by normalized atoms), and
+safely shared.
+
+Terms
+-----
+``Var(name, side)`` and ``Const(value)``.  A ``Var`` with ``side=None`` is
+*normalized* — the translator erases sides when collecting ``B(Φ)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Optional, Tuple, Union
+
+from ..core.errors import SpecificationError
+from ..core.events import NIL
+
+__all__ = [
+    "Side", "Var", "Const", "Term",
+    "Formula", "TrueF", "FalseF", "Atom", "Not", "And", "Or",
+    "TRUE", "FALSE",
+    "PREDICATES", "register_predicate",
+    "var1", "var2", "const", "eq", "ne", "lt", "le", "gt", "ge",
+    "conj", "disj", "negate",
+    "evaluate", "atoms_of", "vars_of", "sides_of", "swap_sides",
+    "normalize_sides", "subformulas", "map_atoms",
+]
+
+
+class Side(enum.IntEnum):
+    """Which action a variable refers to (V1 or V2 in the paper)."""
+
+    FIRST = 1
+    SECOND = 2
+
+    def other(self) -> "Side":
+        return Side.SECOND if self is Side.FIRST else Side.FIRST
+
+
+@dataclass(frozen=True)
+class Var:
+    """A specification variable; ``side=None`` means normalized."""
+
+    name: str
+    side: Optional[Side] = None
+
+    def __str__(self) -> str:
+        return self.name if self.side is None else f"{self.name}{int(self.side)}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant (number, string, ``NIL``, ``None``, ...)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value) if self.value is not NIL else "nil"
+
+
+Term = Union[Var, Const]
+
+
+# -- predicate registry ---------------------------------------------------------
+#
+# LB atoms may use any interpreted predicate; ECL's restriction is about
+# which *variables* an atom mentions, not which relation it applies.
+
+PREDICATES: Dict[str, Tuple[int, Callable[..., bool]]] = {}
+
+
+def register_predicate(name: str, arity: int,
+                       fn: Callable[..., bool]) -> None:
+    """Add an interpreted predicate usable in Atom nodes.
+
+    Predicates must be total on the values they will see at analysis time;
+    exceptions propagate to the caller of :func:`evaluate`.
+    """
+    if name in PREDICATES:
+        raise SpecificationError(f"predicate {name!r} already registered")
+    PREDICATES[name] = (arity, fn)
+
+
+def _guarded(op: Callable[[Any, Any], bool]) -> Callable[[Any, Any], bool]:
+    """Make order comparisons total: incomparable operands (``nil``, or
+    mixed types like ``"a" < 1``) compare false rather than raising.
+
+    Note the consequence: ``lt`` and ``ge`` are then *not* complements on
+    incomparable values, which is why atom canonicalization rewrites only
+    ``ne`` (an exact complement of ``eq``) and leaves order atoms alone.
+    """
+    def check(a: Any, b: Any) -> bool:
+        if a is NIL or b is NIL:
+            return False
+        try:
+            return op(a, b)
+        except TypeError:
+            return False
+    return check
+
+
+register_predicate("eq", 2, lambda a, b: a == b)
+register_predicate("ne", 2, lambda a, b: a != b)
+register_predicate("lt", 2, _guarded(lambda a, b: a < b))
+register_predicate("le", 2, _guarded(lambda a, b: a <= b))
+register_predicate("gt", 2, _guarded(lambda a, b: a > b))
+register_predicate("ge", 2, _guarded(lambda a, b: a >= b))
+
+
+# -- AST nodes -------------------------------------------------------------------
+
+class Formula:
+    """Base class of formula nodes.  Instances are immutable values."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An interpreted predicate applied to terms, e.g. ``ne(k1, k2)``."""
+
+    pred: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if self.pred not in PREDICATES:
+            raise SpecificationError(f"unknown predicate {self.pred!r}")
+        arity, _ = PREDICATES[self.pred]
+        if len(self.args) != arity:
+            raise SpecificationError(
+                f"predicate {self.pred!r} expects {arity} arguments, "
+                f"got {len(self.args)}")
+
+    _INFIX = {"eq": "=", "ne": "≠", "lt": "<", "le": "≤", "gt": ">", "ge": "≥"}
+
+    def __str__(self) -> str:
+        if self.pred in self._INFIX and len(self.args) == 2:
+            return f"{self.args[0]} {self._INFIX[self.pred]} {self.args[1]}"
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+# -- construction helpers --------------------------------------------------------
+
+def var1(name: str) -> Var:
+    return Var(name, Side.FIRST)
+
+
+def var2(name: str) -> Var:
+    return Var(name, Side.SECOND)
+
+
+def const(value: Any) -> Const:
+    return Const(value)
+
+
+def _term(x: Any) -> Term:
+    return x if isinstance(x, (Var, Const)) else Const(x)
+
+
+def eq(a: Any, b: Any) -> Atom:
+    return Atom("eq", (_term(a), _term(b)))
+
+
+def ne(a: Any, b: Any) -> Atom:
+    return Atom("ne", (_term(a), _term(b)))
+
+
+def lt(a: Any, b: Any) -> Atom:
+    return Atom("lt", (_term(a), _term(b)))
+
+
+def le(a: Any, b: Any) -> Atom:
+    return Atom("le", (_term(a), _term(b)))
+
+
+def gt(a: Any, b: Any) -> Atom:
+    return Atom("gt", (_term(a), _term(b)))
+
+
+def ge(a: Any, b: Any) -> Atom:
+    return Atom("ge", (_term(a), _term(b)))
+
+
+def conj(*parts: Formula) -> Formula:
+    """Right-fold conjunction; ``conj()`` is ``true``."""
+    if not parts:
+        return TRUE
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = And(part, out)
+    return out
+
+
+def disj(*parts: Formula) -> Formula:
+    """Right-fold disjunction; ``disj()`` is ``false``."""
+    if not parts:
+        return FALSE
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = Or(part, out)
+    return out
+
+
+def negate(formula: Formula) -> Formula:
+    return Not(formula)
+
+
+# -- traversal and evaluation ------------------------------------------------------
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """Pre-order traversal of all subformulas (including the root)."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from subformulas(formula.operand)
+    elif isinstance(formula, (And, Or)):
+        yield from subformulas(formula.left)
+        yield from subformulas(formula.right)
+
+
+def atoms_of(formula: Formula) -> Iterator[Atom]:
+    """All atomic subformulas, in pre-order."""
+    for sub in subformulas(formula):
+        if isinstance(sub, Atom):
+            yield sub
+
+
+def vars_of(formula: Formula) -> FrozenSet[Var]:
+    """The free variables of a formula (all variables are free)."""
+    out = set()
+    for atom in atoms_of(formula):
+        for arg in atom.args:
+            if isinstance(arg, Var):
+                out.add(arg)
+    return frozenset(out)
+
+
+def sides_of(formula: Formula) -> FrozenSet[Optional[Side]]:
+    """The set of sides referenced by the formula's variables."""
+    return frozenset(v.side for v in vars_of(formula))
+
+
+def evaluate(formula: Formula, lookup: Callable[[Var], Any]) -> bool:
+    """Evaluate under a variable assignment given by ``lookup``."""
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Atom):
+        _, fn = PREDICATES[formula.pred]
+        values = [arg.value if isinstance(arg, Const) else lookup(arg)
+                  for arg in formula.args]
+        return bool(fn(*values))
+    if isinstance(formula, Not):
+        return not evaluate(formula.operand, lookup)
+    if isinstance(formula, And):
+        return evaluate(formula.left, lookup) and evaluate(formula.right, lookup)
+    if isinstance(formula, Or):
+        return evaluate(formula.left, lookup) or evaluate(formula.right, lookup)
+    raise SpecificationError(f"cannot evaluate {formula!r}")
+
+
+def map_atoms(formula: Formula,
+              fn: Callable[[Atom], Formula]) -> Formula:
+    """Rebuild the formula with every atom replaced by ``fn(atom)``."""
+    if isinstance(formula, Atom):
+        return fn(formula)
+    if isinstance(formula, Not):
+        return Not(map_atoms(formula.operand, fn))
+    if isinstance(formula, And):
+        return And(map_atoms(formula.left, fn), map_atoms(formula.right, fn))
+    if isinstance(formula, Or):
+        return Or(map_atoms(formula.left, fn), map_atoms(formula.right, fn))
+    return formula
+
+
+def _map_terms(atom: Atom, fn: Callable[[Term], Term]) -> Atom:
+    return Atom(atom.pred, tuple(fn(arg) for arg in atom.args))
+
+
+def swap_sides(formula: Formula) -> Formula:
+    """Exchange side-1 and side-2 variables (``ϕ(~x2; ~x1)``)."""
+    def flip(term: Term) -> Term:
+        if isinstance(term, Var) and term.side is not None:
+            return Var(term.name, term.side.other())
+        return term
+    return map_atoms(formula, lambda atom: _map_terms(atom, flip))
+
+
+def normalize_sides(formula: Formula) -> Formula:
+    """Erase side annotations (the translator's atom normalization).
+
+    ``v1 = p1`` and ``v2 = p2`` both normalize to ``v = p``, which is how
+    the paper's ``B(Φ)`` identifies them (Section 6.2).
+    """
+    def erase(term: Term) -> Term:
+        if isinstance(term, Var):
+            return Var(term.name, None)
+        return term
+    return map_atoms(formula, lambda atom: _map_terms(atom, erase))

@@ -1,0 +1,180 @@
+"""Fragment classifiers: SIMPLE (``LS``), ``LB`` and ECL (Section 6.1).
+
+The grammars, verbatim from the paper:
+
+* ``LS`` (Kulkarni et al.'s SIMPLE)::
+
+      S ::= V1 ≠ V2 | S ∧ S | true | false
+
+* ``LB`` — boolean combinations of atoms whose variables all come from one
+  side::
+
+      B ::= P_{V1} | P_{V2} | ¬B | B ∧ B | B ∨ B | true | false
+
+* ``ECL``::
+
+      X ::= S | B | X ∧ X | X ∨ B
+
+The ``X ∨ B`` production is order-insensitive here (``B ∨ X`` is accepted
+too); the paper's formulas are written both ways and disjunction commutes.
+
+The classifiers drive two things: :func:`require_ecl` gates the translator
+(Theorem 6.6 only holds for ECL), and the distinction between LS atoms and
+LB atoms *within* an ECL formula is what the translation keys on.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.errors import FragmentError
+from .formulas import (And, Atom, Const, FalseF, Formula, Not, Or, Side,
+                       TrueF, Var, atoms_of)
+
+__all__ = [
+    "is_ls_atom", "is_lb_atom", "atom_side",
+    "is_simple", "is_lb", "is_ecl", "require_ecl",
+    "canonical_lb_atom", "lb_atoms", "ls_atoms",
+]
+
+
+def atom_side(atom: Atom) -> Optional[Side]:
+    """The unique side referenced by an atom's variables, if any.
+
+    Returns ``None`` when the atom references no variables (ground) or
+    variables of both sides (in which case it cannot be an LB atom).
+    Normalized (side-less) variables count as no side.
+    """
+    sides: FrozenSet[Side] = frozenset(
+        arg.side for arg in atom.args
+        if isinstance(arg, Var) and arg.side is not None)
+    if len(sides) == 1:
+        return next(iter(sides))
+    return None
+
+
+def _is_ground(atom: Atom) -> bool:
+    return all(isinstance(arg, Const) for arg in atom.args)
+
+
+def is_ls_atom(atom: Atom) -> bool:
+    """``V1 ≠ V2``: a disequality between a side-1 and a side-2 variable."""
+    if atom.pred != "ne" or len(atom.args) != 2:
+        return False
+    left, right = atom.args
+    if not (isinstance(left, Var) and isinstance(right, Var)):
+        return False
+    return {left.side, right.side} == {Side.FIRST, Side.SECOND}
+
+
+def is_lb_atom(atom: Atom) -> bool:
+    """An atom whose variables are confined to a single side.
+
+    Ground atoms (no variables at all) qualify: they are constants, which
+    ``LB`` includes via ``true``/``false`` once evaluated.
+    """
+    mixed_sides = frozenset(
+        arg.side for arg in atom.args if isinstance(arg, Var))
+    return len(mixed_sides) <= 1
+
+
+def is_simple(formula: Formula) -> bool:
+    """Membership in ``LS`` (the SIMPLE fragment, Definition 6.1)."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return True
+    if isinstance(formula, Atom):
+        return is_ls_atom(formula)
+    if isinstance(formula, And):
+        return is_simple(formula.left) and is_simple(formula.right)
+    return False
+
+
+def is_lb(formula: Formula) -> bool:
+    """Membership in ``LB`` (Definition 6.2).
+
+    Note the whole formula may mix sides across *different* atoms — only
+    individual atoms are single-sided (the paper's ``x < y ∧ 0 < z``
+    example).
+    """
+    if isinstance(formula, (TrueF, FalseF)):
+        return True
+    if isinstance(formula, Atom):
+        return is_lb_atom(formula)
+    if isinstance(formula, Not):
+        return is_lb(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return is_lb(formula.left) and is_lb(formula.right)
+    return False
+
+
+def is_ecl(formula: Formula) -> bool:
+    """Membership in ECL (Definition 6.3): ``X ::= S | B | X ∧ X | X ∨ B``."""
+    if is_simple(formula) or is_lb(formula):
+        return True
+    if isinstance(formula, And):
+        return is_ecl(formula.left) and is_ecl(formula.right)
+    if isinstance(formula, Or):
+        return ((is_ecl(formula.left) and is_lb(formula.right))
+                or (is_lb(formula.left) and is_ecl(formula.right)))
+    return False
+
+
+def require_ecl(formula: Formula, context: str = "") -> None:
+    """Raise :class:`~repro.core.errors.FragmentError` unless ECL."""
+    if not is_ecl(formula):
+        where = f" in {context}" if context else ""
+        raise FragmentError(
+            f"formula {formula} is not in the ECL fragment{where}: "
+            f"atoms other than cross-side disequalities must reference "
+            f"variables of a single side, and disjunctions must have an "
+            f"LB disjunct")
+
+
+def canonical_lb_atom(atom: Atom) -> Tuple[Atom, bool]:
+    """Canonicalize an LB atom up to exact complement.
+
+    ``x ≠ y`` (single-sided) is the negation of the atom ``x = y``; keeping
+    both as independent atoms would double the β space and, worse, admit
+    semantically impossible β vectors.  The paper's worked example does the
+    same: ``v1 ≠ nil`` contributes the atom ``v = nil`` to ``B(Φ)``.
+
+    Returns ``(canonical_atom, positive)`` where ``positive`` is false when
+    the original atom is the complement of the canonical one.  Only
+    ``ne → ¬eq`` is rewritten: the order predicates are *not* exact
+    complements under this library's nil-guarded semantics (``lt`` and
+    ``ge`` are both false when an operand is ``nil``).
+    """
+    if atom.pred == "ne":
+        return Atom("eq", atom.args), False
+    return atom, True
+
+
+def lb_atoms(formula: Formula) -> tuple:
+    """The canonical LB atoms of an ECL formula, in pre-order, deduplicated.
+
+    An atom that is an LS atom (cross-side ``≠``) is *not* an LB atom even
+    though structurally both checks could pass for degenerate cases; LS
+    classification wins, matching the translation which keeps LS atoms
+    symbolic and substitutes only LB atoms with β values.
+    """
+    seen = []
+    for atom in atoms_of(formula):
+        if is_ls_atom(atom):
+            continue
+        if not is_lb_atom(atom):
+            raise FragmentError(
+                f"atom {atom} mixes sides and is not a cross-side "
+                f"disequality; the formula is outside ECL")
+        canonical, _ = canonical_lb_atom(atom)
+        if canonical not in seen:
+            seen.append(canonical)
+    return tuple(seen)
+
+
+def ls_atoms(formula: Formula) -> tuple:
+    """The LS atoms (cross-side disequalities), deduplicated, in pre-order."""
+    seen = []
+    for atom in atoms_of(formula):
+        if is_ls_atom(atom) and atom not in seen:
+            seen.append(atom)
+    return tuple(seen)

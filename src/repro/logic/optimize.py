@@ -1,0 +1,88 @@
+"""Optimization of translated representations (Appendix A.3).
+
+The appendix works four simplifications on the raw dictionary translation:
+*consolidation* (merge atoms always used together), *dropping* (forget β
+components that do not influence conflicts), *cleanup* (remove access points
+that conflict with nothing) and *replacement* (substitute congruent access
+points for one another — ``o:r:v`` for ``o.get:∅:1:v``).
+
+All four are instances of two semantic rewrites on the finite schema table,
+and that is what we implement:
+
+* :func:`remove_conflict_free` — **cleanup**: a schema with an empty conflict
+  neighborhood can never satisfy phase 1 of Algorithm 1, so its points need
+  not exist (Definition 4.5 equivalence is preserved because such points
+  contribute nothing to ``(ηo(a) × ηo(b)) ∩ Co``).
+
+* :func:`merge_congruent` — **consolidation + dropping + replacement**: two
+  schemas of the same valuedness whose conflict neighborhoods coincide are
+  congruent (the appendix's "for any third point pt3, (pt1,pt3) ∈ Co iff
+  (pt2,pt3) ∈ Co"); each congruence class keeps a single representative.
+  Dropping a β atom that never influences conflicts is precisely merging the
+  pair of schemas that differ only in that atom's value; consolidating
+  ``v = nil``/``p = nil`` into ``v = nil ⇔ p = nil`` merges the two β
+  assignments with equal biconditional value; and replacing ``o.get:∅:1:v``
+  by ``o:r:v`` merges schemas across methods.
+
+Merging is partition refinement run to a fixed point: collapsing one class
+shrinks neighborhoods, which can reveal new congruences.
+
+A note on self-conflicts: if ``N(s1) = N(s2)`` then ``s1 ∈ N(s1) ⟺
+s2 ∈ N(s1) = N(s2)`` (conflict symmetry), so the members of a class either
+all pairwise- and self-conflict or none do — merging cannot manufacture or
+lose a self-conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .translate import RawSchema, TranslationResult
+
+__all__ = ["remove_conflict_free", "merge_congruent", "optimize_translation"]
+
+
+def remove_conflict_free(result: TranslationResult) -> int:
+    """Delete schemas that conflict with nothing; returns how many."""
+    doomed = [schema for schema in result.schemas
+              if not result.conflicts.get(schema)]
+    for schema in doomed:
+        result.delete(schema)
+    return len(doomed)
+
+
+def merge_congruent(result: TranslationResult) -> int:
+    """Merge congruent schemas until fixed point; returns schemas removed."""
+    removed = 0
+    while True:
+        groups: Dict[Tuple[bool, FrozenSet[RawSchema]], List[RawSchema]] = {}
+        for schema in result.schemas:
+            signature = (schema.carries_value, result.neighborhood(schema))
+            groups.setdefault(signature, []).append(schema)
+        mergeable = [members for members in groups.values()
+                     if len(members) > 1]
+        if not mergeable:
+            return removed
+        for members in mergeable:
+            # A previous merge in this round may have consumed a member;
+            # re-filter against the live schema set.
+            live = [m for m in members if m in result.schemas]
+            if len(live) > 1:
+                result.merge(live)
+                removed += len(live) - 1
+
+
+def optimize_translation(result: TranslationResult) -> TranslationResult:
+    """Run cleanup and congruence merging to a joint fixed point.
+
+    Cleanup first (it usually removes the long tail of never-conflicting
+    slot points, making the merge rounds cheap), then alternate: merging
+    never empties a non-empty neighborhood, but it can leave two schemas
+    pointing at each other only through deleted peers in later extensions,
+    so we simply iterate both passes until neither changes anything.
+    """
+    while True:
+        changed = remove_conflict_free(result)
+        changed += merge_congruent(result)
+        if not changed:
+            return result

@@ -1,0 +1,203 @@
+"""Textual syntax for commutativity formulas.
+
+Specifications read much better as text than as AST constructors; the paper
+itself writes ``k1 ≠ k2 ∨ (v1 = p1 ∧ v2 = p2)``.  The grammar::
+
+    formula  ::= or
+    or       ::= and (("or" | "|" | "||" | "∨") and)*
+    and      ::= unary (("and" | "&" | "&&" | "∧") unary)*
+    unary    ::= ("not" | "!" | "¬") unary | "(" formula ")" | atom
+               | "true" | "false"
+    atom     ::= term relop term
+    relop    ::= "!=" | "≠" | "==" | "=" | "<=" | "≤" | "<" | ">=" | "≥" | ">"
+    term     ::= IDENT | NUMBER | STRING | "nil" | "none"
+
+Variable naming convention: an identifier ending in ``1`` or ``2`` denotes a
+variable of that side with the digit stripped (``k1`` → side-1 variable
+``k``), matching the paper's notation.  Identifiers without a trailing side
+digit are rejected unless the caller supplies a ``resolve`` hook (used by
+the spec layer for single-sided helper predicates).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, NamedTuple, Optional
+
+from ..core.errors import ParseError
+from ..core.events import NIL
+from .formulas import (FALSE, TRUE, And, Atom, Const, Formula, Not, Or, Side,
+                       Term, Var)
+
+__all__ = ["parse_formula", "default_resolver"]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|==|!=|≤|≥|≠|=|<|>|\|\||&&|\||&|∨|∧|¬|!|\(|\))
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+""", re.VERBOSE)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError("unexpected character", text, pos)
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+def default_resolver(name: str) -> Term:
+    """Map an identifier to a term using the trailing-digit convention."""
+    lowered = name.lower()
+    if lowered == "nil":
+        return Const(NIL)
+    if lowered == "none":
+        return Const(None)
+    if name.endswith("1") and len(name) > 1:
+        return Var(name[:-1], Side.FIRST)
+    if name.endswith("2") and len(name) > 1:
+        return Var(name[:-1], Side.SECOND)
+    raise ParseError(
+        f"identifier {name!r} has no side suffix (expected e.g. {name}1 "
+        f"or {name}2)")
+
+
+_RELOPS = {
+    "!=": "ne", "≠": "ne",
+    "==": "eq", "=": "eq",
+    "<": "lt", "<=": "le", "≤": "le",
+    ">": "gt", ">=": "ge", "≥": "ge",
+}
+
+_OR_OPS = {"or", "|", "||", "∨"}
+_AND_OPS = {"and", "&", "&&", "∧"}
+_NOT_OPS = {"not", "!", "¬"}
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str, resolve: Callable[[str], Term]):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.resolve = resolve
+
+    def peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", self.text,
+                             len(self.text))
+        self.index += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.text != op:
+            raise ParseError(f"expected {op!r}, found {token.text!r}",
+                             self.text, token.pos)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self.or_expr()
+        trailing = self.peek()
+        if trailing is not None:
+            raise ParseError(f"unexpected trailing input {trailing.text!r}",
+                             self.text, trailing.pos)
+        return formula
+
+    def or_expr(self) -> Formula:
+        left = self.and_expr()
+        while self._match_word(_OR_OPS):
+            left = Or(left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Formula:
+        left = self.unary()
+        while self._match_word(_AND_OPS):
+            left = And(left, self.unary())
+        return left
+
+    def _match_word(self, words) -> bool:
+        token = self.peek()
+        if token is not None and token.text.lower() in words:
+            self.index += 1
+            return True
+        return False
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", self.text,
+                             len(self.text))
+        if token.text.lower() in _NOT_OPS:
+            self.index += 1
+            return Not(self.unary())
+        if token.kind == "op" and token.text == "(":
+            self.index += 1
+            inner = self.or_expr()
+            self.expect_op(")")
+            return inner
+        if token.kind == "ident" and token.text.lower() == "true":
+            self.index += 1
+            return TRUE
+        if token.kind == "ident" and token.text.lower() == "false":
+            self.index += 1
+            return FALSE
+        return self.atom()
+
+    def atom(self) -> Formula:
+        left = self.term()
+        op_token = self.advance()
+        if op_token.kind != "op" or op_token.text not in _RELOPS:
+            raise ParseError(
+                f"expected a relational operator, found {op_token.text!r}",
+                self.text, op_token.pos)
+        right = self.term()
+        return Atom(_RELOPS[op_token.text], (left, right))
+
+    def term(self) -> Term:
+        token = self.advance()
+        if token.kind == "number":
+            text = token.text
+            return Const(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            return Const(token.text[1:-1])
+        if token.kind == "ident":
+            try:
+                return self.resolve(token.text)
+            except ParseError as exc:
+                raise ParseError(str(exc), self.text, token.pos) from None
+        raise ParseError(f"expected a term, found {token.text!r}",
+                         self.text, token.pos)
+
+
+def parse_formula(text: str,
+                  resolve: Callable[[str], Term] = default_resolver
+                  ) -> Formula:
+    """Parse a commutativity formula from its textual form.
+
+    >>> str(parse_formula("k1 != k2 | (v1 == p1 & v2 == p2)"))
+    '(k1 ≠ k2 ∨ (v1 = p1 ∧ v2 = p2))'
+    """
+    return _Parser(text, resolve).parse()

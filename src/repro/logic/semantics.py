@@ -1,0 +1,178 @@
+"""Executable abstract semantics and commutativity (Definitions 3.1/4.2).
+
+The paper specifies methods by their *effects* ``LaM ∈ H ⇀ H`` on the
+abstract shared state (Fig. 5 gives the dictionary's).  Two actions commute
+iff ``LaM ∘ LbM = LbM ∘ LaM`` as partial maps.  Note that an action carries
+its return values, so its effect is partial: ``o.size()/3`` is defined only
+on states where the size is 3.
+
+:class:`ObjectSemantics` is the executable form: ``apply(state, method,
+args)`` returns ``(new_state, returns)``.  From it we derive the partial
+effect of an :class:`~repro.core.events.Action` (defined iff the actual
+returns match the action's recorded ones) and hence:
+
+* :func:`commute_at` / :func:`commute_on_states` — Definition 3.1 checked on
+  concrete states;
+* :func:`check_soundness` — randomized validation of Definition 4.2: sample
+  action pairs and states, and whenever ``ϕ(a, b)`` holds verify the effects
+  commute.  Returns the first counterexample or ``None``.
+
+This module also provides :func:`final_state`, used by the Theorem 5.2
+property tests (race-free traces are HB-deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import SpecificationError
+from ..core.events import Action
+from .spec import CommutativitySpec
+
+__all__ = [
+    "ObjectSemantics",
+    "apply_action",
+    "commute_at",
+    "commute_on_states",
+    "final_state",
+    "SoundnessCounterexample",
+    "check_soundness",
+]
+
+
+class ObjectSemantics(ABC):
+    """Executable method effects for one object kind.
+
+    States must be immutable values (tuples, frozensets, ...) so they can be
+    compared for the ``d' = d`` checks and shared without defensive copies.
+    """
+
+    #: the object kind this semantics describes (matches the spec's)
+    kind: str = "object"
+
+    @abstractmethod
+    def initial_state(self) -> Any:
+        """The canonical starting state (e.g. the everywhere-nil map)."""
+
+    @abstractmethod
+    def apply(self, state: Any, method: str,
+              args: Tuple[Any, ...]) -> Tuple[Any, Tuple[Any, ...]]:
+        """Run ``method(args)`` at ``state``; return ``(state', returns)``."""
+
+    def sample_states(self, rng: random.Random, count: int) -> List[Any]:
+        """States to probe during soundness checking.
+
+        Default: the initial state plus states reached by short random
+        method sequences (subclasses may override with a smarter sampler).
+        """
+        states = [self.initial_state()]
+        for _ in range(max(0, count - 1)):
+            state = self.initial_state()
+            for _ in range(rng.randrange(0, 6)):
+                method, args = self.sample_invocation(rng)
+                state, _ = self.apply(state, method, args)
+            states.append(state)
+        return states
+
+    @abstractmethod
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        """A random ``(method, args)`` over a small value domain."""
+
+
+def apply_action(semantics: ObjectSemantics, state: Any,
+                 action: Action) -> Optional[Any]:
+    """The partial effect ``LaM``: the next state, or ``None`` if undefined.
+
+    ``LaM`` is undefined at ``state`` when executing the method there yields
+    returns different from those recorded in the action (Section 3.1's
+    ``Lo.size()/nM`` example).
+    """
+    new_state, returns = semantics.apply(state, action.method, action.args)
+    if returns != action.returns:
+        return None
+    return new_state
+
+
+def commute_at(semantics: ObjectSemantics, state: Any,
+               a: Action, b: Action) -> bool:
+    """Definition 3.1 at one state: ``(LaM ∘ LbM)(s) = (LbM ∘ LaM)(s)``.
+
+    Compositions of partial maps: undefined results compare equal to each
+    other (both orders undefined at ``s``) and unequal to any state.
+    """
+    def compose(first: Action, second: Action) -> Optional[Any]:
+        mid = apply_action(semantics, state, first)
+        if mid is None:
+            return None
+        return apply_action(semantics, mid, second)
+
+    # LaM ∘ LbM applies b first (function composition reads right-to-left).
+    return compose(b, a) == compose(a, b)
+
+
+def commute_on_states(semantics: ObjectSemantics, states: Iterable[Any],
+                      a: Action, b: Action) -> bool:
+    """Definition 3.1 restricted to a set of probe states."""
+    return all(commute_at(semantics, state, a, b) for state in states)
+
+
+def final_state(semantics: ObjectSemantics, state: Any,
+                actions: Sequence[Action]) -> Optional[Any]:
+    """Apply a sequence of actions; ``None`` if any effect is undefined."""
+    for action in actions:
+        state = apply_action(semantics, state, action)
+        if state is None:
+            return None
+    return state
+
+
+@dataclass(frozen=True)
+class SoundnessCounterexample:
+    """A witness that a specification is unsound (Definition 4.2 violated)."""
+
+    state: Any
+    a: Action
+    b: Action
+
+    def __str__(self) -> str:
+        return (f"spec claims {self.a} and {self.b} commute, but at state "
+                f"{self.state!r} the composed effects differ")
+
+
+def check_soundness(spec: CommutativitySpec, semantics: ObjectSemantics,
+                    samples: int = 300, states_per_sample: int = 8,
+                    seed: int = 20140611,
+                    obj: Any = "o") -> Optional[SoundnessCounterexample]:
+    """Randomized soundness check of a specification against a semantics.
+
+    For ``samples`` random action pairs (generated by running the sampled
+    invocations at sampled states so that recorded returns are realizable),
+    whenever the specification asserts commutativity, verify Definition 3.1
+    at ``states_per_sample`` probe states.  Deterministic for a fixed seed.
+
+    Returns ``None`` if no violation was found.  Like all testing this is
+    one-sided: it can prove unsoundness, not soundness — which mirrors the
+    paper's stance that specifications are *assumed* sound (imprecision in
+    the other direction is explicitly allowed).
+    """
+    rng = random.Random(seed)
+
+    def realized_action(state: Any) -> Action:
+        method, args = semantics.sample_invocation(rng)
+        _, returns = semantics.apply(state, method, args)
+        return Action(obj, method, args, returns)
+
+    for _ in range(samples):
+        states = semantics.sample_states(rng, states_per_sample)
+        base = rng.choice(states)
+        a = realized_action(base)
+        b = realized_action(base)
+        if not spec.commutes(a, b):
+            continue
+        for state in states:
+            if not commute_at(semantics, state, a, b):
+                return SoundnessCounterexample(state=state, a=a, b=b)
+    return None

@@ -1,0 +1,148 @@
+"""Boolean simplification and the β-substitution of Section 6.2.
+
+Two operations are provided:
+
+* :func:`simplify` — constant folding (``X ∧ true → X`` etc.).
+* :func:`substitute_beta` — build ``ϕ[β1; β2]``: replace every LB atom by
+  its truth value under the β vector of its side.  By Lemma 6.4, the result
+  simplifies to an ``LS`` formula; :func:`to_ls` extracts it as either a
+  constant or the set of ``xi ≠ yj`` conjuncts, which is exactly the shape
+  the conflict-relation construction consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple, Union
+
+from ..core.errors import TranslationError
+from .formulas import (FALSE, TRUE, And, Atom, FalseF, Formula, Not, Or,
+                       Side, TrueF, Var, normalize_sides)
+from .fragments import canonical_lb_atom, is_ls_atom
+
+__all__ = ["simplify", "substitute_beta", "to_ls", "LsResult"]
+
+
+def simplify(formula: Formula) -> Formula:
+    """Fold constants bottom-up; idempotent."""
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueF):
+            return FALSE
+        if isinstance(inner, FalseF):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, FalseF) or isinstance(right, FalseF):
+            return FALSE
+        if isinstance(left, TrueF):
+            return right
+        if isinstance(right, TrueF):
+            return left
+        return And(left, right)
+    if isinstance(formula, Or):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, TrueF) or isinstance(right, TrueF):
+            return TRUE
+        if isinstance(left, FalseF):
+            return right
+        if isinstance(right, FalseF):
+            return left
+        return Or(left, right)
+    return formula
+
+
+Beta = Dict[Formula, bool]
+"""A β vector: normalized LB atom -> truth value."""
+
+
+def substitute_beta(formula: Formula, beta1: Beta, beta2: Beta) -> Formula:
+    """``ϕ[β1; β2]`` — replace LB atoms by their β truth values.
+
+    Each non-LS atom is looked up in the β vector of its side, keyed by its
+    *normalized* form (sides erased), per the paper's normalization of
+    ``B(Φ)``.  LS atoms are left symbolic.  The result is simplified, so by
+    Lemma 6.4 it is an ``LS`` formula (or a constant).
+    """
+    def replace(atom: Atom) -> Formula:
+        if is_ls_atom(atom):
+            return atom
+        canonical, positive = canonical_lb_atom(atom)
+        sides = {arg.side for arg in canonical.args
+                 if isinstance(arg, Var) and arg.side is not None}
+        key = normalize_sides(canonical)
+        if sides == {Side.FIRST}:
+            beta = beta1
+        elif sides == {Side.SECOND}:
+            beta = beta2
+        elif not sides:
+            # Ground atom: evaluate directly.
+            from .formulas import evaluate
+            value = evaluate(canonical, _no_vars)
+            if not positive:
+                value = not value
+            return TRUE if value else FALSE
+        else:
+            raise TranslationError(
+                f"atom {atom} mixes variable sides; not an ECL formula")
+        try:
+            value = beta[key]
+        except KeyError:
+            raise TranslationError(
+                f"β vector for side {sides} lacks atom {key} "
+                f"(available: {sorted(map(str, beta))})") from None
+        if not positive:
+            value = not value
+        return TRUE if value else FALSE
+
+    from .formulas import map_atoms
+    return simplify(map_atoms(formula, replace))
+
+
+def _no_vars(var: Var):
+    raise TranslationError(f"unexpected variable {var} in ground atom")
+
+
+LsResult = Union[bool, FrozenSet[Tuple[str, str]]]
+"""``to_ls`` output: True, False, or the conjunct set {(x_name, y_name)}."""
+
+
+def to_ls(formula: Formula) -> LsResult:
+    """Decompose a (simplified) LS formula into its conjuncts.
+
+    Returns ``True`` for tautology, ``False`` for contradiction, or a frozen
+    set of ``(x, y)`` variable-name pairs, one per ``x1 ≠ y2`` conjunct.
+    Raises :class:`~repro.core.errors.TranslationError` on anything outside
+    LS — if that happens after β substitution of an ECL formula, it is a
+    translator bug (Lemma 6.4 guarantees the LS shape).
+    """
+    formula = simplify(formula)
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    conjuncts: Set[Tuple[str, str]] = set()
+    _collect_conjuncts(formula, conjuncts)
+    return frozenset(conjuncts)
+
+
+def _collect_conjuncts(formula: Formula,
+                       out: Set[Tuple[str, str]]) -> None:
+    if isinstance(formula, And):
+        _collect_conjuncts(formula.left, out)
+        _collect_conjuncts(formula.right, out)
+        return
+    if isinstance(formula, Atom) and is_ls_atom(formula):
+        left, right = formula.args
+        if left.side is Side.FIRST:
+            out.add((left.name, right.name))
+        else:
+            out.add((right.name, left.name))
+        return
+    raise TranslationError(
+        f"{formula} is not an LS formula (expected a conjunction of "
+        f"cross-side disequalities)")

@@ -1,0 +1,266 @@
+"""Logical commutativity specifications (Definition 4.1).
+
+A :class:`CommutativitySpec` bundles, for one object kind:
+
+* the method signatures (argument and return-value names), and
+* a formula ``ϕ_{m1,m2}(~x1; ~x2)`` for each unordered method pair.
+
+Formulas may be given as text (parsed with the trailing-digit side
+convention: ``k1``/``k2`` are the two actions' ``k``) or as pre-built
+:class:`~repro.logic.formulas.Formula` values.
+
+The spec answers the core question of Section 4.1 — :meth:`commutes`
+evaluates ``ϕ(a, b)`` on two concrete actions — and feeds the ECL
+translator (:mod:`repro.logic.translate`).  Self-pair formulas are checked
+for symmetry (required by Definition 4.1) by randomized evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import SpecificationError
+from ..core.events import NIL, Action
+from .formulas import (FALSE, TRUE, Formula, Side, Var, evaluate,
+                       swap_sides, vars_of)
+from .fragments import is_ecl
+from .parser import parse_formula
+
+__all__ = ["MethodSig", "CommutativitySpec"]
+
+
+@dataclass(frozen=True)
+class MethodSig:
+    """A method's argument and return-value names.
+
+    ``put(k, v)/p`` is ``MethodSig("put", ("k", "v"), ("p",))``.  The
+    concatenation ``params + returns`` gives the value vector ``w1..wn`` the
+    translation numbers access-point slots by.
+    """
+
+    name: str
+    params: Tuple[str, ...] = ()
+    returns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = self.params + self.returns
+        if len(set(names)) != len(names):
+            raise SpecificationError(
+                f"method {self.name}: duplicate value names in {names}")
+
+    @property
+    def value_names(self) -> Tuple[str, ...]:
+        return self.params + self.returns
+
+    @property
+    def arity(self) -> int:
+        return len(self.value_names)
+
+    def value_index(self, name: str) -> int:
+        """Position of a value name in ``w1..wn`` (0-based)."""
+        try:
+            return self.value_names.index(name)
+        except ValueError:
+            raise SpecificationError(
+                f"method {self.name} has no value named {name!r} "
+                f"(values: {self.value_names})") from None
+
+    def bind(self, action: Action) -> Dict[str, Any]:
+        """Map value names to the action's concrete values."""
+        values = action.values
+        if len(values) != self.arity:
+            raise SpecificationError(
+                f"action {action} does not match signature "
+                f"{self.name}({', '.join(self.params)})/"
+                f"{', '.join(self.returns)}")
+        return dict(zip(self.value_names, values))
+
+    def __str__(self) -> str:
+        params = ", ".join(self.params)
+        rets = ", ".join(self.returns)
+        return f"{self.name}({params})/{rets or '()'}"
+
+
+class CommutativitySpec:
+    """A logical commutativity specification Φ for one object kind.
+
+    Example (the paper's Fig. 6 dictionary)::
+
+        spec = CommutativitySpec("dictionary")
+        spec.method("put", params=("k", "v"), returns=("p",))
+        spec.method("get", params=("k",), returns=("v",))
+        spec.method("size", returns=("r",))
+        spec.pair("put", "put", "k1 != k2 | (v1 == p1 & v2 == p2)")
+        spec.pair("put", "get", "k1 != k2 | v1 == p1")
+        spec.pair("put", "size",
+                  "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)")
+        spec.default_true()   # remaining pairs commute unconditionally
+
+    Formulas are stored oriented: side-1 variables refer to the *first*
+    method of the pair as given.  Lookup in the opposite orientation swaps
+    sides automatically.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._methods: Dict[str, MethodSig] = {}
+        self._formulas: Dict[Tuple[str, str], Formula] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def method(self, name: str, params: Sequence[str] = (),
+               returns: Sequence[str] = ()) -> "CommutativitySpec":
+        """Declare a method signature (chainable)."""
+        if name in self._methods:
+            raise SpecificationError(f"method {name!r} declared twice")
+        self._methods[name] = MethodSig(name, tuple(params), tuple(returns))
+        return self
+
+    def pair(self, m1: str, m2: str,
+             formula: "Formula | str") -> "CommutativitySpec":
+        """Set ``ϕ_{m1,m2}``; text is parsed with the side-suffix convention."""
+        sig1, sig2 = self._sig(m1), self._sig(m2)
+        if isinstance(formula, str):
+            formula = parse_formula(formula)
+        self._check_vars(formula, sig1, sig2)
+        if m1 == m2:
+            self._check_symmetry(m1, formula)
+        if (m1, m2) in self._formulas or (m2, m1) in self._formulas:
+            raise SpecificationError(
+                f"pair ({m1}, {m2}) specified twice for {self.kind}")
+        self._formulas[(m1, m2)] = formula
+        return self
+
+    def default_true(self) -> "CommutativitySpec":
+        """Declare all unspecified pairs as unconditionally commuting."""
+        return self._fill_default(TRUE)
+
+    def default_false(self) -> "CommutativitySpec":
+        """Declare all unspecified pairs as never commuting (conservative)."""
+        return self._fill_default(FALSE)
+
+    def _fill_default(self, formula: Formula) -> "CommutativitySpec":
+        for m1, m2 in itertools.combinations_with_replacement(
+                sorted(self._methods), 2):
+            if (m1, m2) not in self._formulas and (m2, m1) not in self._formulas:
+                self._formulas[(m1, m2)] = formula
+        return self
+
+    # -- validation ----------------------------------------------------------
+
+    def _sig(self, name: str) -> MethodSig:
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise SpecificationError(
+                f"{self.kind} has no method {name!r} "
+                f"(declared: {sorted(self._methods)})") from None
+
+    def _check_vars(self, formula: Formula, sig1: MethodSig,
+                    sig2: MethodSig) -> None:
+        for var in vars_of(formula):
+            if var.side is Side.FIRST:
+                sig = sig1
+            elif var.side is Side.SECOND:
+                sig = sig2
+            else:
+                raise SpecificationError(
+                    f"variable {var} in ϕ_{{{sig1.name},{sig2.name}}} has "
+                    f"no side annotation")
+            if var.name not in sig.value_names:
+                raise SpecificationError(
+                    f"variable {var} is not an argument or return value of "
+                    f"{sig}")
+
+    def _check_symmetry(self, method: str, formula: Formula,
+                        samples: int = 64, seed: int = 20140609) -> None:
+        """Randomized check that ``ϕ_m^m(~x1;~x2) ≡ ϕ_m^m(~x2;~x1)``.
+
+        Definition 4.1 requires self-pair formulas to denote symmetric
+        predicates.  Full semantic equivalence checking is undecidable for
+        arbitrary interpreted predicates, so we sample assignments over a
+        small mixed domain (the seed is fixed: specs validate
+        deterministically).
+        """
+        swapped = swap_sides(formula)
+        variables = sorted(vars_of(formula) | vars_of(swapped),
+                           key=lambda v: (v.name, int(v.side)))
+        rng = random.Random(seed)
+        domain = [NIL, 0, 1, 2, "a", "b"]
+        for _ in range(samples):
+            env = {var: rng.choice(domain) for var in variables}
+            lookup = env.__getitem__
+            if evaluate(formula, lookup) != evaluate(swapped, lookup):
+                raise SpecificationError(
+                    f"ϕ_{{{method},{method}}} = {formula} is not symmetric: "
+                    f"counterexample {[(str(v), env[v]) for v in variables]}")
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def methods(self) -> Mapping[str, MethodSig]:
+        return dict(self._methods)
+
+    def signature(self, method: str) -> MethodSig:
+        return self._sig(method)
+
+    def formula_for(self, m1: str, m2: str) -> Formula:
+        """``ϕ_{m1,m2}`` oriented so side 1 is ``m1`` (swapping if needed)."""
+        self._sig(m1), self._sig(m2)
+        if (m1, m2) in self._formulas:
+            return self._formulas[(m1, m2)]
+        if (m2, m1) in self._formulas:
+            return swap_sides(self._formulas[(m2, m1)])
+        raise SpecificationError(
+            f"{self.kind}: no commutativity formula for pair ({m1}, {m2}); "
+            f"call pair() or default_true()/default_false()")
+
+    def pairs(self) -> Iterable[Tuple[str, str, Formula]]:
+        """All stored pairs ``(m1, m2, ϕ)`` in insertion order."""
+        for (m1, m2), formula in self._formulas.items():
+            yield m1, m2, formula
+
+    def is_complete(self) -> bool:
+        """Whether every method pair has a formula."""
+        for m1, m2 in itertools.combinations_with_replacement(
+                sorted(self._methods), 2):
+            if (m1, m2) not in self._formulas and (m2, m1) not in self._formulas:
+                return False
+        return True
+
+    def is_ecl(self) -> bool:
+        """Whether every formula is in the ECL fragment."""
+        return all(is_ecl(f) for _, _, f in self.pairs())
+
+    def commutes(self, a: Action, b: Action) -> bool:
+        """Evaluate ``ϕ(a, b)`` on two concrete actions (Section 4.1).
+
+        Actions on different objects always commute (Section 3.1).
+        """
+        if a.obj != b.obj:
+            return True
+        formula = self.formula_for(a.method, b.method)
+        env1 = self._sig(a.method).bind(a)
+        env2 = self._sig(b.method).bind(b)
+
+        def lookup(var: Var) -> Any:
+            env = env1 if var.side is Side.FIRST else env2
+            return env[var.name]
+
+        return evaluate(formula, lookup)
+
+    def action(self, obj, method: str, *args, returns=()) -> Action:
+        """Build an :class:`Action`, validating arity against the signature."""
+        if not isinstance(returns, tuple):
+            returns = (returns,)
+        sig = self._sig(method)
+        action = Action(obj, method, tuple(args), returns)
+        sig.bind(action)  # arity check
+        return action
+
+    def __repr__(self) -> str:
+        return (f"CommutativitySpec({self.kind!r}, methods="
+                f"{sorted(self._methods)}, pairs={len(self._formulas)})")

@@ -1,0 +1,24 @@
+"""The dynamic-analysis runtime: monitor, analyzers, shared-memory
+primitives, monitored collections, and generic interception (this
+library's RoadRunner substitute)."""
+
+from .analyzers import (Analyzer, DirectAnalyzer, EraserAnalyzer,
+                        FastTrackAnalyzer, NullAnalyzer, Rd2Analyzer)
+from .collections_rt import (MonitoredAccumulator, MonitoredCounter,
+                             MonitoredDict, MonitoredLog, MonitoredObject,
+                             MonitoredQueue, MonitoredSet)
+from .instrument import InterceptedObject, intercept
+from .monitor import Monitor, ROOT_TID
+from .shared import (INTERNAL_LOCK_TAG, MonitoredLock, SharedVar,
+                     interface_event, internal_lock_id, is_internal_lock)
+
+__all__ = [
+    "Analyzer", "DirectAnalyzer", "EraserAnalyzer", "FastTrackAnalyzer",
+    "NullAnalyzer", "Rd2Analyzer",
+    "MonitoredAccumulator", "MonitoredCounter", "MonitoredDict",
+    "MonitoredLog", "MonitoredObject", "MonitoredQueue", "MonitoredSet",
+    "InterceptedObject", "intercept",
+    "Monitor", "ROOT_TID",
+    "INTERNAL_LOCK_TAG", "MonitoredLock", "SharedVar", "interface_event",
+    "internal_lock_id", "is_internal_lock",
+]

@@ -1,0 +1,453 @@
+"""Monitored concurrent collections (the ConcurrentHashMap substitutes).
+
+Each collection is a *linearizable* in-memory structure whose methods:
+
+1. offer the scheduler a preemption point on entry (the invocation itself
+   is atomic, matching Section 3.1's execution model);
+2. perform the operation inside an *internal* critical section whose lock
+   events and memory accesses are reported for the memory-level analyses
+   (FastTrack sees a correctly synchronized implementation);
+3. report the completed invocation as an interface-level ACTION event with
+   its actual arguments and return values — the input to RD2.
+
+Every collection registers itself with the monitor under its object id,
+carrying both its access point representation (for RD2) and its
+``commutes`` predicate (for the direct detector/oracle), defaulting to the
+bundled artifacts of :mod:`repro.specs`.
+
+The paper's ``nil`` convention is used throughout: a :class:`MonitoredDict`
+maps absent keys to ``NIL``, and ``put(k, v)/NIL`` means the key was fresh.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.access_points import AccessPointRepresentation
+from ..core.events import NIL
+from ..logic.spec import CommutativitySpec
+from ..specs.accumulator import accumulator_representation, accumulator_spec
+from ..specs.counter import counter_representation, counter_spec
+from ..specs.dictionary import (dictionary_representation,
+                                extended_dictionary_spec)
+from ..specs.list_spec import (multiset_log_representation,
+                               multiset_log_spec)
+from ..specs.set_spec import set_representation, set_spec
+from .monitor import Monitor
+from .shared import internal_lock_id
+
+__all__ = ["MonitoredObject", "MonitoredDict", "MonitoredSet",
+           "MonitoredCounter", "MonitoredAccumulator", "MonitoredLog",
+           "MonitoredQueue"]
+
+_serials: Dict[str, itertools.count] = {}
+
+
+def _fresh_id(kind: str) -> str:
+    counter = _serials.setdefault(kind, itertools.count())
+    return f"{kind}#{next(counter)}"
+
+
+class MonitoredObject:
+    """Common machinery: identity, registration, event emission."""
+
+    KIND = "object"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None, *,
+                 representation: Optional[AccessPointRepresentation] = None,
+                 spec: Optional[CommutativitySpec] = None):
+        self._monitor = monitor
+        self.obj_id = name if name is not None else _fresh_id(self.KIND)
+        self._internal_lock = internal_lock_id(self.obj_id)
+        if representation is None:
+            representation = self._default_representation()
+        if spec is None:
+            spec = self._default_spec()
+        self.spec = spec
+        monitor.attach_object(self.obj_id, representation=representation,
+                              commutes=spec.commutes)
+
+    def _default_representation(self) -> AccessPointRepresentation:
+        raise NotImplementedError
+
+    def _default_spec(self) -> CommutativitySpec:
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """The object is dead: reclaim analyzer state (Section 5.3)."""
+        self._monitor.release_object(self.obj_id)
+
+    # -- emission helpers -------------------------------------------------------
+
+    def _enter(self) -> bool:
+        """Preemption point + internal lock entry; True if instrumented."""
+        monitor = self._monitor
+        monitor.preempt()
+        if not monitor.enabled:
+            return False
+        if monitor.low_level:
+            monitor.on_acquire(self._internal_lock)
+        return True
+
+    def _exit(self, method: str, args: Tuple[Any, ...],
+              returns: Tuple[Any, ...], instrumented: bool) -> None:
+        if not instrumented:
+            return
+        monitor = self._monitor
+        if monitor.low_level:
+            monitor.on_release(self._internal_lock)
+        monitor.on_action(self.obj_id, method, args, returns)
+
+    def _read(self, *location_parts: Hashable) -> None:
+        self._monitor.on_read((self.obj_id, *location_parts))
+
+    def _write(self, *location_parts: Hashable) -> None:
+        self._monitor.on_write((self.obj_id, *location_parts))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.obj_id})"
+
+
+class MonitoredDict(MonitoredObject):
+    """The library's ConcurrentHashMap stand-in (extended Fig. 6 object)."""
+
+    KIND = "dict"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None,
+                 **kwargs):
+        super().__init__(monitor, name, **kwargs)
+        self._data: Dict[Hashable, Any] = {}
+
+    def _default_representation(self):
+        return dictionary_representation()
+
+    def _default_spec(self):
+        return extended_dictionary_spec()
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Associate ``key`` with ``value``; returns the previous value.
+
+        ``put(k, NIL)`` erases the key (the dictionary model of Fig. 5).
+        """
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", key)
+            self._write("entry", key)
+        prev = self._data.get(key, NIL)
+        if value is NIL:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = value
+        if instrumented and (value is NIL) != (prev is NIL):
+            self._read("size")
+            self._write("size")
+        self._exit("put", (key, value), (prev,), instrumented)
+        return prev
+
+    def get(self, key: Hashable) -> Any:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", key)
+        value = self._data.get(key, NIL)
+        self._exit("get", (key,), (value,), instrumented)
+        return value
+
+    def size(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("size")
+        count = len(self._data)
+        self._exit("size", (), (count,), instrumented)
+        return count
+
+    def remove(self, key: Hashable) -> Any:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", key)
+            self._write("entry", key)
+        prev = self._data.pop(key, NIL)
+        if instrumented and prev is not NIL:
+            self._read("size")
+            self._write("size")
+        self._exit("remove", (key,), (prev,), instrumented)
+        return prev
+
+    def contains(self, key: Hashable) -> bool:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", key)
+        present = key in self._data
+        self._exit("contains", (key,), (present,), instrumented)
+        return present
+
+    def put_if_absent(self, key: Hashable, value: Any) -> Any:
+        """Java's ``putIfAbsent``: store only when absent; returns previous."""
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", key)
+        prev = self._data.get(key, NIL)
+        if prev is NIL and value is not NIL:
+            if instrumented:
+                self._write("entry", key)
+                self._read("size")
+                self._write("size")
+            self._data[key] = value
+        self._exit("putIfAbsent", (key, value), (prev,), instrumented)
+        return prev
+
+    # -- unmonitored inspection (test/bench support, not part of the model) --
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class MonitoredSet(MonitoredObject):
+    """A concurrent set with effectiveness-reporting add/remove."""
+
+    KIND = "set"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None,
+                 **kwargs):
+        super().__init__(monitor, name, **kwargs)
+        self._data: set = set()
+
+    def _default_representation(self):
+        return set_representation()
+
+    def _default_spec(self):
+        return set_spec()
+
+    def add(self, element: Hashable) -> bool:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", element)
+        changed = element not in self._data
+        if changed:
+            self._data.add(element)
+            if instrumented:
+                self._write("entry", element)
+                self._read("size")
+                self._write("size")
+        self._exit("add", (element,), (1 if changed else 0,), instrumented)
+        return changed
+
+    def remove(self, element: Hashable) -> bool:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", element)
+        changed = element in self._data
+        if changed:
+            self._data.discard(element)
+            if instrumented:
+                self._write("entry", element)
+                self._read("size")
+                self._write("size")
+        self._exit("remove", (element,), (1 if changed else 0,), instrumented)
+        return changed
+
+    def contains(self, element: Hashable) -> bool:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("entry", element)
+        present = element in self._data
+        self._exit("contains", (element,), (1 if present else 0,),
+                   instrumented)
+        return present
+
+    def size(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("size")
+        count = len(self._data)
+        self._exit("size", (), (count,), instrumented)
+        return count
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class MonitoredCounter(MonitoredObject):
+    """A concurrent counter: blind adds commute."""
+
+    KIND = "counter"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None,
+                 **kwargs):
+        super().__init__(monitor, name, **kwargs)
+        self._value = 0
+
+    def _default_representation(self):
+        return counter_representation()
+
+    def _default_spec(self):
+        return counter_spec()
+
+    def add(self, delta: int) -> None:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("value")
+            self._write("value")
+        self._value += delta
+        self._exit("add", (delta,), (), instrumented)
+
+    def read(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("value")
+        value = self._value
+        self._exit("read", (), (value,), instrumented)
+        return value
+
+
+class MonitoredAccumulator(MonitoredObject):
+    """A statistics cell: total and peak of folded samples."""
+
+    KIND = "accumulator"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None,
+                 **kwargs):
+        super().__init__(monitor, name, **kwargs)
+        self._total = 0
+        self._peak = 0
+
+    def _default_representation(self):
+        return accumulator_representation()
+
+    def _default_spec(self):
+        return accumulator_spec()
+
+    def sample(self, measurement: int) -> None:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("total")
+            self._write("total")
+            self._read("peak")
+            self._write("peak")
+        self._total += measurement
+        self._peak = max(self._peak, measurement)
+        self._exit("sample", (measurement,), (), instrumented)
+
+    def total(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("total")
+        value = self._total
+        self._exit("total", (), (value,), instrumented)
+        return value
+
+    def peak(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("peak")
+        value = self._peak
+        self._exit("peak", (), (value,), instrumented)
+        return value
+
+
+class MonitoredQueue(MonitoredObject):
+    """A concurrent FIFO queue (deq returns ``NIL`` when empty)."""
+
+    KIND = "queue"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None,
+                 **kwargs):
+        super().__init__(monitor, name, **kwargs)
+        self._items: List[Any] = []
+
+    def _default_representation(self):
+        from ..specs.queue_spec import queue_representation
+        return queue_representation()
+
+    def _default_spec(self):
+        from ..specs.queue_spec import queue_spec
+        return queue_spec()
+
+    def enq(self, item: Any) -> None:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("tail")
+            self._write("tail")
+        self._items.append(item)
+        self._exit("enq", (item,), (), instrumented)
+
+    def deq(self) -> Any:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("head")
+        if self._items:
+            item = self._items.pop(0)
+            if instrumented:
+                self._write("head")
+        else:
+            item = NIL
+        self._exit("deq", (), (item,), instrumented)
+        return item
+
+    def peek(self) -> Any:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("head")
+        item = self._items[0] if self._items else NIL
+        self._exit("peek", (), (item,), instrumented)
+        return item
+
+    def size(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("tail")
+        count = len(self._items)
+        self._exit("size", (), (count,), instrumented)
+        return count
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class MonitoredLog(MonitoredObject):
+    """An unordered event log: blind appends commute, length reads do not."""
+
+    KIND = "msetlog"
+
+    def __init__(self, monitor: Monitor, name: Optional[str] = None,
+                 **kwargs):
+        super().__init__(monitor, name, **kwargs)
+        self._entries: List[Any] = []
+
+    def _default_representation(self):
+        return multiset_log_representation()
+
+    def _default_spec(self):
+        return multiset_log_spec()
+
+    def log(self, entry: Any) -> None:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("tail")
+            self._write("tail")
+        self._entries.append(entry)
+        self._exit("log", (entry,), (), instrumented)
+
+    def snapshot(self) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("tail")
+        length = len(self._entries)
+        self._exit("snapshot", (), (length,), instrumented)
+        return length
+
+    def count(self, entry: Any) -> int:
+        instrumented = self._enter()
+        if instrumented:
+            self._read("tail")
+        occurrences = self._entries.count(entry)
+        self._exit("count", (entry,), (occurrences,), instrumented)
+        return occurrences
+
+    def entries(self) -> List[Any]:
+        return list(self._entries)

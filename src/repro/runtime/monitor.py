@@ -1,0 +1,237 @@
+"""The dynamic-analysis monitor: this library's RoadRunner substitute.
+
+A :class:`Monitor` is the hub between instrumented program constructs and
+analyses.  Monitored collections, shared variables, locks and the scheduler
+report what the program does (`on_action`, `on_read`, `on_write`,
+`on_fork`, ...); the monitor turns each report into a trace event and
+dispatches it to every attached analyzer — mirroring how RoadRunner streams
+events through a tool chain.
+
+Key properties:
+
+* **Pluggable analyzers** (:mod:`repro.runtime.analyzers`): RD2, the direct
+  detector, FastTrack, Eraser, a null analyzer — any combination.
+* **Cheap when disabled**: with no analyzers and recording off,
+  :attr:`enabled` is false and instrumentation sites skip event
+  construction entirely, which is how the "Uninstrumented" column of
+  Table 2 is measured without duplicating application code.
+* **Thread identity** comes from the scheduler when one drives the program
+  (:meth:`bind_tid_provider`), else from an automatic per-OS-thread
+  registry.
+* **Serialized dispatch**: events are processed under an internal mutex, so
+  analyzer state needs no further synchronization even if the program uses
+  real preemptive threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.access_points import AccessPointRepresentation
+from ..core.errors import MonitorError
+from ..core.events import (Action, Event, acquire_event, action_event,
+                           begin_event, commit_event, fork_event, join_event,
+                           read_event, release_event, write_event)
+from ..core.trace import Trace
+from ..core.vector_clock import Tid
+
+__all__ = ["Monitor", "ROOT_TID"]
+
+ROOT_TID: Tid = 0
+
+
+class Monitor:
+    """Event hub between instrumented constructs and analyzers.
+
+    Parameters
+    ----------
+    analyzers:
+        Initial analyzers (see :mod:`repro.runtime.analyzers`); more can be
+        attached with :meth:`add_analyzer` before the run starts.
+    record_trace:
+        Keep the full event sequence in :attr:`trace` (needed by the oracle
+        and by replay-based tests; off for long benchmark runs).
+    """
+
+    def __init__(self, analyzers: Iterable = (),
+                 record_trace: bool = False, low_level: bool = True):
+        self._analyzers: List = list(analyzers)
+        self._record = record_trace
+        #: emit memory-access and internal-lock events?  False models the
+        #: paper's "only instrument the ConcurrentHashMaps" ablation.
+        self.low_level = low_level
+        self.trace: Optional[Trace] = Trace(root=ROOT_TID) if record_trace else None
+        self._mutex = threading.Lock()
+        self._tid_provider: Optional[Callable[[], Tid]] = None
+        self._thread_tids: dict = {threading.get_ident(): ROOT_TID}
+        self._next_tid = 1
+        self._preempt: Callable[[], None] = lambda: None
+        self.events_emitted = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_analyzer(self, analyzer) -> None:
+        self._analyzers.append(analyzer)
+
+    @property
+    def analyzers(self) -> Tuple:
+        return tuple(self._analyzers)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether instrumentation sites should bother reporting."""
+        return bool(self._analyzers) or self._record
+
+    def bind_tid_provider(self, provider: Callable[[], Tid]) -> None:
+        """Let a scheduler dictate thread identity (overrides the registry)."""
+        self._tid_provider = provider
+
+    def bind_preempt(self, preempt: Callable[[], None]) -> None:
+        """Install the scheduler's yield point, called at every shared op."""
+        self._preempt = preempt
+
+    def preempt(self) -> None:
+        """Offer the scheduler a chance to interleave (no-op if unbound)."""
+        self._preempt()
+
+    # -- thread identity ------------------------------------------------------
+
+    def current_tid(self) -> Tid:
+        if self._tid_provider is not None:
+            return self._tid_provider()
+        ident = threading.get_ident()
+        with self._mutex:
+            tid = self._thread_tids.get(ident)
+            if tid is None:
+                raise MonitorError(
+                    "current OS thread is not registered with the monitor; "
+                    "fork threads via the scheduler or call adopt_thread()")
+            return tid
+
+    def adopt_thread(self, tid: Optional[Tid] = None) -> Tid:
+        """Register the calling OS thread under a (fresh) tid.
+
+        Only needed when running without the cooperative scheduler; the
+        caller is responsible for also reporting the fork edge.
+        """
+        ident = threading.get_ident()
+        with self._mutex:
+            if tid is None:
+                tid = self._next_tid
+                self._next_tid += 1
+            self._thread_tids[ident] = tid
+            return tid
+
+    def fresh_tid(self) -> Tid:
+        with self._mutex:
+            tid = self._next_tid
+            self._next_tid += 1
+            return tid
+
+    # -- object lifecycle ---------------------------------------------------------
+
+    def attach_object(self, obj_id: Hashable, *,
+                      representation: Optional[AccessPointRepresentation] = None,
+                      commutes: Optional[Callable[[Action, Action], bool]] = None
+                      ) -> None:
+        """Announce a shared object to all analyzers that track objects."""
+        for analyzer in self._analyzers:
+            analyzer.register_object(obj_id, representation=representation,
+                                     commutes=commutes)
+
+    def release_object(self, obj_id: Hashable) -> None:
+        """The object died; analyzers may reclaim its auxiliary state."""
+        for analyzer in self._analyzers:
+            analyzer.release_object(obj_id)
+
+    # -- event reporting --------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        with self._mutex:
+            self.events_emitted += 1
+            if self.trace is not None:
+                self.trace.append(event)
+            for analyzer in self._analyzers:
+                analyzer.process(event)
+
+    def on_action(self, obj_id: Hashable, method: str,
+                  args: Tuple[Any, ...], returns: Tuple[Any, ...]) -> None:
+        if not self.enabled:
+            return
+        tid = self.current_tid()
+        self._dispatch(action_event(tid, Action(obj_id, method, args, returns)))
+
+    def on_fork(self, child: Tid, parent: Optional[Tid] = None) -> None:
+        if not self.enabled:
+            return
+        tid = parent if parent is not None else self.current_tid()
+        self._dispatch(fork_event(tid, child))
+
+    def on_join(self, child: Tid, waiter: Optional[Tid] = None) -> None:
+        if not self.enabled:
+            return
+        tid = waiter if waiter is not None else self.current_tid()
+        self._dispatch(join_event(tid, child))
+
+    def on_acquire(self, lock_id: Hashable) -> None:
+        if not self.enabled:
+            return
+        self._dispatch(acquire_event(self.current_tid(), lock_id))
+
+    def on_release(self, lock_id: Hashable) -> None:
+        if not self.enabled:
+            return
+        self._dispatch(release_event(self.current_tid(), lock_id))
+
+    def on_begin(self) -> None:
+        """The current thread enters an intended-atomic block."""
+        if not self.enabled:
+            return
+        self._dispatch(begin_event(self.current_tid()))
+
+    def on_commit(self) -> None:
+        """The current thread leaves its intended-atomic block."""
+        if not self.enabled:
+            return
+        self._dispatch(commit_event(self.current_tid()))
+
+    def on_read(self, location: Hashable) -> None:
+        if not self.enabled or not self.low_level:
+            return
+        self._dispatch(read_event(self.current_tid(), location))
+
+    def on_write(self, location: Hashable) -> None:
+        if not self.enabled or not self.low_level:
+            return
+        self._dispatch(write_event(self.current_tid(), location))
+
+    # -- results --------------------------------------------------------------------
+
+    def races(self) -> List:
+        """All race reports across analyzers, in attachment order."""
+        out: List = []
+        for analyzer in self._analyzers:
+            out.extend(analyzer.races())
+        return out
+
+    def summary(self) -> str:
+        """A human-readable digest of the run: events, races, groups.
+
+        Race reports are grouped (see
+        :func:`~repro.core.races.group_races`) so redundant reports
+        collapse to one line each, the way a user triages them.
+        """
+        from ..core.races import group_races, tally
+        lines = [f"monitored execution: {self.events_emitted} events"]
+        for analyzer in self._analyzers:
+            reports = analyzer.races()
+            name = getattr(analyzer, "name", type(analyzer).__name__)
+            lines.append(f"  [{name}] {tally(reports)} reports")
+            for group in group_races(reports):
+                lines.append(f"    {group}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        names = [type(a).__name__ for a in self._analyzers]
+        return f"Monitor(analyzers={names}, events={self.events_emitted})"

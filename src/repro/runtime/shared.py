@@ -1,0 +1,160 @@
+"""Shared-memory primitives: variables and locks.
+
+These are the low-level constructs the applications build on:
+
+* :class:`SharedVar` — a plain (unsynchronized) field.  Reads/writes report
+  READ/WRITE events; this is what the FastTrack/Eraser baselines chew on,
+  exactly like RoadRunner instrumenting ordinary Java fields.
+* :class:`MonitoredLock` — an application-level lock: acquiring/releasing
+  reports ACQUIRE/RELEASE events, creating happens-before edges for *all*
+  analyzers, and participates in the cooperative scheduler's blocking.
+
+Internal vs. application locks
+------------------------------
+
+The monitored collections are linearizable (think ConcurrentHashMap): their
+implementations synchronize internally.  Those internal critical sections
+must be visible to the *memory-level* analyses — FastTrack must see the
+collection's own accesses as lock-protected, or it would report bogus races
+inside a correct concurrent map — but they must **not** create
+happens-before edges at the *library interface* level: the paper models
+invocations as atomic transitions (Section 3.1), and an internal lock
+shared by every operation would order all of them and mask every
+commutativity race.  Internal lock identities are therefore tagged, and the
+interface-level analyzers (RD2, direct, oracle feeds) skip tagged
+acquire/release events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Hashable, Tuple
+
+from ..core.events import Event, EventKind
+from .monitor import Monitor
+
+__all__ = ["INTERNAL_LOCK_TAG", "internal_lock_id", "is_internal_lock",
+           "interface_event", "SharedVar", "MonitoredLock"]
+
+INTERNAL_LOCK_TAG = "$internal"
+
+
+def internal_lock_id(obj_id: Hashable) -> Tuple[str, Hashable]:
+    """The lock identity for a monitored collection's internal mutex."""
+    return (INTERNAL_LOCK_TAG, obj_id)
+
+
+def is_internal_lock(lock_id: Hashable) -> bool:
+    return (isinstance(lock_id, tuple) and len(lock_id) == 2
+            and lock_id[0] == INTERNAL_LOCK_TAG)
+
+
+def interface_event(event: Event) -> bool:
+    """Whether an event exists at the library-interface abstraction level.
+
+    Interface-level analyzers (the commutativity detectors) see actions and
+    *application* synchronization; memory accesses and internal-lock
+    critical sections belong to the memory-level view only.
+    """
+    if event.kind in (EventKind.READ, EventKind.WRITE):
+        return False
+    if event.kind in (EventKind.ACQUIRE, EventKind.RELEASE):
+        return not is_internal_lock(event.lock)
+    return True
+
+
+_var_serial = itertools.count()
+_lock_serial = itertools.count()
+
+
+class SharedVar:
+    """An unsynchronized shared field (a plain Java field under RoadRunner).
+
+    ``read``/``write`` report memory events and offer the scheduler a
+    preemption point *before* the access, so check-then-act sequences over
+    SharedVars genuinely interleave under the cooperative scheduler.
+    """
+
+    __slots__ = ("_monitor", "_value", "location")
+
+    def __init__(self, monitor: Monitor, initial: Any = None,
+                 name: str | None = None):
+        self._monitor = monitor
+        self._value = initial
+        self.location = name if name is not None else f"var#{next(_var_serial)}"
+
+    def read(self) -> Any:
+        monitor = self._monitor
+        monitor.preempt()
+        if monitor.enabled:
+            monitor.on_read(self.location)
+        return self._value
+
+    def write(self, value: Any) -> None:
+        monitor = self._monitor
+        monitor.preempt()
+        if monitor.enabled:
+            monitor.on_write(self.location)
+        self._value = value
+
+    def peek(self) -> Any:
+        """Unmonitored read, for inspection outside the analyzed program
+        (no event, no preemption point — not part of the modeled trace)."""
+        return self._value
+
+    def add(self, delta: Any) -> Any:
+        """Unsynchronized read-modify-write (two accesses, one preemption
+        window between them — the classic lost-update shape)."""
+        current = self.read()
+        updated = current + delta
+        self.write(updated)
+        return updated
+
+    def __repr__(self) -> str:
+        return f"SharedVar({self.location}={self._value!r})"
+
+
+class MonitoredLock:
+    """An application-level mutex visible to every analyzer.
+
+    When a cooperative scheduler drives the program, blocking is delegated
+    to it (the scheduler must not let a task spin while holding the global
+    turn); without a scheduler a real ``threading.Lock`` provides mutual
+    exclusion.
+    """
+
+    def __init__(self, monitor: Monitor, name: str | None = None):
+        self._monitor = monitor
+        self.lock_id = name if name is not None else f"lock#{next(_lock_serial)}"
+        self._os_lock = threading.Lock()
+        self._scheduler = None  # bound by Scheduler.adopt_lock
+
+    def bind_scheduler(self, scheduler) -> None:
+        self._scheduler = scheduler
+
+    def acquire(self) -> None:
+        if self._scheduler is not None:
+            self._scheduler.lock_acquire(self.lock_id)
+        else:
+            self._os_lock.acquire()
+        if self._monitor.enabled:
+            self._monitor.on_acquire(self.lock_id)
+
+    def release(self) -> None:
+        if self._monitor.enabled:
+            self._monitor.on_release(self.lock_id)
+        if self._scheduler is not None:
+            self._scheduler.lock_release(self.lock_id)
+        else:
+            self._os_lock.release()
+
+    def __enter__(self) -> "MonitoredLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"MonitoredLock({self.lock_id})"

@@ -1,0 +1,12 @@
+"""Deterministic cooperative scheduling and synthetic workload generation
+(the JVM-threads substitute)."""
+
+from .explore import ExplorationResult, SeedOutcome, explore
+from .primitives import Barrier, Semaphore
+from .scheduler import Scheduler, TaskHandle, TaskState
+from .workload import GeneratedWorkload, WorkloadConfig, generate_trace
+
+__all__ = ["ExplorationResult", "SeedOutcome", "explore",
+           "Barrier", "Semaphore",
+           "Scheduler", "TaskHandle", "TaskState",
+           "GeneratedWorkload", "WorkloadConfig", "generate_trace"]

@@ -1,0 +1,120 @@
+"""Schedule exploration: hunt for races across seeded interleavings.
+
+A single cooperative run observes one interleaving; a commutativity race
+only manifests when its two invocations are actually unordered in the
+observed trace.  Exploration re-runs a program under many seeds and
+aggregates the verdicts — the dynamic-analysis analogue of a stress test,
+but deterministic and replayable (every finding names the seed that
+produced it).
+
+Usage::
+
+    def program(monitor, scheduler):
+        shared = MonitoredDict(monitor, name="o")
+        ...
+
+    result = explore(program, seeds=range(32))
+    result.racy_seeds          # which interleavings raced
+    result.all_groups()        # deduplicated findings across seeds
+
+The program callable receives a fresh monitor and scheduler per seed and
+must create all shared state inside (state leaking across runs would make
+seeds non-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.races import RaceGroup, RaceReport, group_races, tally
+from ..runtime.analyzers import Analyzer, Rd2Analyzer
+from ..runtime.monitor import Monitor
+from .scheduler import Scheduler
+
+__all__ = ["SeedOutcome", "ExplorationResult", "explore"]
+
+Program = Callable[[Monitor, Scheduler], object]
+
+
+@dataclass
+class SeedOutcome:
+    """One seeded run: its reports and whatever the program returned."""
+
+    seed: int
+    reports: Tuple[RaceReport, ...]
+    result: object = None
+
+    @property
+    def raced(self) -> bool:
+        return bool(self.reports)
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregated outcomes across every explored seed."""
+
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> List[int]:
+        return [outcome.seed for outcome in self.outcomes]
+
+    @property
+    def racy_seeds(self) -> List[int]:
+        return [outcome.seed for outcome in self.outcomes if outcome.raced]
+
+    @property
+    def race_frequency(self) -> float:
+        """Fraction of explored interleavings that raced."""
+        if not self.outcomes:
+            return 0.0
+        return len(self.racy_seeds) / len(self.outcomes)
+
+    def all_reports(self) -> List[RaceReport]:
+        out: List[RaceReport] = []
+        for outcome in self.outcomes:
+            out.extend(outcome.reports)
+        return out
+
+    def all_groups(self) -> Tuple[RaceGroup, ...]:
+        """Findings deduplicated across seeds (by object + schema pair)."""
+        return group_races(self.all_reports())
+
+    def summary(self) -> str:
+        lines = [f"explored {len(self.outcomes)} interleavings: "
+                 f"{len(self.racy_seeds)} raced "
+                 f"({self.race_frequency:.0%}); "
+                 f"racy seeds: {self.racy_seeds}"]
+        for group in self.all_groups():
+            lines.append(f"  {group}")
+        return "\n".join(lines)
+
+
+def explore(program: Program,
+            seeds: Iterable[int] = range(16),
+            analyzer_factory: Callable[[], Analyzer] = Rd2Analyzer,
+            switch_probability: float = 1.0,
+            stop_at_first: bool = False) -> ExplorationResult:
+    """Run ``program`` under each seed; aggregate race reports.
+
+    ``analyzer_factory`` builds the detector for each run (default RD2;
+    pass e.g. ``FastTrackAnalyzer`` to explore for low-level races
+    instead).  With ``stop_at_first`` exploration returns as soon as one
+    racy interleaving is found — handy in CI where any race fails the
+    build and the witness seed is all that matters.
+    """
+    exploration = ExplorationResult()
+    for seed in seeds:
+        analyzer = analyzer_factory()
+        monitor = Monitor(analyzers=[analyzer])
+        scheduler = Scheduler(monitor, seed=seed,
+                              switch_probability=switch_probability)
+        result = scheduler.run(program, monitor, scheduler)
+        outcome = SeedOutcome(seed=seed,
+                              reports=tuple(analyzer.races()),
+                              result=result)
+        exploration.outcomes.append(outcome)
+        if stop_at_first and outcome.raced:
+            break
+    return exploration

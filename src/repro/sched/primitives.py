@@ -1,0 +1,143 @@
+"""Higher-level coordination primitives: barriers and semaphores.
+
+Beyond fork/join and locks (Table 1), real workloads coordinate through
+barriers and semaphores.  These primitives do two jobs at once:
+
+1. *scheduling* — blocking is routed through the cooperative scheduler's
+   park/unpark facility, so waiting tasks yield deterministically;
+2. *happens-before* — each primitive emits acquire/release events that
+   encode its ordering guarantees in Table 1's vocabulary, so the race
+   detectors see the synchronization without any new event kinds.
+
+Happens-before encodings
+------------------------
+
+**Barrier**: every pre-barrier event of every participant must order before
+every post-barrier event of every participant.  Arrival ``i`` performs
+``acq(B); rel(B)``: the acquire joins the accumulated lock clock (all
+earlier arrivals), the release stores the join back — so ``L(B)`` grows
+into the join of all arrivals.  After the last arrival, each released
+waiter performs one more ``acq(B)``, picking up the complete join.  The
+result is exactly the all-to-all ordering (and matches how ``joinall`` is
+treated in the paper's examples).
+
+**Semaphore**: precise semaphore causality orders an acquire after only
+the releases it "consumed".  Like other dynamic detectors, we encode the
+conservative over-approximation — semaphore-as-lock, with releases
+accumulating (``acq;rel``) — which can only *order more*, i.e. suppress
+races, never fabricate them.  This is the standard sound treatment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Optional
+
+from ..core.errors import SchedulerError
+from ..runtime.monitor import Monitor
+from .scheduler import Scheduler
+
+__all__ = ["Barrier", "Semaphore"]
+
+_barrier_serial = itertools.count()
+_semaphore_serial = itertools.count()
+
+
+class Barrier:
+    """A cyclic barrier for ``parties`` tasks.
+
+    ``wait()`` blocks until all parties arrive, then everyone proceeds;
+    the barrier then resets for the next generation (like
+    ``threading.Barrier``).
+    """
+
+    def __init__(self, monitor: Monitor, scheduler: Scheduler,
+                 parties: int, name: Optional[str] = None):
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        self._monitor = monitor
+        self._scheduler = scheduler
+        self.parties = parties
+        self.barrier_id = (name if name is not None
+                           else f"barrier#{next(_barrier_serial)}")
+        self._arrived = 0
+        self._generation = 0
+
+    def _lock_id(self, generation: int) -> Hashable:
+        return (self.barrier_id, generation)
+
+    def wait(self) -> int:
+        """Arrive; block until all parties have; returns the arrival index."""
+        monitor = self._monitor
+        generation = self._generation
+        lock_id = self._lock_id(generation)
+
+        # Arrival: fold this task's clock into the barrier's clock.
+        monitor.on_acquire(lock_id)
+        monitor.on_release(lock_id)
+        self._arrived += 1
+        index = self._arrived
+
+        if self._arrived == self.parties:
+            # Last arrival: open the next generation and release everyone.
+            self._arrived = 0
+            self._generation += 1
+            self._scheduler.unpark_all(("barrier", self.barrier_id,
+                                        generation))
+        else:
+            while self._generation == generation:
+                self._scheduler.park(("barrier", self.barrier_id,
+                                      generation))
+            # Woken: pick up the complete all-arrivals clock.
+            monitor.on_acquire(lock_id)
+        return index
+
+    def __repr__(self) -> str:
+        return f"Barrier({self.barrier_id}, parties={self.parties})"
+
+
+class Semaphore:
+    """A counting semaphore with conservative happens-before.
+
+    ``acquire()`` blocks while no permits are available; ``release()``
+    returns one (and may exceed the initial count, as with
+    ``threading.Semaphore``).
+    """
+
+    def __init__(self, monitor: Monitor, scheduler: Scheduler,
+                 permits: int = 1, name: Optional[str] = None):
+        if permits < 0:
+            raise ValueError("initial permits must be non-negative")
+        self._monitor = monitor
+        self._scheduler = scheduler
+        self._permits = permits
+        self.semaphore_id = (name if name is not None
+                             else f"sem#{next(_semaphore_serial)}")
+
+    @property
+    def permits(self) -> int:
+        return self._permits
+
+    def acquire(self) -> None:
+        while self._permits == 0:
+            self._scheduler.park(("sem", self.semaphore_id))
+        self._permits -= 1
+        # Order after all accumulated releases.
+        self._monitor.on_acquire(self.semaphore_id)
+
+    def release(self) -> None:
+        # Accumulate (join-then-store) so no release edge is ever lost.
+        self._monitor.on_acquire(self.semaphore_id)
+        self._monitor.on_release(self.semaphore_id)
+        self._permits += 1
+        self._scheduler.unpark_all(("sem", self.semaphore_id))
+
+    def __enter__(self) -> "Semaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"Semaphore({self.semaphore_id}, permits={self._permits})"

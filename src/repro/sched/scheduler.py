@@ -1,0 +1,333 @@
+"""Deterministic cooperative scheduler (the JVM-threads substitute).
+
+Python's GIL makes real preemptive interleaving both slow and
+irreproducible, so the applications in this repository run under a
+*cooperative, seeded* scheduler:
+
+* every task is a real ``threading.Thread``, but exactly one holds the
+  *turn* at any moment — a token passed through per-task events;
+* the running task offers the scheduler a context switch at every monitored
+  operation (collections and shared variables call ``monitor.preempt()``,
+  which the scheduler binds to :meth:`Scheduler.preempt`);
+* the next task is chosen by a seeded RNG, so a given ``(program, seed)``
+  pair always produces the same trace — experiments are reproducible and
+  different seeds explore different interleavings.
+
+The scheduler is also the source of thread identity and synchronization
+events: :meth:`spawn` reports ``fork``, :meth:`join` reports ``join`` (after
+the target finished — the correct happens-before timing), and
+:class:`~repro.runtime.shared.MonitoredLock` delegates blocking to
+:meth:`lock_acquire`/:meth:`lock_release`.
+
+Because only one task runs at a time, invocations of monitored collections
+are naturally linearizable, matching the paper's atomic-transition execution
+model, while check-then-act sequences *across* invocations genuinely
+interleave — exactly the granularity at which commutativity races live.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set
+
+from ..core.errors import SchedulerError
+from ..core.vector_clock import Tid
+from ..runtime.monitor import Monitor
+
+__all__ = ["TaskState", "TaskHandle", "Scheduler"]
+
+
+class TaskState(enum.Enum):
+    READY = "ready"          # runnable, waiting for the turn
+    RUNNING = "running"      # holds the turn
+    BLOCKED = "blocked"      # waiting for a lock
+    PARKED = "parked"        # waiting on a condition key (park/unpark)
+    JOINING = "joining"      # waiting for another task to finish
+    DONE = "done"
+
+
+@dataclass
+class TaskHandle:
+    """Identity of a spawned task; pass to :meth:`Scheduler.join`."""
+
+    tid: Tid
+
+    def __hash__(self) -> int:
+        return hash(self.tid)
+
+
+@dataclass
+class _Task:
+    tid: Tid
+    fn: Optional[Callable[..., Any]]
+    args: tuple
+    state: TaskState = TaskState.READY
+    turn: threading.Event = field(default_factory=threading.Event)
+    thread: Optional[threading.Thread] = None
+    joining: Optional[Tid] = None
+    waiting_lock: Optional[Hashable] = None
+    result: Any = None
+    error: Optional[BaseException] = None
+
+
+class Scheduler:
+    """Seeded cooperative round-robin/random scheduler over real threads.
+
+    Parameters
+    ----------
+    monitor:
+        The monitor to report fork/join events to and to serve thread
+        identity for; its ``preempt`` hook is bound to this scheduler.
+    seed:
+        RNG seed; fixes the interleaving completely for deterministic
+        programs.
+    switch_probability:
+        Chance of actually switching at a preemption point (1.0 = consider
+        a switch at every monitored operation).  Lower values yield longer
+        thread bursts — coarser interleavings, faster runs.
+    """
+
+    def __init__(self, monitor: Monitor, seed: int = 0,
+                 switch_probability: float = 1.0):
+        self._monitor = monitor
+        self._rng = random.Random(seed)
+        self._switch_probability = switch_probability
+        self._tasks: Dict[Tid, _Task] = {}
+        self._by_ident: Dict[int, Tid] = {}
+        self._mutex = threading.Lock()
+        self._next_tid = 0
+        self._finished = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._lock_owner: Dict[Hashable, Optional[Tid]] = {}
+        self.context_switches = 0
+        monitor.bind_tid_provider(self.current_tid)
+        monitor.bind_preempt(self.preempt)
+
+    # -- identity ----------------------------------------------------------
+
+    def current_tid(self) -> Tid:
+        tid = self._by_ident.get(threading.get_ident())
+        if tid is None:
+            raise SchedulerError(
+                "current OS thread is not a scheduler task")
+        return tid
+
+    def _current(self) -> _Task:
+        return self._tasks[self.current_tid()]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def run(self, main: Callable[..., Any], *args) -> Any:
+        """Run ``main`` as the root task until every task completes.
+
+        Raises the first task failure (scheduling errors included) and
+        returns ``main``'s result otherwise.
+        """
+        if self._tasks:
+            raise SchedulerError("scheduler already ran; create a fresh one")
+        root = self._create_task(main, args)          # tid 0
+        root.turn.set()
+        root.thread.start()
+        self._finished.wait()
+        # On clean completion every thread has retired; on deadlock some
+        # task threads are parked on their turn events forever — they are
+        # daemons, so only completed tasks are joined and the failure is
+        # reported.
+        for task in list(self._tasks.values()):
+            if task.thread is not None and task.state is TaskState.DONE:
+                task.thread.join(timeout=5.0)
+        # The root task's own failure wins (it may have wrapped a child's
+        # failure via join); otherwise surface the first recorded one.
+        failure = root.error if root.error is not None else self._failure
+        if failure is not None:
+            raise failure
+        return root.result
+
+    def _create_task(self, fn: Callable[..., Any], args: tuple) -> _Task:
+        with self._mutex:
+            tid = self._next_tid
+            self._next_tid += 1
+        task = _Task(tid=tid, fn=fn, args=args)
+        task.thread = threading.Thread(
+            target=self._task_main, args=(task,),
+            name=f"sched-task-{tid}", daemon=True)
+        self._tasks[tid] = task
+        return task
+
+    def _task_main(self, task: _Task) -> None:
+        task.turn.wait()
+        task.turn.clear()
+        task.state = TaskState.RUNNING
+        self._by_ident[threading.get_ident()] = task.tid
+        try:
+            task.result = task.fn(*task.args)
+        except BaseException as exc:  # noqa: BLE001 — reported to run()
+            task.error = exc
+            if self._failure is None:
+                self._failure = exc
+        finally:
+            self._retire(task)
+
+    def _retire(self, task: _Task) -> None:
+        task.state = TaskState.DONE
+        # Wake tasks joining on us.
+        for other in self._tasks.values():
+            if other.state is TaskState.JOINING and other.joining == task.tid:
+                other.state = TaskState.READY
+                other.joining = None
+        next_task = self._pick_next()
+        if next_task is None:
+            if self._alive_count() == 0:
+                self._finished.set()
+            else:
+                self._fail_all(SchedulerError(
+                    "deadlock: no runnable task but "
+                    f"{self._alive_count()} task(s) still blocked"))
+        else:
+            self._grant(next_task)
+
+    def _alive_count(self) -> int:
+        return sum(1 for t in self._tasks.values()
+                   if t.state is not TaskState.DONE)
+
+    def _fail_all(self, error: BaseException) -> None:
+        if self._failure is None:
+            self._failure = error
+        self._finished.set()
+
+    # -- task API (called from inside tasks) ----------------------------------------
+
+    def spawn(self, fn: Callable[..., Any], *args) -> TaskHandle:
+        """Fork a new task; reports the fork edge to the monitor."""
+        parent_tid = self.current_tid()
+        task = self._create_task(fn, args)
+        self._monitor.on_fork(task.tid, parent=parent_tid)
+        task.thread.start()
+        return TaskHandle(task.tid)
+
+    def join(self, handle: TaskHandle) -> Any:
+        """Wait for a task; reports the join edge once it has finished."""
+        target = self._tasks.get(handle.tid)
+        if target is None:
+            raise SchedulerError(f"join of unknown task {handle.tid}")
+        current = self._current()
+        if target.state is not TaskState.DONE:
+            current.state = TaskState.JOINING
+            current.joining = target.tid
+            self._switch(current)
+        self._monitor.on_join(target.tid, waiter=current.tid)
+        if target.error is not None:
+            raise SchedulerError(
+                f"joined task {target.tid} failed: {target.error!r}"
+            ) from target.error
+        return target.result
+
+    def join_all(self, handles) -> List[Any]:
+        """The paper's ``joinall``."""
+        return [self.join(handle) for handle in handles]
+
+    def preempt(self) -> None:
+        """A monitored operation is about to run; maybe switch tasks."""
+        current = self._tasks.get(self._by_ident.get(threading.get_ident(), -1))
+        if current is None or current.state is not TaskState.RUNNING:
+            return
+        if self._switch_probability < 1.0:
+            if self._rng.random() >= self._switch_probability:
+                return
+        current.state = TaskState.READY
+        self._switch(current)
+
+    # -- locks (used by MonitoredLock) ---------------------------------------------
+
+    def lock_acquire(self, lock_id: Hashable) -> None:
+        current = self._current()
+        while True:
+            owner = self._lock_owner.get(lock_id)
+            if owner is None:
+                self._lock_owner[lock_id] = current.tid
+                return
+            current.state = TaskState.BLOCKED
+            current.waiting_lock = lock_id
+            self._switch(current)
+
+    def lock_release(self, lock_id: Hashable) -> None:
+        current = self._current()
+        if self._lock_owner.get(lock_id) != current.tid:
+            raise SchedulerError(
+                f"task {current.tid} released lock {lock_id!r} it does "
+                f"not hold")
+        self._lock_owner[lock_id] = None
+        for task in self._tasks.values():
+            if (task.state is TaskState.BLOCKED
+                    and task.waiting_lock == lock_id):
+                task.state = TaskState.READY
+                task.waiting_lock = None
+
+    # -- condition parking (used by Barrier/Semaphore) ------------------------------
+
+    def park(self, key: Hashable) -> None:
+        """Block the current task until :meth:`unpark_all` on ``key``.
+
+        The caller must re-check its condition after waking (standard
+        condition-variable discipline — wakeups are collective).
+        """
+        current = self._current()
+        current.state = TaskState.PARKED
+        current.waiting_lock = key
+        self._switch(current)
+
+    def unpark_all(self, key: Hashable) -> int:
+        """Make every task parked on ``key`` runnable; returns how many."""
+        woken = 0
+        for task in self._tasks.values():
+            if task.state is TaskState.PARKED and task.waiting_lock == key:
+                task.state = TaskState.READY
+                task.waiting_lock = None
+                woken += 1
+        return woken
+
+    # -- the turn machinery ------------------------------------------------------------
+
+    def _runnable(self, exclude: Optional[Tid] = None) -> List[_Task]:
+        return [task for task in self._tasks.values()
+                if task.state is TaskState.READY and task.tid != exclude]
+
+    def _pick_next(self) -> Optional[_Task]:
+        candidates = self._runnable()
+        if not candidates:
+            return None
+        candidates.sort(key=lambda t: t.tid)  # determinism across dict order
+        return self._rng.choice(candidates)
+
+    def _grant(self, task: _Task) -> None:
+        task.state = TaskState.RUNNING
+        task.turn.set()
+
+    def _switch(self, current: _Task) -> None:
+        """Give up the turn; block until granted again.
+
+        ``current.state`` must already reflect why we stopped (READY,
+        BLOCKED or JOINING).
+        """
+        next_task = self._pick_next()
+        if next_task is None:
+            if current.state is TaskState.READY:
+                # Nobody else to run: keep going.
+                current.state = TaskState.RUNNING
+                return
+            failure = SchedulerError(
+                f"deadlock: task {current.tid} is {current.state.value} "
+                f"and no other task is runnable")
+            self._fail_all(failure)
+            raise failure
+        if next_task.tid == current.tid:
+            current.state = TaskState.RUNNING
+            return
+        self.context_switches += 1
+        self._grant(next_task)
+        current.turn.wait()
+        current.turn.clear()
+        current.state = TaskState.RUNNING

@@ -1,0 +1,70 @@
+"""Bundled commutativity specifications, hand-written access point
+representations and executable semantics for common shared objects.
+
+:func:`bundled_objects` returns the registry the property-test suite sweeps:
+every entry carries a specification, a hand-written representation claimed
+equivalent to it, and an executable semantics against which the spec's
+soundness is (randomly) validated.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.access_points import SchemaRepresentation
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+
+from .accumulator import (AccumulatorSemantics, accumulator_representation,
+                          accumulator_spec)
+from .counter import CounterSemantics, counter_representation, counter_spec
+from .dictionary import (DictionarySemantics, dictionary_representation,
+                         dictionary_spec, extended_dictionary_spec)
+from .list_spec import (MultisetLogSemantics, multiset_log_representation,
+                        multiset_log_spec, sequence_log_spec)
+from .queue_spec import QueueSemantics, queue_representation, queue_spec
+from .register import (RegisterSemantics, register_representation,
+                       register_spec)
+from .set_spec import SetSemantics, set_representation, set_spec
+
+__all__ = [
+    "BundledObject", "bundled_objects",
+    "AccumulatorSemantics", "accumulator_representation", "accumulator_spec",
+    "CounterSemantics", "counter_representation", "counter_spec",
+    "DictionarySemantics", "dictionary_representation", "dictionary_spec",
+    "extended_dictionary_spec",
+    "MultisetLogSemantics", "multiset_log_representation",
+    "multiset_log_spec", "sequence_log_spec",
+    "QueueSemantics", "queue_representation", "queue_spec",
+    "RegisterSemantics", "register_representation", "register_spec",
+    "SetSemantics", "set_representation", "set_spec",
+]
+
+
+@dataclass(frozen=True)
+class BundledObject:
+    """One shared-object kind with all its artifacts."""
+
+    kind: str
+    spec: Callable[[], CommutativitySpec]
+    representation: Callable[[], SchemaRepresentation]
+    semantics: Optional[Callable[[], ObjectSemantics]]
+
+
+def bundled_objects() -> Dict[str, BundledObject]:
+    """All bundled object kinds, keyed by name."""
+    bundle = [
+        BundledObject("dictionary", dictionary_spec,
+                      dictionary_representation, DictionarySemantics),
+        BundledObject("set", set_spec, set_representation, SetSemantics),
+        BundledObject("counter", counter_spec, counter_representation,
+                      CounterSemantics),
+        BundledObject("register", register_spec, register_representation,
+                      RegisterSemantics),
+        BundledObject("msetlog", multiset_log_spec,
+                      multiset_log_representation, MultisetLogSemantics),
+        BundledObject("accumulator", accumulator_spec,
+                      accumulator_representation, AccumulatorSemantics),
+        BundledObject("queue", queue_spec, queue_representation,
+                      QueueSemantics),
+    ]
+    return {obj.kind: obj for obj in bundle}

@@ -1,0 +1,110 @@
+"""A min/max/sum accumulator (statistics cell).
+
+Models objects like latency trackers: threads fold samples in, a reporter
+reads aggregates.  All folds commute with each other (min, max and + are
+associative-commutative); folds conflict with reads — except that folding a
+value that provably cannot change the aggregate (e.g. a sample equal to the
+identity) commutes with reads of that aggregate.  The spec illustrates
+ECL's one-sided order atoms (``d1 < 0`` style), which SIMPLE cannot express.
+
+Methods:
+
+* ``sample(d)/()`` — fold in a non-negative measurement ``d``;
+* ``total()/t`` — read the running sum;
+* ``peak()/m`` — read the running maximum.
+
+``sample(0)`` leaves the total unchanged only if 0 is the additive
+identity — it is — and never raises the peak below itself, so ``sample(d)``
+commutes with ``peak`` whenever ``d <= 0``-clamped samples are no-ops; with
+a non-negative domain that means ``d == 0`` for ``total`` and ``d <= m`` is
+*not* expressible (it crosses sides), so peak reads conservatively conflict
+with any positive sample.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+from ..core.access_points import SchemaRepresentation
+from ..core.events import Action
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+
+__all__ = ["accumulator_spec", "accumulator_representation",
+           "AccumulatorSemantics"]
+
+
+def accumulator_spec() -> CommutativitySpec:
+    spec = CommutativitySpec("accumulator")
+    spec.method("sample", params=("d",))
+    spec.method("total", returns=("t",))
+    spec.method("peak", returns=("m",))
+    spec.pair("sample", "sample", "true")
+    spec.pair("sample", "total", "d1 == 0")
+    spec.pair("sample", "peak", "d1 <= 0")
+    spec.default_true()
+    return spec
+
+
+_FOLD, _TOTAL, _PEAK = "fold", "total", "peak"
+
+
+def _accumulator_touches(action: Action):
+    if action.method == "sample":
+        if action.args[0] > 0:
+            yield (_FOLD, None)
+    elif action.method == "total":
+        yield (_TOTAL, None)
+    elif action.method == "peak":
+        yield (_PEAK, None)
+    else:
+        raise ValueError(f"accumulator has no method {action.method!r}")
+
+
+def accumulator_representation() -> SchemaRepresentation:
+    """Positive samples conflict with both aggregate reads.
+
+    This collapses the spec's distinction between ``d == 0`` (commutes with
+    ``total``) and ``d <= 0`` (commutes with ``peak``) because the sample
+    domain is non-negative, making the two conditions coincide; the
+    equivalence tests sample from that domain.
+    """
+    return SchemaRepresentation(
+        kind="accumulator",
+        value_schemas=(),
+        plain_schemas=(_FOLD, _TOTAL, _PEAK),
+        conflict_pairs=((_FOLD, _TOTAL), (_FOLD, _PEAK)),
+        touches=_accumulator_touches,
+    )
+
+
+class AccumulatorSemantics(ObjectSemantics):
+    """Executable accumulator; the state is ``(total, peak)``."""
+
+    kind = "accumulator"
+
+    SAMPLES: Tuple[int, ...] = (0, 1, 2, 5)
+
+    def initial_state(self) -> Tuple[int, int]:
+        return (0, 0)
+
+    def apply(self, state: Tuple[int, int], method: str,
+              args: Tuple[Any, ...]) -> Tuple[Tuple[int, int], Tuple[Any, ...]]:
+        total, peak = state
+        if method == "sample":
+            d = args[0]
+            return (total + d, max(peak, d)), ()
+        if method == "total":
+            return state, (total,)
+        if method == "peak":
+            return state, (peak,)
+        raise ValueError(f"accumulator has no method {method!r}")
+
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        roll = rng.random()
+        if roll < 0.6:
+            return "sample", (rng.choice(self.SAMPLES),)
+        if roll < 0.8:
+            return "total", ()
+        return "peak", ()

@@ -1,0 +1,85 @@
+"""A shared counter with commutative increments.
+
+The classic motivating object for commutativity-aware analyses: increments
+commute with each other (addition is commutative) even though every
+increment is a low-level read-modify-write — a read/write race detector
+flags concurrent increments, a commutativity race detector does not.
+
+Methods:
+
+* ``add(d)/()`` — blind increment by ``d`` (no return: it observes nothing);
+* ``read()/v`` — observe the current value.
+
+``add`` commutes with ``add`` unconditionally; ``add`` conflicts with
+``read`` unless the increment is zero.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+from ..core.access_points import SchemaRepresentation
+from ..core.events import Action
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+
+__all__ = ["counter_spec", "counter_representation", "CounterSemantics"]
+
+
+def counter_spec() -> CommutativitySpec:
+    spec = CommutativitySpec("counter")
+    spec.method("add", params=("d",))
+    spec.method("read", returns=("v",))
+    spec.pair("add", "add", "true")
+    spec.pair("add", "read", "d1 == 0")
+    spec.pair("read", "read", "true")
+    return spec
+
+
+_ADD, _READ = "add", "read"
+
+
+def _counter_touches(action: Action):
+    if action.method == "add":
+        if action.args[0] != 0:
+            yield (_ADD, None)
+    elif action.method == "read":
+        yield (_READ, None)
+    else:
+        raise ValueError(f"counter has no method {action.method!r}")
+
+
+def counter_representation() -> SchemaRepresentation:
+    """Two plain schemas: nonzero increments conflict with reads only."""
+    return SchemaRepresentation(
+        kind="counter",
+        value_schemas=(),
+        plain_schemas=(_ADD, _READ),
+        conflict_pairs=((_ADD, _READ),),
+        touches=_counter_touches,
+    )
+
+
+class CounterSemantics(ObjectSemantics):
+    """Executable counter semantics; the state is the integer value."""
+
+    kind = "counter"
+
+    DELTAS: Tuple[int, ...] = (-2, -1, 0, 1, 2)
+
+    def initial_state(self) -> int:
+        return 0
+
+    def apply(self, state: int, method: str,
+              args: Tuple[Any, ...]) -> Tuple[int, Tuple[Any, ...]]:
+        if method == "add":
+            return state + args[0], ()
+        if method == "read":
+            return state, (state,)
+        raise ValueError(f"counter has no method {method!r}")
+
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        if rng.random() < 0.6:
+            return "add", (rng.choice(self.DELTAS),)
+        return "read", ()

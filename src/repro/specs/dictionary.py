@@ -1,0 +1,230 @@
+"""The paper's dictionary object: specification (Fig. 6), hand-written
+access point representation (Fig. 7) and abstract semantics (Fig. 5).
+
+A dictionary maps every key to a value or ``nil``; methods:
+
+* ``put(k, v)/p`` — set ``k`` to ``v``, returning the previous value ``p``;
+* ``get(k)/v`` — read the value of ``k``;
+* ``size()/r`` — the number of keys with a non-nil value;
+
+plus three extensions exercised by the applications and kept in a separate
+*extended* spec so the paper-exact artifacts stay pristine:
+
+* ``remove(k)/p`` — shorthand for ``put(k, nil)/p``;
+* ``contains(k)/c`` — whether ``k`` maps to a non-nil value;
+* ``putIfAbsent(k, v)/p`` — Java's CHM idiom: store only if currently nil.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+from ..core.access_points import SchemaRepresentation
+from ..core.events import NIL, Action
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+
+__all__ = [
+    "dictionary_spec",
+    "extended_dictionary_spec",
+    "dictionary_representation",
+    "DictionarySemantics",
+]
+
+#: the formulas of Fig. 6, verbatim
+PUT_PUT = "k1 != k2 | (v1 == p1 & v2 == p2)"
+PUT_GET = "k1 != k2 | v1 == p1"
+PUT_SIZE = "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)"
+
+
+def dictionary_spec() -> CommutativitySpec:
+    """The Fig. 6 commutativity specification of a dictionary."""
+    spec = CommutativitySpec("dictionary")
+    spec.method("put", params=("k", "v"), returns=("p",))
+    spec.method("get", params=("k",), returns=("v",))
+    spec.method("size", returns=("r",))
+    spec.pair("put", "put", PUT_PUT)
+    spec.pair("put", "get", PUT_GET)
+    spec.pair("put", "size", PUT_SIZE)
+    # ϕ_get_get, ϕ_get_size, ϕ_size_size := true
+    spec.default_true()
+    return spec
+
+
+def extended_dictionary_spec() -> CommutativitySpec:
+    """Fig. 6 plus remove/contains/putIfAbsent (used by the applications).
+
+    The extra formulas follow the same recipe:
+
+    * ``remove(k)/p`` behaves as ``put(k, nil)/p``;
+    * ``contains(k)/c`` reads ``k``, so it conflicts with same-key writes
+      exactly when the written value changes presence;
+    * ``putIfAbsent(k, v)/p`` writes only when ``p = nil``.
+    """
+    spec = CommutativitySpec("dictionary")
+    spec.method("put", params=("k", "v"), returns=("p",))
+    spec.method("get", params=("k",), returns=("v",))
+    spec.method("size", returns=("r",))
+    spec.method("remove", params=("k",), returns=("p",))
+    spec.method("contains", params=("k",), returns=("c",))
+    spec.method("putIfAbsent", params=("k", "v"), returns=("p",))
+
+    spec.pair("put", "put", PUT_PUT)
+    spec.pair("put", "get", PUT_GET)
+    spec.pair("put", "size", PUT_SIZE)
+
+    # remove ≡ put with v = nil.
+    spec.pair("remove", "remove", "k1 != k2 | (p1 == nil & p2 == nil)")
+    spec.pair("remove", "put", "k1 != k2 | (p1 == nil & v2 == p2)")
+    spec.pair("remove", "get", "k1 != k2 | p1 == nil")
+    spec.pair("remove", "size", "p1 == nil")
+
+    # contains reads presence of k: a same-key write commutes iff it does
+    # not change presence (v and p both nil or both non-nil).
+    spec.pair("contains", "put",
+              "k2 != k1 | (v2 == nil & p2 == nil) | (v2 != nil & p2 != nil)")
+    spec.pair("contains", "remove", "k2 != k1 | p2 == nil")
+    spec.pair("contains", "putIfAbsent", "k2 != k1 | p2 != nil")
+
+    # putIfAbsent writes iff p = nil (in which case it inserts v).
+    spec.pair("putIfAbsent", "putIfAbsent",
+              "k1 != k2 | (p1 != nil & p2 != nil)")
+    spec.pair("putIfAbsent", "put",
+              "k1 != k2 | (p1 != nil & v2 == p2)")
+    spec.pair("putIfAbsent", "remove", "k1 != k2 | (p1 != nil & p2 == nil)")
+    spec.pair("putIfAbsent", "get", "k1 != k2 | p1 != nil")
+    spec.pair("putIfAbsent", "size", "p1 != nil")
+
+    # get/contains/size are read-only: they all commute with one another.
+    spec.default_true()
+    return spec
+
+
+# -- hand-written representation (Fig. 7) -----------------------------------------
+#
+# Fig. 7's schemas: r/w carry the key; size/resize are plain; conflicts are
+# w×w and w×r on equal keys plus size×resize.  Representing the *extended*
+# spec needs two more key-carrying schemas, because ``contains`` observes
+# only the *presence* of a key: an overwrite (non-nil → non-nil) conflicts
+# with a same-key ``get`` but commutes with a same-key ``contains``.  A
+# presence-changing write therefore additionally touches ``pw:k``, and
+# ``contains`` touches ``pr:k``, with the extra conflict pw×pr.
+
+_R, _W, _PR, _PW, _SIZE, _RESIZE = "r", "w", "pr", "pw", "size", "resize"
+
+
+def _dictionary_touches(action: Action):
+    """ηo of Fig. 7b, extended to the additional methods."""
+    method = action.method
+    if method in ("put", "remove", "putIfAbsent"):
+        if method == "put":
+            key, value = action.args
+        elif method == "remove":
+            key, value = action.args[0], NIL
+        else:  # putIfAbsent writes v only when the key was absent
+            key = action.args[0]
+            value = action.args[1] if action.returns[0] is NIL else action.returns[0]
+        prev = action.returns[0]
+        if value == prev:
+            yield (_R, key)          # no-op write: observationally a read
+        elif (value is NIL) != (prev is NIL):
+            yield (_W, key)          # presence changed: also resizes
+            yield (_PW, key)
+            yield (_RESIZE, None)
+        else:
+            yield (_W, key)          # overwrite: size and presence unchanged
+    elif method == "get":
+        yield (_R, action.args[0])
+    elif method == "contains":
+        yield (_PR, action.args[0])
+    elif method == "size":
+        yield (_SIZE, None)
+    else:
+        raise ValueError(f"dictionary has no method {method!r}")
+
+
+def dictionary_representation() -> SchemaRepresentation:
+    """The Fig. 7 access point representation, hand-written.
+
+    The translator applied to :func:`dictionary_spec` produces an equivalent
+    representation (Definition 4.5) — the test-suite checks the two agree on
+    randomized action pairs.  The ``pr``/``pw`` schemas only matter for the
+    extended methods; on put/get/size actions this is exactly Fig. 7.
+    """
+    return SchemaRepresentation(
+        kind="dictionary",
+        value_schemas=(_R, _W, _PR, _PW),
+        plain_schemas=(_SIZE, _RESIZE),
+        conflict_pairs=(
+            (_W, _W),        # two writes of the same key
+            (_W, _R),        # write vs read of the same key
+            (_PW, _PR),      # presence change vs presence observation
+            (_SIZE, _RESIZE),
+        ),
+        touches=_dictionary_touches,
+    )
+
+
+class DictionarySemantics(ObjectSemantics):
+    """Fig. 5's method effects, executable.
+
+    The abstract state is the key-value mapping with nil entries elided,
+    frozen as a sorted tuple of pairs so states are hashable values.
+    """
+
+    kind = "dictionary"
+
+    #: small domains keep random exploration collision-rich
+    KEYS: Tuple[Any, ...] = ("a", "b", "c")
+    VALUES: Tuple[Any, ...] = (NIL, 1, 2)
+
+    def initial_state(self) -> Tuple:
+        return ()
+
+    @staticmethod
+    def _lookup(state: Tuple, key: Any) -> Any:
+        for entry_key, entry_value in state:
+            if entry_key == key:
+                return entry_value
+        return NIL
+
+    @staticmethod
+    def _store(state: Tuple, key: Any, value: Any) -> Tuple:
+        rest = tuple(kv for kv in state if kv[0] != key)
+        if value is NIL:
+            return tuple(sorted(rest, key=lambda kv: repr(kv[0])))
+        return tuple(sorted(rest + ((key, value),),
+                            key=lambda kv: repr(kv[0])))
+
+    def apply(self, state: Tuple, method: str,
+              args: Tuple[Any, ...]) -> Tuple[Tuple, Tuple[Any, ...]]:
+        if method == "put":
+            key, value = args
+            prev = self._lookup(state, key)
+            return self._store(state, key, value), (prev,)
+        if method == "get":
+            return state, (self._lookup(state, args[0]),)
+        if method == "size":
+            return state, (len(state),)
+        if method == "remove":
+            key = args[0]
+            prev = self._lookup(state, key)
+            return self._store(state, key, NIL), (prev,)
+        if method == "contains":
+            return state, (self._lookup(state, args[0]) is not NIL,)
+        if method == "putIfAbsent":
+            key, value = args
+            prev = self._lookup(state, key)
+            if prev is NIL:
+                return self._store(state, key, value), (NIL,)
+            return state, (prev,)
+        raise ValueError(f"dictionary has no method {method!r}")
+
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        method = rng.choice(("put", "put", "get", "size"))
+        if method == "put":
+            return "put", (rng.choice(self.KEYS), rng.choice(self.VALUES))
+        if method == "get":
+            return "get", (rng.choice(self.KEYS),)
+        return "size", ()

@@ -1,0 +1,117 @@
+"""An append-only log (list) object.
+
+Workloads like event logging append concurrently and occasionally read.
+Appends do *not* commute with each other under a sequence semantics (the
+resulting orders differ), but they do commute under the common *multiset*
+(unordered log) semantics — both flavours are provided, and the contrast is
+used by tests to show how the choice of abstract state changes the races
+reported.
+
+Methods:
+
+* ``append(x)/i`` — add an element; returns its index (sequence flavour)
+  or the new length (multiset flavour — still a size observation!);
+* ``snapshot()/n`` — observe the log length;
+* ``get(i)/x`` — read the element at an index.
+
+For the multiset flavour, ``append`` returning the new length still
+observes the size, so same-object appends conflict; the *blind* variant
+``log(x)/()`` returns nothing and genuinely commutes with other logs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+from ..core.access_points import SchemaRepresentation
+from ..core.events import Action
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+
+__all__ = [
+    "sequence_log_spec",
+    "multiset_log_spec",
+    "multiset_log_representation",
+    "MultisetLogSemantics",
+]
+
+
+def sequence_log_spec() -> CommutativitySpec:
+    """Appends to an order-sensitive log never commute with each other."""
+    spec = CommutativitySpec("seqlog")
+    spec.method("append", params=("x",), returns=("i",))
+    spec.method("snapshot", returns=("n",))
+    spec.method("get", params=("i",), returns=("x",))
+    spec.pair("append", "append", "false")
+    spec.pair("append", "snapshot", "false")
+    spec.pair("append", "get", "true")   # appended slots are fresh
+    spec.default_true()
+    return spec
+
+
+def multiset_log_spec() -> CommutativitySpec:
+    """Blind logs commute; length observations conflict with logs."""
+    spec = CommutativitySpec("msetlog")
+    spec.method("log", params=("x",))
+    spec.method("snapshot", returns=("n",))
+    spec.method("count", params=("x",), returns=("c",))
+    spec.pair("log", "log", "true")
+    spec.pair("log", "snapshot", "false")
+    spec.pair("log", "count", "x1 != x2")
+    spec.default_true()
+    return spec
+
+
+_LOG, _SNAP, _CW, _CR = "log", "snap", "cw", "cr"
+
+
+def _multiset_touches(action: Action):
+    if action.method == "log":
+        yield (_LOG, None)
+        yield (_CW, action.args[0])
+    elif action.method == "snapshot":
+        yield (_SNAP, None)
+    elif action.method == "count":
+        yield (_CR, action.args[0])
+    else:
+        raise ValueError(f"msetlog has no method {action.method!r}")
+
+
+def multiset_log_representation() -> SchemaRepresentation:
+    return SchemaRepresentation(
+        kind="msetlog",
+        value_schemas=(_CW, _CR),
+        plain_schemas=(_LOG, _SNAP),
+        conflict_pairs=((_LOG, _SNAP), (_CW, _CR)),
+        touches=_multiset_touches,
+    )
+
+
+class MultisetLogSemantics(ObjectSemantics):
+    """Executable multiset-log semantics; states are sorted tuples."""
+
+    kind = "msetlog"
+
+    ELEMENTS: Tuple[Any, ...] = ("x", "y", "z")
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def apply(self, state: Tuple[Any, ...], method: str,
+              args: Tuple[Any, ...]) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+        if method == "log":
+            return tuple(sorted(state + (args[0],))), ()
+        if method == "snapshot":
+            return state, (len(state),)
+        if method == "count":
+            return state, (state.count(args[0]),)
+        raise ValueError(f"msetlog has no method {method!r}")
+
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        roll = rng.random()
+        if roll < 0.5:
+            return "log", (rng.choice(self.ELEMENTS),)
+        if roll < 0.75:
+            return "count", (rng.choice(self.ELEMENTS),)
+        return "snapshot", ()

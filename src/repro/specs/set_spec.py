@@ -1,0 +1,123 @@
+"""A mathematical set object — the motivating example ECL captures but
+SIMPLE cannot (Section 6 / Related work).
+
+Methods (returns expose the hidden state as "shadow returns", as the paper
+suggests for precision):
+
+* ``add(x)/b`` — insert ``x``; ``b`` is true iff the set changed;
+* ``remove(x)/b`` — delete ``x``; ``b`` is true iff the set changed;
+* ``contains(x)/b`` — membership test;
+* ``size()/r`` — cardinality.
+
+Commutativity conditions hinge on whether an add/remove was *effective*
+(changed the set): two adds of the same element commute unless exactly one
+was effective (they both return the same post-state membership... they both
+cannot be effective on the same element in either order — if both claim
+``b = true`` neither order realizes both returns, and non-realizable pairs
+may be declared either way; we declare them non-commuting, which is sound).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, FrozenSet, Tuple
+
+from ..core.access_points import SchemaRepresentation
+from ..core.events import Action
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+
+__all__ = ["set_spec", "set_representation", "SetSemantics"]
+
+
+def set_spec() -> CommutativitySpec:
+    """Commutativity specification of a set with effectiveness returns."""
+    spec = CommutativitySpec("set")
+    spec.method("add", params=("x",), returns=("b",))
+    spec.method("remove", params=("x",), returns=("b",))
+    spec.method("contains", params=("x",), returns=("b",))
+    spec.method("size", returns=("r",))
+
+    false, true = "== 0", "== 1"  # effectiveness flags are stored as 0/1
+
+    # Same-element adds commute iff neither is effective (both no-ops).
+    spec.pair("add", "add", f"x1 != x2 | (b1 {false} & b2 {false})")
+    spec.pair("remove", "remove", f"x1 != x2 | (b1 {false} & b2 {false})")
+    # An effective add and any same-element remove interfere, and vice versa.
+    spec.pair("add", "remove", f"x1 != x2 | (b1 {false} & b2 {false})")
+    # Membership observation conflicts with an effective same-element update.
+    spec.pair("add", "contains", f"x1 != x2 | b1 {false}")
+    spec.pair("remove", "contains", f"x1 != x2 | b1 {false}")
+    # Size observation conflicts with any effective update.
+    spec.pair("add", "size", f"b1 {false}")
+    spec.pair("remove", "size", f"b1 {false}")
+    spec.default_true()
+    return spec
+
+
+_R, _W, _SIZE, _RESIZE = "r", "w", "size", "resize"
+
+
+def _set_touches(action: Action):
+    method = action.method
+    if method in ("add", "remove"):
+        effective = bool(action.returns[0])
+        if effective:
+            yield (_W, action.args[0])
+            yield (_RESIZE, None)
+        else:
+            yield (_R, action.args[0])
+    elif method == "contains":
+        yield (_R, action.args[0])
+    elif method == "size":
+        yield (_SIZE, None)
+    else:
+        raise ValueError(f"set has no method {method!r}")
+
+
+def set_representation() -> SchemaRepresentation:
+    """Hand-written representation mirroring Fig. 7's structure.
+
+    Effective updates write the element and resize; ineffective updates and
+    ``contains`` read the element; ``size`` observes the cardinality.
+    """
+    return SchemaRepresentation(
+        kind="set",
+        value_schemas=(_R, _W),
+        plain_schemas=(_SIZE, _RESIZE),
+        conflict_pairs=((_W, _W), (_W, _R), (_SIZE, _RESIZE)),
+        touches=_set_touches,
+    )
+
+
+class SetSemantics(ObjectSemantics):
+    """Executable set semantics; states are frozensets."""
+
+    kind = "set"
+
+    ELEMENTS: Tuple[Any, ...] = ("a", "b", "c")
+
+    def initial_state(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def apply(self, state: FrozenSet[Any], method: str,
+              args: Tuple[Any, ...]) -> Tuple[FrozenSet[Any], Tuple[Any, ...]]:
+        if method == "add":
+            element = args[0]
+            changed = element not in state
+            return state | {element}, (1 if changed else 0,)
+        if method == "remove":
+            element = args[0]
+            changed = element in state
+            return state - {element}, (1 if changed else 0,)
+        if method == "contains":
+            return state, (1 if args[0] in state else 0,)
+        if method == "size":
+            return state, (len(state),)
+        raise ValueError(f"set has no method {method!r}")
+
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        method = rng.choice(("add", "add", "remove", "contains", "size"))
+        if method == "size":
+            return "size", ()
+        return method, (rng.choice(self.ELEMENTS),)

@@ -1,0 +1,150 @@
+"""The MVStore substitute and its database layer."""
+
+import pytest
+
+from repro.apps.mvstore import Database, MVStore, PAGE_SIZE
+from repro.core.events import NIL
+from repro.runtime.monitor import Monitor
+
+
+class TestMVMap:
+    def setup_method(self):
+        self.monitor = Monitor()
+        self.store = MVStore(self.monitor, chunk_count=4, name="s")
+
+    def test_put_get_roundtrip(self):
+        table = self.store.open_map("t")
+        assert table.put("k", "v") is NIL
+        assert table.get("k") == "v"
+        assert table.size() == 1
+
+    def test_open_map_is_idempotent(self):
+        assert self.store.open_map("t") is self.store.open_map("t")
+
+    def test_remove(self):
+        table = self.store.open_map("t")
+        table.put("k", "v")
+        assert table.remove("k") == "v"
+        assert table.remove("k") is NIL
+        assert not table.contains("k")
+
+
+class TestBookkeeping:
+    def setup_method(self):
+        self.monitor = Monitor()
+        self.store = MVStore(self.monitor, chunk_count=4, name="s")
+        self.table = self.store.open_map("t")
+
+    def test_replacement_frees_page_space(self):
+        self.table.put("k", "v1")
+        assert all(v is NIL or v == 0
+                   for v in self.store.freed_page_space.snapshot().values()) \
+            or not self.store.freed_page_space.snapshot()
+        self.table.put("k", "v2")   # replacement frees the old page
+        chunk = self.store.chunk_of("t", "k")
+        assert self.store.freed_page_space.get(chunk) == PAGE_SIZE
+
+    def test_fresh_insert_does_not_free(self):
+        self.table.put("k", "v1")
+        assert len(self.store.freed_page_space) == 0
+
+    def test_reads_materialize_chunks_once(self):
+        self.table.put("k", "v")
+        self.table.get("k")
+        self.table.get("k")
+        assert self.store.chunk_loads.peek() == 1
+        assert self.store.cache_hits.peek() == 1
+
+    def test_write_invalidates_chunk_cache(self):
+        self.table.put("k", "v1")
+        self.table.get("k")         # load chunk
+        self.table.put("k", "v2")   # invalidate
+        self.table.get("k")         # reload
+        assert self.store.chunk_loads.peek() == 2
+
+    def test_chunk_of_is_deterministic(self):
+        assert (self.store.chunk_of("t", "k")
+                == self.store.chunk_of("t", "k"))
+        assert 0 <= self.store.chunk_of("t", "k") < 4
+
+    def test_unsaved_memory_accumulates(self):
+        self.table.put("a", 1)
+        self.table.put("b", 2)
+        assert self.store.unsaved_memory.peek() == 2 * PAGE_SIZE
+
+
+class TestCommit:
+    def test_commit_bumps_version_and_resets_memory(self):
+        monitor = Monitor()
+        store = MVStore(monitor, name="s")
+        table = store.open_map("t")
+        table.put("a", 1)
+        version = store.commit()
+        assert version == 1
+        assert store.current_version.peek() == 1
+        assert store.unsaved_memory.peek() == 0
+        assert store.commit() == 2
+
+    def test_commit_consumes_freed_space(self):
+        monitor = Monitor()
+        store = MVStore(monitor, chunk_count=1, name="s")
+        table = store.open_map("t")
+        table.put("k", 1)
+        table.put("k", 2)     # frees into chunk 0
+        assert store.freed_page_space.get(0) == PAGE_SIZE
+        store.commit()        # version 1 % 1 == 0: consumes chunk 0
+        assert store.freed_page_space.get(0) == 0
+
+
+class TestDatabase:
+    def setup_method(self):
+        self.db = Database(Monitor(), name="db")
+        self.session = self.db.connect()
+
+    def test_insert_select(self):
+        assert self.session.insert("t", "k", ("row",))
+        assert self.session.select("t", "k") == ("row",)
+        assert self.session.select("t", "missing") is None
+
+    def test_duplicate_insert_reports_false(self):
+        assert self.session.insert("t", "k", ("a",))
+        assert not self.session.insert("t", "k", ("b",))
+
+    def test_update_reports_presence(self):
+        assert not self.session.update("t", "k", ("a",))
+        assert self.session.update("t", "k", ("b",))
+
+    def test_delete(self):
+        self.session.insert("t", "k", ("a",))
+        assert self.session.delete("t", "k")
+        assert not self.session.delete("t", "k")
+
+    def test_select_range_skips_absent(self):
+        for index in range(3):
+            self.session.insert("t", f"k{index}", (index,))
+        rows = self.session.select_range("t", ["k0", "nope", "k2"])
+        assert rows == [(0,), (2,)]
+
+    def test_count(self):
+        self.session.insert("t", "a", (1,))
+        self.session.insert("t", "b", (2,))
+        assert self.session.count("t") == 2
+
+    def test_statement_statistics(self):
+        self.session.insert("t", "a", (1,))
+        self.session.select("t", "a")
+        assert self.db.statements_executed.peek() == 2
+        assert self.db.rows_read.peek() == 1
+
+    def test_commit_through_session(self):
+        assert self.session.commit() == 1
+
+    def test_close_releases_objects(self):
+        from repro.runtime.analyzers import Rd2Analyzer
+        rd2 = Rd2Analyzer()
+        db = Database(Monitor(analyzers=[rd2]), name="db2")
+        db.connect().insert("t", "k", (1,))
+        before = len(list(rd2.detector.registered_objects()))
+        db.close()
+        after = len(list(rd2.detector.registered_objects()))
+        assert after < before

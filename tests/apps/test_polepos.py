@@ -1,0 +1,102 @@
+"""The PolePosition circuits."""
+
+import pytest
+
+from repro.apps.polepos.circuits import (CIRCUITS, CircuitConfig,
+                                         circuit_names, get_circuit,
+                                         run_circuit)
+from repro.core.races import CommutativityRace
+from repro.runtime.analyzers import FastTrackAnalyzer, Rd2Analyzer
+from repro.runtime.monitor import Monitor
+
+
+def small(config, ops=25):
+    return CircuitConfig(**{**config.__dict__, "ops_per_worker": ops})
+
+
+class TestCatalog:
+    def test_all_table2_rows_present(self):
+        assert set(circuit_names()) == {
+            "ComplexConcurrency", "ComplexConcurrency-alt",
+            "QueryCentricConcurrency", "InsertCentricConcurrency",
+            "Complex", "NestedLists"}
+
+    def test_get_circuit(self):
+        assert get_circuit("Complex").workers == 1
+        with pytest.raises(KeyError):
+            get_circuit("Monaco")
+
+    def test_single_threaded_circuits(self):
+        assert CIRCUITS["Complex"].workers == 1
+        assert CIRCUITS["NestedLists"].workers == 1
+
+    def test_mix_weights_positive(self):
+        for config in CIRCUITS.values():
+            ops, weights = config.weights()
+            assert len(ops) == len(weights)
+            assert all(weight > 0 for weight in weights)
+
+
+class TestExecution:
+    def test_runs_expected_operation_count(self):
+        config = small(CIRCUITS["ComplexConcurrency"], ops=20)
+        result = run_circuit(config, Monitor(), seed=0)
+        assert result.operations == config.workers * 20
+
+    def test_reproducible_for_fixed_seed(self):
+        config = small(CIRCUITS["ComplexConcurrency"], ops=15)
+        monitor1 = Monitor(analyzers=[Rd2Analyzer()])
+        monitor2 = Monitor(analyzers=[Rd2Analyzer()])
+        run_circuit(config, monitor1, seed=4)
+        run_circuit(config, monitor2, seed=4)
+        races1 = [str(r) for r in monitor1.races()]
+        races2 = [str(r) for r in monitor2.races()]
+        assert races1 == races2
+
+    def test_final_counts_reported(self):
+        config = small(CIRCUITS["ComplexConcurrency"], ops=15)
+        result = run_circuit(config, Monitor(), seed=0)
+        assert set(result.final_counts) == set(config.tables)
+
+
+class TestRaceProfiles:
+    def rd2_objects(self, name, ops=30, seed=0):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        run_circuit(small(CIRCUITS[name], ops=ops), monitor, seed=seed)
+        return {race.obj for race in rd2.races()}, rd2
+
+    def test_query_centric_is_commutativity_clean(self):
+        objects, _ = self.rd2_objects("QueryCentricConcurrency")
+        assert objects == set()
+
+    def test_complex_single_is_commutativity_clean(self):
+        objects, _ = self.rd2_objects("Complex")
+        assert objects == set()
+
+    def test_nested_lists_is_commutativity_clean(self):
+        objects, _ = self.rd2_objects("NestedLists")
+        assert objects == set()
+
+    def test_complex_concurrency_hits_the_h2_maps(self):
+        objects, _ = self.rd2_objects("ComplexConcurrency", ops=60)
+        names = {str(obj) for obj in objects}
+        assert any("freedPageSpace" in name for name in names)
+        assert any("chunks" in name for name in names)
+
+    def test_insert_centric_races_only_on_store_bookkeeping(self):
+        objects, _ = self.rd2_objects("InsertCentricConcurrency", ops=60)
+        names = {str(obj) for obj in objects}
+        assert names, "expected bookkeeping races"
+        assert all("map/" not in name for name in names), \
+            "private keys: the table map itself must be race-free"
+
+    def test_fasttrack_flags_statistics_fields_in_query_centric(self):
+        fasttrack = FastTrackAnalyzer()
+        monitor = Monitor(analyzers=[fasttrack])
+        run_circuit(small(CIRCUITS["QueryCentricConcurrency"], ops=30),
+                    monitor, seed=0)
+        locations = {str(race.location) for race in fasttrack.races()}
+        assert locations, "plain counters must race at the memory level"
+        assert any("stmtCount" in loc or "rowsRead" in loc
+                   for loc in locations)

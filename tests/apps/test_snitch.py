@@ -1,0 +1,103 @@
+"""The DynamicEndpointSnitch substitute."""
+
+import pytest
+
+from repro.apps.snitch import (DynamicEndpointSnitch, SnitchTestConfig,
+                               run_snitch_test)
+from repro.core.events import NIL
+from repro.runtime.analyzers import FastTrackAnalyzer, Rd2Analyzer
+from repro.runtime.monitor import Monitor
+
+
+class TestSnitchUnit:
+    def setup_method(self):
+        self.monitor = Monitor()
+        self.snitch = DynamicEndpointSnitch(self.monitor, ["h1", "h2"],
+                                            name="s")
+
+    def test_receive_timing_accumulates(self):
+        self.snitch.receive_timing("h1", 4.0)
+        self.snitch.receive_timing("h1", 6.0)
+        count, total = self.snitch.samples.get("h1")
+        assert count == 2
+        assert total == 10.0
+
+    def test_window_decay(self):
+        for _ in range(DynamicEndpointSnitch.WINDOW + 1):
+            self.snitch.receive_timing("h1", 2.0)
+        count, _ = self.snitch.samples.get("h1")
+        assert count <= DynamicEndpointSnitch.WINDOW + 1
+
+    def test_update_scores_publishes_averages(self):
+        self.snitch.receive_timing("h1", 4.0)
+        self.snitch.receive_timing("h1", 6.0)
+        self.snitch.receive_timing("h2", 1.0)
+        hint = self.snitch.update_scores()
+        assert hint == 2
+        assert self.snitch.scores.get("h1") == 5.0
+        assert self.snitch.scores.get("h2") == 1.0
+
+    def test_best_endpoint_prefers_low_latency(self):
+        self.snitch.receive_timing("h1", 9.0)
+        self.snitch.receive_timing("h2", 1.0)
+        self.snitch.update_scores()
+        assert self.snitch.best_endpoint() == "h2"
+
+    def test_best_endpoint_none_without_scores(self):
+        assert self.snitch.best_endpoint() is None
+
+    def test_update_scores_skips_unsampled_hosts(self):
+        self.snitch.receive_timing("h1", 3.0)
+        self.snitch.update_scores()
+        assert self.snitch.scores.get("h2") is NIL
+
+
+class TestSnitchTest:
+    def test_run_counts(self):
+        config = SnitchTestConfig(producers=2, timings_per_producer=20,
+                                  score_updates=5)
+        result = run_snitch_test(config, Monitor(), seed=0)
+        assert result.timings == 40
+        assert result.score_rounds == 5
+        assert result.final_scores  # at least the hot host
+
+    def test_reproducible(self):
+        config = SnitchTestConfig(producers=2, timings_per_producer=15,
+                                  score_updates=4)
+        first = run_snitch_test(config, Monitor(), seed=7)
+        second = run_snitch_test(config, Monitor(), seed=7)
+        assert first.final_scores == second.final_scores
+        assert first.stale_hints == second.stale_hints
+
+    def test_rd2_finds_samples_and_scores_races(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        config = SnitchTestConfig(producers=3, timings_per_producer=40,
+                                  score_updates=12)
+        run_snitch_test(config, monitor, seed=1)
+        objects = {str(race.obj) for race in rd2.races()}
+        assert any("samples" in obj for obj in objects)
+        assert any("scores" in obj for obj in objects)
+
+    def test_the_papers_size_hint_race(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        config = SnitchTestConfig(producers=3, timings_per_producer=40,
+                                  score_updates=12)
+        run_snitch_test(config, monitor, seed=1)
+        size_races = [race for race in rd2.races()
+                      if "samples" in str(race.obj)
+                      and ("size" in str(race.point)
+                           or "resize" in str(race.point)
+                           or "size" in str(race.prior_point)
+                           or "resize" in str(race.prior_point))]
+        assert size_races, "expected samples.size() vs put races"
+
+    def test_fasttrack_flags_the_plain_counters(self):
+        fasttrack = FastTrackAnalyzer()
+        monitor = Monitor(analyzers=[fasttrack])
+        config = SnitchTestConfig(producers=3, timings_per_producer=25,
+                                  score_updates=8)
+        run_snitch_test(config, monitor, seed=1)
+        locations = {str(race.location) for race in fasttrack.races()}
+        assert any("updateCount" in loc for loc in locations)

@@ -1,0 +1,105 @@
+"""Transactional database sessions and app-level atomicity analysis."""
+
+import pytest
+
+from repro.apps.mvstore import Database
+from repro.atomicity import AtomicityChecker, ConflictMode
+from repro.runtime.monitor import Monitor
+from repro.sched.scheduler import Scheduler
+from repro.specs.dictionary import dictionary_representation
+
+
+def run_banking(seed, transactional_reader=True):
+    """A balance-transfer app: read-compute-write inside a transaction
+    while another session updates the same row."""
+    monitor = Monitor(record_trace=True)
+    scheduler = Scheduler(monitor, seed=seed)
+    database = Database(monitor, name=f"bank/{seed}")
+    database.bind_scheduler(scheduler)
+
+    def main():
+        setup = database.connect()
+        setup.insert("accounts", "alice", (100,))
+        setup.insert("accounts", "bob", (50,))
+
+        def transfer():
+            session = database.connect()
+            with session.transaction():
+                (alice_balance,) = session.select("accounts", "alice")
+                session.update("accounts", "alice", (alice_balance - 10,))
+
+        def direct_update():
+            session = database.connect()
+            session.update("accounts", "alice", (999,))
+
+        scheduler.join_all([scheduler.spawn(transfer),
+                            scheduler.spawn(direct_update),
+                            scheduler.spawn(transfer)])
+
+    scheduler.run(main)
+    return monitor, database
+
+
+def app_checker(database):
+    checker = AtomicityChecker(ConflictMode.COMMUTATIVITY)
+    # Register every store map the app touched with the dictionary rep.
+    for obj_id in {e.action.obj for e in database.monitor.trace.actions()}:
+        checker.register_object(obj_id, dictionary_representation())
+    return checker
+
+
+class TestSessionTransactions:
+    def test_transaction_context_emits_boundaries(self):
+        monitor = Monitor(record_trace=True)
+        database = Database(monitor, name="db")
+        session = database.connect()
+        with session.transaction() as txn:
+            txn.insert("t", "k", (1,))
+        from repro.core.events import EventKind
+        kinds = [e.kind for e in monitor.trace]
+        assert kinds[0] is EventKind.BEGIN
+        assert kinds[-1] is EventKind.COMMIT
+
+    def test_transaction_yields_the_session(self):
+        database = Database(Monitor(), name="db")
+        session = database.connect()
+        with session.transaction() as txn:
+            assert txn is session
+
+    def test_uninstrumented_transactions_are_free(self):
+        monitor = Monitor()
+        database = Database(monitor, name="db")
+        with database.connect().transaction():
+            pass
+        assert monitor.events_emitted == 0
+
+
+class TestAppLevelAtomicity:
+    def test_some_interleaving_breaks_the_transfer_block(self):
+        flagged = []
+        for seed in range(10):
+            monitor, database = run_banking(seed)
+            database.monitor = monitor  # for app_checker
+            report = app_checker(database).analyze(monitor.trace)
+            flagged.append(not report.serializable)
+        assert any(flagged), \
+            "a direct update should intrude into some transfer block"
+
+    def test_serial_schedule_is_serializable(self):
+        # switch_probability irrelevant: use one worker only.
+        monitor = Monitor(record_trace=True)
+        scheduler = Scheduler(monitor, seed=0)
+        database = Database(monitor, name="serial")
+        database.bind_scheduler(scheduler)
+
+        def main():
+            session = database.connect()
+            session.insert("accounts", "alice", (100,))
+            with session.transaction():
+                (balance,) = session.select("accounts", "alice")
+                session.update("accounts", "alice", (balance - 10,))
+
+        scheduler.run(main)
+        database.monitor = monitor
+        report = app_checker(database).analyze(monitor.trace)
+        assert report.serializable

@@ -1,0 +1,84 @@
+"""Trace → transaction splitting."""
+
+import pytest
+
+from repro.atomicity.transactions import split_transactions
+from repro.core.errors import MonitorError
+from repro.core.events import NIL, begin_event, commit_event
+from repro.core.trace import TraceBuilder
+
+
+def txn_trace():
+    builder = TraceBuilder(root=0)
+    builder.fork(0, 1)
+    builder.begin(1)
+    builder.invoke(1, "o", "put", "a", 1, returns=NIL)
+    builder.invoke(1, "o", "get", "a", returns=1)
+    builder.commit(1)
+    builder.invoke(1, "o", "size", returns=1)
+    return builder.build()
+
+
+class TestSplitting:
+    def test_block_plus_unaries(self):
+        transactions = split_transactions(txn_trace())
+        # fork (unary, tid 0), the block, the trailing size (unary).
+        assert len(transactions) == 3
+        block = transactions[1]
+        assert not block.unary
+        assert len(list(block.operations())) == 2
+        assert transactions[0].unary and transactions[2].unary
+
+    def test_operations_exclude_boundaries(self):
+        block = split_transactions(txn_trace())[1]
+        assert all(not e.kind.is_transactional()
+                   for e in block.operations())
+        assert len(block.events) == 4  # begin + 2 ops + commit
+
+    def test_labels(self):
+        transactions = split_transactions(txn_trace())
+        assert transactions[1].label.startswith("T")
+        assert transactions[0].label.startswith("u")
+        assert "@" in transactions[1].label
+
+    def test_indices_span_events(self):
+        block = split_transactions(txn_trace())[1]
+        assert block.start_index < block.end_index
+
+    def test_interleaved_threads_split_independently(self):
+        builder = TraceBuilder(root=0)
+        builder.fork(0, 1).fork(0, 2)
+        builder.begin(1)
+        builder.begin(2)
+        builder.invoke(1, "o", "get", "a", returns=NIL)
+        builder.invoke(2, "o", "get", "b", returns=NIL)
+        builder.commit(2)
+        builder.commit(1)
+        transactions = split_transactions(builder.build())
+        blocks = [t for t in transactions if not t.unary]
+        assert len(blocks) == 2
+        assert {t.tid for t in blocks} == {1, 2}
+
+    def test_unterminated_block_closed_at_eof(self):
+        builder = TraceBuilder(root=0)
+        builder.begin(0)
+        builder.invoke(0, "o", "size", returns=0)
+        transactions = split_transactions(builder.build())
+        assert len(transactions) == 1
+        assert not transactions[0].unary
+
+    def test_nested_begin_rejected(self):
+        builder = TraceBuilder(root=0)
+        builder.begin(0)
+        builder.begin(0)
+        with pytest.raises(MonitorError):
+            split_transactions(builder.build())
+
+    def test_commit_without_begin_rejected(self):
+        builder = TraceBuilder(root=0)
+        builder.commit(0)
+        with pytest.raises(MonitorError):
+            split_transactions(builder.build())
+
+    def test_empty_trace(self):
+        assert split_transactions(TraceBuilder(root=0).build()) == []

@@ -1,0 +1,117 @@
+"""DJIT+ and its agreement with FastTrack.
+
+FastTrack's guarantee (PLDI'09) is that the epoch optimization reports the
+*same first race per variable* as the full vector-clock analysis (verdicts
+after a variable has already raced may differ, since the two keep different
+summaries of racy history).  We check exactly that on randomized traces.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.djit import Djit
+from repro.baselines.fasttrack import FastTrack
+from repro.core.trace import Trace, TraceBuilder
+
+
+def memory_program(seed, threads, ops, lock_rate):
+    """A consistent random read/write/lock trace."""
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    tids = list(range(1, threads + 1))
+    for tid in tids:
+        builder.fork(0, tid)
+    locations = [f"x{i}" for i in range(3)]
+    locks = ["L1", "L2"]
+    held = {tid: None for tid in tids}
+    for _ in range(ops):
+        tid = rng.choice(tids)
+        roll = rng.random()
+        if roll < lock_rate and held[tid] is None:
+            lock = rng.choice(locks)
+            builder.acquire(tid, lock)
+            held[tid] = lock
+        elif roll < 2 * lock_rate and held[tid] is not None:
+            builder.release(tid, held[tid])
+            held[tid] = None
+        elif roll < 0.6:
+            builder.read(tid, rng.choice(locations))
+        else:
+            builder.write(tid, rng.choice(locations))
+    for tid in tids:
+        if held[tid] is not None:
+            builder.release(tid, held[tid])
+    if rng.random() < 0.5:
+        builder.join_all(0, tids)
+        builder.write(0, rng.choice(locations))
+    return builder.build(stamp=False)
+
+
+def first_races(detector, trace):
+    """location -> index of the first event flagged on it."""
+    first = {}
+    for index, event in enumerate(trace):
+        race = detector.process(event)
+        if race is not None and race.location not in first:
+            first[race.location] = index
+    return first
+
+
+programs = st.tuples(
+    st.integers(0, 2 ** 32 - 1),          # seed
+    st.integers(min_value=1, max_value=4),  # threads
+    st.integers(min_value=0, max_value=60),  # ops
+    st.sampled_from((0.0, 0.15, 0.3)),    # lock rate
+)
+
+
+@given(programs)
+@settings(max_examples=120, deadline=None)
+def test_fasttrack_matches_djit_first_race_per_variable(program):
+    trace = memory_program(*program)
+    ft_first = first_races(FastTrack(root=0), trace)
+    djit_first = first_races(Djit(root=0), trace)
+    assert ft_first == djit_first
+
+
+class TestDjitDirect:
+    def test_basic_write_write_race(self):
+        trace = (TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+                 .write(1, "x").write(2, "x").build(stamp=False))
+        detector = Djit(root=0)
+        detector.run(trace)
+        assert detector.race_count == 1
+
+    def test_lock_protection(self):
+        trace = (TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+                 .acquire(1, "L").write(1, "x").release(1, "L")
+                 .acquire(2, "L").write(2, "x").release(2, "L")
+                 .build(stamp=False))
+        detector = Djit(root=0)
+        detector.run(trace)
+        assert detector.race_count == 0
+
+    def test_shared_reads_then_unordered_write(self):
+        trace = (TraceBuilder(root=0).fork(0, 1).fork(0, 2).fork(0, 3)
+                 .read(1, "x").read(2, "x").write(3, "x")
+                 .build(stamp=False))
+        detector = Djit(root=0)
+        detector.run(trace)
+        assert detector.race_count >= 1
+
+    def test_protocol_errors(self):
+        from repro.core.errors import MonitorError
+        detector = Djit(root=0)
+        with pytest.raises(MonitorError):
+            detector.process(TraceBuilder(root=0).write(9, "x")
+                             .build(stamp=False)[0])
+
+    def test_keep_reports_false(self):
+        trace = (TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+                 .write(1, "x").write(2, "x").build(stamp=False))
+        detector = Djit(root=0, keep_reports=False)
+        detector.run(trace)
+        assert detector.race_count == 1
+        assert detector.races == []

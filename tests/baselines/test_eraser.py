@@ -1,0 +1,99 @@
+"""The Eraser lockset baseline."""
+
+from repro.baselines.eraser import Eraser, LocationState
+from repro.core.trace import TraceBuilder
+
+
+def run(builder):
+    detector = Eraser(root=0)
+    for event in builder.build(stamp=False):
+        detector.process(event)
+    return detector
+
+
+class TestStateMachine:
+    def test_single_thread_never_warns(self):
+        detector = run(TraceBuilder(root=0)
+                       .write(0, "x").read(0, "x").write(0, "x"))
+        assert detector.warning_count == 0
+
+    def test_unprotected_shared_write_warns(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .write(1, "x").write(2, "x"))
+        assert detector.warning_count == 1
+
+    def test_read_sharing_is_benign(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .read(1, "x").read(2, "x"))
+        assert detector.warning_count == 0
+
+    def test_read_then_write_escalates(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .read(1, "x").write(2, "x"))
+        assert detector.warning_count == 1
+
+    def test_consistent_lock_discipline_clean(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .acquire(1, "L").write(1, "x").release(1, "L")
+                       .acquire(2, "L").write(2, "x").release(2, "L"))
+        assert detector.warning_count == 0
+
+    def test_inconsistent_locks_warn(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .acquire(1, "L1").write(1, "x").release(1, "L1")
+                       .acquire(2, "L2").write(2, "x").release(2, "L2"))
+        assert detector.warning_count == 1
+
+    def test_one_of_several_locks_suffices(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .acquire(1, "A").acquire(1, "B")
+                       .write(1, "x")
+                       .release(1, "B").release(1, "A")
+                       .acquire(2, "B").write(2, "x").release(2, "B"))
+        assert detector.warning_count == 0
+
+
+class TestDifferenceFromHappensBefore:
+    def test_fork_join_ordering_does_not_exonerate(self):
+        """Eraser checks discipline, not ordering — unlike FastTrack, a
+        perfectly ordered unprotected location still warns once shared."""
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1)
+                       .write(1, "x")
+                       .join(0, 1)
+                       .write(0, "x"))
+        assert detector.warning_count == 1
+
+
+class TestReporting:
+    def test_one_warning_per_location(self):
+        builder = TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+        for _ in range(4):
+            builder.write(1, "x").write(2, "x")
+        detector = run(builder)
+        assert detector.warning_count == 1
+
+    def test_distinct_locations_warn_separately(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .write(1, "x").write(2, "x")
+                       .write(1, "y").write(2, "y"))
+        assert detector.warning_count == 2
+
+    def test_keep_reports_false(self):
+        detector = Eraser(root=0, keep_reports=False)
+        for event in (TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+                      .write(1, "x").write(2, "x").build(stamp=False)):
+            detector.process(event)
+        assert detector.warning_count == 1
+        assert detector.warnings == []
+
+    def test_location_states_enum(self):
+        assert LocationState.VIRGIN.value == "virgin"
+        assert LocationState.SHARED_MODIFIED.value == "shared-modified"

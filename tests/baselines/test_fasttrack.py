@@ -1,0 +1,169 @@
+"""The FastTrack baseline: classic scenarios and the epoch machinery."""
+
+import pytest
+
+from repro.baselines.fasttrack import Epoch, FastTrack
+from repro.core.errors import MonitorError
+from repro.core.trace import TraceBuilder
+from repro.core.vector_clock import MutableVectorClock
+
+
+def run(builder):
+    detector = FastTrack(root=0)
+    for event in builder.build(stamp=False):
+        detector.process(event)
+    return detector
+
+
+class TestEpoch:
+    def test_leq(self):
+        clock = MutableVectorClock({1: 3})
+        assert Epoch(3, 1).leq(clock)
+        assert not Epoch(4, 1).leq(clock)
+
+    def test_str(self):
+        assert str(Epoch(5, 2)) == "5@2"
+
+
+class TestWriteWrite:
+    def test_unordered_writes_race(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .write(1, "x").write(2, "x"))
+        assert detector.race_count == 1
+        race = detector.races[0]
+        assert race.access == "write"
+        assert race.conflicting == "write"
+
+    def test_program_ordered_writes_fine(self):
+        detector = run(TraceBuilder(root=0).write(0, "x").write(0, "x"))
+        assert detector.race_count == 0
+
+    def test_fork_ordered_writes_fine(self):
+        detector = run(TraceBuilder(root=0)
+                       .write(0, "x")
+                       .fork(0, 1)
+                       .write(1, "x"))
+        assert detector.race_count == 0
+
+    def test_join_ordered_writes_fine(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1)
+                       .write(1, "x")
+                       .join(0, 1)
+                       .write(0, "x"))
+        assert detector.race_count == 0
+
+
+class TestReadWrite:
+    def test_read_after_unordered_write_races(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .write(1, "x").read(2, "x"))
+        assert detector.race_count == 1
+        assert detector.races[0].access == "read"
+
+    def test_write_after_unordered_read_races(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .read(1, "x").write(2, "x"))
+        assert detector.race_count == 1
+        assert detector.races[0].conflicting == "read"
+
+    def test_concurrent_reads_benign(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .read(1, "x").read(2, "x"))
+        assert detector.race_count == 0
+
+    def test_write_after_shared_reads_races(self):
+        # Promoted read vector clock: both readers must be checked.
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2).fork(0, 3)
+                       .read(1, "x").read(2, "x")
+                       .write(3, "x"))
+        assert detector.race_count == 1
+
+    def test_write_after_joined_shared_reads_fine(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .read(1, "x").read(2, "x")
+                       .join(0, 1).join(0, 2)
+                       .write(0, "x"))
+        assert detector.race_count == 0
+
+
+class TestLocks:
+    def test_lock_protected_accesses_fine(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .acquire(1, "L").write(1, "x").release(1, "L")
+                       .acquire(2, "L").write(2, "x").release(2, "L"))
+        assert detector.race_count == 0
+
+    def test_distinct_locks_do_not_protect(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .acquire(1, "L1").write(1, "x").release(1, "L1")
+                       .acquire(2, "L2").write(2, "x").release(2, "L2"))
+        assert detector.race_count == 1
+
+    def test_post_release_access_races_with_protected(self):
+        detector = run(TraceBuilder(root=0)
+                       .fork(0, 1).fork(0, 2)
+                       .acquire(1, "L").write(1, "x").release(1, "L")
+                       .write(2, "x"))
+        assert detector.race_count == 1
+
+
+class TestRedundancy:
+    def test_races_accumulate_per_access(self):
+        """The Table 2 redundancy: many reports, one location."""
+        builder = TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+        for _ in range(5):
+            builder.write(1, "x")
+            builder.write(2, "x")
+        detector = run(builder)
+        assert detector.race_count >= 5
+        assert len({race.location for race in detector.races}) == 1
+
+    def test_same_epoch_fast_path_skips_checks(self):
+        detector = FastTrack(root=0)
+        trace = (TraceBuilder(root=0)
+                 .read(0, "x").read(0, "x").read(0, "x")
+                 .build(stamp=False))
+        for event in trace:
+            detector.process(event)
+        # First read pays a write-check; repeats hit the same-epoch path.
+        assert detector.checks == 1
+
+
+class TestProtocol:
+    def test_unknown_thread_rejected(self):
+        detector = FastTrack(root=0)
+        with pytest.raises(MonitorError):
+            detector.process(
+                TraceBuilder(root=0).write(7, "x").build(stamp=False)[0])
+
+    def test_double_fork_rejected(self):
+        builder = TraceBuilder(root=0).fork(0, 1).fork(0, 1)
+        with pytest.raises(MonitorError):
+            run(builder)
+
+    def test_keep_reports_false(self):
+        detector = FastTrack(root=0, keep_reports=False)
+        for event in (TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+                      .write(1, "x").write(2, "x").build(stamp=False)):
+            detector.process(event)
+        assert detector.race_count == 1
+        assert detector.races == []
+
+    def test_actions_are_ignored(self):
+        from repro.core.events import NIL
+        detector = FastTrack(root=0)
+        trace = (TraceBuilder(root=0)
+                 .invoke(0, "o", "put", "k", 1, returns=NIL)
+                 .build(stamp=False))
+        for event in trace:
+            detector.process(event)
+        assert detector.race_count == 0

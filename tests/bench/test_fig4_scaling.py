@@ -1,0 +1,66 @@
+"""The Fig. 4 and Section 5.4 experiment drivers."""
+
+import pytest
+
+from repro.bench.fig4 import fig4_trace, render_fig4, run_fig4
+from repro.bench.scaling import render_scaling, run_scaling, scaling_trace
+
+
+class TestFig4:
+    def test_direct_checks_scale_with_k(self):
+        points = run_fig4(put_counts=(3, 10, 25))
+        for point in points:
+            # The paper's claim, literally: k checks on invocations...
+            assert point.direct_checks_for_size == point.puts
+            # ...versus a single bounded lookup on access points.
+            assert point.access_point_checks_for_size == 1
+
+    def test_both_detectors_flag_the_size_race(self):
+        points = run_fig4(put_counts=(5,))
+        point = points[0]
+        assert point.direct_races >= 1
+        assert point.access_point_races >= 1
+
+    def test_trace_shape(self):
+        trace = fig4_trace(4).build()
+        actions = trace.actions("o")
+        assert len(actions) == 5
+        assert actions[-1].action.method == "size"
+        # Without joinall, size may happen in parallel with every put.
+        for put_event in actions[:-1]:
+            assert put_event.clock.parallel(actions[-1].clock)
+
+    def test_render(self):
+        text = render_fig4(run_fig4(put_counts=(3,)))
+        assert "Fig. 4" in text
+        assert "3" in text
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scaling(sizes=(100, 400))
+
+    def test_enumerate_checks_stay_constant(self, points):
+        small, large = points
+        assert large.enumerate_checks_per_action <= \
+            small.enumerate_checks_per_action * 1.5 + 1
+
+    def test_scan_checks_grow_linearly(self, points):
+        small, large = points
+        growth = (large.scan_checks_per_action
+                  / max(small.scan_checks_per_action, 1))
+        assert growth > 2.0  # 4× more actions → ~4× more checks
+
+    def test_direct_matches_scan_order(self, points):
+        for point in points:
+            assert point.direct_checks_per_action > \
+                point.enumerate_checks_per_action
+
+    def test_trace_generator_consistent(self):
+        trace = scaling_trace(60, threads=3, seed=1)
+        assert len(trace.actions("o")) == 60
+
+    def test_render(self, points):
+        text = render_scaling(points)
+        assert "Θ(1)" in text or "enum" in text

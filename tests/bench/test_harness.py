@@ -1,0 +1,94 @@
+"""The measurement harness and configuration stacks."""
+
+import pytest
+
+from repro.bench.harness import (CONFIGURATIONS, Measurement, analyzer_stack,
+                                 measure)
+from repro.core.races import RaceTally
+from repro.runtime.analyzers import (DirectAnalyzer, EraserAnalyzer,
+                                     FastTrackAnalyzer, NullAnalyzer,
+                                     Rd2Analyzer)
+from repro.runtime.collections_rt import MonitoredDict
+from repro.runtime.monitor import Monitor
+from repro.sched.scheduler import Scheduler
+
+
+class TestAnalyzerStack:
+    def test_table2_configurations(self):
+        assert CONFIGURATIONS == ("uninstrumented", "fasttrack", "rd2")
+
+    def test_uninstrumented_is_empty(self):
+        assert analyzer_stack("uninstrumented") == []
+
+    def test_fasttrack(self):
+        stack = analyzer_stack("fasttrack")
+        assert len(stack) == 1
+        assert isinstance(stack[0], FastTrackAnalyzer)
+
+    def test_rd2_pays_for_low_level_stream(self):
+        stack = analyzer_stack("rd2")
+        assert isinstance(stack[0], Rd2Analyzer)
+        assert isinstance(stack[1], NullAnalyzer)
+
+    def test_maps_only_variant(self):
+        stack = analyzer_stack("rd2-maps-only")
+        assert len(stack) == 1
+        assert isinstance(stack[0], Rd2Analyzer)
+
+    def test_extra_configs(self):
+        assert isinstance(analyzer_stack("eraser")[0], EraserAnalyzer)
+        assert isinstance(analyzer_stack("direct")[0], DirectAnalyzer)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            analyzer_stack("warp")
+
+
+def racy_workload(monitor: Monitor) -> int:
+    scheduler = Scheduler(monitor, seed=0)
+
+    def main():
+        shared = MonitoredDict(monitor, name="d")
+
+        def worker(value):
+            shared.put("hot", value)
+
+        scheduler.join_all([scheduler.spawn(worker, i) for i in range(3)])
+
+    scheduler.run(main)
+    return 3
+
+
+class TestMeasure:
+    def test_uninstrumented_measurement(self):
+        measurement = measure(racy_workload, "uninstrumented")
+        assert measurement.operations == 3
+        assert measurement.elapsed > 0
+        assert measurement.qps > 0
+        assert measurement.events == 0
+        assert measurement.races_for() == RaceTally(0, 0)
+
+    def test_rd2_measurement_counts_commutativity_races(self):
+        measurement = measure(racy_workload, "rd2")
+        assert measurement.commutativity_races.total >= 1
+        assert measurement.commutativity_races.distinct == 1
+        assert measurement.races_for().total >= 1
+
+    def test_fasttrack_measurement_counts_data_races(self):
+        measurement = measure(racy_workload, "fasttrack")
+        assert measurement.races_for() == measurement.data_races
+
+    def test_maps_only_sees_fewer_events(self):
+        full = measure(racy_workload, "rd2")
+        maps_only = measure(racy_workload, "rd2-maps-only")
+        assert maps_only.events < full.events
+        assert (maps_only.commutativity_races.total
+                == full.commutativity_races.total)
+
+    def test_repeats_keep_best_time(self):
+        measurement = measure(racy_workload, "uninstrumented", repeats=2)
+        assert measurement.elapsed > 0
+
+    def test_eraser_config_tallies_warnings(self):
+        measurement = measure(racy_workload, "eraser")
+        assert measurement.races_for() == measurement.lockset_warnings

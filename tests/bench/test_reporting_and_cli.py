@@ -1,0 +1,82 @@
+"""Text rendering and the command-line front ends."""
+
+import pytest
+
+from repro.bench.reporting import format_rate, format_seconds, render_table
+
+
+class TestFormatting:
+    def test_rate(self):
+        assert format_rate(2011.4) == "2,011 qps"
+        assert format_rate(0) == "0 qps"
+
+    def test_seconds(self):
+        assert format_seconds(2.9066) == "2.907 s"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"],
+                            [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # Right-aligned numeric column: the widths line up.
+        assert lines[2].index("1") == lines[3].index("2") + 1
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_separator_row(self):
+        text = render_table(["col"], [[1]])
+        assert "---" in text.splitlines()[1]
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestBenchCli:
+    def test_fig4_subcommand(self, capsys):
+        from repro.bench.cli import main
+        assert main(["fig4", "--puts", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "5" in out
+
+    def test_scaling_subcommand(self, capsys):
+        from repro.bench.cli import main
+        assert main(["scaling", "--sizes", "50", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "checks" in out
+
+    def test_table2_subcommand_scaled(self, capsys):
+        from repro.bench.cli import main
+        assert main(["table2", "--scale", "0.05", "--no-paper"]) == 0
+        out = capsys.readouterr().out
+        assert "ComplexConcurrency" in out
+        assert "JVM" not in out
+
+    def test_requires_subcommand(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["warp-speed"])
+
+
+class TestTable2Cli:
+    def test_single_benchmark_selection(self, capsys):
+        from repro.bench.table2 import main
+        assert main(["--scale", "0.05", "--benchmark", "NestedLists"]) == 0
+        out = capsys.readouterr().out
+        assert "NestedLists" in out
+        assert "InsertCentric" not in out.split("paper")[0]
+
+    def test_invalid_benchmark_rejected(self):
+        from repro.bench.table2 import main
+        with pytest.raises(SystemExit):
+            main(["--benchmark", "Monaco"])

@@ -1,0 +1,19 @@
+"""Pytest fixtures; the strategy helpers live in tests.support."""
+
+from typing import Dict
+
+import pytest
+from hypothesis import settings
+
+from repro.specs import BundledObject, bundled_objects
+
+# Derandomize property tests: every run explores the same example sequence,
+# so the suite's verdict is reproducible (matching the repository-wide
+# everything-is-seeded policy).
+settings.register_profile("deterministic", derandomize=True)
+settings.load_profile("deterministic")
+
+
+@pytest.fixture(scope="session")
+def bundle() -> Dict[str, BundledObject]:
+    return bundled_objects()

@@ -1,0 +1,161 @@
+"""Access point representations (Section 4.2)."""
+
+import pytest
+
+from repro.core.access_points import (AccessPoint, NaiveRepresentation,
+                                      SchemaRepresentation,
+                                      representations_equivalent)
+from repro.core.errors import SpecificationError
+from repro.core.events import NIL, Action
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+
+from tests.support import sample_actions
+
+
+def tiny_representation(conflicts=(("w", "w"), ("w", "r"))):
+    def touches(action):
+        if action.method == "write":
+            yield ("w", action.args[0])
+        elif action.method == "read":
+            yield ("r", action.args[0])
+        else:
+            yield ("s", None)
+    return SchemaRepresentation(
+        kind="tiny", value_schemas=("r", "w"), plain_schemas=("s",),
+        conflict_pairs=conflicts, touches=touches)
+
+
+class TestSchemaRepresentation:
+    def test_points_of_instantiates_schemas(self):
+        rep = tiny_representation()
+        points = rep.points_of(Action("o", "write", ("k",), ()))
+        assert points == (AccessPoint("o", "w", "k"),)
+
+    def test_value_conflict_requires_equal_values(self):
+        rep = tiny_representation()
+        w_k = AccessPoint("o", "w", "k")
+        w_other = AccessPoint("o", "w", "j")
+        r_k = AccessPoint("o", "r", "k")
+        assert rep.conflicts(w_k, AccessPoint("o", "w", "k"))
+        assert not rep.conflicts(w_k, w_other)
+        assert rep.conflicts(w_k, r_k)
+        assert rep.conflicts(r_k, w_k)  # symmetry
+
+    def test_points_on_different_objects_never_conflict(self):
+        rep = tiny_representation()
+        assert not rep.conflicts(AccessPoint("o1", "w", "k"),
+                                 AccessPoint("o2", "w", "k"))
+
+    def test_non_conflicting_schemas(self):
+        rep = tiny_representation()
+        assert not rep.conflicts(AccessPoint("o", "r", "k"),
+                                 AccessPoint("o", "r", "k"))
+
+    def test_bounded_and_candidates(self):
+        rep = tiny_representation()
+        assert rep.bounded
+        candidates = set(rep.conflicting_candidates(AccessPoint("o", "w", "k")))
+        assert candidates == {AccessPoint("o", "w", "k"),
+                              AccessPoint("o", "r", "k")}
+
+    def test_mixed_valuedness_conflict_is_unbounded(self):
+        rep = tiny_representation(conflicts=(("w", "s"),))
+        assert not rep.bounded
+        with pytest.raises(SpecificationError):
+            list(rep.conflicting_candidates(AccessPoint("o", "s", None)))
+
+    def test_unknown_schema_in_conflicts_rejected(self):
+        with pytest.raises(SpecificationError):
+            tiny_representation(conflicts=(("w", "nope"),))
+
+    def test_schema_cannot_be_both_valued_and_plain(self):
+        with pytest.raises(SpecificationError):
+            SchemaRepresentation("bad", value_schemas=("x",),
+                                 plain_schemas=("x",), conflict_pairs=(),
+                                 touches=lambda a: ())
+
+    def test_touches_validation(self):
+        rep = tiny_representation()
+        # value schema without a value
+        bad = SchemaRepresentation(
+            "bad", value_schemas=("w",), plain_schemas=(),
+            conflict_pairs=(), touches=lambda a: [("w", None)])
+        with pytest.raises(SpecificationError):
+            bad.points_of(Action("o", "write", ("k",), ()))
+        # plain schema with a value
+        bad2 = SchemaRepresentation(
+            "bad", value_schemas=(), plain_schemas=("s",),
+            conflict_pairs=(), touches=lambda a: [("s", "oops")])
+        with pytest.raises(SpecificationError):
+            bad2.points_of(Action("o", "x", (), ()))
+        # unknown schema
+        bad3 = SchemaRepresentation(
+            "bad", value_schemas=(), plain_schemas=("s",),
+            conflict_pairs=(), touches=lambda a: [("mystery", None)])
+        with pytest.raises(SpecificationError):
+            bad3.points_of(Action("o", "x", (), ()))
+
+    def test_max_conflict_degree(self):
+        rep = tiny_representation()
+        assert rep.max_conflict_degree() == 2  # w conflicts with {w, r}
+
+    def test_degree_zero_without_conflicts(self):
+        rep = tiny_representation(conflicts=())
+        assert rep.max_conflict_degree() == 0
+
+    def test_schema_conflicts_lookup(self):
+        rep = tiny_representation()
+        assert rep.schema_conflicts("w") == frozenset({"w", "r"})
+        assert rep.schema_conflicts("s") == frozenset()
+
+
+class TestNaiveRepresentation:
+    def setup_method(self):
+        self.spec = dictionary_spec()
+        self.rep = NaiveRepresentation("dictionary", self.spec.commutes)
+
+    def test_one_point_per_action(self):
+        action = Action("o", "put", ("k", 1), (NIL,))
+        points = self.rep.points_of(action)
+        assert len(points) == 1
+
+    def test_conflicts_iff_spec_says_noncommute(self):
+        put_a = self.rep.points_of(Action("o", "put", ("k", 1), (NIL,)))[0]
+        put_b = self.rep.points_of(Action("o", "put", ("k", 2), (1,)))[0]
+        get_other = self.rep.points_of(Action("o", "get", ("j",), (NIL,)))[0]
+        assert self.rep.conflicts(put_a, put_b)
+        assert not self.rep.conflicts(put_a, get_other)
+
+    def test_unbounded(self):
+        assert not self.rep.bounded
+        point = self.rep.points_of(Action("o", "size", (), (0,)))[0]
+        with pytest.raises(SpecificationError):
+            list(self.rep.conflicting_candidates(point))
+
+
+class TestEquivalenceChecker:
+    def test_handwritten_vs_naive_dictionary_agree(self):
+        spec = dictionary_spec()
+        naive = NaiveRepresentation("dictionary", spec.commutes)
+        hand = dictionary_representation()
+        actions = sample_actions("dictionary", count=40)
+        assert representations_equivalent(hand, naive, actions) is None
+
+    def test_detects_disagreement(self):
+        rep_with = tiny_representation()
+        rep_without = tiny_representation(conflicts=(("w", "w"),))
+        actions = [Action("o", "write", ("k",), ()),
+                   Action("o", "read", ("k",), ())]
+        mismatch = representations_equivalent(rep_with, rep_without, actions)
+        assert mismatch is not None
+        first, second = mismatch
+        assert {first.method, second.method} == {"write", "read"}
+
+
+class TestAccessPointValue:
+    def test_str_with_and_without_value(self):
+        assert str(AccessPoint("o", "w", "k")) == "o:w:'k'"
+        assert str(AccessPoint("o", "size", None)) == "o:size"
+
+    def test_hashable(self):
+        assert AccessPoint("o", "w", "k") in {AccessPoint("o", "w", "k")}

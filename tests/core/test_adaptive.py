@@ -1,0 +1,152 @@
+"""Epoch-adaptive point clocks (FastTrack's insight applied to points)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.core.events import NIL
+from repro.core.trace import TraceBuilder
+from repro.specs.dictionary import dictionary_representation
+
+from tests.support import build_trace, trace_programs
+
+
+def detectors():
+    plain = CommutativityRaceDetector(root=0)
+    plain.register_object("obj", dictionary_representation())
+    adaptive = CommutativityRaceDetector(root=0, adaptive=True)
+    adaptive.register_object("obj", dictionary_representation())
+    return plain, adaptive
+
+
+def race_keys(detector):
+    return sorted((str(r.current), str(r.point), str(r.prior_point))
+                  for r in detector.races)
+
+
+class TestAdaptiveEquivalence:
+    @given(trace_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_reports_on_random_traces(self, program):
+        trace, bundled = build_trace(program)
+        plain = CommutativityRaceDetector(root=0)
+        plain.register_object("obj", bundled.representation())
+        adaptive = CommutativityRaceDetector(root=0, adaptive=True)
+        adaptive.register_object("obj", bundled.representation())
+        plain.run(trace)
+        adaptive.run(trace)
+        assert race_keys(plain) == race_keys(adaptive)
+
+    def test_same_thread_touches_stay_epoch(self):
+        builder = TraceBuilder(root=0)
+        for index in range(5):
+            builder.invoke(0, "obj", "put", "k", index,
+                           returns=NIL if index == 0 else index - 1)
+        _, adaptive = detectors()
+        adaptive.run(builder.build())
+        assert adaptive.stats.epoch_promotions == 0
+
+    def test_second_thread_promotes(self):
+        trace = (TraceBuilder(root=0)
+                 .invoke(0, "obj", "put", "k", 1, returns=NIL)
+                 .fork(0, 1)
+                 .invoke(1, "obj", "put", "k", 2, returns=1)
+                 .build())
+        _, adaptive = detectors()
+        adaptive.run(trace)
+        assert adaptive.stats.epoch_promotions >= 1
+        assert adaptive.races == []  # fork orders the touches
+
+    def test_race_detected_through_epoch(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                 .invoke(2, "obj", "put", "k", 2, returns=1)
+                 .build())
+        plain, adaptive = detectors()
+        plain.run(trace)
+        adaptive.run(trace)
+        assert len(adaptive.races) == len(plain.races) == 1
+
+    def test_domination_scenario(self):
+        """A touch clock with foreign components (via a lock) must still be
+        fully covered by the epoch check."""
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 # thread 2 releases L, thread 1 acquires: t1's clock gains
+                 # a t2 component before touching the point.
+                 .acquire(2, "L").release(2, "L")
+                 .acquire(1, "L")
+                 .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                 .release(1, "L")
+                 # thread 2 reacquires L: ordered after the touch.
+                 .acquire(2, "L")
+                 .invoke(2, "obj", "put", "k", 2, returns=1)
+                 .release(2, "L")
+                 .build())
+        plain, adaptive = detectors()
+        plain.run(trace)
+        adaptive.run(trace)
+        assert race_keys(plain) == race_keys(adaptive) == []
+
+    def test_promoted_point_keeps_detecting(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2).fork(0, 3)
+                 .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                 .invoke(2, "obj", "put", "k", 2, returns=1)   # race 1
+                 .invoke(3, "obj", "put", "k", 3, returns=2)   # races 2
+                 .build())
+        plain, adaptive = detectors()
+        plain.run(trace)
+        adaptive.run(trace)
+        assert race_keys(plain) == race_keys(adaptive)
+        # One report per (touched point, conflicting active point) pair:
+        # put2 vs the accumulated w-point, put3 vs the same — put3 does not
+        # re-report per historical event (Algorithm 1 keeps joins, not
+        # histories), identically in both modes.
+        assert len(adaptive.races) == len(plain.races) == 2
+
+    def test_adaptive_with_pruning(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1)
+                 .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                 .join(0, 1)
+                 .build())
+        adaptive = CommutativityRaceDetector(root=0, adaptive=True,
+                                             prune_interval=1)
+        adaptive.register_object("obj", dictionary_representation())
+        adaptive.run(trace)
+        # The join arrives after the last action, so the interval-driven
+        # prune has not seen it yet; an explicit prune must now reclaim
+        # the epoch-represented points.
+        assert adaptive.prune_ordered_points() > 0
+        assert adaptive.active_point_count() == 0
+
+    @given(trace_programs(kinds=("dictionary", "queue", "set")))
+    @settings(max_examples=30, deadline=None)
+    def test_adaptive_plus_pruning_still_equivalent(self, program):
+        """The two optimizations compose without changing verdicts."""
+        trace, bundled = build_trace(program)
+        plain = CommutativityRaceDetector(root=0)
+        plain.register_object("obj", bundled.representation())
+        optimized = CommutativityRaceDetector(root=0, adaptive=True,
+                                              prune_interval=1)
+        optimized.register_object("obj", bundled.representation())
+        plain.run(trace)
+        optimized.run(trace)
+        assert race_keys(plain) == race_keys(optimized)
+
+    def test_scan_strategy_also_adaptive(self):
+        from repro.core.access_points import NaiveRepresentation
+        from repro.specs.dictionary import dictionary_spec
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                 .invoke(2, "obj", "put", "k", 2, returns=1)
+                 .build())
+        detector = CommutativityRaceDetector(root=0, adaptive=True,
+                                             strategy=Strategy.SCAN)
+        detector.register_object(
+            "obj", NaiveRepresentation("dictionary",
+                                       dictionary_spec().commutes))
+        assert len(detector.run(trace)) == 1

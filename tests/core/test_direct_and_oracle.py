@@ -1,0 +1,118 @@
+"""The direct detector (Section 5.1) and the brute-force oracle."""
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.direct import DirectDetector
+from repro.core.events import NIL
+from repro.core.oracle import CommutativityOracle
+from repro.core.trace import TraceBuilder
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+
+import pytest
+
+
+def race_trace():
+    return (TraceBuilder(root=0)
+            .fork(0, 1).fork(0, 2)
+            .invoke(1, "o", "put", "a", "c1", returns=NIL)
+            .invoke(2, "o", "put", "a", "c2", returns="c1")
+            .join_all(0, [1, 2])
+            .invoke(0, "o", "size", returns=1)
+            .build())
+
+
+class TestDirectDetector:
+    def setup_method(self):
+        self.spec = dictionary_spec()
+
+    def detector(self):
+        det = DirectDetector(root=0)
+        det.register_object("o", self.spec.commutes)
+        return det
+
+    def test_finds_the_race_with_named_prior(self):
+        races = self.detector().run(race_trace())
+        assert len(races) == 1
+        race = races[0]
+        assert race.prior is not None
+        assert race.prior.method == "put"
+        assert race.prior_tid == 1
+        assert race.current_tid == 2
+
+    def test_checks_grow_linearly(self):
+        builder = TraceBuilder(root=0)
+        n = 15
+        for worker in range(1, n + 1):
+            builder.fork(0, worker)
+            builder.invoke(worker, "o", "get", f"k{worker}", returns=NIL)
+        det = self.detector()
+        det.run(builder.build())
+        # i-th action checks against i-1 priors: n(n-1)/2 total.
+        assert det.stats.conflict_checks == n * (n - 1) // 2
+
+    def test_double_registration_rejected(self):
+        det = self.detector()
+        with pytest.raises(ValueError):
+            det.register_object("o", self.spec.commutes)
+
+    def test_unregistered_object_ignored(self):
+        det = DirectDetector(root=0)
+        assert det.run(race_trace()) == []
+
+    def test_agrees_with_access_point_detector(self):
+        trace = race_trace()
+        direct = self.detector().run(trace)
+        rd2 = CommutativityRaceDetector(root=0)
+        rd2.register_object("o", dictionary_representation())
+        assert bool(direct) == bool(rd2.run(trace))
+
+
+class TestOracle:
+    def setup_method(self):
+        self.oracle = CommutativityOracle()
+        self.oracle.register_object("o", dictionary_spec().commutes)
+
+    def test_racing_pairs_on_the_example(self):
+        pairs = self.oracle.racing_pairs(race_trace())
+        assert len(pairs) == 1
+        first, second = pairs[0]
+        assert first.action.method == second.action.method == "put"
+        assert first.index < second.index
+
+    def test_has_race(self):
+        assert self.oracle.has_race(race_trace())
+
+    def test_race_free_trace(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "o", "get", "a", returns=NIL)
+                 .invoke(2, "o", "get", "a", returns=NIL)
+                 .build())
+        assert not self.oracle.has_race(trace)
+        assert self.oracle.racing_pairs(trace) == []
+
+    def test_reports_carry_both_actions(self):
+        reports = self.oracle.reports(race_trace())
+        assert len(reports) == 1
+        assert reports[0].prior is not None
+        assert reports[0].current is not None
+
+    def test_pairs_sorted_by_position(self):
+        builder = TraceBuilder(root=0)
+        for worker in (1, 2, 3):
+            builder.fork(0, worker)
+        builder.invoke(1, "o", "put", "k", 1, returns=NIL)
+        builder.invoke(2, "o", "put", "k", 2, returns=1)
+        builder.invoke(3, "o", "put", "k", 3, returns=2)
+        pairs = self.oracle.racing_pairs(builder.build())
+        assert len(pairs) == 3
+        assert pairs == sorted(pairs, key=lambda p: (p[0].index, p[1].index))
+
+    def test_objects_tracked_separately(self):
+        oracle = CommutativityOracle()
+        oracle.register_object("a", dictionary_spec().commutes)
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "b", "put", "k", 1, returns=NIL)
+                 .invoke(2, "b", "put", "k", 2, returns=1)
+                 .build())
+        assert not oracle.has_race(trace)  # object "b" is unregistered

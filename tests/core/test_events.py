@@ -1,0 +1,95 @@
+"""Actions, events and the nil convention (Section 3.1)."""
+
+import pickle
+
+import pytest
+
+from repro.core.events import (NIL, Action, Event, EventKind, Nil,
+                               acquire_event, action_event, fork_event,
+                               join_event, read_event, release_event,
+                               write_event)
+
+
+class TestNil:
+    def test_singleton(self):
+        assert Nil() is NIL
+        assert Nil() is Nil()
+
+    def test_falsy(self):
+        assert not NIL
+
+    def test_distinct_from_none(self):
+        assert NIL is not None
+        assert NIL != None  # noqa: E711 — the point being tested
+
+    def test_repr(self):
+        assert repr(NIL) == "nil"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NIL)) is NIL
+
+
+class TestAction:
+    def test_values_concatenates_args_and_returns(self):
+        action = Action("o", "put", ("k", "v"), ("p",))
+        assert action.values == ("k", "v", "p")
+
+    def test_hashable_and_value_equal(self):
+        a = Action("o", "get", ("k",), (1,))
+        b = Action("o", "get", ("k",), (1,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_form(self):
+        action = Action("o", "put", (5, 7), (NIL,))
+        assert str(action) == "o.put(5, 7)/nil"
+
+    def test_zero_return_str(self):
+        assert str(Action("c", "add", (1,), ())) == "c.add(1)/()"
+
+
+class TestEventConstruction:
+    def test_action_event(self):
+        event = action_event(3, Action("o", "size", (), (0,)))
+        assert event.kind is EventKind.ACTION
+        assert event.tid == 3
+
+    def test_payload_validation(self):
+        with pytest.raises(ValueError):
+            Event(EventKind.ACTION, 0)
+        with pytest.raises(ValueError):
+            Event(EventKind.FORK, 0)
+        with pytest.raises(ValueError):
+            Event(EventKind.ACQUIRE, 0)
+        with pytest.raises(ValueError):
+            Event(EventKind.READ, 0)
+
+    def test_sync_constructors(self):
+        assert fork_event(0, 1).peer == 1
+        assert join_event(0, 2).peer == 2
+        assert acquire_event(1, "L").lock == "L"
+        assert release_event(1, "L").kind is EventKind.RELEASE
+
+    def test_memory_constructors(self):
+        assert read_event(0, "x").location == "x"
+        assert write_event(0, "x").kind is EventKind.WRITE
+
+    def test_labels_are_informative(self):
+        assert "fork(1)" in fork_event(0, 1).label()
+        assert "acq" in acquire_event(2, "L").label()
+        assert "o.put" in str(action_event(1, Action("o", "put", (1, 2),
+                                                     (NIL,))))
+
+
+class TestEventKind:
+    def test_sync_classification(self):
+        assert EventKind.FORK.is_sync()
+        assert EventKind.RELEASE.is_sync()
+        assert not EventKind.ACTION.is_sync()
+        assert not EventKind.READ.is_sync()
+
+    def test_memory_classification(self):
+        assert EventKind.READ.is_memory()
+        assert EventKind.WRITE.is_memory()
+        assert not EventKind.JOIN.is_memory()

@@ -1,0 +1,99 @@
+"""The paper's Fig. 3 example, reproduced event by event.
+
+Thread τ3 puts ('a.com', c1), τ2 overwrites with c2, the main thread joins
+both and reads size()/1.  The figure gives the vector clocks ⟨3,0,1⟩,
+⟨2,1,0⟩ and ⟨4,1,1⟩ (ordered as ⟨m, τ2, τ3⟩) and the verdict: a1/a2 race on
+o:w:'a.com'; a3 races with nothing because joinall orders it.
+"""
+
+import pytest
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.events import NIL, Action
+from repro.core.trace import TraceBuilder
+from repro.specs.dictionary import dictionary_representation
+
+
+@pytest.fixture()
+def fig3():
+    trace = (TraceBuilder(root="m")
+             .fork("m", "t2")
+             .fork("m", "t3")
+             .action("t3", Action("o", "put", ("a.com", "c1"), (NIL,)))
+             .action("t2", Action("o", "put", ("a.com", "c2"), ("c1",)))
+             .join("m", "t2")
+             .join("m", "t3")
+             .action("m", Action("o", "size", (), (1,)))
+             .build())
+    a1, a2, a3 = trace.actions("o")
+    return trace, a1, a2, a3
+
+
+ORDER = ["m", "t2", "t3"]
+
+
+class TestFig3Clocks:
+    def test_a1_clock(self, fig3):
+        _, a1, _, _ = fig3
+        assert a1.clock.to_tuple(ORDER) == (3, 0, 1)
+
+    def test_a2_clock(self, fig3):
+        _, _, a2, _ = fig3
+        assert a2.clock.to_tuple(ORDER) == (2, 1, 0)
+
+    def test_a3_clock(self, fig3):
+        _, _, _, a3 = fig3
+        assert a3.clock.to_tuple(ORDER) == (4, 1, 1)
+
+    def test_a1_parallel_a2(self, fig3):
+        _, a1, a2, _ = fig3
+        assert a1.clock.parallel(a2.clock)
+
+    def test_a3_ordered_after_both(self, fig3):
+        _, a1, a2, a3 = fig3
+        assert a1.clock.leq(a3.clock)
+        assert a2.clock.leq(a3.clock)
+
+
+class TestFig3Detection:
+    def test_exactly_the_a1_a2_race(self, fig3):
+        trace, _, _, _ = fig3
+        detector = CommutativityRaceDetector(root="m")
+        detector.register_object("o", dictionary_representation())
+        races = detector.run(trace)
+        assert len(races) == 1
+        race = races[0]
+        assert race.current.args == ("a.com", "c2")
+        assert str(race.point).endswith("'a.com'")
+
+    def test_without_joinall_size_races_with_a1_only(self, fig3):
+        # Fig. 3's discussion: without joinall, a3 would conflict with a1
+        # (which resizes) but still not with a2 (which only overwrites).
+        trace = (TraceBuilder(root="m")
+                 .fork("m", "t2")
+                 .fork("m", "t3")
+                 .action("t3", Action("o", "put", ("a.com", "c1"), (NIL,)))
+                 .action("t2", Action("o", "put", ("a.com", "c2"), ("c1",)))
+                 .action("m", Action("o", "size", (), (1,)))
+                 .build())
+        detector = CommutativityRaceDetector(root="m")
+        detector.register_object("o", dictionary_representation())
+        races = detector.run(trace)
+        size_races = [r for r in races if r.current.method == "size"]
+        assert len(size_races) == 1
+        # The conflicting prior point is the resize of a1, not a write of a2.
+        assert "resize" in str(size_races[0].prior_point)
+
+    def test_vector_clock_of_updated_point_joins(self, fig3):
+        # After processing a1 and a2 the algorithm joins their clocks on
+        # the shared point: ⟨3,0,1⟩ ⊔ ⟨2,1,0⟩ = ⟨3,1,1⟩.
+        trace, a1, a2, _ = fig3
+        detector = CommutativityRaceDetector(root="m")
+        detector.register_object("o", dictionary_representation())
+        for event in list(trace)[:4]:  # up to and including a2
+            detector.process(event)
+        state = detector._objects["o"]
+        point_clock = state.point_clock[
+            next(pt for pt in state.active if pt.value == "a.com"
+                 and pt.schema == "w")]
+        assert point_clock.to_tuple(ORDER) == (3, 1, 1)

@@ -1,0 +1,132 @@
+"""Happens-before graph utilities."""
+
+import networkx as nx
+import pytest
+
+from repro.core.events import NIL
+from repro.core.graph import (concurrency_matrix, critical_path,
+                              happens_before_graph, parallelism_profile)
+from repro.core.trace import TraceBuilder
+
+
+def diamond_trace():
+    """Root forks two workers, each acts, then joins — a diamond."""
+    return (TraceBuilder(root=0)
+            .invoke(0, "o", "put", "seed", 0, returns=NIL)
+            .fork(0, 1).fork(0, 2)
+            .invoke(1, "o", "put", "a", 1, returns=NIL)
+            .invoke(2, "o", "put", "b", 2, returns=NIL)
+            .join_all(0, [1, 2])
+            .invoke(0, "o", "size", returns=3)
+            .build())
+
+
+def sequential_trace(n=5):
+    builder = TraceBuilder(root=0)
+    for index in range(n):
+        builder.invoke(0, "o", "put", f"k{index}", index, returns=NIL)
+    return builder.build()
+
+
+class TestHappensBeforeGraph:
+    def test_diamond_shape(self):
+        graph = happens_before_graph(diamond_trace())
+        assert graph.number_of_nodes() == 4
+        seed, left, right, size = sorted(graph.nodes)
+        assert set(graph.successors(seed)) == {left, right}
+        assert set(graph.predecessors(size)) == {left, right}
+        assert not graph.has_edge(left, right)
+
+    def test_transitive_reduction_applied(self):
+        graph = happens_before_graph(sequential_trace(4))
+        # A chain: each node points only to its successor.
+        assert graph.number_of_edges() == 3
+
+    def test_is_a_dag(self):
+        graph = happens_before_graph(diamond_trace())
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_node_attributes(self):
+        graph = happens_before_graph(diamond_trace())
+        node = next(iter(graph.nodes))
+        assert "event" in graph.nodes[node]
+        assert "label" in graph.nodes[node]
+
+    def test_all_events_mode(self):
+        graph = happens_before_graph(diamond_trace(), actions_only=False)
+        assert graph.number_of_nodes() == len(diamond_trace())
+
+    def test_empty_trace(self):
+        graph = happens_before_graph(TraceBuilder(root=0).build())
+        assert graph.number_of_nodes() == 0
+
+
+class TestConcurrencyMatrix:
+    def test_diamond_matrix(self):
+        trace = diamond_trace()
+        matrix = concurrency_matrix(trace)
+        actions = trace.actions()
+        seed, left, right, size = actions
+        assert matrix[(left.index, right.index)] is True
+        assert matrix[(seed.index, left.index)] is False
+        assert matrix[(left.index, size.index)] is False
+
+    def test_sequential_trace_has_no_parallelism(self):
+        matrix = concurrency_matrix(sequential_trace())
+        assert not any(matrix.values())
+
+
+class TestCriticalPath:
+    def test_sequential_trace_path_is_everything(self):
+        trace = sequential_trace(5)
+        assert len(critical_path(trace)) == 5
+
+    def test_diamond_path_skips_one_branch(self):
+        path = critical_path(diamond_trace())
+        assert len(path) == 3  # seed → one worker → size
+
+    def test_empty(self):
+        assert critical_path(TraceBuilder(root=0).build()) == []
+
+
+class TestRacingContext:
+    def test_cones_of_a_racing_pair(self):
+        from repro.core.graph import racing_context
+        trace = diamond_trace()
+        seed, left, right, _ = trace.actions()
+        context = racing_context(trace, left, right)
+        common_indices = {event.index for event in context["common"]}
+        assert seed.index in common_indices          # shared causal past
+        left_only = {event.index for event in context["first_only"]}
+        right_only = {event.index for event in context["second_only"]}
+        assert left.index not in left_only           # self excluded
+        assert not (left_only & right_only)          # cones are disjoint
+
+    def test_ordered_pair_shows_dependency(self):
+        from repro.core.graph import racing_context
+        trace = diamond_trace()
+        seed, left, _, size = trace.actions()
+        context = racing_context(trace, seed, size)
+        second_only = {event.index for event in context["second_only"]}
+        assert left.index in second_only   # size's cone contains the worker
+        assert context["first_only"] == []
+
+
+class TestProfile:
+    def test_sequential_profile(self):
+        profile = parallelism_profile(sequential_trace(5))
+        assert profile["actions"] == 5
+        assert profile["critical_path"] == 5
+        assert profile["parallel_fraction"] == 0.0
+        assert profile["average_width"] == 1.0
+
+    def test_diamond_profile(self):
+        profile = parallelism_profile(diamond_trace())
+        assert profile["critical_path"] == 3
+        assert 0 < profile["parallel_fraction"] < 1
+        assert profile["average_width"] > 1.0
+
+    def test_empty_profile(self):
+        profile = parallelism_profile(TraceBuilder(root=0).build())
+        assert profile["actions"] == 0
+        assert profile["average_width"] == 0.0

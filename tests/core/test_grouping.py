@@ -1,0 +1,108 @@
+"""Race-report grouping (redundancy collapsing)."""
+
+from repro.core.access_points import AccessPoint
+from repro.core.events import NIL, Action
+from repro.core.races import (CommutativityRace, DataRace, LocksetWarning,
+                              group_races)
+from repro.core.trace import TraceBuilder
+from repro.core.vector_clock import VectorClock
+
+
+def commutativity_race(obj="o", schema1="w", schema2="w", key="k"):
+    return CommutativityRace(
+        obj=obj,
+        current=Action(obj, "put", (key, 1), (0,)),
+        current_clock=VectorClock({1: 1}),
+        point=AccessPoint(obj, schema1, key),
+        prior_point=AccessPoint(obj, schema2, key),
+        prior_clock=VectorClock({2: 1}),
+    )
+
+
+def data_race(location="x", access="write", conflicting="write"):
+    return DataRace(location=location, access=access, tid=1,
+                    clock=VectorClock({1: 1}), conflicting=conflicting,
+                    conflicting_tid=2)
+
+
+class TestGrouping:
+    def test_same_schema_pair_collapses_across_keys(self):
+        reports = [commutativity_race(key=f"k{i}") for i in range(5)]
+        groups = group_races(reports)
+        assert len(groups) == 1
+        assert groups[0].count == 5
+
+    def test_different_schema_pairs_stay_separate(self):
+        reports = [commutativity_race(schema1="w", schema2="w"),
+                   commutativity_race(schema1="w", schema2="r")]
+        assert len(group_races(reports)) == 2
+
+    def test_schema_pair_is_unordered(self):
+        reports = [commutativity_race(schema1="w", schema2="r"),
+                   commutativity_race(schema1="r", schema2="w")]
+        assert len(group_races(reports)) == 1
+
+    def test_objects_separate_groups(self):
+        reports = [commutativity_race(obj="o1"),
+                   commutativity_race(obj="o2")]
+        assert len(group_races(reports)) == 2
+
+    def test_data_races_group_by_location_and_kinds(self):
+        reports = [data_race(), data_race(),
+                   data_race(access="read", conflicting="write"),
+                   data_race(location="y")]
+        groups = group_races(reports)
+        assert len(groups) == 3
+        assert groups[0].count == 2
+
+    def test_rw_and_wr_group_together(self):
+        reports = [data_race(access="read", conflicting="write"),
+                   data_race(access="write", conflicting="read")]
+        assert len(group_races(reports)) == 1
+
+    def test_largest_group_first(self):
+        reports = ([data_race(location="rare")]
+                   + [data_race(location="hot")] * 4)
+        groups = group_races(reports)
+        assert groups[0].count == 4
+        assert groups[0].sample.location == "hot"
+
+    def test_sample_is_first_report(self):
+        first = commutativity_race(key="first")
+        later = commutativity_race(key="later")
+        groups = group_races([first, later])
+        assert groups[0].sample is first
+
+    def test_lockset_warnings(self):
+        reports = [LocksetWarning("x", "write", 1),
+                   LocksetWarning("x", "read", 2)]
+        assert len(group_races(reports)) == 1
+
+    def test_str(self):
+        group = group_races([data_race(), data_race()])[0]
+        assert str(group).startswith("[2x]")
+
+    def test_empty(self):
+        assert group_races([]) == ()
+
+
+class TestEndToEndGrouping:
+    def test_detector_output_groups_sensibly(self):
+        from repro.core.detector import CommutativityRaceDetector
+        from repro.specs.dictionary import dictionary_representation
+        builder = TraceBuilder(root=0)
+        for worker in range(1, 7):
+            builder.fork(0, worker)
+        # Three racing put/put pairs on distinct keys: one group.
+        for pair in range(3):
+            builder.invoke(2 * pair + 1, "o", "put", f"k{pair}", 1,
+                           returns=NIL)
+            builder.invoke(2 * pair + 2, "o", "put", f"k{pair}", 2,
+                           returns=1)
+        detector = CommutativityRaceDetector(root=0)
+        detector.register_object("o", dictionary_representation())
+        races = detector.run(builder.build())
+        assert len(races) == 3
+        groups = group_races(races)
+        assert len(groups) == 1
+        assert groups[0].count == 3

@@ -1,0 +1,200 @@
+"""Happens-before tracking per Table 1."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import MonitorError
+from repro.core.events import (Action, acquire_event, action_event,
+                               fork_event, join_event, release_event)
+from repro.core.hb import HappensBeforeTracker
+
+from tests.support import build_trace, trace_programs
+
+
+def act(tid, tag="x"):
+    return action_event(tid, Action("o", "get", (tag,), (0,)))
+
+
+class TestSequentialOrder:
+    def test_same_thread_events_ordered(self):
+        tracker = HappensBeforeTracker(root=0)
+        first = act(0)
+        second = act(0)
+        tracker.observe(first)
+        tracker.observe(second)
+        assert first.clock.leq(second.clock)
+
+    def test_root_clock_not_bottom(self):
+        tracker = HappensBeforeTracker(root=0)
+        event = act(0)
+        tracker.observe(event)
+        assert not event.clock.is_bottom()
+
+
+class TestForkJoin:
+    def test_fork_orders_parent_prefix_before_child(self):
+        tracker = HappensBeforeTracker(root=0)
+        before = act(0)
+        tracker.observe(before)
+        tracker.observe(fork_event(0, 1))
+        child = act(1)
+        tracker.observe(child)
+        assert before.clock.leq(child.clock)
+
+    def test_parent_after_fork_parallel_with_child(self):
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        parent = act(0)
+        child = act(1)
+        tracker.observe(parent)
+        tracker.observe(child)
+        assert parent.clock.parallel(child.clock)
+
+    def test_join_orders_child_before_waiter(self):
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        child = act(1)
+        tracker.observe(child)
+        tracker.observe(join_event(0, 1))
+        after = act(0)
+        tracker.observe(after)
+        assert child.clock.leq(after.clock)
+
+    def test_siblings_parallel(self):
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        tracker.observe(fork_event(0, 2))
+        left = act(1)
+        right = act(2)
+        tracker.observe(left)
+        tracker.observe(right)
+        assert left.clock.parallel(right.clock)
+
+    def test_double_fork_rejected(self):
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        with pytest.raises(MonitorError):
+            tracker.observe(fork_event(0, 1))
+
+    def test_join_unknown_thread_rejected(self):
+        tracker = HappensBeforeTracker(root=0)
+        with pytest.raises(MonitorError):
+            tracker.observe(join_event(0, 9))
+
+    def test_unknown_actor_rejected(self):
+        tracker = HappensBeforeTracker(root=0)
+        with pytest.raises(MonitorError):
+            tracker.observe(act(5))
+
+
+class TestLocks:
+    def test_release_acquire_creates_edge(self):
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        tracker.observe(fork_event(0, 2))
+        tracker.observe(acquire_event(1, "L"))
+        inside_first = act(1)
+        tracker.observe(inside_first)
+        tracker.observe(release_event(1, "L"))
+        tracker.observe(acquire_event(2, "L"))
+        inside_second = act(2)
+        tracker.observe(inside_second)
+        assert inside_first.clock.leq(inside_second.clock)
+
+    def test_different_locks_do_not_order(self):
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        tracker.observe(fork_event(0, 2))
+        tracker.observe(acquire_event(1, "L1"))
+        first = act(1)
+        tracker.observe(first)
+        tracker.observe(release_event(1, "L1"))
+        tracker.observe(acquire_event(2, "L2"))
+        second = act(2)
+        tracker.observe(second)
+        assert first.clock.parallel(second.clock)
+
+    def test_acquire_of_never_released_lock_is_noop(self):
+        tracker = HappensBeforeTracker(root=0)
+        before = act(0)
+        tracker.observe(before)
+        tracker.observe(acquire_event(0, "L"))
+        after = act(0)
+        tracker.observe(after)
+        assert before.clock.leq(after.clock)
+
+    def test_lock_clock_snapshot(self):
+        tracker = HappensBeforeTracker(root=0)
+        assert tracker.lock_clock("L").is_bottom()
+        tracker.observe(acquire_event(0, "L"))
+        tracker.observe(release_event(0, "L"))
+        assert not tracker.lock_clock("L").is_bottom()
+
+    def test_release_increments_thread_clock(self):
+        # Events after a release must not appear ordered before a later
+        # acquire by another thread (the Table 1 post-increment).
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        tracker.observe(acquire_event(0, "L"))
+        tracker.observe(release_event(0, "L"))
+        after_release = act(0)
+        tracker.observe(after_release)
+        tracker.observe(acquire_event(1, "L"))
+        other = act(1)
+        tracker.observe(other)
+        assert after_release.clock.parallel(other.clock)
+
+
+class TestTransactionBoundaries:
+    def test_begin_commit_do_not_advance_clocks(self):
+        from repro.core.events import begin_event, commit_event
+        tracker = HappensBeforeTracker(root=0)
+        before = act(0)
+        tracker.observe(before)
+        begin = begin_event(0)
+        tracker.observe(begin)
+        inside = act(0)
+        tracker.observe(inside)
+        commit = commit_event(0)
+        tracker.observe(commit)
+        # Boundaries are stamped but cost no timestep: the inside action is
+        # exactly one step after the one before the block.
+        assert inside.clock[0] == before.clock[0] + 1
+        assert begin.clock == before.clock
+        assert commit.clock == inside.clock
+
+    def test_boundaries_do_not_synchronize_threads(self):
+        from repro.core.events import begin_event, commit_event
+        tracker = HappensBeforeTracker(root=0)
+        tracker.observe(fork_event(0, 1))
+        tracker.observe(fork_event(0, 2))
+        tracker.observe(begin_event(1))
+        first = act(1)
+        tracker.observe(first)
+        tracker.observe(commit_event(1))
+        tracker.observe(begin_event(2))
+        second = act(2)
+        tracker.observe(second)
+        assert first.clock.parallel(second.clock)
+
+
+class TestTraceLevelProperties:
+    @given(trace_programs())
+    def test_hb_is_consistent_with_trace_order(self, program):
+        """ei ⪯ ej implies ei ≤π ej (the happens-before axiom)."""
+        trace, _ = build_trace(program)
+        actions = trace.actions()
+        for i, first in enumerate(actions):
+            for second in actions[i + 1:]:
+                # second came later in π, so it must not happen-before first
+                assert not (second.clock.leq(first.clock)
+                            and second.clock != first.clock)
+
+    @given(trace_programs())
+    def test_same_thread_actions_totally_ordered(self, program):
+        trace, _ = build_trace(program)
+        actions = trace.actions()
+        for i, first in enumerate(actions):
+            for second in actions[i + 1:]:
+                if first.tid == second.tid:
+                    assert first.clock.leq(second.clock)

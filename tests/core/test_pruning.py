@@ -1,0 +1,120 @@
+"""Active-point pruning (the Section 5.3 future-work optimization)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.core.events import NIL
+from repro.core.trace import TraceBuilder
+from repro.specs.dictionary import dictionary_representation
+
+from tests.support import build_trace, trace_programs
+
+
+def detector(**kwargs):
+    det = CommutativityRaceDetector(root=0, **kwargs)
+    det.register_object("obj", dictionary_representation())
+    return det
+
+
+class TestPruneCriterion:
+    def test_joinall_empties_active_sets(self):
+        builder = TraceBuilder(root=0)
+        for worker in (1, 2, 3):
+            builder.fork(0, worker)
+            builder.invoke(worker, "obj", "put", f"k{worker}", worker,
+                           returns=NIL)
+        builder.join_all(0, [1, 2, 3])
+        det = detector()
+        det.run(builder.build())
+        before = det.active_point_count()
+        assert before > 0
+        reclaimed = det.prune_ordered_points()
+        assert reclaimed == before
+        assert det.active_point_count() == 0
+
+    def test_concurrent_points_survive(self):
+        builder = (TraceBuilder(root=0)
+                   .fork(0, 1).fork(0, 2)
+                   .invoke(1, "obj", "put", "a", 1, returns=NIL))
+        det = detector()
+        det.run(builder.build())
+        # Thread 2 is still live and has not seen the put: must keep it.
+        assert det.prune_ordered_points() == 0
+        assert det.active_point_count() > 0
+
+    def test_partial_join_prunes_partially(self):
+        builder = (TraceBuilder(root=0)
+                   .fork(0, 1).fork(0, 2)
+                   .invoke(1, "obj", "put", "a", 1, returns=NIL)
+                   .invoke(2, "obj", "put", "b", 2, returns=NIL)
+                   .join(0, 1))
+        det = detector()
+        det.run(builder.build())
+        # Thread 1's points are ⊑ both live clocks (root joined it; thread
+        # 2 never saw them) — thread 2 is still live, so nothing with a
+        # clock ⋢ T(2) can go.  Thread 1's put is NOT ⊑ T(2): kept.
+        assert det.prune_ordered_points() == 0
+        builder2 = builder.join(0, 2)
+        det2 = detector()
+        det2.run(builder2.build())
+        # After both joins everything is ordered before the only live
+        # thread (the root): pruning must empty the active sets.
+        assert det2.prune_ordered_points() > 0
+        assert det2.active_point_count() == 0
+
+    def test_prune_on_empty_detector(self):
+        assert detector().prune_ordered_points() == 0
+
+
+class TestPruningPreservesVerdicts:
+    @given(trace_programs(kinds=("dictionary", "set", "counter")))
+    @settings(max_examples=40, deadline=None)
+    def test_aggressive_pruning_same_races(self, program):
+        trace, bundled = build_trace(program)
+
+        plain = CommutativityRaceDetector(root=0)
+        plain.register_object("obj", bundled.representation())
+        plain.run(trace)
+
+        pruned = CommutativityRaceDetector(root=0, prune_interval=1)
+        pruned.register_object("obj", bundled.representation())
+        pruned.run(trace)
+
+        keyed = lambda det: sorted(
+            (str(r.current), str(r.point), str(r.prior_point))
+            for r in det.races)
+        assert keyed(plain) == keyed(pruned)
+
+    def test_race_still_detected_after_interleaved_prunes(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                 .invoke(2, "obj", "put", "k", 2, returns=1)
+                 .build())
+        det = detector(prune_interval=1)
+        races = det.run(trace)
+        assert len(races) == 1
+
+
+class TestMemoryEffect:
+    def test_pruning_bounds_active_sets_with_join_phases(self):
+        """Fork/join phases: pruning keeps the footprint per-phase."""
+        builder = TraceBuilder(root=0)
+        tid = 1
+        for phase in range(5):
+            workers = []
+            for _ in range(3):
+                builder.fork(0, tid)
+                builder.invoke(tid, "obj", "put", f"k{tid}", tid,
+                               returns=NIL)
+                workers.append(tid)
+                tid += 1
+            builder.join_all(0, workers)
+        trace = builder.build()
+
+        unpruned = detector()
+        unpruned.run(trace)
+        pruned = detector(prune_interval=1)
+        pruned.run(trace)
+        assert pruned.active_point_count() < unpruned.active_point_count()

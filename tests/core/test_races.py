@@ -1,0 +1,81 @@
+"""Race reports and the Table 2 ``total (distinct)`` accounting."""
+
+from repro.core.events import Action
+from repro.core.races import (CommutativityRace, DataRace, LocksetWarning,
+                              RaceTally, tally)
+from repro.core.vector_clock import VectorClock
+
+
+def commutativity_race(obj="o"):
+    return CommutativityRace(
+        obj=obj,
+        current=Action(obj, "put", ("k", 1), (0,)),
+        current_clock=VectorClock({1: 1}),
+        point="pt",
+        prior_point="pt'",
+        prior_clock=VectorClock({2: 1}),
+        current_tid=1,
+    )
+
+
+def data_race(location="x"):
+    return DataRace(location=location, access="write", tid=2,
+                    clock=VectorClock({2: 3}), conflicting="read",
+                    conflicting_tid=1)
+
+
+class TestTally:
+    def test_counts_total_and_distinct(self):
+        reports = [commutativity_race("a"), commutativity_race("a"),
+                   commutativity_race("b")]
+        result = tally(reports)
+        assert result.total == 3
+        assert result.distinct == 2
+        assert result.distinct_keys == ("a", "b")
+
+    def test_str_matches_table2_format(self):
+        assert str(RaceTally(1784, 26)) == "1784 (26)"
+
+    def test_empty(self):
+        result = tally([])
+        assert (result.total, result.distinct) == (0, 0)
+
+    def test_mixed_report_kinds_keyed_separately(self):
+        reports = [commutativity_race("x"), data_race("x")]
+        # Same key "x": distinct counting is by key value, not report kind —
+        # callers tally per analyzer, so this only matters if mixed.
+        assert tally(reports).distinct == 1
+
+    def test_distinct_keys_in_first_seen_order(self):
+        reports = [data_race("b"), data_race("a"), data_race("b")]
+        assert tally(reports).distinct_keys == ("b", "a")
+
+
+class TestReportText:
+    def test_commutativity_race_str(self):
+        text = str(commutativity_race())
+        assert "commutativity race" in text
+        assert "o.put" in text
+        assert "thread 1" in text
+
+    def test_commutativity_race_with_prior(self):
+        race = CommutativityRace(
+            obj="o", current=Action("o", "put", ("k", 1), (0,)),
+            current_clock=VectorClock({1: 1}), point="pt",
+            prior_point="pt'", prior_clock=VectorClock({2: 1}),
+            prior=Action("o", "get", ("k",), (0,)))
+        assert "vs o.get" in str(race)
+
+    def test_data_race_str(self):
+        text = str(data_race())
+        assert "data race on x" in text
+        assert "write by thread 2" in text
+
+    def test_lockset_warning_str(self):
+        warning = LocksetWarning(location="y", access="write", tid=3)
+        assert "lockset violation on y" in str(warning)
+
+    def test_distinct_keys(self):
+        assert commutativity_race("obj").distinct_key() == "obj"
+        assert data_race("loc").distinct_key() == "loc"
+        assert LocksetWarning("loc", "read", 0).distinct_key() == "loc"

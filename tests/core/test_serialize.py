@@ -1,0 +1,125 @@
+"""Trace persistence: JSONL round-trips."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import ReproError
+from repro.core.events import NIL, EventKind
+from repro.core.serialize import (dump_trace, dumps_trace, load_trace,
+                                  loads_trace)
+from repro.core.trace import TraceBuilder
+
+from tests.support import build_trace, trace_programs
+
+
+def rich_trace():
+    return (TraceBuilder(root=0)
+            .fork(0, 1).fork(0, 2)
+            .invoke(1, "o", "put", "a.com", "c1", returns=NIL)
+            .acquire(2, "L")
+            .invoke(2, "o", "put", ("nested", "tuple"), 2, returns="c1")
+            .release(2, "L")
+            .write(1, "field")
+            .read(2, "field")
+            .begin(1)
+            .invoke(1, "o", "size", returns=1)
+            .commit(1)
+            .join_all(0, [1, 2])
+            .build())
+
+
+class TestRoundTrip:
+    def test_events_survive(self):
+        original = rich_trace()
+        restored = loads_trace(dumps_trace(original))
+        assert len(restored) == len(original)
+        assert [str(e) for e in restored] == [str(e) for e in original]
+
+    def test_nil_identity_preserved(self):
+        restored = loads_trace(dumps_trace(rich_trace()))
+        put = restored.actions("o")[0]
+        assert put.action.returns[0] is NIL
+
+    def test_nested_tuples_preserved(self):
+        restored = loads_trace(dumps_trace(rich_trace()))
+        second_put = restored.actions("o")[1]
+        assert second_put.action.args[0] == ("nested", "tuple")
+        assert isinstance(second_put.action.args[0], tuple)
+
+    def test_clocks_recomputed_on_load(self):
+        restored = loads_trace(dumps_trace(rich_trace()))
+        assert restored.stamped
+        originals = rich_trace()
+        for restored_event, original_event in zip(restored, originals):
+            assert restored_event.clock == original_event.clock
+
+    def test_load_without_stamping(self):
+        restored = loads_trace(dumps_trace(rich_trace()), stamp=False)
+        assert not restored.stamped
+
+    def test_file_like_streams(self):
+        buffer = io.StringIO()
+        dump_trace(rich_trace(), buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == len(rich_trace())
+
+    @given(trace_programs(kinds=("dictionary", "counter", "msetlog")))
+    @settings(max_examples=25, deadline=None)
+    def test_random_traces_round_trip(self, program):
+        trace, _ = build_trace(program)
+        restored = loads_trace(dumps_trace(trace))
+        assert [str(e) for e in restored] == [str(e) for e in trace]
+
+    def test_detector_verdicts_survive_round_trip(self):
+        from repro.core.detector import CommutativityRaceDetector
+        from repro.specs.dictionary import dictionary_representation
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "o", "put", "k", 1, returns=NIL)
+                 .invoke(2, "o", "put", "k", 2, returns=1)
+                 .build())
+        restored = loads_trace(dumps_trace(trace))
+        det = CommutativityRaceDetector(root=0)
+        det.register_object("o", dictionary_representation())
+        assert len(det.run(restored)) == 1
+
+
+class TestErrors:
+    def test_unserializable_value_rejected(self):
+        trace = (TraceBuilder(root=0)
+                 .invoke(0, "o", "put", object(), 1, returns=NIL)
+                 .build())
+        with pytest.raises(ReproError):
+            dumps_trace(trace)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ReproError):
+            loads_trace("")
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ReproError):
+            loads_trace('{"something": "else"}\n')
+
+    def test_truncation_detected(self):
+        text = dumps_trace(rich_trace())
+        lines = text.strip().split("\n")
+        with pytest.raises(ReproError):
+            loads_trace("\n".join(lines[:-1]) + "\n")
+
+    def test_unknown_sentinel_rejected(self):
+        header = '{"repro-trace": 1, "root": 0, "events": 1}\n'
+        bad = header + '{"kind": "read", "tid": 0, "location": {"$moon": 1}}\n'
+        with pytest.raises(ReproError):
+            loads_trace(bad)
+
+    def test_bad_event_kind_rejected(self):
+        header = '{"repro-trace": 1, "root": 0, "events": 1}\n'
+        with pytest.raises(ReproError):
+            loads_trace(header + '{"kind": "teleport", "tid": 0}\n')
+
+    def test_blank_lines_tolerated(self):
+        text = dumps_trace(rich_trace())
+        padded = text.replace("\n", "\n\n", 3)
+        assert len(loads_trace(padded)) == len(rich_trace())

@@ -1,0 +1,99 @@
+"""Theorem 5.2: race-free traces are happens-before deterministic.
+
+If a trace has no commutativity races w.r.t. its happens-before relation
+and a sound specification, then every trace admitting the same
+happens-before relation (i.e. every HB-consistent linearization of the same
+events) is (1) defined — all recorded returns remain realizable — and
+(2) ends in the same final state.
+
+We generate consistent random traces, keep the race-free ones, enumerate
+random HB-consistent linearizations, execute them against the object's
+abstract semantics and compare final states.  As a sanity check in the
+other direction, the racy Fig. 3 trace has two linearizations with
+*different* outcomes, showing the theorem's hypothesis is not vacuous.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.core.events import NIL, Action
+from repro.core.oracle import CommutativityOracle
+from repro.core.trace import TraceBuilder
+from repro.logic.semantics import apply_action
+from repro.specs.dictionary import DictionarySemantics
+
+from tests.support import build_trace, trace_programs
+
+
+def hb_linearizations(trace, rng, count=5):
+    """Random linearizations of the action events consistent with HB."""
+    actions = trace.actions()
+    for _ in range(count):
+        remaining = list(actions)
+        order = []
+        while remaining:
+            minimal = [event for event in remaining
+                       if not any(other.clock.leq(event.clock)
+                                  and other.clock != event.clock
+                                  for other in remaining
+                                  if other is not event)]
+            choice = rng.choice(minimal)
+            order.append(choice)
+            remaining.remove(choice)
+        yield order
+
+
+def execute(semantics, order):
+    """Run actions in the given order; None if some return is unrealizable."""
+    state = semantics.initial_state()
+    for event in order:
+        state = apply_action(semantics, state, event.action)
+        if state is None:
+            return None
+    return state
+
+
+@given(trace_programs())
+@settings(max_examples=50, deadline=None)
+def test_race_free_traces_are_deterministic(program):
+    trace, bundled = build_trace(program)
+    oracle = CommutativityOracle()
+    oracle.register_object("obj", bundled.spec().commutes)
+    if oracle.has_race(trace):
+        return  # theorem only speaks about race-free traces
+
+    semantics = bundled.semantics()
+    rng = random.Random(program[1])
+    outcomes = {execute(semantics, order)
+                for order in hb_linearizations(trace, rng)}
+    assert None not in outcomes, "a linearization became undefined"
+    assert len(outcomes) == 1, "race-free trace produced divergent states"
+
+
+def test_racy_trace_can_diverge():
+    """The converse sanity check on the paper's Fig. 1 race."""
+    trace = (TraceBuilder(root=0)
+             .fork(0, 1).fork(0, 2)
+             .action(1, Action("o", "put", ("a.com", "c1"), (NIL,)))
+             .action(2, Action("o", "put", ("a.com", "c2"), ("c1",)))
+             .build())
+    semantics = DictionarySemantics()
+    a1, a2 = trace.actions()
+    one_way = execute(semantics, [a1, a2])
+    other_way = execute(semantics, [a2, a1])
+    # In the recorded order both effects are defined and leave c2; in the
+    # other order a2's recorded return 'c1' is unrealizable.
+    assert one_way == (("a.com", "c2"),)
+    assert other_way is None
+
+
+def test_ordered_trace_has_single_linearization():
+    trace = (TraceBuilder(root=0)
+             .action(0, Action("o", "put", ("k", 1), (NIL,)))
+             .action(0, Action("o", "put", ("k", 2), (1,)))
+             .build())
+    rng = random.Random(0)
+    orders = {tuple(e.index for e in order)
+              for order in hb_linearizations(trace, rng)}
+    assert orders == {(0, 1)}

@@ -1,0 +1,109 @@
+"""Trace recording, stamping and inspection."""
+
+import pytest
+
+from repro.core.events import NIL, Action, EventKind
+from repro.core.trace import Trace, TraceBuilder
+
+
+def sample_trace():
+    return (TraceBuilder(root=0)
+            .fork(0, 1).fork(0, 2)
+            .invoke(1, "o", "put", "a", 1, returns=NIL)
+            .invoke(2, "o", "put", "b", 2, returns=NIL)
+            .acquire(1, "L").release(1, "L")
+            .join(0, 1).join(0, 2)
+            .invoke(0, "o", "size", returns=2)
+            .build())
+
+
+class TestBuilder:
+    def test_event_indices_are_positions(self):
+        trace = sample_trace()
+        assert [event.index for event in trace] == list(range(len(trace)))
+
+    def test_invoke_wraps_returns(self):
+        trace = (TraceBuilder().invoke(0, "o", "get", "k", returns=5)
+                 .build(stamp=False))
+        assert trace[0].action.returns == (5,)
+
+    def test_invoke_accepts_tuple_returns(self):
+        trace = (TraceBuilder().invoke(0, "o", "m", returns=(1, 2))
+                 .build(stamp=False))
+        assert trace[0].action.returns == (1, 2)
+
+    def test_join_all(self):
+        trace = (TraceBuilder(root=0).fork(0, 1).fork(0, 2)
+                 .join_all(0, [1, 2]).build(stamp=False))
+        assert [e.kind for e in trace] == [EventKind.FORK, EventKind.FORK,
+                                           EventKind.JOIN, EventKind.JOIN]
+
+    def test_read_write_events(self):
+        trace = (TraceBuilder().write(0, "x").read(0, "x")
+                 .build(stamp=False))
+        assert trace[0].kind is EventKind.WRITE
+        assert trace[1].kind is EventKind.READ
+
+
+class TestStamping:
+    def test_build_stamps_by_default(self):
+        trace = sample_trace()
+        assert trace.stamped
+        assert all(event.clock is not None for event in trace)
+
+    def test_append_invalidates_stamp(self):
+        trace = sample_trace()
+        trace.append(TraceBuilder().invoke(0, "o", "size", returns=2)
+                     .build(stamp=False)[0])
+        assert not trace.stamped
+
+    def test_may_happen_in_parallel_stamps_lazily(self):
+        trace = sample_trace()
+        trace._stamped = False
+        a, b = trace.actions("o")[:2]
+        assert trace.may_happen_in_parallel(a, b)
+
+
+class TestViews:
+    def test_actions_filters_by_object(self):
+        trace = sample_trace()
+        assert len(trace.actions("o")) == 3
+        assert trace.actions("other") == []
+
+    def test_objects_in_first_touch_order(self):
+        trace = (TraceBuilder().invoke(0, "b", "size", returns=0)
+                 .invoke(0, "a", "size", returns=0)
+                 .invoke(0, "b", "size", returns=0).build())
+        assert trace.objects() == ["b", "a"]
+
+    def test_threads_include_root_and_forked(self):
+        assert sample_trace().threads() == [0, 1, 2]
+
+    def test_unordered_action_pairs(self):
+        trace = sample_trace()
+        pairs = list(trace.unordered_action_pairs("o"))
+        assert len(pairs) == 1
+        first, second = pairs[0]
+        assert {first.tid, second.tid} == {1, 2}
+        assert first.index < second.index
+
+    def test_size_after_joinall_is_ordered(self):
+        trace = sample_trace()
+        size_event = trace.actions("o")[-1]
+        for event in trace.actions("o")[:-1]:
+            assert event.clock.leq(size_event.clock)
+
+
+class TestReplay:
+    def test_replay_feeds_every_event(self):
+        trace = sample_trace()
+        seen = []
+        trace.replay(seen.append)
+        assert seen == list(trace.events)
+
+    def test_getitem(self):
+        trace = sample_trace()
+        assert trace[0].kind is EventKind.FORK
+
+    def test_repr(self):
+        assert "events" in repr(sample_trace())

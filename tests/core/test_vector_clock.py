@@ -1,0 +1,184 @@
+"""Vector clock lattice laws and representation details (Section 3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vector_clock import (BOTTOM, MutableVectorClock, VectorClock)
+
+clocks = st.dictionaries(st.integers(min_value=0, max_value=5),
+                         st.integers(min_value=0, max_value=8),
+                         max_size=6).map(VectorClock)
+
+
+class TestConstruction:
+    def test_empty_is_bottom(self):
+        assert VectorClock().is_bottom()
+        assert BOTTOM.is_bottom()
+
+    def test_zero_entries_elided(self):
+        clock = VectorClock({1: 0, 2: 3})
+        assert len(clock) == 1
+        assert clock == VectorClock({2: 3})
+
+    def test_lookup_of_unknown_thread_is_zero(self):
+        assert VectorClock({1: 4})[99] == 0
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock({1: -1})
+        with pytest.raises(ValueError):
+            MutableVectorClock({1: -2})
+
+    def test_accepts_pairs_iterable(self):
+        assert VectorClock([(1, 2), (3, 4)]) == VectorClock({1: 2, 3: 4})
+
+    def test_repr_mentions_entries(self):
+        assert "1" in repr(VectorClock({1: 2}))
+
+
+class TestOrder:
+    def test_bottom_leq_everything(self):
+        assert BOTTOM.leq(VectorClock({1: 1, 2: 9}))
+
+    def test_pointwise_comparison(self):
+        small = VectorClock({1: 1, 2: 2})
+        large = VectorClock({1: 1, 2: 3})
+        assert small.leq(large)
+        assert not large.leq(small)
+        assert small < large
+
+    def test_incomparable_clocks_are_parallel(self):
+        left = VectorClock({1: 2})
+        right = VectorClock({2: 2})
+        assert left.parallel(right)
+        assert right.parallel(left)
+
+    def test_equal_clocks_not_parallel(self):
+        clock = VectorClock({1: 2})
+        assert not clock.parallel(VectorClock({1: 2}))
+
+    def test_the_paper_fig3_comparisons(self):
+        # ⟨3,0,1⟩ vs ⟨2,1,0⟩ incomparable; both ⊑ ⟨4,1,1⟩.
+        a1 = VectorClock({0: 3, 2: 1})
+        a2 = VectorClock({0: 2, 1: 1})
+        a3 = VectorClock({0: 4, 1: 1, 2: 1})
+        assert a1.parallel(a2)
+        assert a1.leq(a3) and a2.leq(a3)
+
+    @given(clocks, clocks)
+    def test_leq_antisymmetry(self, c1, c2):
+        if c1.leq(c2) and c2.leq(c1):
+            assert c1 == c2
+
+    @given(clocks, clocks, clocks)
+    def test_leq_transitivity(self, c1, c2, c3):
+        if c1.leq(c2) and c2.leq(c3):
+            assert c1.leq(c3)
+
+
+class TestJoin:
+    def test_join_is_pointwise_max(self):
+        joined = VectorClock({1: 2, 2: 5}) | VectorClock({1: 3, 3: 1})
+        assert joined == VectorClock({1: 3, 2: 5, 3: 1})
+
+    @given(clocks, clocks)
+    def test_join_is_upper_bound(self, c1, c2):
+        joined = c1.join(c2)
+        assert c1.leq(joined) and c2.leq(joined)
+
+    @given(clocks, clocks, clocks)
+    def test_join_is_least_upper_bound(self, c1, c2, upper):
+        if c1.leq(upper) and c2.leq(upper):
+            assert c1.join(c2).leq(upper)
+
+    @given(clocks, clocks)
+    def test_join_commutes(self, c1, c2):
+        assert c1.join(c2) == c2.join(c1)
+
+    @given(clocks)
+    def test_join_idempotent(self, clock):
+        assert clock.join(clock) == clock
+
+    @given(clocks)
+    def test_bottom_is_identity(self, clock):
+        assert BOTTOM.join(clock) == clock
+
+
+class TestInc:
+    def test_inc_bumps_single_component(self):
+        clock = VectorClock({1: 1}).inc(1).inc(2)
+        assert clock == VectorClock({1: 2, 2: 1})
+
+    @given(clocks, st.integers(min_value=0, max_value=5))
+    def test_inc_strictly_increases(self, clock, tid):
+        bumped = clock.inc(tid)
+        assert clock.leq(bumped)
+        assert clock != bumped
+
+    def test_inc_does_not_mutate(self):
+        clock = VectorClock({1: 1})
+        clock.inc(1)
+        assert clock == VectorClock({1: 1})
+
+
+class TestValueSemantics:
+    @given(clocks)
+    def test_hash_consistent_with_equality(self, clock):
+        same = VectorClock(dict(clock.items()))
+        assert clock == same
+        assert hash(clock) == hash(same)
+
+    def test_equality_across_mutable_and_frozen(self):
+        frozen = VectorClock({1: 2})
+        mutable = MutableVectorClock({1: 2})
+        assert frozen == mutable
+        assert mutable == frozen
+
+    def test_mutable_is_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(MutableVectorClock())
+
+    def test_to_tuple_renders_dense_form(self):
+        clock = VectorClock({"m": 4, "t2": 1, "t3": 1})
+        assert clock.to_tuple(["m", "t2", "t3"]) == (4, 1, 1)
+
+
+class TestMutable:
+    def test_join_in_place(self):
+        clock = MutableVectorClock({1: 1})
+        clock.join_in_place(VectorClock({2: 4}))
+        assert clock == VectorClock({1: 1, 2: 4})
+
+    def test_inc_in_place(self):
+        clock = MutableVectorClock()
+        clock.inc_in_place(7).inc_in_place(7)
+        assert clock[7] == 2
+
+    def test_freeze_snapshots(self):
+        clock = MutableVectorClock({1: 1})
+        snapshot = clock.freeze()
+        clock.inc_in_place(1)
+        assert snapshot == VectorClock({1: 1})
+        assert clock[1] == 2
+
+    def test_copy_is_independent(self):
+        clock = MutableVectorClock({1: 1})
+        other = clock.copy()
+        other.inc_in_place(1)
+        assert clock[1] == 1
+
+    def test_set_component(self):
+        clock = MutableVectorClock({1: 5})
+        clock.set_component(1, 3)
+        clock.set_component(2, 4)
+        assert clock == VectorClock({1: 3, 2: 4})
+
+    def test_set_component_zero_removes(self):
+        clock = MutableVectorClock({1: 5})
+        clock.set_component(1, 0)
+        assert len(clock) == 0
+
+    def test_set_component_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MutableVectorClock().set_component(1, -1)

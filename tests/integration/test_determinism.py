@@ -1,0 +1,68 @@
+"""Cross-run determinism of the whole stack (a substitution requirement:
+seeded scheduling must make every experiment reproducible)."""
+
+import pytest
+
+from repro.apps.polepos.circuits import CIRCUITS, CircuitConfig, run_circuit
+from repro.bench.fig4 import run_fig4
+from repro.bench.scaling import scaling_trace
+from repro.runtime.analyzers import FastTrackAnalyzer, Rd2Analyzer
+from repro.runtime.monitor import Monitor
+from repro.sched.workload import WorkloadConfig, generate_trace
+
+
+def tiny(name, ops=20):
+    config = CIRCUITS[name]
+    return CircuitConfig(**{**config.__dict__, "ops_per_worker": ops})
+
+
+class TestCircuitDeterminism:
+    @pytest.mark.parametrize("name", ["ComplexConcurrency",
+                                      "InsertCentricConcurrency"])
+    def test_identical_race_reports_across_runs(self, name):
+        def run_once():
+            rd2, fasttrack = Rd2Analyzer(), FastTrackAnalyzer()
+            monitor = Monitor(analyzers=[rd2, fasttrack])
+            run_circuit(tiny(name), monitor, seed=13)
+            return ([str(r) for r in rd2.races()],
+                    [str(r) for r in fasttrack.races()])
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_vary_interleavings(self):
+        def count_races(seed):
+            rd2 = Rd2Analyzer()
+            monitor = Monitor(analyzers=[rd2])
+            run_circuit(tiny("ComplexConcurrency"), monitor, seed=seed)
+            return len(rd2.races())
+
+        counts = {count_races(seed) for seed in range(5)}
+        assert len(counts) > 1, "seeds should explore distinct schedules"
+
+    def test_event_stream_identical_across_configs(self):
+        """The same seed must produce the same trace whether or not
+        analyzers are attached — otherwise Table 2 cells would not be
+        comparable."""
+        def stream(analyzers):
+            monitor = Monitor(analyzers=analyzers, record_trace=True)
+            run_circuit(tiny("ComplexConcurrency", ops=10), monitor, seed=3)
+            return [str(event) for event in monitor.trace]
+
+        with_rd2 = stream([Rd2Analyzer()])
+        with_ft = stream([FastTrackAnalyzer()])
+        assert with_rd2 == with_ft
+
+
+class TestGeneratorDeterminism:
+    def test_workload_generator(self):
+        config = WorkloadConfig(threads=3, ops_per_thread=12, seed=21)
+        assert ([str(e) for e in generate_trace(config).trace]
+                == [str(e) for e in generate_trace(config).trace])
+
+    def test_scaling_trace(self):
+        first = scaling_trace(50, seed=2)
+        second = scaling_trace(50, seed=2)
+        assert [str(e) for e in first] == [str(e) for e in second]
+
+    def test_fig4_counts_stable(self):
+        assert run_fig4(put_counts=(7,)) == run_fig4(put_counts=(7,))

@@ -1,0 +1,202 @@
+"""End-to-end pipelines: scheduler → runtime → analyzers → verdicts."""
+
+import pytest
+
+from repro.core.oracle import CommutativityOracle
+from repro.core.races import CommutativityRace
+from repro.runtime.analyzers import (DirectAnalyzer, FastTrackAnalyzer,
+                                     Rd2Analyzer)
+from repro.runtime.collections_rt import (MonitoredCounter, MonitoredDict,
+                                          MonitoredSet)
+from repro.runtime.monitor import Monitor
+from repro.runtime.shared import MonitoredLock, SharedVar, interface_event
+from repro.sched.scheduler import Scheduler
+from repro.specs.dictionary import extended_dictionary_spec
+
+
+def fig1_program(monitor, scheduler, hosts):
+    """The paper's Fig. 1, parameterized over the host list."""
+    def main():
+        connections = MonitoredDict(monitor, name="o")
+
+        def connect(host, serial):
+            connections.put(host, f"c{serial}")
+
+        handles = [scheduler.spawn(connect, host, index)
+                   for index, host in enumerate(hosts)]
+        scheduler.join_all(handles)
+        return connections.size()
+
+    return scheduler.run(main)
+
+
+class TestFig1:
+    def test_duplicate_hosts_race(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        size = fig1_program(monitor, Scheduler(monitor, seed=1),
+                            ["a.com", "a.com", "b.com"])
+        assert size == 2
+        races = rd2.races()
+        assert races
+        assert all(race.obj == "o" for race in races)
+        assert all(race.current.method == "put" for race in races)
+
+    def test_unique_hosts_race_free(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        size = fig1_program(monitor, Scheduler(monitor, seed=1),
+                            ["a.com", "b.com", "c.com"])
+        assert size == 3
+        assert rd2.races() == []
+
+    def test_size_after_joinall_never_races(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        fig1_program(monitor, Scheduler(monitor, seed=1),
+                     ["a.com", "a.com"])
+        assert all(race.current.method != "size" for race in rd2.races())
+
+
+class TestOnlineVsOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_recorded_trace_confirms_online_verdicts(self, seed):
+        """Record the runtime's interface trace; the offline oracle must
+        agree with the online detector (Theorem 5.1, end to end)."""
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2], record_trace=True)
+        scheduler = Scheduler(monitor, seed=seed)
+
+        def main():
+            d = MonitoredDict(monitor, name="d")
+            s = MonitoredSet(monitor, name="s")
+
+            def worker(i):
+                d.put(f"k{i % 2}", i)
+                s.add(i % 3)
+                d.get("k0")
+                d.size()
+
+            scheduler.join_all([scheduler.spawn(worker, i)
+                                for i in range(3)])
+
+        scheduler.run(main)
+
+        # Replay the interface-level trace through the oracle.
+        from repro.core.trace import Trace
+        interface = Trace(root=0)
+        for event in monitor.trace:
+            if interface_event(event):
+                # Re-create the event sans stale stamps.
+                from dataclasses import replace
+                interface.append(replace(event, clock=None, index=-1))
+        interface.stamp()
+        oracle = CommutativityOracle()
+        from repro.specs.set_spec import set_spec
+        oracle.register_object("d", extended_dictionary_spec().commutes)
+        oracle.register_object("s", set_spec().commutes)
+        assert bool(rd2.races()) == bool(oracle.racing_pairs(interface))
+
+
+class TestCommutativityVsReadWrite:
+    def test_counter_separates_the_analyses(self):
+        """Concurrent increments: a read/write race but no commutativity
+        race — the generalization argument of the paper's introduction."""
+        rd2, fasttrack = Rd2Analyzer(), FastTrackAnalyzer()
+        monitor = Monitor(analyzers=[rd2, fasttrack])
+        scheduler = Scheduler(monitor, seed=0)
+
+        def main():
+            counter = MonitoredCounter(monitor, name="c")
+            raw = SharedVar(monitor, 0, name="raw")
+
+            def worker():
+                counter.add(1)      # commutes: no RD2 race
+                raw.add(1)          # unsynchronized RMW: FastTrack race
+
+            scheduler.join_all([scheduler.spawn(worker) for _ in range(3)])
+            counter.read()          # would race, but ordered by joins
+
+        scheduler.run(main)
+        assert rd2.races() == []
+        assert any(race.location == "raw" for race in fasttrack.races())
+
+    def test_unjoined_read_races_commutatively(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        scheduler = Scheduler(monitor, seed=0)
+
+        def main():
+            counter = MonitoredCounter(monitor, name="c")
+
+            def worker():
+                counter.add(1)
+
+            handle = scheduler.spawn(worker)
+            counter.read()           # concurrent with the add
+            scheduler.join(handle)
+
+        scheduler.run(main)
+        assert any(isinstance(race, CommutativityRace)
+                   for race in rd2.races())
+
+
+class TestLockDiscipline:
+    def test_locked_check_then_act_is_race_free(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        scheduler = Scheduler(monitor, seed=3)
+
+        def main():
+            d = MonitoredDict(monitor, name="d")
+            lock = MonitoredLock(monitor, name="guard")
+            lock.bind_scheduler(scheduler)
+
+            def worker(i):
+                with lock:
+                    if not d.contains("hot"):
+                        d.put("hot", i)
+
+            scheduler.join_all([scheduler.spawn(worker, i)
+                                for i in range(4)])
+
+        scheduler.run(main)
+        assert rd2.races() == []
+
+    def test_unlocked_check_then_act_races(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        scheduler = Scheduler(monitor, seed=3)
+
+        def main():
+            d = MonitoredDict(monitor, name="d")
+
+            def worker(i):
+                if not d.contains("hot"):
+                    d.put("hot", i)
+
+            scheduler.join_all([scheduler.spawn(worker, i)
+                                for i in range(4)])
+
+        scheduler.run(main)
+        assert rd2.races()
+
+
+class TestDirectAgreesEndToEnd:
+    def test_direct_and_rd2_agree_on_program(self):
+        rd2, direct = Rd2Analyzer(), DirectAnalyzer()
+        monitor = Monitor(analyzers=[rd2, direct])
+        scheduler = Scheduler(monitor, seed=5)
+
+        def main():
+            d = MonitoredDict(monitor, name="d")
+
+            def worker(i):
+                d.put("k", i)
+                d.size()
+
+            scheduler.join_all([scheduler.spawn(worker, i)
+                                for i in range(3)])
+
+        scheduler.run(main)
+        assert bool(rd2.races()) == bool(direct.races())

@@ -1,0 +1,160 @@
+"""Formula AST: construction, evaluation, traversal, side operations."""
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.core.events import NIL
+from repro.logic.formulas import (FALSE, TRUE, And, Atom, Const, Not, Or,
+                                  Side, Var, atoms_of, conj, disj, eq,
+                                  evaluate, ge, gt, le, lt, map_atoms, ne,
+                                  normalize_sides, register_predicate,
+                                  sides_of, subformulas, swap_sides, var1,
+                                  var2, vars_of)
+
+
+class TestTerms:
+    def test_var_str_includes_side(self):
+        assert str(var1("k")) == "k1"
+        assert str(var2("k")) == "k2"
+        assert str(Var("k")) == "k"
+
+    def test_const_str(self):
+        assert str(Const(5)) == "5"
+        assert str(Const(NIL)) == "nil"
+
+    def test_side_other(self):
+        assert Side.FIRST.other() is Side.SECOND
+        assert Side.SECOND.other() is Side.FIRST
+
+
+class TestAtoms:
+    def test_helpers_coerce_plain_values_to_consts(self):
+        atom = eq(var1("v"), 5)
+        assert atom.args == (var1("v"), Const(5))
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(SpecificationError):
+            Atom("frobnicate", (Const(1), Const(2)))
+
+    def test_arity_checked(self):
+        with pytest.raises(SpecificationError):
+            Atom("eq", (Const(1),))
+
+    def test_infix_rendering(self):
+        assert str(ne(var1("k"), var2("k"))) == "k1 ≠ k2"
+        assert str(le(var1("d"), 0)) == "d1 ≤ 0"
+
+    def test_custom_predicate_registration(self):
+        register_predicate("divides_test", 2,
+                           lambda a, b: b % a == 0 if a else False)
+        atom = Atom("divides_test", (Const(3), Const(9)))
+        assert evaluate(atom, lambda v: None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SpecificationError):
+            register_predicate("eq", 2, lambda a, b: True)
+
+
+class TestEvaluation:
+    def test_boolean_structure(self):
+        formula = Or(And(TRUE, FALSE), Not(FALSE))
+        assert evaluate(formula, lambda v: None)
+
+    def test_atom_lookup(self):
+        formula = And(eq(var1("k"), var2("k")), ne(var1("v"), 3))
+        env = {var1("k"): 7, var2("k"): 7, var1("v"): 4}
+        assert evaluate(formula, env.__getitem__)
+
+    def test_nil_guarded_orders(self):
+        assert not evaluate(lt(var1("x"), 5), lambda v: NIL)
+        assert not evaluate(ge(var1("x"), 5), lambda v: NIL)
+        assert evaluate(gt(var1("x"), 5), lambda v: 9)
+
+    def test_paper_put_put_formula(self):
+        # k1 ≠ k2 ∨ (v1 = p1 ∧ v2 = p2)
+        formula = Or(ne(var1("k"), var2("k")),
+                     And(eq(var1("v"), var1("p")),
+                         eq(var2("v"), var2("p"))))
+        same_key_noop = {var1("k"): "a", var2("k"): "a",
+                         var1("v"): 1, var1("p"): 1,
+                         var2("v"): 2, var2("p"): 2}
+        assert evaluate(formula, same_key_noop.__getitem__)
+        same_key_write = dict(same_key_noop)
+        same_key_write[var1("p")] = 9
+        assert not evaluate(formula, same_key_write.__getitem__)
+
+
+class TestCombinators:
+    def test_conj_empty_is_true(self):
+        assert conj() == TRUE
+
+    def test_disj_empty_is_false(self):
+        assert disj() == FALSE
+
+    def test_conj_folds(self):
+        a, b, c = (eq(var1("x"), i) for i in range(3))
+        assert conj(a, b, c) == And(a, And(b, c))
+
+    def test_operators(self):
+        a, b = eq(var1("x"), 1), eq(var2("y"), 2)
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert (~a) == Not(a)
+
+
+class TestTraversal:
+    FORMULA = Or(ne(var1("k"), var2("k")),
+                 And(eq(var1("v"), var1("p")), Not(eq(var2("v"), 0))))
+
+    def test_subformulas_preorder(self):
+        kinds = [type(sub).__name__ for sub in subformulas(self.FORMULA)]
+        assert kinds[0] == "Or"
+        assert "Not" in kinds
+
+    def test_atoms_of(self):
+        atoms = list(atoms_of(self.FORMULA))
+        assert len(atoms) == 3
+
+    def test_vars_of(self):
+        names = {str(v) for v in vars_of(self.FORMULA)}
+        assert names == {"k1", "k2", "v1", "p1", "v2"}
+
+    def test_sides_of(self):
+        assert sides_of(self.FORMULA) == frozenset({Side.FIRST, Side.SECOND})
+
+
+class TestSideOperations:
+    def test_swap_sides(self):
+        formula = And(eq(var1("v"), var1("p")), ne(var1("k"), var2("k")))
+        swapped = swap_sides(formula)
+        assert swapped == And(eq(var2("v"), var2("p")),
+                              ne(var2("k"), var1("k")))
+
+    def test_swap_is_involutive(self):
+        formula = Or(ne(var1("k"), var2("k")), eq(var2("v"), 0))
+        assert swap_sides(swap_sides(formula)) == formula
+
+    def test_normalize_erases_sides(self):
+        formula = eq(var1("v"), var1("p"))
+        assert normalize_sides(formula) == eq(Var("v"), Var("p"))
+
+    def test_normalize_identifies_both_sides(self):
+        assert (normalize_sides(eq(var1("v"), var1("p")))
+                == normalize_sides(eq(var2("v"), var2("p"))))
+
+    def test_map_atoms_replaces(self):
+        formula = And(eq(var1("x"), 1), TRUE)
+        rewritten = map_atoms(formula, lambda atom: FALSE)
+        assert rewritten == And(FALSE, TRUE)
+
+
+class TestValueSemantics:
+    def test_formulas_hashable(self):
+        f1 = And(eq(var1("x"), 1), TRUE)
+        f2 = And(eq(var1("x"), 1), TRUE)
+        assert f1 == f2
+        assert len({f1, f2}) == 1
+
+    def test_distinct_formulas_unequal(self):
+        assert eq(var1("x"), 1) != eq(var1("x"), 2)
+        assert TRUE != FALSE

@@ -1,0 +1,162 @@
+"""SIMPLE / LB / ECL fragment classification (Section 6.1)."""
+
+import pytest
+
+from repro.core.errors import FragmentError
+from repro.logic.formulas import (FALSE, TRUE, And, Atom, Const, Not, Or,
+                                  eq, lt, ne, var1, var2)
+from repro.logic.fragments import (atom_side, canonical_lb_atom, is_ecl,
+                                   is_lb, is_lb_atom, is_ls_atom, is_simple,
+                                   lb_atoms, ls_atoms, require_ecl)
+from repro.logic.parser import parse_formula
+from repro.logic.formulas import Side
+
+
+class TestAtomClassification:
+    def test_cross_side_disequality_is_ls(self):
+        assert is_ls_atom(ne(var1("k"), var2("k")))
+        assert is_ls_atom(ne(var2("k"), var1("j")))  # either orientation
+
+    def test_equality_is_not_ls(self):
+        assert not is_ls_atom(eq(var1("k"), var2("k")))
+
+    def test_same_side_disequality_is_not_ls(self):
+        assert not is_ls_atom(ne(var1("k"), var1("j")))
+
+    def test_var_const_disequality_is_not_ls(self):
+        assert not is_ls_atom(ne(var1("v"), Const(0)))
+
+    def test_lb_atom_single_side(self):
+        assert is_lb_atom(eq(var1("v"), var1("p")))
+        assert is_lb_atom(lt(Const(0), var2("z")))
+        assert is_lb_atom(eq(Const(1), Const(1)))  # ground
+
+    def test_lb_atom_rejects_mixed_sides(self):
+        assert not is_lb_atom(lt(var1("x"), var2("z")))
+
+    def test_atom_side(self):
+        assert atom_side(eq(var1("v"), var1("p"))) is Side.FIRST
+        assert atom_side(eq(var2("v"), Const(0))) is Side.SECOND
+        assert atom_side(eq(Const(1), Const(2))) is None
+        assert atom_side(eq(var1("v"), var2("v"))) is None
+
+
+class TestSimple:
+    def test_paper_grammar_examples(self):
+        assert is_simple(TRUE)
+        assert is_simple(FALSE)
+        assert is_simple(ne(var1("k"), var2("k")))
+        assert is_simple(And(ne(var1("k"), var2("k")),
+                             ne(var1("v"), var2("v"))))
+
+    def test_disjunction_not_simple(self):
+        assert not is_simple(Or(ne(var1("k"), var2("k")), TRUE))
+
+    def test_equality_not_simple(self):
+        # The paper: ϕ_put_put is not SIMPLE because it compares v1 = p1.
+        assert not is_simple(parse_formula("v1 == p1"))
+
+    def test_negation_not_simple(self):
+        assert not is_simple(Not(ne(var1("k"), var2("k"))))
+
+
+class TestLb:
+    def test_one_sided_boolean_combinations(self):
+        # The paper's example: x < y ∧ 0 < z with x,y ∈ V1, z ∈ V2.
+        formula = And(lt(var1("x"), var1("y")), lt(Const(0), var2("z")))
+        assert is_lb(formula)
+
+    def test_mixed_atom_rejected(self):
+        assert not is_lb(lt(var1("x"), var2("z")))
+
+    def test_negation_allowed(self):
+        assert is_lb(Not(eq(var1("v"), Const(0))))
+
+    def test_ls_atom_is_not_lb(self):
+        assert not is_lb(ne(var1("k"), var2("k")))
+
+    def test_or_allowed(self):
+        assert is_lb(parse_formula(
+            "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)"))
+
+
+class TestEcl:
+    @pytest.mark.parametrize("text", [
+        "k1 != k2 | (v1 == p1 & v2 == p2)",            # ϕ_put_put
+        "k1 != k2 | v1 == p1",                         # ϕ_put_get
+        "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)",  # ϕ_put_size
+        "true",
+        "false",
+        "x1 != x2 | (b1 == 0 & b2 == 0)",
+        "k1 != k2 & v1 != v2",
+        "d1 <= 0",
+    ])
+    def test_paper_and_library_formulas_are_ecl(self, text):
+        assert is_ecl(parse_formula(text))
+
+    def test_cross_side_equality_not_ecl(self):
+        assert not is_ecl(parse_formula("k1 == k2"))
+
+    def test_cross_side_order_not_ecl(self):
+        assert not is_ecl(parse_formula("x1 < y2"))
+
+    def test_disjunction_of_two_ls_not_ecl(self):
+        # X ∨ X is not derivable: Or requires an LB side.
+        formula = Or(ne(var1("k"), var2("k")), ne(var1("v"), var2("v")))
+        assert not is_ecl(formula)
+
+    def test_or_accepts_lb_on_either_side(self):
+        ls = ne(var1("k"), var2("k"))
+        lb = eq(var1("v"), var1("p"))
+        assert is_ecl(Or(ls, lb))
+        assert is_ecl(Or(lb, ls))
+
+    def test_conjunction_of_ecl_is_ecl(self):
+        left = parse_formula("k1 != k2 | v1 == p1")
+        right = parse_formula("v2 == nil")
+        assert is_ecl(And(left, right))
+
+    def test_require_ecl_raises_outside(self):
+        with pytest.raises(FragmentError):
+            require_ecl(parse_formula("k1 == k2"), context="test")
+
+    def test_require_ecl_passes_inside(self):
+        require_ecl(parse_formula("k1 != k2"))
+
+
+class TestAtomCollection:
+    def test_lb_atoms_canonicalize_ne(self):
+        formula = parse_formula(
+            "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)")
+        atoms = lb_atoms(formula)
+        # v ≠ nil collapses onto the atom v = nil.
+        assert len(atoms) == 2
+
+    def test_lb_atoms_exclude_ls(self):
+        formula = parse_formula("k1 != k2 | v1 == p1")
+        atoms = lb_atoms(formula)
+        assert len(atoms) == 1
+        assert atoms[0].pred == "eq"
+
+    def test_lb_atoms_rejects_non_ecl(self):
+        with pytest.raises(FragmentError):
+            lb_atoms(parse_formula("x1 < y2"))
+
+    def test_ls_atoms(self):
+        formula = parse_formula("k1 != k2 & v1 != v2 & p1 == p1")
+        assert len(ls_atoms(formula)) == 2
+
+    def test_canonical_lb_atom(self):
+        atom, positive = canonical_lb_atom(ne(var1("v"), Const(0)))
+        assert atom.pred == "eq"
+        assert not positive
+        atom2, positive2 = canonical_lb_atom(eq(var1("v"), Const(0)))
+        assert positive2
+        assert atom2.pred == "eq"
+
+    def test_order_atoms_not_canonicalized(self):
+        # gt is not the exact complement of le under nil-guarded semantics.
+        atom, positive = canonical_lb_atom(
+            Atom("gt", (var1("d"), Const(0))))
+        assert atom.pred == "gt"
+        assert positive

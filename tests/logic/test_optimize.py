@@ -1,0 +1,129 @@
+"""The Appendix A.3 optimization passes."""
+
+import pytest
+
+from repro.core.access_points import representations_equivalent
+from repro.core.events import NIL, Action
+from repro.logic.optimize import (merge_congruent, optimize_translation,
+                                  remove_conflict_free)
+from repro.logic.translate import (DS, build_raw_translation,
+                                   build_representation, translate)
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+from repro.specs.set_spec import set_spec
+
+from tests.support import sample_actions
+
+
+@pytest.fixture()
+def raw():
+    return build_raw_translation(dictionary_spec())
+
+
+class TestCleanup:
+    def test_removes_conflict_free_schemas(self, raw):
+        removed = remove_conflict_free(raw)
+        assert removed > 0
+        assert all(raw.conflicts.get(s) for s in raw.schemas)
+
+    def test_idempotent(self, raw):
+        remove_conflict_free(raw)
+        assert remove_conflict_free(raw) == 0
+
+    def test_value_slots_of_get_v_and_put_v_p_removed(self, raw):
+        remove_conflict_free(raw)
+        # Slots 1 (v) and 2 (p) of put never appear in any conjunct.
+        assert not any(s.method == "put" and s.slot in (1, 2)
+                       for s in raw.schemas)
+        # get's return slot likewise.
+        assert not any(s.method == "get" and s.slot == 1
+                       for s in raw.schemas)
+
+
+class TestMerge:
+    def test_reaches_fig7_size(self, raw):
+        remove_conflict_free(raw)
+        merge_congruent(raw)
+        # Fig. 7: r, w, size, resize.
+        assert raw.schema_count() == 4
+
+    def test_merge_unifies_get_slot_with_put_reader_slot(self, raw):
+        """The appendix's *replacement*: o.get:∅:1:v ≡ o:r:v."""
+        optimize_translation(raw)
+        rep = build_representation(raw)
+        get_pt = rep.points_of(Action("o", "get", ("k",), (NIL,)))[0]
+        noop_put_pt = rep.points_of(Action("o", "put", ("k", 5), (5,)))[0]
+        assert get_pt == noop_put_pt
+
+    def test_merged_conflicts_match_fig7(self, raw):
+        optimize_translation(raw)
+        rep = build_representation(raw)
+        writer = rep.points_of(Action("o", "put", ("k", 5), (6,)))[0]
+        reader = rep.points_of(Action("o", "get", ("k",), (5,)))[0]
+        size_pt = rep.points_of(Action("o", "size", (), (1,)))[0]
+        insert_pts = rep.points_of(Action("o", "put", ("k", 5), (NIL,)))
+        resize_pt = next(pt for pt in insert_pts if pt.value is None)
+        assert rep.conflicts(writer, writer)        # w × w
+        assert rep.conflicts(writer, reader)        # w × r
+        assert not rep.conflicts(reader, reader)    # r × r: no
+        assert rep.conflicts(size_pt, resize_pt)    # size × resize
+        assert not rep.conflicts(size_pt, size_pt)  # size × size: no
+
+    def test_merge_terminates_and_is_stable(self, raw):
+        optimize_translation(raw)
+        before = raw.schema_count()
+        optimize_translation(raw)
+        assert raw.schema_count() == before
+
+
+class TestEquivalencePreservation:
+    """Each pass preserves Definition 4.5 equivalence with the spec."""
+
+    def rep_commutes(self, rep, a, b):
+        pa, pb = rep.points_of(a), rep.points_of(b)
+        return not any(rep.conflicts(x, y) for x in pa for y in pb)
+
+    @pytest.mark.parametrize("passes", [
+        (),
+        (remove_conflict_free,),
+        (remove_conflict_free, merge_congruent),
+        (optimize_translation,),
+    ])
+    def test_dictionary_pipeline(self, passes):
+        spec = dictionary_spec()
+        raw = build_raw_translation(spec)
+        for optimization in passes:
+            optimization(raw)
+        rep = build_representation(raw)
+        for a in sample_actions("dictionary", count=30):
+            for b in sample_actions("dictionary", count=30, seed=77):
+                assert self.rep_commutes(rep, a, b) == spec.commutes(a, b)
+
+    def test_set_spec_optimization_equivalent(self):
+        spec = set_spec()
+        optimized = translate(spec, optimize=True)
+        raw = translate(spec, optimize=False)
+        actions = sample_actions("set", count=40)
+        assert representations_equivalent(optimized, raw, actions) is None
+
+    def test_optimized_matches_handwritten_fig7(self):
+        translated = translate(dictionary_spec())
+        hand = dictionary_representation()
+        actions = sample_actions("dictionary", count=50)
+        assert representations_equivalent(translated, hand, actions) is None
+
+
+class TestDegreeReduction:
+    def test_optimization_reduces_schema_count_for_all_bundled(self):
+        from repro.specs import bundled_objects
+        for kind, bundled in bundled_objects().items():
+            spec = bundled.spec()
+            raw = build_raw_translation(spec)
+            before = raw.schema_count()
+            optimize_translation(raw)
+            assert raw.schema_count() <= before, kind
+
+    def test_optimization_never_raises_max_degree(self):
+        raw = build_raw_translation(dictionary_spec())
+        before = raw.max_degree()
+        optimize_translation(raw)
+        assert raw.max_degree() <= before

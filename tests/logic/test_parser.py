@@ -1,0 +1,128 @@
+"""The textual formula syntax."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.events import NIL
+from repro.logic.formulas import (FALSE, TRUE, And, Atom, Const, Not, Or,
+                                  Var, eq, ne, var1, var2)
+from repro.logic.parser import default_resolver, parse_formula
+
+
+class TestTerms:
+    def test_side_suffix_convention(self):
+        formula = parse_formula("k1 != k2")
+        assert formula == ne(var1("k"), var2("k"))
+
+    def test_nil_and_none(self):
+        formula = parse_formula("v1 == nil & p1 == none")
+        assert formula == And(eq(var1("v"), Const(NIL)),
+                              eq(var1("p"), Const(None)))
+
+    def test_numbers(self):
+        assert parse_formula("d1 == 0") == eq(var1("d"), Const(0))
+        assert parse_formula("d1 < -2") == Atom("lt", (var1("d"), Const(-2)))
+        assert parse_formula("d1 == 1.5") == eq(var1("d"), Const(1.5))
+
+    def test_strings(self):
+        assert parse_formula("k1 == 'a.com'") == eq(var1("k"),
+                                                    Const("a.com"))
+        assert parse_formula('k1 == "x y"') == eq(var1("k"), Const("x y"))
+
+    def test_multi_character_names(self):
+        formula = parse_formula("key1 != key2")
+        assert formula == ne(var1("key"), var2("key"))
+
+    def test_missing_side_suffix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("k != k2")
+
+    def test_custom_resolver(self):
+        resolve = lambda name: Var(name, None)
+        formula = parse_formula("k == 3", resolve=resolve)
+        assert formula == eq(Var("k"), Const(3))
+
+
+class TestOperators:
+    def test_all_relops(self):
+        for text, pred in (("==", "eq"), ("=", "eq"), ("!=", "ne"),
+                           ("<", "lt"), ("<=", "le"), (">", "gt"),
+                           (">=", "ge"), ("≠", "ne"), ("≤", "le"),
+                           ("≥", "ge")):
+            formula = parse_formula(f"x1 {text} y2")
+            assert isinstance(formula, Atom)
+            assert formula.pred == pred
+
+    def test_connective_spellings(self):
+        for text in ("a1 == 1 and b2 == 2", "a1 == 1 & b2 == 2",
+                     "a1 == 1 && b2 == 2", "a1 == 1 ∧ b2 == 2"):
+            assert isinstance(parse_formula(text), And)
+        for text in ("a1 == 1 or b2 == 2", "a1 == 1 | b2 == 2",
+                     "a1 == 1 || b2 == 2", "a1 == 1 ∨ b2 == 2"):
+            assert isinstance(parse_formula(text), Or)
+
+    def test_negation_spellings(self):
+        for text in ("not a1 == 1", "! a1 == 1", "¬ a1 == 1"):
+            assert isinstance(parse_formula(text), Not)
+
+    def test_constants(self):
+        assert parse_formula("true") == TRUE
+        assert parse_formula("false") == FALSE
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        formula = parse_formula("a1 == 1 | b1 == 2 & c2 == 3")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.right, And)
+
+    def test_parentheses_override(self):
+        formula = parse_formula("(a1 == 1 | b1 == 2) & c2 == 3")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, Or)
+
+    def test_left_associative_chains(self):
+        formula = parse_formula("a1 == 1 & b1 == 2 & c1 == 3")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, And)
+
+    def test_paper_dictionary_formula(self):
+        formula = parse_formula("k1 != k2 | (v1 == p1 & v2 == p2)")
+        assert formula == Or(ne(var1("k"), var2("k")),
+                             And(eq(var1("v"), var1("p")),
+                                 eq(var2("v"), var2("p"))))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "k1 !=", "k1 != k2 |", "k1 ! = k2", "(k1 != k2",
+        "k1 != k2)", "k1 k2", "@", "k1 == == k2", "1 2",
+    ])
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_formula("k1 != @")
+        assert info.value.position >= 0
+
+    def test_default_resolver_direct(self):
+        assert default_resolver("nil") == Const(NIL)
+        assert default_resolver("v1") == var1("v")
+        with pytest.raises(ParseError):
+            default_resolver("unsuffixed")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "k1 != k2 | (v1 == p1 & v2 == p2)",
+        "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)",
+        "d1 == 0",
+        "x1 != x2 | (b1 == 0 & b2 == 0)",
+        "not (a1 == 1) & true",
+    ])
+    def test_parse_of_str_is_stable(self, text):
+        formula = parse_formula(text)
+        # The pretty-printer uses math glyphs the parser also accepts.
+        assert parse_formula(str(formula)) == formula

@@ -1,0 +1,188 @@
+"""Translator validation over *random* ECL specifications.
+
+The bundled specs exercise a handful of formula shapes; this suite
+generates arbitrary formulas from the ECL grammar (Definition 6.3),
+assembles them into two-method specifications (self-pair formulas are
+symmetrized as ``ϕ ∧ swap(ϕ)``, which stays within ECL), translates — raw
+and optimized — and checks Definition 4.5 equivalence against direct
+formula evaluation on random actions.
+
+This is Theorem 6.5 tested at the grammar level rather than on curated
+examples, and it doubles as a fuzzer for the optimizer (any unsound merge
+or over-eager cleanup shows up as a verdict flip).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import NIL, Action
+from repro.logic.formulas import (FALSE, TRUE, And, Atom, Const, Not, Or,
+                                  Side, Var, swap_sides)
+from repro.logic.fragments import is_ecl
+from repro.logic.spec import CommutativitySpec
+from repro.logic.translate import translate
+
+# Two fixed method shapes; values drawn from a tiny collision-rich domain.
+M1_VALUES = ("x", "y", "r")     # a(x, y)/r
+M2_VALUES = ("u", "s")          # b(u)/s
+DOMAIN = (NIL, 0, 1)
+
+values = st.sampled_from(DOMAIN)
+
+
+def var_of(side):
+    names = M1_VALUES if side is Side.FIRST else M2_VALUES
+    return st.sampled_from(names).map(lambda name: Var(name, side))
+
+
+def one_sided_atom(side):
+    """An LB atom over a single side's variables."""
+    term = st.one_of(var_of(side), values.map(Const))
+    pred = st.sampled_from(["eq", "ne", "lt", "le"])
+    return st.builds(lambda p, a, b: Atom(p, (a, b)), pred, var_of(side),
+                     term)
+
+
+def ls_atom():
+    """A cross-side disequality ``x1 ≠ y2``."""
+    return st.builds(lambda a, b: Atom("ne", (a, b)),
+                     var_of(Side.FIRST), var_of(Side.SECOND))
+
+
+def lb_formulas(depth=2):
+    base = st.one_of(one_sided_atom(Side.FIRST),
+                     one_sided_atom(Side.SECOND),
+                     st.just(TRUE), st.just(FALSE))
+    if depth == 0:
+        return base
+    sub = lb_formulas(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(Not, sub),
+        st.builds(And, sub, sub),
+        st.builds(Or, sub, sub),
+    )
+
+
+def simple_formulas(depth=1):
+    base = st.one_of(ls_atom(), st.just(TRUE), st.just(FALSE))
+    if depth == 0:
+        return base
+    sub = simple_formulas(depth - 1)
+    return st.one_of(base, st.builds(And, sub, sub))
+
+
+def ecl_formulas(depth=2):
+    base = st.one_of(simple_formulas(), lb_formulas(1))
+    if depth == 0:
+        return base
+    sub = ecl_formulas(depth - 1)
+    lb = lb_formulas(1)
+    return st.one_of(
+        base,
+        st.builds(And, sub, sub),
+        st.builds(Or, sub, lb),
+        st.builds(Or, lb, sub),
+    )
+
+
+@st.composite
+def random_specs(draw):
+    """A complete two-method ECL specification."""
+    spec = CommutativitySpec("fuzz")
+    spec.method("a", params=("x", "y"), returns=("r",))
+    spec.method("b", params=("u",), returns=("s",))
+
+    # Self pairs: symmetrize ϕ ∧ swap(ϕ); for (a, a) the side-2 variables
+    # must use a's names, so draw a formula over (V1=a, V2=a).
+    phi_aa = draw(_formula_over(("x", "y", "r"), ("x", "y", "r")))
+    spec.pair("a", "a", And(phi_aa, swap_sides(phi_aa)))
+    phi_bb = draw(_formula_over(("u", "s"), ("u", "s")))
+    spec.pair("b", "b", And(phi_bb, swap_sides(phi_bb)))
+    phi_ab = draw(_formula_over(("x", "y", "r"), ("u", "s")))
+    spec.pair("a", "b", phi_ab)
+    return spec
+
+
+def _formula_over(names1, names2, depth=2):
+    def v1():
+        return st.sampled_from(names1).map(lambda n: Var(n, Side.FIRST))
+
+    def v2():
+        return st.sampled_from(names2).map(lambda n: Var(n, Side.SECOND))
+
+    def atom_one_sided(var_strategy):
+        term = st.one_of(var_strategy(), values.map(Const))
+        pred = st.sampled_from(["eq", "ne", "lt", "le"])
+        return st.builds(lambda p, a, b: Atom(p, (a, b)), pred,
+                         var_strategy(), term)
+
+    ls = st.builds(lambda a, b: Atom("ne", (a, b)), v1(), v2())
+    lb_base = st.one_of(atom_one_sided(v1), atom_one_sided(v2),
+                        st.just(TRUE), st.just(FALSE))
+    lb = st.one_of(lb_base, st.builds(Not, lb_base),
+                   st.builds(And, lb_base, lb_base),
+                   st.builds(Or, lb_base, lb_base))
+    simple = st.one_of(ls, st.just(TRUE), st.builds(And, ls, ls))
+    base = st.one_of(simple, lb)
+
+    def extend(sub):
+        return st.one_of(
+            base,
+            st.builds(And, sub, sub),
+            st.builds(Or, sub, lb),
+            st.builds(Or, lb, sub),
+        )
+
+    formula = base
+    for _ in range(depth):
+        formula = extend(formula)
+    return formula
+
+
+def random_actions(count=10, seed_values=DOMAIN):
+    actions = []
+    for x in seed_values:
+        for u in seed_values:
+            actions.append(Action("o", "a", (x, 0), (u,)))
+            actions.append(Action("o", "b", (x,), (u,)))
+    return actions[: count * 4]
+
+
+def rep_commutes(rep, a, b):
+    pa, pb = rep.points_of(a), rep.points_of(b)
+    return not any(rep.conflicts(x, y) for x in pa for y in pb)
+
+
+@given(random_specs())
+@settings(max_examples=40, deadline=None)
+def test_every_generated_formula_is_ecl(spec):
+    assert spec.is_ecl()
+
+
+@given(random_specs())
+@settings(max_examples=30, deadline=None)
+def test_definition_45_on_random_specs_optimized(spec):
+    rep = translate(spec, optimize=True)
+    actions = random_actions()
+    for a in actions:
+        for b in actions:
+            assert rep_commutes(rep, a, b) == spec.commutes(a, b), \
+                (str(spec.formula_for(a.method, b.method)), str(a), str(b))
+
+
+@given(random_specs())
+@settings(max_examples=15, deadline=None)
+def test_definition_45_on_random_specs_raw(spec):
+    rep = translate(spec, optimize=False)
+    actions = random_actions(count=6)
+    for a in actions:
+        for b in actions:
+            assert rep_commutes(rep, a, b) == spec.commutes(a, b)
+
+
+@given(random_specs())
+@settings(max_examples=20, deadline=None)
+def test_translated_representation_bounded_on_random_specs(spec):
+    rep = translate(spec)
+    assert rep.bounded

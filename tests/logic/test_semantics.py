@@ -1,0 +1,163 @@
+"""Executable semantics, commutativity checking and soundness validation."""
+
+import random
+
+import pytest
+
+from repro.core.events import NIL, Action
+from repro.logic.semantics import (SoundnessCounterexample, apply_action,
+                                   check_soundness, commute_at,
+                                   commute_on_states, final_state)
+from repro.logic.spec import CommutativitySpec
+from repro.specs import bundled_objects
+from repro.specs.dictionary import DictionarySemantics
+
+KINDS = sorted(bundled_objects())
+
+
+class TestDictionaryEffects:
+    """Fig. 5's method effects."""
+
+    def setup_method(self):
+        self.sem = DictionarySemantics()
+
+    def test_put_returns_previous(self):
+        state, returns = self.sem.apply((), "put", ("a", 1))
+        assert returns == (NIL,)
+        state, returns = self.sem.apply(state, "put", ("a", 2))
+        assert returns == (1,)
+
+    def test_put_nil_erases(self):
+        state, _ = self.sem.apply((), "put", ("a", 1))
+        state, returns = self.sem.apply(state, "put", ("a", NIL))
+        assert returns == (1,)
+        assert state == ()
+
+    def test_get_is_pure(self):
+        state, _ = self.sem.apply((), "put", ("a", 1))
+        after, returns = self.sem.apply(state, "get", ("a",))
+        assert after == state
+        assert returns == (1,)
+        _, absent = self.sem.apply(state, "get", ("zz",))
+        assert absent == (NIL,)
+
+    def test_size_counts_non_nil(self):
+        state = ()
+        for key in ("a", "b"):
+            state, _ = self.sem.apply(state, "put", (key, 1))
+        _, returns = self.sem.apply(state, "size", ())
+        assert returns == (2,)
+
+    def test_states_are_hashable_values(self):
+        state, _ = self.sem.apply((), "put", ("a", 1))
+        assert hash(state) == hash((("a", 1),))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            self.sem.apply((), "frobnicate", ())
+
+
+class TestApplyAction:
+    def setup_method(self):
+        self.sem = DictionarySemantics()
+
+    def test_defined_when_returns_match(self):
+        action = Action("o", "put", ("a", 1), (NIL,))
+        assert apply_action(self.sem, (), action) == (("a", 1),)
+
+    def test_undefined_when_returns_mismatch(self):
+        action = Action("o", "put", ("a", 1), ("wrong",))
+        assert apply_action(self.sem, (), action) is None
+
+    def test_size_partiality(self):
+        # Lo.size()/nM is defined only on states of size n (Section 3.1).
+        action = Action("o", "size", (), (1,))
+        assert apply_action(self.sem, (), action) is None
+        assert apply_action(self.sem, (("a", 1),), action) == (("a", 1),)
+
+
+class TestCommuteAt:
+    def setup_method(self):
+        self.sem = DictionarySemantics()
+
+    def test_different_keys_commute(self):
+        a = Action("o", "put", ("a", 1), (NIL,))
+        b = Action("o", "put", ("b", 2), (NIL,))
+        assert commute_at(self.sem, (), a, b)
+
+    def test_same_key_inserts_do_not_commute(self):
+        a = Action("o", "put", ("a", 1), (NIL,))
+        b = Action("o", "put", ("a", 2), (1,))
+        assert not commute_at(self.sem, (), a, b)
+
+    def test_both_orders_undefined_counts_as_commuting(self):
+        a = Action("o", "size", (), (5,))
+        b = Action("o", "size", (), (7,))
+        assert commute_at(self.sem, (), a, b)
+
+    def test_commute_on_states(self):
+        a = Action("o", "get", ("a",), (NIL,))
+        b = Action("o", "get", ("b",), (NIL,))
+        assert commute_on_states(self.sem, [()], a, b)
+
+
+class TestFinalState:
+    def test_sequence_application(self):
+        sem = DictionarySemantics()
+        actions = [Action("o", "put", ("a", 1), (NIL,)),
+                   Action("o", "put", ("a", 2), (1,))]
+        assert final_state(sem, (), actions) == (("a", 2),)
+
+    def test_none_on_undefined_step(self):
+        sem = DictionarySemantics()
+        actions = [Action("o", "put", ("a", 1), ("bogus",))]
+        assert final_state(sem, (), actions) is None
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_all_bundled_specs_are_sound(self, kind):
+        bundled = bundled_objects()[kind]
+        result = check_soundness(bundled.spec(), bundled.semantics(),
+                                 samples=120)
+        assert result is None, f"{kind}: {result}"
+
+    def test_unsound_spec_is_caught(self):
+        """A deliberately wrong dictionary spec claiming all puts commute."""
+        spec = (CommutativitySpec("broken")
+                .method("put", params=("k", "v"), returns=("p",))
+                .method("get", params=("k",), returns=("v",))
+                .method("size", returns=("r",))
+                .default_true())
+        witness = check_soundness(spec, DictionarySemantics(), samples=200)
+        assert isinstance(witness, SoundnessCounterexample)
+        assert "commute" in str(witness)
+
+    def test_soundness_check_is_deterministic(self):
+        bundled = bundled_objects()["dictionary"]
+        first = check_soundness(bundled.spec(), bundled.semantics(),
+                                samples=50, seed=9)
+        second = check_soundness(bundled.spec(), bundled.semantics(),
+                                 samples=50, seed=9)
+        assert first == second
+
+
+class TestSampling:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_sample_invocations_are_applicable(self, kind):
+        bundled = bundled_objects()[kind]
+        sem = bundled.semantics()
+        rng = random.Random(4)
+        state = sem.initial_state()
+        for _ in range(50):
+            method, args = sem.sample_invocation(rng)
+            state, returns = sem.apply(state, method, args)
+            assert isinstance(returns, tuple)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_sample_states_start_with_initial(self, kind):
+        bundled = bundled_objects()[kind]
+        sem = bundled.semantics()
+        states = sem.sample_states(random.Random(0), 5)
+        assert states[0] == sem.initial_state()
+        assert len(states) == 5

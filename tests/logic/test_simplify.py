@@ -1,0 +1,179 @@
+"""Simplification, β-substitution and the LS extraction (Lemma 6.4)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import TranslationError
+from repro.logic.formulas import (FALSE, TRUE, And, Not, Or, eq, evaluate,
+                                  ne, normalize_sides, var1, var2, Var)
+from repro.logic.fragments import lb_atoms
+from repro.logic.parser import parse_formula
+from repro.logic.simplify import simplify, substitute_beta, to_ls
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        atom = ne(var1("k"), var2("k"))
+        assert simplify(And(TRUE, atom)) == atom
+        assert simplify(And(atom, FALSE)) == FALSE
+        assert simplify(Or(atom, TRUE)) == TRUE
+        assert simplify(Or(FALSE, atom)) == atom
+
+    def test_negation_folding(self):
+        assert simplify(Not(TRUE)) == FALSE
+        assert simplify(Not(FALSE)) == TRUE
+        assert simplify(Not(Not(ne(var1("k"), var2("k"))))) == \
+            ne(var1("k"), var2("k"))
+
+    def test_nested_folding(self):
+        formula = Or(And(TRUE, FALSE), And(TRUE, TRUE))
+        assert simplify(formula) == TRUE
+
+    def test_idempotent(self):
+        formula = Or(ne(var1("k"), var2("k")), FALSE)
+        assert simplify(simplify(formula)) == simplify(formula)
+
+    def test_leaves_irreducible_structure(self):
+        a, b = ne(var1("k"), var2("k")), ne(var1("v"), var2("v"))
+        assert simplify(And(a, b)) == And(a, b)
+
+
+def beta_for(formula, side_vars, assignment):
+    """Build a β keyed by normalized atoms, by truth-value index."""
+    atoms = lb_atoms(formula)
+    return {normalize_sides(atom): value
+            for atom, value in zip(atoms, assignment)}
+
+
+class TestSubstituteBeta:
+    PUT_PUT = parse_formula("k1 != k2 | (v1 == p1 & v2 == p2)")
+
+    def test_both_noops_give_true(self):
+        beta = {normalize_sides(eq(var1("v"), var1("p"))): True}
+        assert substitute_beta(self.PUT_PUT, beta, beta) == TRUE
+
+    def test_writer_gives_ls_residual(self):
+        key = normalize_sides(eq(var1("v"), var1("p")))
+        result = substitute_beta(self.PUT_PUT, {key: False}, {key: True})
+        assert result == ne(var1("k"), var2("k"))
+
+    def test_negated_atom_flips_beta_value(self):
+        formula = parse_formula("v1 != nil")
+        key = normalize_sides(parse_formula("v1 == nil"))
+        assert substitute_beta(formula, {key: False}, {}) == TRUE
+        assert substitute_beta(formula, {key: True}, {}) == FALSE
+
+    def test_put_size_residual(self):
+        formula = parse_formula(
+            "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)")
+        v_nil = normalize_sides(parse_formula("v1 == nil"))
+        p_nil = normalize_sides(parse_formula("p1 == nil"))
+        # insert: v ≠ nil, p = nil → resize → formula false
+        assert substitute_beta(formula,
+                               {v_nil: False, p_nil: True}, {}) == FALSE
+        # overwrite: both non-nil → no resize → formula true
+        assert substitute_beta(formula,
+                               {v_nil: False, p_nil: False}, {}) == TRUE
+
+    def test_missing_beta_entry_raises(self):
+        with pytest.raises(TranslationError):
+            substitute_beta(parse_formula("v1 == p1"), {}, {})
+
+    def test_ground_atom_folds(self):
+        assert substitute_beta(parse_formula("1 == 1"), {}, {}) == TRUE
+        assert substitute_beta(parse_formula("1 != 1"), {}, {}) == FALSE
+
+
+class TestToLs:
+    def test_constants(self):
+        assert to_ls(TRUE) is True
+        assert to_ls(FALSE) is False
+
+    def test_single_conjunct(self):
+        assert to_ls(ne(var1("k"), var2("k"))) == frozenset({("k", "k")})
+
+    def test_orientation_normalized(self):
+        # x2 ≠ y1 reports the side-1 name first.
+        assert to_ls(ne(var2("x"), var1("y"))) == frozenset({("y", "x")})
+
+    def test_conjunction_collects_all(self):
+        formula = And(ne(var1("k"), var2("k")), ne(var1("v"), var2("p")))
+        assert to_ls(formula) == frozenset({("k", "k"), ("v", "p")})
+
+    def test_folds_constants_first(self):
+        formula = And(TRUE, ne(var1("k"), var2("k")))
+        assert to_ls(formula) == frozenset({("k", "k")})
+
+    def test_non_ls_rejected(self):
+        with pytest.raises(TranslationError):
+            to_ls(eq(var1("k"), var2("k")))
+        with pytest.raises(TranslationError):
+            to_ls(Or(ne(var1("k"), var2("k")), ne(var1("v"), var2("v"))))
+
+
+class TestLemma64:
+    """Any ECL formula with all LB atoms substituted simplifies to LS."""
+
+    FORMULAS = [
+        "k1 != k2 | (v1 == p1 & v2 == p2)",
+        "k1 != k2 | v1 == p1",
+        "(v1 == nil & p1 == nil) | (v1 != nil & p1 != nil)",
+        "x1 != x2 | (b1 == 0 & b2 == 0)",
+        "(k1 != k2 & v1 != v2) | p1 == nil",
+        "k1 != k2 & (v1 == 0 | v2 == 0)",
+    ]
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_all_beta_assignments_yield_ls(self, text):
+        formula = parse_formula(text)
+        atoms = [normalize_sides(atom) for atom in lb_atoms(formula)]
+        for values in itertools.product((False, True), repeat=len(atoms)):
+            beta = dict(zip(atoms, values))
+            residual = substitute_beta(formula, beta, beta)
+            result = to_ls(residual)  # must not raise (Lemma 6.4)
+            assert result in (True, False) or isinstance(result, frozenset)
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_substitution_agrees_with_direct_evaluation(self, text):
+        """ϕ[β1;β2] evaluated on cross-side vars ≡ ϕ evaluated outright."""
+        formula = parse_formula(text)
+        atoms = [normalize_sides(atom) for atom in lb_atoms(formula)]
+        domain = [0, 1]
+        variables = sorted({(v.name, v.side) for atom in [formula]
+                            for v in _vars(formula)},
+                           key=str)
+        import itertools as it
+        for assignment in it.islice(
+                it.product(domain, repeat=len(variables)), 64):
+            env = dict(zip(variables, assignment))
+            lookup = lambda var: env[(var.name, var.side)]
+            beta1 = {atom: _eval_side(atom, env, 1) for atom in atoms}
+            beta2 = {atom: _eval_side(atom, env, 2) for atom in atoms}
+            residual = substitute_beta(formula, beta1, beta2)
+            assert evaluate(residual, lookup) == evaluate(formula, lookup)
+
+
+def _vars(formula):
+    from repro.logic.formulas import vars_of
+    return vars_of(formula)
+
+
+def _side(index):
+    from repro.logic.formulas import Side
+    return Side(index)
+
+
+def _eval_side(atom, env, side_index):
+    side = _side(side_index)
+
+    def lookup(var):
+        key = (var.name, side)
+        if key in env:
+            return env[key]
+        # The variable does not occur on this side in the original
+        # formula; its value is irrelevant.
+        return 0
+
+    return evaluate(atom, lookup)

@@ -1,0 +1,166 @@
+"""Commutativity specifications (Definition 4.1)."""
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.core.events import NIL, Action
+from repro.logic.formulas import TRUE, ne, var1, var2
+from repro.logic.spec import CommutativitySpec, MethodSig
+from repro.specs.dictionary import dictionary_spec
+
+
+class TestMethodSig:
+    def test_value_names_and_arity(self):
+        sig = MethodSig("put", ("k", "v"), ("p",))
+        assert sig.value_names == ("k", "v", "p")
+        assert sig.arity == 3
+
+    def test_value_index(self):
+        sig = MethodSig("put", ("k", "v"), ("p",))
+        assert sig.value_index("k") == 0
+        assert sig.value_index("p") == 2
+        with pytest.raises(SpecificationError):
+            sig.value_index("zz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            MethodSig("m", ("x", "x"))
+        with pytest.raises(SpecificationError):
+            MethodSig("m", ("x",), ("x",))
+
+    def test_bind(self):
+        sig = MethodSig("put", ("k", "v"), ("p",))
+        env = sig.bind(Action("o", "put", ("a", 1), (NIL,)))
+        assert env == {"k": "a", "v": 1, "p": NIL}
+
+    def test_bind_arity_mismatch(self):
+        sig = MethodSig("get", ("k",), ("v",))
+        with pytest.raises(SpecificationError):
+            sig.bind(Action("o", "get", ("k", "extra"), (1,)))
+
+    def test_str(self):
+        assert str(MethodSig("put", ("k", "v"), ("p",))) == "put(k, v)/p"
+
+
+class TestBuilding:
+    def test_fluent_construction(self):
+        spec = (CommutativitySpec("pair")
+                .method("a", params=("x",))
+                .method("b", params=("y",))
+                .pair("a", "b", "x1 != y2")
+                .default_true())
+        assert spec.is_complete()
+
+    def test_duplicate_method_rejected(self):
+        spec = CommutativitySpec("x").method("m")
+        with pytest.raises(SpecificationError):
+            spec.method("m")
+
+    def test_pair_of_unknown_method_rejected(self):
+        spec = CommutativitySpec("x").method("m")
+        with pytest.raises(SpecificationError):
+            spec.pair("m", "ghost", "true")
+
+    def test_duplicate_pair_rejected(self):
+        spec = (CommutativitySpec("x").method("a", params=("x",))
+                .method("b", params=("x",)))
+        spec.pair("a", "b", "true")
+        with pytest.raises(SpecificationError):
+            spec.pair("b", "a", "false")
+
+    def test_foreign_variable_rejected(self):
+        spec = CommutativitySpec("x").method("a", params=("x",))
+        with pytest.raises(SpecificationError):
+            spec.pair("a", "a", "y1 != y2")
+
+    def test_sideless_variable_rejected(self):
+        from repro.logic.formulas import Var, Atom
+        spec = CommutativitySpec("x").method("a", params=("x",))
+        with pytest.raises(SpecificationError):
+            spec.pair("a", "a", Atom("ne", (Var("x"), Var("x"))))
+
+    def test_asymmetric_self_pair_rejected(self):
+        spec = CommutativitySpec("x").method("a", params=("x",),
+                                             returns=("r",))
+        with pytest.raises(SpecificationError) as info:
+            spec.pair("a", "a", "x1 == 0")   # mentions only side 1
+        assert "not symmetric" in str(info.value)
+
+    def test_defaults_fill_missing_pairs(self):
+        spec = (CommutativitySpec("x").method("a").method("b"))
+        spec.pair("a", "a", "false")
+        assert not spec.is_complete()
+        spec.default_true()
+        assert spec.is_complete()
+        assert spec.formula_for("a", "b") == TRUE
+
+    def test_default_false_is_conservative(self):
+        spec = CommutativitySpec("x").method("a").default_false()
+        a = Action("o", "a", (), ())
+        assert not spec.commutes(a, a)
+
+
+class TestLookupAndEvaluation:
+    def setup_method(self):
+        self.spec = dictionary_spec()
+
+    def test_formula_for_swaps_orientation(self):
+        forward = self.spec.formula_for("put", "get")
+        backward = self.spec.formula_for("get", "put")
+        assert forward != backward
+        # get's variables now live on side 1 of the swapped formula.
+        from repro.logic.formulas import vars_of, Side
+        sides_of_k_get = {v.side for v in vars_of(backward)
+                          if v.name == "k"}
+        assert Side.FIRST in sides_of_k_get
+
+    def test_missing_pair_raises(self):
+        spec = CommutativitySpec("x").method("a").method("b")
+        with pytest.raises(SpecificationError):
+            spec.formula_for("a", "b")
+
+    def test_commutes_on_paper_examples(self):
+        put_fresh = Action("o", "put", ("a.com", "c1"), (NIL,))
+        put_over = Action("o", "put", ("a.com", "c2"), ("c1",))
+        put_other = Action("o", "put", ("b.com", "c3"), (NIL,))
+        get_same = Action("o", "get", ("a.com",), ("c1",))
+        size = Action("o", "size", (), (1,))
+        assert not self.spec.commutes(put_fresh, put_over)
+        assert self.spec.commutes(put_fresh, put_other)
+        assert not self.spec.commutes(put_fresh, get_same)
+        assert not self.spec.commutes(put_fresh, size)   # resizes
+        assert not self.spec.commutes(put_over, get_same)
+        assert self.spec.commutes(put_over, size)        # no resize
+        assert self.spec.commutes(get_same, size)
+        assert self.spec.commutes(size, size)
+
+    def test_commutes_is_symmetric_on_samples(self):
+        actions = [Action("o", "put", ("k", v), (p,))
+                   for v in (NIL, 1) for p in (NIL, 1, 2)]
+        actions += [Action("o", "get", ("k",), (NIL,)),
+                    Action("o", "size", (), (0,))]
+        for a in actions:
+            for b in actions:
+                assert self.spec.commutes(a, b) == self.spec.commutes(b, a)
+
+    def test_different_objects_always_commute(self):
+        a = Action("o1", "put", ("k", 1), (NIL,))
+        b = Action("o2", "put", ("k", 2), (NIL,))
+        assert self.spec.commutes(a, b)
+
+    def test_action_builder_validates_arity(self):
+        action = self.spec.action("o", "put", "k", 1, returns=NIL)
+        assert action.returns == (NIL,)
+        with pytest.raises(SpecificationError):
+            self.spec.action("o", "put", "k", returns=NIL)
+
+    def test_is_ecl(self):
+        assert self.spec.is_ecl()
+
+    def test_pairs_iteration(self):
+        pairs = {(m1, m2) for m1, m2, _ in self.spec.pairs()}
+        assert ("put", "put") in pairs
+        assert len(pairs) == 6  # complete over 3 methods
+
+    def test_repr(self):
+        assert "dictionary" in repr(self.spec)

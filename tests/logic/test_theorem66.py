@@ -1,0 +1,65 @@
+"""Theorem 6.6: translated access points have bounded conflict degree.
+
+Every schema of a translated representation conflicts with a bounded
+number of schemas — which makes ``Co(pt)`` finite for concrete points
+(value conflicts require equal values) and enables the detector's Θ(1)
+ENUMERATE strategy.  We check boundedness for every bundled spec, raw and
+optimized, and confirm the degree is small relative to the trace-size-
+dependent behaviour of the naive representation.
+"""
+
+import pytest
+
+from repro.core.access_points import NaiveRepresentation
+from repro.logic.translate import (build_raw_translation,
+                                   build_representation, translate)
+from repro.specs import bundled_objects
+
+KINDS = sorted(bundled_objects())
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_translated_representation_is_bounded(kind):
+    rep = translate(bundled_objects()[kind].spec())
+    assert rep.bounded
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_raw_translation_is_bounded_too(kind):
+    rep = build_representation(
+        build_raw_translation(bundled_objects()[kind].spec()))
+    assert rep.bounded
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_degree_bound_holds(kind):
+    """The bound depends on the specification size, not the trace.
+
+    All bundled specs are small; their β spaces have ≤ 2^3 assignments per
+    method, so degrees stay well under (methods × β × conjuncts).
+    """
+    spec = bundled_objects()[kind].spec()
+    raw = build_raw_translation(spec)
+    methods = len(spec.methods)
+    max_betas = max((2 ** len(raw.atoms_by_method[m])
+                     for m in spec.methods), default=1)
+    rep = build_representation(raw)
+    assert rep.max_conflict_degree() <= methods * max_betas * 3
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_optimization_keeps_degree_small(kind):
+    rep = translate(bundled_objects()[kind].spec())
+    assert rep.max_conflict_degree() <= 8
+
+
+def test_dictionary_fig7_degree_is_two(when_optimized=True):
+    """Fig. 7(c): w conflicts with {r, w}; everything else with one point."""
+    rep = translate(bundled_objects()["dictionary"].spec())
+    assert rep.max_conflict_degree() == 2
+
+
+def test_naive_representation_contrast():
+    spec = bundled_objects()["dictionary"].spec()
+    naive = NaiveRepresentation("dictionary", spec.commutes)
+    assert not naive.bounded

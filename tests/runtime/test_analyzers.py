@@ -1,0 +1,136 @@
+"""Analyzer adapters over crafted event streams."""
+
+import pytest
+
+from repro.core.errors import MonitorError
+from repro.core.events import NIL
+from repro.core.races import CommutativityRace, DataRace
+from repro.core.trace import TraceBuilder
+from repro.runtime.analyzers import (DirectAnalyzer, EraserAnalyzer,
+                                     FastTrackAnalyzer, NullAnalyzer,
+                                     Rd2Analyzer)
+from repro.runtime.shared import internal_lock_id
+from repro.specs.dictionary import dictionary_representation, dictionary_spec
+
+
+def racy_trace():
+    return (TraceBuilder(root=0)
+            .fork(0, 1).fork(0, 2)
+            .invoke(1, "o", "put", "k", 1, returns=NIL)
+            .invoke(2, "o", "put", "k", 2, returns=1)
+            .build())
+
+
+class TestRd2Analyzer:
+    def test_detects_over_event_stream(self):
+        rd2 = Rd2Analyzer()
+        rd2.register_object("o", representation=dictionary_representation())
+        for event in racy_trace():
+            rd2.process(event)
+        assert len(rd2.races()) == 1
+        assert isinstance(rd2.races()[0], CommutativityRace)
+
+    def test_requires_representation(self):
+        with pytest.raises(MonitorError):
+            Rd2Analyzer().register_object("o", commutes=lambda a, b: True)
+
+    def test_ignores_internal_lock_sync(self):
+        """Internal critical sections must not order actions for RD2."""
+        internal = internal_lock_id("o")
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .acquire(1, internal)
+                 .invoke(1, "o", "put", "k", 1, returns=NIL)
+                 .release(1, internal)
+                 .acquire(2, internal)
+                 .invoke(2, "o", "put", "k", 2, returns=1)
+                 .release(2, internal)
+                 .build(stamp=False))
+        rd2 = Rd2Analyzer()
+        rd2.register_object("o", representation=dictionary_representation())
+        for event in trace:
+            rd2.process(event)
+        assert len(rd2.races()) == 1
+
+    def test_app_level_locks_do_order(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .acquire(1, "L")
+                 .invoke(1, "o", "put", "k", 1, returns=NIL)
+                 .release(1, "L")
+                 .acquire(2, "L")
+                 .invoke(2, "o", "put", "k", 2, returns=1)
+                 .release(2, "L")
+                 .build(stamp=False))
+        rd2 = Rd2Analyzer()
+        rd2.register_object("o", representation=dictionary_representation())
+        for event in trace:
+            rd2.process(event)
+        assert rd2.races() == []
+
+    def test_ignores_memory_events(self):
+        rd2 = Rd2Analyzer()
+        rd2.register_object("o", representation=dictionary_representation())
+        trace = (TraceBuilder(root=0).write(0, "x").read(0, "x")
+                 .build(stamp=False))
+        for event in trace:
+            rd2.process(event)
+        assert rd2.stats.events == 0
+
+
+class TestDirectAnalyzer:
+    def test_detects(self):
+        direct = DirectAnalyzer()
+        direct.register_object("o", commutes=dictionary_spec().commutes)
+        for event in racy_trace():
+            direct.process(event)
+        assert len(direct.races()) == 1
+
+    def test_requires_commutes(self):
+        with pytest.raises(MonitorError):
+            DirectAnalyzer().register_object(
+                "o", representation=dictionary_representation())
+
+
+class TestFastTrackAnalyzer:
+    def test_detects_memory_race(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .write(1, "x").write(2, "x")
+                 .build(stamp=False))
+        analyzer = FastTrackAnalyzer()
+        for event in trace:
+            analyzer.process(event)
+        races = analyzer.races()
+        assert len(races) == 1
+        assert isinstance(races[0], DataRace)
+
+    def test_ignores_actions(self):
+        analyzer = FastTrackAnalyzer()
+        for event in racy_trace():
+            analyzer.process(event)
+        assert analyzer.races() == []
+
+
+class TestEraserAnalyzer:
+    def test_flags_unprotected_shared_write(self):
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .write(1, "x").write(2, "x")
+                 .build(stamp=False))
+        analyzer = EraserAnalyzer()
+        for event in trace:
+            analyzer.process(event)
+        assert len(analyzer.races()) == 1
+
+
+class TestNullAnalyzer:
+    def test_counts_only(self):
+        null = NullAnalyzer()
+        for event in racy_trace():
+            null.process(event)
+        assert null.event_count == len(racy_trace())
+        assert null.races() == []
+
+    def test_register_is_accepted_and_ignored(self):
+        NullAnalyzer().register_object("o")  # must not raise

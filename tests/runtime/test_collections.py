@@ -1,0 +1,180 @@
+"""Monitored collections: behaviour, emitted actions, low-level stream."""
+
+import pytest
+
+from repro.core.events import NIL, EventKind
+from repro.runtime.collections_rt import (MonitoredAccumulator,
+                                          MonitoredCounter, MonitoredDict,
+                                          MonitoredLog, MonitoredSet)
+from repro.runtime.monitor import Monitor
+from repro.runtime.shared import is_internal_lock
+
+
+def recording_monitor():
+    return Monitor(record_trace=True)
+
+
+def actions_of(monitor):
+    return [e.action for e in monitor.trace if e.kind is EventKind.ACTION]
+
+
+class TestMonitoredDict:
+    def test_put_get_size_semantics(self):
+        d = MonitoredDict(recording_monitor())
+        assert d.put("a", 1) is NIL
+        assert d.put("a", 2) == 1
+        assert d.get("a") == 2
+        assert d.get("zz") is NIL
+        assert d.size() == 1
+
+    def test_put_nil_erases(self):
+        d = MonitoredDict(recording_monitor())
+        d.put("a", 1)
+        assert d.put("a", NIL) == 1
+        assert d.size() == 0
+        assert d.get("a") is NIL
+
+    def test_remove_and_contains(self):
+        d = MonitoredDict(recording_monitor())
+        d.put("a", 1)
+        assert d.contains("a")
+        assert d.remove("a") == 1
+        assert d.remove("a") is NIL
+        assert not d.contains("a")
+
+    def test_put_if_absent(self):
+        d = MonitoredDict(recording_monitor())
+        assert d.put_if_absent("a", 1) is NIL
+        assert d.put_if_absent("a", 2) == 1
+        assert d.get("a") == 1
+
+    def test_actions_record_real_returns(self):
+        monitor = recording_monitor()
+        d = MonitoredDict(monitor, name="o")
+        d.put("a", 1)
+        d.put("a", 2)
+        acts = actions_of(monitor)
+        assert acts[0].returns == (NIL,)
+        assert acts[1].returns == (1,)
+        assert acts[0].obj == "o"
+        assert acts[0].method == "put"
+
+    def test_internal_critical_section_emitted(self):
+        monitor = recording_monitor()
+        d = MonitoredDict(monitor)
+        d.put("a", 1)
+        kinds = [e.kind for e in monitor.trace]
+        assert kinds[0] is EventKind.ACQUIRE
+        assert is_internal_lock(monitor.trace[0].lock)
+        assert kinds[-1] is EventKind.ACTION
+        assert EventKind.RELEASE in kinds
+
+    def test_resize_touches_size_location(self):
+        monitor = recording_monitor()
+        d = MonitoredDict(monitor, name="o")
+        d.put("a", 1)    # resizes: size location written
+        d.put("a", 2)    # overwrite: no size accesses
+        locations = [e.location for e in monitor.trace
+                     if e.kind is EventKind.WRITE]
+        assert locations.count(("o", "size")) == 1
+
+    def test_uninstrumented_still_functional(self):
+        monitor = Monitor()
+        d = MonitoredDict(monitor)
+        d.put("a", 1)
+        assert d.get("a") == 1
+        assert monitor.events_emitted == 0
+
+    def test_snapshot_and_len(self):
+        d = MonitoredDict(recording_monitor())
+        d.put("a", 1)
+        assert d.snapshot() == {"a": 1}
+        assert len(d) == 1
+
+    def test_named_and_auto_ids(self):
+        monitor = recording_monitor()
+        named = MonitoredDict(monitor, name="mine")
+        assert named.obj_id == "mine"
+        auto1 = MonitoredDict(monitor)
+        auto2 = MonitoredDict(monitor)
+        assert auto1.obj_id != auto2.obj_id
+
+
+class TestMonitoredSet:
+    def test_add_remove_effectiveness(self):
+        s = MonitoredSet(recording_monitor())
+        assert s.add("x")
+        assert not s.add("x")
+        assert s.contains("x")
+        assert s.remove("x")
+        assert not s.remove("x")
+        assert s.size() == 0
+
+    def test_action_returns_are_ints(self):
+        monitor = recording_monitor()
+        s = MonitoredSet(monitor)
+        s.add("x")
+        s.add("x")
+        acts = actions_of(monitor)
+        assert acts[0].returns == (1,)
+        assert acts[1].returns == (0,)
+
+
+class TestMonitoredCounter:
+    def test_add_and_read(self):
+        c = MonitoredCounter(recording_monitor())
+        c.add(5)
+        c.add(-2)
+        assert c.read() == 3
+
+    def test_add_action_has_no_returns(self):
+        monitor = recording_monitor()
+        c = MonitoredCounter(monitor)
+        c.add(1)
+        assert actions_of(monitor)[0].returns == ()
+
+
+class TestMonitoredAccumulator:
+    def test_total_and_peak(self):
+        acc = MonitoredAccumulator(recording_monitor())
+        for d in (4, 9, 2):
+            acc.sample(d)
+        assert acc.total() == 15
+        assert acc.peak() == 9
+
+
+class TestMonitoredLog:
+    def test_log_snapshot_count(self):
+        log = MonitoredLog(recording_monitor())
+        log.log("a")
+        log.log("b")
+        log.log("a")
+        assert log.snapshot() == 3
+        assert log.count("a") == 2
+        assert log.entries() == ["a", "b", "a"]
+
+
+class TestRegistration:
+    def test_collections_register_with_analyzers(self):
+        from repro.runtime.analyzers import Rd2Analyzer
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        d = MonitoredDict(monitor)
+        assert d.obj_id in rd2.detector.registered_objects()
+
+    def test_release_reclaims(self):
+        from repro.runtime.analyzers import Rd2Analyzer
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        d = MonitoredDict(monitor)
+        d.release()
+        assert d.obj_id not in rd2.detector.registered_objects()
+
+    def test_custom_spec_and_representation(self):
+        from repro.specs.dictionary import (dictionary_representation,
+                                            extended_dictionary_spec)
+        monitor = recording_monitor()
+        d = MonitoredDict(monitor,
+                          representation=dictionary_representation(),
+                          spec=extended_dictionary_spec())
+        assert d.put("a", 1) is NIL

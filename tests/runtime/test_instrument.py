@@ -1,0 +1,112 @@
+"""Generic dynamic method interception."""
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.core.events import EventKind
+from repro.logic.spec import CommutativitySpec
+from repro.runtime.instrument import intercept
+from repro.runtime.monitor import Monitor
+from repro.runtime.analyzers import Rd2Analyzer
+
+
+class Toy:
+    """A tiny stateful target class."""
+
+    def __init__(self):
+        self.data = {}
+        self.untracked_calls = 0
+
+    def store(self, key, value):
+        previous = self.data.get(key, 0)
+        self.data[key] = value
+        return previous
+
+    def load(self, key):
+        return self.data.get(key, 0)
+
+    def pair(self, key):
+        return (key, self.data.get(key, 0))
+
+    def helper(self):
+        self.untracked_calls += 1
+        return "not monitored"
+
+
+def toy_spec():
+    spec = CommutativitySpec("toy")
+    spec.method("store", params=("key", "value"), returns=("previous",))
+    spec.method("load", params=("key",), returns=("value",))
+    spec.method("pair", params=("key",), returns=("fst", "snd"))
+    spec.pair("store", "store", "key1 != key2")
+    spec.pair("store", "load", "key1 != key2")
+    spec.pair("store", "pair", "key1 != key2")
+    spec.default_true()
+    return spec
+
+
+class TestInterception:
+    def test_calls_pass_through_and_emit_actions(self):
+        monitor = Monitor(record_trace=True)
+        toy = intercept(monitor, Toy(), toy_spec(), name="toy")
+        assert toy.store("a", 1) == 0
+        assert toy.load("a") == 1
+        actions = [e.action for e in monitor.trace
+                   if e.kind is EventKind.ACTION]
+        assert [a.method for a in actions] == ["store", "load"]
+        assert actions[0].returns == (0,)
+        assert actions[1].returns == (1,)
+
+    def test_unspecified_methods_unmonitored(self):
+        monitor = Monitor(record_trace=True)
+        toy = intercept(monitor, Toy(), toy_spec())
+        assert toy.helper() == "not monitored"
+        assert len(monitor.trace) == 0
+
+    def test_plain_attributes_pass_through(self):
+        monitor = Monitor(record_trace=True)
+        target = Toy()
+        toy = intercept(monitor, target, toy_spec())
+        toy.store("a", 9)
+        assert toy.data == {"a": 9}
+
+    def test_multi_return_packing(self):
+        monitor = Monitor(record_trace=True)
+        toy = intercept(monitor, Toy(), toy_spec())
+        assert toy.pair("a") == ("a", 0)
+        action = monitor.trace[0].action
+        assert action.returns == ("a", 0)
+
+    def test_arity_mismatch_rejected(self):
+        monitor = Monitor(record_trace=True)
+        toy = intercept(monitor, Toy(), toy_spec())
+        with pytest.raises(SpecificationError):
+            toy.store("only-one-arg")
+
+    def test_detects_races_end_to_end(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        toy = intercept(monitor, Toy(), toy_spec(), name="toy")
+        # Simulate two unordered threads through the tid provider.
+        monitor.on_fork(1)
+        monitor.on_fork(2)
+        current = {"tid": 1}
+        monitor.bind_tid_provider(lambda: current["tid"])
+        toy.store("a", 1)
+        current["tid"] = 2
+        toy.store("a", 2)
+        assert len(rd2.races()) == 1
+
+    def test_custom_name_and_release(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        toy = intercept(monitor, Toy(), toy_spec(), name="custom")
+        assert toy.obj_id == "custom"
+        toy.release()
+        assert "custom" not in rd2.detector.registered_objects()
+
+    def test_non_ecl_spec_fails_at_translation(self):
+        spec = CommutativitySpec("bad").method("m", params=("x",))
+        spec.pair("m", "m", "x1 == x2")
+        with pytest.raises(Exception):
+            intercept(Monitor(), Toy(), spec)

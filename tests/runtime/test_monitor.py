@@ -1,0 +1,164 @@
+"""The Monitor event hub."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import MonitorError
+from repro.core.events import EventKind
+from repro.runtime.analyzers import NullAnalyzer, Rd2Analyzer
+from repro.runtime.monitor import Monitor, ROOT_TID
+from repro.specs.dictionary import dictionary_representation
+
+
+class TestEnablement:
+    def test_disabled_without_analyzers(self):
+        monitor = Monitor()
+        assert not monitor.enabled
+        monitor.on_action("o", "get", ("k",), (0,))
+        monitor.on_read("x")
+        assert monitor.events_emitted == 0
+
+    def test_enabled_with_analyzer(self):
+        monitor = Monitor(analyzers=[NullAnalyzer()])
+        assert monitor.enabled
+        monitor.on_action("o", "get", ("k",), (0,))
+        assert monitor.events_emitted == 1
+
+    def test_enabled_with_recording_only(self):
+        monitor = Monitor(record_trace=True)
+        assert monitor.enabled
+        monitor.on_write("x")
+        assert len(monitor.trace) == 1
+
+    def test_low_level_flag_suppresses_memory_events(self):
+        null = NullAnalyzer()
+        monitor = Monitor(analyzers=[null], low_level=False)
+        monitor.on_read("x")
+        monitor.on_write("x")
+        monitor.on_action("o", "get", ("k",), (0,))
+        assert null.event_count == 1  # only the action
+
+
+class TestDispatch:
+    def test_all_analyzers_see_every_event(self):
+        first, second = NullAnalyzer(), NullAnalyzer()
+        monitor = Monitor(analyzers=[first, second])
+        monitor.on_acquire("L")
+        monitor.on_release("L")
+        assert first.event_count == second.event_count == 2
+
+    def test_add_analyzer_after_construction(self):
+        monitor = Monitor()
+        null = NullAnalyzer()
+        monitor.add_analyzer(null)
+        monitor.on_write("x")
+        assert null.event_count == 1
+
+    def test_trace_records_in_order(self):
+        monitor = Monitor(record_trace=True)
+        monitor.on_fork(1)
+        monitor.on_action("o", "get", ("k",), (0,))
+        kinds = [event.kind for event in monitor.trace]
+        assert kinds == [EventKind.FORK, EventKind.ACTION]
+
+    def test_attach_object_reaches_detecting_analyzers(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        monitor.attach_object("o", representation=dictionary_representation())
+        assert "o" in rd2.detector.registered_objects()
+
+    def test_release_object(self):
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        monitor.attach_object("o", representation=dictionary_representation())
+        monitor.release_object("o")
+        assert "o" not in rd2.detector.registered_objects()
+
+
+class TestThreadIdentity:
+    def test_constructing_thread_is_root(self):
+        monitor = Monitor(analyzers=[NullAnalyzer()])
+        assert monitor.current_tid() == ROOT_TID
+
+    def test_unregistered_os_thread_rejected(self):
+        monitor = Monitor(analyzers=[NullAnalyzer()])
+        failures = []
+
+        def body():
+            try:
+                monitor.current_tid()
+            except MonitorError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert failures
+
+    def test_adopt_thread(self):
+        monitor = Monitor(analyzers=[NullAnalyzer()])
+        seen = []
+
+        def body():
+            tid = monitor.adopt_thread()
+            seen.append((tid, monitor.current_tid()))
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        tid, current = seen[0]
+        assert tid == current
+        assert tid != ROOT_TID
+
+    def test_fresh_tid_monotonic(self):
+        monitor = Monitor()
+        assert monitor.fresh_tid() < monitor.fresh_tid()
+
+    def test_tid_provider_overrides_registry(self):
+        monitor = Monitor(analyzers=[NullAnalyzer()])
+        monitor.bind_tid_provider(lambda: 42)
+        assert monitor.current_tid() == 42
+
+
+class TestPreempt:
+    def test_noop_without_scheduler(self):
+        Monitor().preempt()  # must not raise
+
+    def test_bound_preempt_called(self):
+        monitor = Monitor()
+        calls = []
+        monitor.bind_preempt(lambda: calls.append(1))
+        monitor.preempt()
+        assert calls == [1]
+
+    def test_races_aggregates_analyzers(self):
+        monitor = Monitor(analyzers=[Rd2Analyzer(), NullAnalyzer()])
+        assert monitor.races() == []
+
+    def test_repr(self):
+        assert "NullAnalyzer" in repr(Monitor(analyzers=[NullAnalyzer()]))
+
+
+class TestSummary:
+    def test_summary_lists_analyzers_and_groups(self):
+        from repro.core.events import NIL
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2, NullAnalyzer()])
+        monitor.attach_object("o",
+                              representation=dictionary_representation())
+        monitor.on_fork(1)
+        monitor.on_fork(2)
+        monitor.bind_tid_provider(lambda: 1)
+        monitor.on_action("o", "put", ("k", 1), (NIL,))
+        monitor.bind_tid_provider(lambda: 2)
+        monitor.on_action("o", "put", ("k", 2), (1,))
+        text = monitor.summary()
+        assert "events" in text
+        assert "[rd2] 1 (1) reports" in text
+        assert "[null] 0 (0) reports" in text
+        assert "[1x]" in text
+
+    def test_summary_of_idle_monitor(self):
+        text = Monitor(analyzers=[NullAnalyzer()]).summary()
+        assert "0 events" in text

@@ -1,0 +1,103 @@
+"""Shared variables, locks and the interface/memory event split."""
+
+import pytest
+
+from repro.core.events import EventKind, acquire_event, read_event
+from repro.runtime.monitor import Monitor
+from repro.runtime.shared import (SharedVar, MonitoredLock, interface_event,
+                                  internal_lock_id, is_internal_lock)
+
+
+class TestInternalLockTagging:
+    def test_internal_lock_identity(self):
+        lock_id = internal_lock_id("dict#0")
+        assert is_internal_lock(lock_id)
+        assert not is_internal_lock("userLock")
+        assert not is_internal_lock(("other", "pair"))
+
+    def test_interface_event_filters_memory(self):
+        assert not interface_event(read_event(0, "x"))
+
+    def test_interface_event_filters_internal_locks(self):
+        internal = acquire_event(0, internal_lock_id("d"))
+        app = acquire_event(0, "L")
+        assert not interface_event(internal)
+        assert interface_event(app)
+
+    def test_actions_and_forks_are_interface_level(self):
+        from repro.core.events import Action, action_event, fork_event
+        assert interface_event(action_event(0, Action("o", "m", (), ())))
+        assert interface_event(fork_event(0, 1))
+
+
+class TestSharedVar:
+    def test_read_write_events(self):
+        monitor = Monitor(record_trace=True)
+        var = SharedVar(monitor, 10, name="field")
+        assert var.read() == 10
+        var.write(11)
+        kinds = [event.kind for event in monitor.trace]
+        assert kinds == [EventKind.READ, EventKind.WRITE]
+        assert monitor.trace[0].location == "field"
+
+    def test_add_is_two_accesses(self):
+        monitor = Monitor(record_trace=True)
+        var = SharedVar(monitor, 1)
+        assert var.add(5) == 6
+        assert len(monitor.trace) == 2
+        assert var.read() == 6
+
+    def test_peek_is_invisible(self):
+        monitor = Monitor(record_trace=True)
+        var = SharedVar(monitor, 3)
+        assert var.peek() == 3
+        assert len(monitor.trace) == 0
+
+    def test_no_events_when_disabled(self):
+        monitor = Monitor()
+        var = SharedVar(monitor, 0)
+        var.write(1)
+        assert var.read() == 1
+        assert monitor.events_emitted == 0
+
+    def test_auto_naming_is_unique(self):
+        monitor = Monitor()
+        a, b = SharedVar(monitor), SharedVar(monitor)
+        assert a.location != b.location
+
+    def test_preemption_point_offered(self):
+        monitor = Monitor()
+        calls = []
+        monitor.bind_preempt(lambda: calls.append(1))
+        var = SharedVar(monitor, 0)
+        var.read()
+        var.write(1)
+        assert len(calls) == 2
+
+
+class TestMonitoredLock:
+    def test_acquire_release_events(self):
+        monitor = Monitor(record_trace=True)
+        lock = MonitoredLock(monitor, name="L")
+        with lock:
+            pass
+        kinds = [event.kind for event in monitor.trace]
+        assert kinds == [EventKind.ACQUIRE, EventKind.RELEASE]
+        assert monitor.trace[0].lock == "L"
+
+    def test_mutual_exclusion_without_scheduler(self):
+        monitor = Monitor()
+        lock = MonitoredLock(monitor)
+        lock.acquire()
+        assert not lock._os_lock.acquire(blocking=False)
+        lock.release()
+        assert lock._os_lock.acquire(blocking=False)
+        lock._os_lock.release()
+
+    def test_lock_ids_unique(self):
+        monitor = Monitor()
+        assert MonitoredLock(monitor).lock_id != MonitoredLock(monitor).lock_id
+
+    def test_repr(self):
+        monitor = Monitor()
+        assert "L9" in repr(MonitoredLock(monitor, name="L9"))

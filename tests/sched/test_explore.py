@@ -1,0 +1,87 @@
+"""Schedule exploration."""
+
+import pytest
+
+from repro.runtime.analyzers import FastTrackAnalyzer
+from repro.runtime.collections_rt import MonitoredDict
+from repro.runtime.shared import SharedVar
+from repro.sched.explore import explore
+
+
+def racy_program(monitor, scheduler):
+    shared = MonitoredDict(monitor, name="o")
+
+    def worker(i):
+        shared.put("hot", i)
+
+    scheduler.join_all([scheduler.spawn(worker, i) for i in range(3)])
+    return shared.get("hot")
+
+
+def clean_program(monitor, scheduler):
+    shared = MonitoredDict(monitor, name="o")
+
+    def worker(i):
+        shared.put(f"key{i}", i)
+
+    scheduler.join_all([scheduler.spawn(worker, i) for i in range(3)])
+    return shared.size()
+
+
+class TestExplore:
+    def test_racy_program_found_on_every_seed(self):
+        result = explore(racy_program, seeds=range(6))
+        assert result.race_frequency == 1.0
+        assert result.racy_seeds == list(range(6))
+
+    def test_clean_program_never_flags(self):
+        result = explore(clean_program, seeds=range(6))
+        assert result.race_frequency == 0.0
+        assert result.racy_seeds == []
+        assert result.all_groups() == ()
+
+    def test_outcomes_carry_program_results(self):
+        result = explore(clean_program, seeds=range(3))
+        assert all(outcome.result == 3 for outcome in result.outcomes)
+
+    def test_groups_deduplicate_across_seeds(self):
+        result = explore(racy_program, seeds=range(5))
+        groups = result.all_groups()
+        assert len(groups) == 1
+        assert groups[0].count == len(result.all_reports())
+
+    def test_stop_at_first(self):
+        result = explore(racy_program, seeds=range(100), stop_at_first=True)
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].raced
+
+    def test_alternate_analyzer(self):
+        def field_racer(monitor, scheduler):
+            var = SharedVar(monitor, 0, name="f")
+
+            def worker():
+                var.add(1)
+
+            scheduler.join_all([scheduler.spawn(worker) for _ in range(2)])
+
+        result = explore(field_racer, seeds=range(4),
+                         analyzer_factory=FastTrackAnalyzer)
+        assert result.race_frequency > 0
+
+    def test_summary_mentions_frequency_and_groups(self):
+        result = explore(racy_program, seeds=range(3))
+        text = result.summary()
+        assert "3 interleavings" in text
+        assert "100%" in text
+        assert "[" in text
+
+    def test_empty_seed_set(self):
+        result = explore(racy_program, seeds=())
+        assert result.race_frequency == 0.0
+        assert result.outcomes == []
+
+    def test_seeds_are_independent(self):
+        first = explore(racy_program, seeds=[7])
+        second = explore(racy_program, seeds=[7])
+        assert ([str(r) for r in first.all_reports()]
+                == [str(r) for r in second.all_reports()])

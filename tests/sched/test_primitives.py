@@ -1,0 +1,236 @@
+"""Barrier and Semaphore: scheduling behaviour and happens-before."""
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.runtime.analyzers import Rd2Analyzer
+from repro.runtime.collections_rt import MonitoredDict
+from repro.runtime.monitor import Monitor
+from repro.runtime.shared import SharedVar
+from repro.sched.primitives import Barrier, Semaphore
+from repro.sched.scheduler import Scheduler
+
+
+def run(body, seed=0, analyzers=()):
+    monitor = Monitor(analyzers=list(analyzers))
+    scheduler = Scheduler(monitor, seed=seed)
+    result = scheduler.run(body, scheduler, monitor)
+    return result, monitor
+
+
+class TestBarrierScheduling:
+    def test_all_parties_pass_together(self):
+        def main(sched, monitor):
+            barrier = Barrier(monitor, sched, parties=3)
+            log = []
+
+            def worker(label):
+                log.append(("before", label))
+                barrier.wait()
+                log.append(("after", label))
+
+            sched.join_all([sched.spawn(worker, c) for c in "abc"])
+            return log
+
+        log, _ = run(main, seed=4)
+        befores = [i for i, (phase, _) in enumerate(log) if phase == "before"]
+        afters = [i for i, (phase, _) in enumerate(log) if phase == "after"]
+        assert max(befores) < min(afters)
+
+    def test_arrival_indices(self):
+        def main(sched, monitor):
+            barrier = Barrier(monitor, sched, parties=2)
+            indices = []
+
+            def worker():
+                indices.append(barrier.wait())
+
+            sched.join_all([sched.spawn(worker), sched.spawn(worker)])
+            return sorted(indices)
+
+        indices, _ = run(main)
+        assert indices == [1, 2]
+
+    def test_cyclic_reuse(self):
+        def main(sched, monitor):
+            barrier = Barrier(monitor, sched, parties=2)
+            log = []
+
+            def worker(label):
+                for round_number in range(3):
+                    barrier.wait()
+                    log.append((round_number, label))
+
+            sched.join_all([sched.spawn(worker, "x"),
+                            sched.spawn(worker, "y")])
+            return log
+
+        log, _ = run(main, seed=9)
+        rounds = [r for r, _ in log]
+        assert rounds == sorted(rounds)
+
+    def test_single_party_barrier_never_blocks(self):
+        def main(sched, monitor):
+            barrier = Barrier(monitor, sched, parties=1)
+            return [barrier.wait(), barrier.wait()]
+
+        result, _ = run(main)
+        assert result == [1, 1]
+
+    def test_insufficient_parties_deadlocks(self):
+        def main(sched, monitor):
+            barrier = Barrier(monitor, sched, parties=3)
+            def worker():
+                barrier.wait()
+            sched.join_all([sched.spawn(worker), sched.spawn(worker)])
+
+        with pytest.raises(SchedulerError):
+            run(main)
+
+    def test_invalid_parties(self):
+        def main(sched, monitor):
+            Barrier(monitor, sched, parties=0)
+        with pytest.raises(ValueError):
+            run(main)
+
+
+class TestBarrierHappensBefore:
+    def test_barrier_orders_operations_like_joinall(self):
+        """puts before the barrier vs. a size after it: no race."""
+        def main(sched, monitor):
+            shared = MonitoredDict(monitor, name="d")
+            barrier = Barrier(monitor, sched, parties=3)
+
+            def writer(i):
+                shared.put(f"k{i}", i)
+                barrier.wait()
+
+            def reader():
+                barrier.wait()
+                shared.size()
+
+            sched.join_all([sched.spawn(writer, 0), sched.spawn(writer, 1),
+                            sched.spawn(reader)])
+
+        rd2 = Rd2Analyzer()
+        _, monitor = run(main, seed=2, analyzers=[rd2])
+        assert rd2.races() == []
+
+    def test_without_barrier_the_same_program_races(self):
+        def main(sched, monitor):
+            shared = MonitoredDict(monitor, name="d")
+
+            def writer(i):
+                shared.put(f"k{i}", i)
+
+            def reader():
+                shared.size()
+
+            sched.join_all([sched.spawn(writer, 0), sched.spawn(writer, 1),
+                            sched.spawn(reader)])
+
+        races_seen = False
+        for seed in range(6):
+            rd2 = Rd2Analyzer()
+            run(main, seed=seed, analyzers=[rd2])
+            races_seen = races_seen or bool(rd2.races())
+        assert races_seen
+
+    def test_same_side_operations_still_race_across_barrier_uses(self):
+        """The barrier orders across it, not within a side."""
+        def main(sched, monitor):
+            shared = MonitoredDict(monitor, name="d")
+            barrier = Barrier(monitor, sched, parties=2)
+
+            def worker(i):
+                shared.put("hot", i)       # same key: pre-barrier race
+                barrier.wait()
+
+            sched.join_all([sched.spawn(worker, 1), sched.spawn(worker, 2)])
+
+        rd2 = Rd2Analyzer()
+        run(main, seed=1, analyzers=[rd2])
+        assert rd2.races()
+
+
+class TestSemaphore:
+    def test_mutual_exclusion_with_one_permit(self):
+        def main(sched, monitor):
+            semaphore = Semaphore(monitor, sched, permits=1)
+            var = SharedVar(monitor, 0)
+
+            def worker():
+                for _ in range(5):
+                    with semaphore:
+                        current = var.read()
+                        var.write(current + 1)
+
+            sched.join_all([sched.spawn(worker) for _ in range(3)])
+            return var.read()
+
+        result, _ = run(main, seed=7)
+        assert result == 15
+
+    def test_counting_blocks_past_capacity(self):
+        def main(sched, monitor):
+            semaphore = Semaphore(monitor, sched, permits=2)
+            in_section = SharedVar(monitor, 0)
+            peak = SharedVar(monitor, 0)
+
+            def worker():
+                with semaphore:
+                    now = in_section.read() + 1
+                    in_section.write(now)
+                    if now > peak.read():
+                        peak.write(now)
+                    monitor.preempt()
+                    in_section.write(in_section.read() - 1)
+
+            sched.join_all([sched.spawn(worker) for _ in range(5)])
+            return peak.read()
+
+        peak, _ = run(main, seed=3)
+        assert 1 <= peak <= 2
+
+    def test_release_beyond_initial_permits(self):
+        def main(sched, monitor):
+            semaphore = Semaphore(monitor, sched, permits=0)
+            semaphore.release()
+            semaphore.acquire()
+            return semaphore.permits
+
+        result, _ = run(main)
+        assert result == 0
+
+    def test_acquire_with_zero_permits_deadlocks_alone(self):
+        def main(sched, monitor):
+            Semaphore(monitor, sched, permits=0).acquire()
+
+        with pytest.raises(SchedulerError):
+            run(main)
+
+    def test_negative_permits_rejected(self):
+        def main(sched, monitor):
+            Semaphore(monitor, sched, permits=-1)
+        with pytest.raises(ValueError):
+            run(main)
+
+    def test_semaphore_creates_hb_edges(self):
+        """Handoff through a semaphore orders producer and consumer."""
+        def main(sched, monitor):
+            semaphore = Semaphore(monitor, sched, permits=0)
+            shared = MonitoredDict(monitor, name="d")
+
+            def producer():
+                shared.put("item", "ready")
+                semaphore.release()
+
+            def consumer():
+                semaphore.acquire()
+                shared.get("item")
+
+            sched.join_all([sched.spawn(producer), sched.spawn(consumer)])
+
+        rd2 = Rd2Analyzer()
+        _, monitor = run(main, seed=5, analyzers=[rd2])
+        assert rd2.races() == []

@@ -1,0 +1,241 @@
+"""The deterministic cooperative scheduler."""
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.core.events import EventKind
+from repro.runtime.monitor import Monitor
+from repro.runtime.shared import MonitoredLock, SharedVar
+from repro.sched.scheduler import Scheduler, TaskHandle
+
+
+def run_program(body, seed=0, record=False, switch_probability=1.0):
+    monitor = Monitor(record_trace=record) if record else Monitor()
+    scheduler = Scheduler(monitor, seed=seed,
+                          switch_probability=switch_probability)
+    result = scheduler.run(body, scheduler, monitor)
+    return result, scheduler, monitor
+
+
+class TestBasics:
+    def test_root_runs_and_returns(self):
+        def main(sched, monitor):
+            return 42
+        result, _, _ = run_program(main)
+        assert result == 42
+
+    def test_spawn_and_join_return_values(self):
+        def main(sched, monitor):
+            handles = [sched.spawn(lambda i=i: i * i) for i in range(5)]
+            return sched.join_all(handles)
+        result, _, _ = run_program(main)
+        assert result == [0, 1, 4, 9, 16]
+
+    def test_tids_are_sequential(self):
+        def main(sched, monitor):
+            handles = [sched.spawn(lambda: None) for _ in range(3)]
+            sched.join_all(handles)
+            return [h.tid for h in handles]
+        result, _, _ = run_program(main)
+        assert result == [1, 2, 3]
+
+    def test_join_unknown_task_rejected(self):
+        def main(sched, monitor):
+            sched.join(TaskHandle(99))
+        with pytest.raises(SchedulerError):
+            run_program(main)
+
+    def test_scheduler_single_use(self):
+        monitor = Monitor()
+        scheduler = Scheduler(monitor)
+        scheduler.run(lambda: None)
+        with pytest.raises(SchedulerError):
+            scheduler.run(lambda: None)
+
+    def test_task_exception_propagates(self):
+        def main(sched, monitor):
+            raise RuntimeError("boom")
+        with pytest.raises(RuntimeError, match="boom"):
+            run_program(main)
+
+    def test_joined_failure_propagates(self):
+        def main(sched, monitor):
+            def bad():
+                raise ValueError("inner")
+            handle = sched.spawn(bad)
+            sched.join(handle)
+        with pytest.raises(SchedulerError, match="failed"):
+            run_program(main)
+
+
+class TestEvents:
+    def test_fork_join_events_emitted(self):
+        def main(sched, monitor):
+            handle = sched.spawn(lambda: None)
+            sched.join(handle)
+        _, _, monitor = run_program(main, record=True)
+        kinds = [event.kind for event in monitor.trace]
+        assert EventKind.FORK in kinds
+        assert EventKind.JOIN in kinds
+        fork_index = kinds.index(EventKind.FORK)
+        join_index = kinds.index(EventKind.JOIN)
+        assert fork_index < join_index
+
+    def test_monitor_tid_follows_tasks(self):
+        observed = []
+
+        def main(sched, monitor):
+            observed.append(monitor.current_tid())
+            def child():
+                observed.append(monitor.current_tid())
+            sched.join(sched.spawn(child))
+        run_program(main)
+        assert observed == [0, 1]
+
+
+class TestDeterminism:
+    @staticmethod
+    def interleaving_program(sched, monitor):
+        log = []
+        var = SharedVar(monitor, 0)
+
+        def worker(label):
+            for _ in range(5):
+                var.read()
+                log.append(label)
+
+        handles = [sched.spawn(worker, c) for c in "abc"]
+        sched.join_all(handles)
+        return "".join(log)
+
+    def test_same_seed_same_interleaving(self):
+        first, _, _ = run_program(self.interleaving_program, seed=11,
+                                  record=True)
+        second, _, _ = run_program(self.interleaving_program, seed=11,
+                                   record=True)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        outcomes = {run_program(self.interleaving_program, seed=s,
+                                record=True)[0]
+                    for s in range(6)}
+        assert len(outcomes) > 1
+
+    def test_interleaving_actually_mixes_threads(self):
+        result, _, _ = run_program(self.interleaving_program, seed=3,
+                                   record=True)
+        assert result not in ("aaaaabbbbbccccc", "cccccbbbbbaaaaa")
+
+    def test_switch_probability_zero_runs_in_bursts(self):
+        result, scheduler, _ = run_program(self.interleaving_program,
+                                           seed=0, record=True,
+                                           switch_probability=0.0)
+        # With no preemption, each worker runs to completion once started.
+        assert result in {"".join(c * 5 for c in perm)
+                          for perm in (("a", "b", "c"), ("a", "c", "b"),
+                                       ("b", "a", "c"), ("b", "c", "a"),
+                                       ("c", "a", "b"), ("c", "b", "a"))}
+
+
+class TestLocks:
+    def test_lock_provides_mutual_exclusion(self):
+        def main(sched, monitor):
+            lock = MonitoredLock(monitor, name="L")
+            lock.bind_scheduler(sched)
+            var = SharedVar(monitor, 0)
+            def worker():
+                for _ in range(10):
+                    with lock:
+                        current = var.read()   # preemption point inside
+                        var.write(current + 1)
+            handles = [sched.spawn(worker) for _ in range(3)]
+            sched.join_all(handles)
+            return var.read()
+        result, _, _ = run_program(main, seed=5)
+        assert result == 30
+
+    def test_unlocked_counter_loses_updates(self):
+        def main(sched, monitor):
+            var = SharedVar(monitor, 0)
+            def worker():
+                for _ in range(10):
+                    var.add(1)
+            handles = [sched.spawn(worker) for _ in range(3)]
+            sched.join_all(handles)
+            return var.read()
+        losses = []
+        for seed in range(8):
+            result, _, _ = run_program(main, seed=seed)
+            losses.append(result < 30)
+        assert any(losses), "expected at least one seed to lose an update"
+
+    def test_release_of_unheld_lock_rejected(self):
+        def main(sched, monitor):
+            sched.lock_release("L")
+        with pytest.raises(SchedulerError):
+            run_program(main)
+
+    def test_self_deadlock_detected(self):
+        def main(sched, monitor):
+            lock = MonitoredLock(monitor, name="L")
+            lock.bind_scheduler(sched)
+            lock.acquire()
+            lock.acquire()  # nobody can release it
+        with pytest.raises(SchedulerError, match="deadlock"):
+            run_program(main)
+
+    def test_two_task_deadlock_detected(self):
+        def main(sched, monitor):
+            l1 = MonitoredLock(monitor, name="L1")
+            l2 = MonitoredLock(monitor, name="L2")
+            l1.bind_scheduler(sched)
+            l2.bind_scheduler(sched)
+
+            def left():
+                with l1:
+                    for _ in range(3):
+                        monitor.preempt()
+                    with l2:
+                        pass
+
+            def right():
+                with l2:
+                    for _ in range(3):
+                        monitor.preempt()
+                    with l1:
+                        pass
+
+            sched.join_all([sched.spawn(left), sched.spawn(right)])
+        with pytest.raises(SchedulerError):
+            run_program(main, seed=1)
+
+
+class TestScale:
+    def test_many_tasks(self):
+        def main(sched, monitor):
+            handles = [sched.spawn(lambda i=i: i) for i in range(40)]
+            return sum(sched.join_all(handles))
+        result, _, _ = run_program(main)
+        assert result == sum(range(40))
+
+    def test_nested_spawn(self):
+        def main(sched, monitor):
+            def parent():
+                child = sched.spawn(lambda: "leaf")
+                return sched.join(child)
+            handle = sched.spawn(parent)
+            return sched.join(handle)
+        result, _, _ = run_program(main)
+        assert result == "leaf"
+
+    def test_context_switches_counted(self):
+        _, scheduler, _ = run_program(self.noisy, seed=0)
+        assert scheduler.context_switches > 0
+
+    @staticmethod
+    def noisy(sched, monitor):
+        var = SharedVar(monitor, 0)
+        def worker():
+            for _ in range(5):
+                var.read()
+        sched.join_all([sched.spawn(worker) for _ in range(3)])

@@ -1,0 +1,89 @@
+"""The synthetic workload / trace generator."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.logic.semantics import final_state
+from repro.sched.workload import WorkloadConfig, generate_trace
+
+
+class TestStructure:
+    def test_forks_precede_worker_events(self):
+        workload = generate_trace(WorkloadConfig(threads=3, ops_per_thread=5))
+        kinds = [event.kind for event in workload.trace]
+        assert kinds[:3] == [EventKind.FORK] * 3
+
+    def test_join_at_end_appends_size_observation(self):
+        workload = generate_trace(WorkloadConfig(
+            threads=2, ops_per_thread=4, join_at_end=True))
+        last = workload.trace.events[-1]
+        assert last.kind is EventKind.ACTION
+        assert last.action.method == "size"
+        assert last.tid == 0
+
+    def test_no_join_option(self):
+        workload = generate_trace(WorkloadConfig(
+            threads=2, ops_per_thread=4, join_at_end=False))
+        kinds = {event.kind for event in workload.trace}
+        assert EventKind.JOIN not in kinds
+
+    def test_op_counts(self):
+        config = WorkloadConfig(threads=3, ops_per_thread=7,
+                                join_at_end=False)
+        workload = generate_trace(config)
+        actions = workload.trace.actions()
+        assert len(actions) == 21
+
+    def test_lock_probability_one_wraps_every_op(self):
+        config = WorkloadConfig(threads=2, ops_per_thread=5,
+                                lock_probability=1.0, join_at_end=False)
+        workload = generate_trace(config)
+        kinds = [event.kind for event in workload.trace]
+        assert kinds.count(EventKind.ACQUIRE) == 10
+        assert kinds.count(EventKind.RELEASE) == 10
+
+    def test_multiple_objects(self):
+        config = WorkloadConfig(objects=(("dictionary", 2), ("counter", 1)),
+                                threads=2, ops_per_thread=20)
+        workload = generate_trace(config)
+        assert len(workload.objects) == 3
+        touched = set(workload.trace.objects())
+        assert touched <= set(workload.objects)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            generate_trace(WorkloadConfig(objects=(("warp-drive", 1),)))
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("kind", ["dictionary", "set", "counter",
+                                      "register", "msetlog", "accumulator"])
+    def test_returns_are_realizable_in_trace_order(self, kind):
+        config = WorkloadConfig(threads=3, ops_per_thread=15,
+                                objects=((kind, 1),), seed=5)
+        workload = generate_trace(config)
+        (obj_id, bundled), = workload.objects.items()
+        semantics = bundled.semantics()
+        actions = [e.action for e in workload.trace.actions(obj_id)]
+        state = final_state(semantics, semantics.initial_state(), actions)
+        assert state is not None, "recorded returns must replay cleanly"
+        assert state == workload.final_states[obj_id]
+
+    def test_reproducible(self):
+        config = WorkloadConfig(threads=4, ops_per_thread=10, seed=99)
+        first = generate_trace(config)
+        second = generate_trace(config)
+        assert [str(e) for e in first.trace] == [str(e) for e in second.trace]
+
+    def test_seeds_vary_traces(self):
+        base = WorkloadConfig(threads=4, ops_per_thread=10, seed=1)
+        other = WorkloadConfig(threads=4, ops_per_thread=10, seed=2)
+        assert ([str(e) for e in generate_trace(base).trace]
+                != [str(e) for e in generate_trace(other).trace])
+
+    def test_register_all_helper(self):
+        workload = generate_trace(WorkloadConfig(threads=2,
+                                                 ops_per_thread=3))
+        seen = {}
+        workload.register_all(lambda obj, bundled: seen.update({obj: bundled}))
+        assert seen.keys() == workload.objects.keys()

@@ -1,0 +1,72 @@
+"""Cross-cutting checks over every bundled object kind.
+
+Each bundled kind ships a specification, a hand-written representation and
+an executable semantics; this sweep pins down the contracts relating them:
+completeness, ECL membership, soundness, and Definition 4.5 equivalence of
+the hand-written representation with both the spec and the translation.
+"""
+
+import pytest
+
+from repro.core.access_points import representations_equivalent
+from repro.logic.semantics import check_soundness
+from repro.logic.translate import translate
+from repro.specs import bundled_objects
+
+from tests.support import sample_actions
+
+KINDS = sorted(bundled_objects())
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_spec_complete(kind):
+    assert bundled_objects()[kind].spec().is_complete()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_spec_in_ecl(kind):
+    assert bundled_objects()[kind].spec().is_ecl()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_spec_sound_against_semantics(kind):
+    bundled = bundled_objects()[kind]
+    witness = check_soundness(bundled.spec(), bundled.semantics(),
+                              samples=150)
+    assert witness is None, f"{kind}: {witness}"
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_handwritten_representation_represents_spec(kind):
+    bundled = bundled_objects()[kind]
+    spec = bundled.spec()
+    rep = bundled.representation()
+    actions = sample_actions(kind, count=40)
+    for a in actions:
+        for b in actions:
+            pa, pb = rep.points_of(a), rep.points_of(b)
+            clash = any(rep.conflicts(x, y) for x in pa for y in pb)
+            assert clash != spec.commutes(a, b), (kind, str(a), str(b))
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_handwritten_equivalent_to_translated(kind):
+    bundled = bundled_objects()[kind]
+    translated = translate(bundled.spec())
+    actions = sample_actions(kind, count=40)
+    mismatch = representations_equivalent(bundled.representation(),
+                                          translated, actions)
+    assert mismatch is None, f"{kind}: {mismatch}"
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_handwritten_representation_is_bounded(kind):
+    assert bundled_objects()[kind].representation().bounded
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_kind_labels_consistent(kind):
+    bundled = bundled_objects()[kind]
+    assert bundled.kind == kind
+    assert bundled.spec().kind == kind
+    assert bundled.semantics().kind == kind

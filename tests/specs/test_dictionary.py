@@ -1,0 +1,179 @@
+"""The paper's dictionary artifacts: Fig. 5 (semantics), Fig. 6 (spec),
+Fig. 7 (representation), and the extended methods."""
+
+import pytest
+
+from repro.core.events import NIL, Action
+from repro.specs.dictionary import (DictionarySemantics,
+                                    dictionary_representation,
+                                    dictionary_spec,
+                                    extended_dictionary_spec)
+
+
+class TestFig6Spec:
+    def setup_method(self):
+        self.spec = dictionary_spec()
+
+    def test_method_signatures(self):
+        assert self.spec.signature("put").value_names == ("k", "v", "p")
+        assert self.spec.signature("get").value_names == ("k", "v")
+        assert self.spec.signature("size").value_names == ("r",)
+
+    def test_put_put_row(self):
+        # ϕ_put_put := k1 ≠ k2 ∨ (v1 = p1 ∧ v2 = p2)
+        fresh = Action("o", "put", ("k", 1), (NIL,))
+        noop = Action("o", "put", ("k", 1), (1,))
+        other = Action("o", "put", ("j", 2), (NIL,))
+        assert not self.spec.commutes(fresh, fresh)
+        assert self.spec.commutes(noop, noop)
+        assert self.spec.commutes(fresh, other)
+
+    def test_put_get_row(self):
+        put = Action("o", "put", ("k", 1), (NIL,))
+        noop = Action("o", "put", ("k", 1), (1,))
+        get = Action("o", "get", ("k",), (1,))
+        get_other = Action("o", "get", ("j",), (NIL,))
+        assert not self.spec.commutes(put, get)
+        assert self.spec.commutes(noop, get)
+        assert self.spec.commutes(put, get_other)
+
+    def test_put_size_row(self):
+        insert = Action("o", "put", ("k", 1), (NIL,))
+        delete = Action("o", "put", ("k", NIL), (1,))
+        overwrite = Action("o", "put", ("k", 2), (1,))
+        nil_noop = Action("o", "put", ("k", NIL), (NIL,))
+        size = Action("o", "size", (), (3,))
+        assert not self.spec.commutes(insert, size)
+        assert not self.spec.commutes(delete, size)
+        assert self.spec.commutes(overwrite, size)
+        assert self.spec.commutes(nil_noop, size)
+
+    def test_read_only_rows_are_true(self):
+        get = Action("o", "get", ("k",), (NIL,))
+        size = Action("o", "size", (), (0,))
+        assert self.spec.commutes(get, get)
+        assert self.spec.commutes(get, size)
+        assert self.spec.commutes(size, size)
+
+    def test_spec_is_complete_and_ecl(self):
+        assert self.spec.is_complete()
+        assert self.spec.is_ecl()
+
+
+class TestFig7Representation:
+    def setup_method(self):
+        self.rep = dictionary_representation()
+
+    def points(self, action):
+        return self.rep.points_of(action)
+
+    def test_inserting_put_touches_w_and_resize(self):
+        points = self.points(Action("o", "put", ("k", 1), (NIL,)))
+        schemas = sorted(str(pt.schema) for pt in points)
+        assert "w" in schemas and "resize" in schemas
+
+    def test_overwriting_put_touches_only_w(self):
+        points = self.points(Action("o", "put", ("k", 2), (1,)))
+        assert [pt.schema for pt in points] == ["w"]
+
+    def test_noop_put_touches_r(self):
+        points = self.points(Action("o", "put", ("k", 1), (1,)))
+        assert [pt.schema for pt in points] == ["r"]
+
+    def test_get_touches_r(self):
+        points = self.points(Action("o", "get", ("k",), (1,)))
+        assert [pt.schema for pt in points] == ["r"]
+        assert points[0].value == "k"
+
+    def test_size_touches_size(self):
+        points = self.points(Action("o", "size", (), (0,)))
+        assert [pt.schema for pt in points] == ["size"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            self.points(Action("o", "mystery", (), ()))
+
+    def test_bounded_with_degree_two_on_core_schemas(self):
+        assert self.rep.bounded
+        assert self.rep.schema_conflicts("w") == frozenset({"w", "r"})
+        assert self.rep.schema_conflicts("size") == frozenset({"resize"})
+
+
+class TestExtendedMethods:
+    def setup_method(self):
+        self.spec = extended_dictionary_spec()
+        self.rep = dictionary_representation()
+
+    def test_remove_behaves_as_nil_put(self):
+        remove_real = Action("o", "remove", ("k",), (1,))
+        remove_noop = Action("o", "remove", ("k",), (NIL,))
+        size = Action("o", "size", (), (0,))
+        get = Action("o", "get", ("k",), (1,))
+        assert not self.spec.commutes(remove_real, size)
+        assert self.spec.commutes(remove_noop, size)
+        assert not self.spec.commutes(remove_real, get)
+        assert self.spec.commutes(remove_noop, get)
+
+    def test_contains_ignores_overwrites(self):
+        overwrite = Action("o", "put", ("k", 2), (1,))
+        insert = Action("o", "put", ("k", 2), (NIL,))
+        contains = Action("o", "contains", ("k",), (True,))
+        assert self.spec.commutes(contains, overwrite)
+        assert not self.spec.commutes(contains, insert)
+
+    def test_put_if_absent_noop_commutes_widely(self):
+        pia_noop = Action("o", "putIfAbsent", ("k", 9), (1,))
+        pia_insert = Action("o", "putIfAbsent", ("k", 9), (NIL,))
+        get = Action("o", "get", ("k",), (1,))
+        size = Action("o", "size", (), (1,))
+        assert self.spec.commutes(pia_noop, get)
+        assert self.spec.commutes(pia_noop, size)
+        assert not self.spec.commutes(pia_insert, get)
+        assert not self.spec.commutes(pia_insert, size)
+        assert self.spec.commutes(pia_noop, pia_noop)
+        assert not self.spec.commutes(pia_insert, pia_insert)
+
+    def test_representation_represents_extended_spec(self):
+        """Definition 4.5 over a structured sample of extended actions."""
+        actions = []
+        for p in (NIL, 1, 2):
+            actions.append(Action("o", "remove", ("k",), (p,)))
+            actions.append(Action("o", "putIfAbsent", ("k", 2), (p,)))
+            for v in (NIL, 1, 2):
+                actions.append(Action("o", "put", ("k", v), (p,)))
+        actions += [Action("o", "contains", ("k",), (True,)),
+                    Action("o", "contains", ("k",), (False,)),
+                    Action("o", "get", ("k",), (1,)),
+                    Action("o", "size", (), (1,))]
+        for a in actions:
+            for b in actions:
+                pa, pb = self.rep.points_of(a), self.rep.points_of(b)
+                clash = any(self.rep.conflicts(x, y)
+                            for x in pa for y in pb)
+                assert clash != self.spec.commutes(a, b), (str(a), str(b))
+
+
+class TestSemanticsExtended:
+    def setup_method(self):
+        self.sem = DictionarySemantics()
+
+    def test_remove(self):
+        state, _ = self.sem.apply((), "put", ("a", 1))
+        state, returns = self.sem.apply(state, "remove", ("a",))
+        assert returns == (1,)
+        assert state == ()
+
+    def test_contains(self):
+        state, _ = self.sem.apply((), "put", ("a", 1))
+        _, yes = self.sem.apply(state, "contains", ("a",))
+        _, no = self.sem.apply(state, "contains", ("b",))
+        assert yes == (True,)
+        assert no == (False,)
+
+    def test_put_if_absent(self):
+        state, first = self.sem.apply((), "putIfAbsent", ("a", 1))
+        assert first == (NIL,)
+        state, second = self.sem.apply(state, "putIfAbsent", ("a", 2))
+        assert second == (1,)
+        _, value = self.sem.apply(state, "get", ("a",))
+        assert value == (1,)

@@ -1,0 +1,179 @@
+"""Per-kind behaviour of the non-dictionary bundled objects."""
+
+import pytest
+
+from repro.core.events import Action
+from repro.specs.accumulator import AccumulatorSemantics, accumulator_spec
+from repro.specs.counter import CounterSemantics, counter_spec
+from repro.specs.list_spec import (MultisetLogSemantics, multiset_log_spec,
+                                   sequence_log_spec)
+from repro.specs.register import RegisterSemantics, register_spec
+from repro.specs.set_spec import SetSemantics, set_spec
+
+
+class TestSet:
+    def setup_method(self):
+        self.spec = set_spec()
+        self.sem = SetSemantics()
+
+    def test_effective_adds_conflict(self):
+        add = Action("o", "add", ("x",), (1,))
+        assert not self.spec.commutes(add, add)
+
+    def test_ineffective_adds_commute(self):
+        add = Action("o", "add", ("x",), (0,))
+        assert self.spec.commutes(add, add)
+
+    def test_different_elements_commute(self):
+        a = Action("o", "add", ("x",), (1,))
+        b = Action("o", "add", ("y",), (1,))
+        assert self.spec.commutes(a, b)
+
+    def test_effective_update_conflicts_with_size(self):
+        add = Action("o", "add", ("x",), (1,))
+        noop = Action("o", "add", ("x",), (0,))
+        size = Action("o", "size", (), (3,))
+        assert not self.spec.commutes(add, size)
+        assert self.spec.commutes(noop, size)
+
+    def test_contains_vs_updates(self):
+        contains = Action("o", "contains", ("x",), (1,))
+        add = Action("o", "add", ("x",), (1,))
+        remove_noop = Action("o", "remove", ("x",), (0,))
+        assert not self.spec.commutes(add, contains)
+        assert self.spec.commutes(remove_noop, contains)
+
+    def test_semantics_effectiveness(self):
+        state, first = self.sem.apply(frozenset(), "add", ("x",))
+        assert first == (1,)
+        state, second = self.sem.apply(state, "add", ("x",))
+        assert second == (0,)
+        state, removed = self.sem.apply(state, "remove", ("x",))
+        assert removed == (1,)
+        assert state == frozenset()
+
+
+class TestCounter:
+    def setup_method(self):
+        self.spec = counter_spec()
+        self.sem = CounterSemantics()
+
+    def test_adds_always_commute(self):
+        a = Action("o", "add", (3,), ())
+        b = Action("o", "add", (-5,), ())
+        assert self.spec.commutes(a, b)
+
+    def test_nonzero_add_conflicts_with_read(self):
+        add = Action("o", "add", (3,), ())
+        read = Action("o", "read", (), (0,))
+        assert not self.spec.commutes(add, read)
+
+    def test_zero_add_commutes_with_read(self):
+        add = Action("o", "add", (0,), ())
+        read = Action("o", "read", (), (0,))
+        assert self.spec.commutes(add, read)
+
+    def test_semantics(self):
+        state, _ = self.sem.apply(0, "add", (5,))
+        state, _ = self.sem.apply(state, "add", (-2,))
+        _, value = self.sem.apply(state, "read", ())
+        assert value == (3,)
+
+
+class TestRegister:
+    def setup_method(self):
+        self.spec = register_spec()
+        self.sem = RegisterSemantics()
+
+    def test_real_writes_conflict(self):
+        write = Action("o", "write", (1,), (0,))
+        assert not self.spec.commutes(write, write)
+
+    def test_silent_writes_commute(self):
+        silent = Action("o", "write", (1,), (1,))
+        read = Action("o", "read", (), (1,))
+        assert self.spec.commutes(silent, silent)
+        assert self.spec.commutes(silent, read)
+
+    def test_write_read_conflict(self):
+        write = Action("o", "write", (2,), (0,))
+        read = Action("o", "read", (), (2,))
+        assert not self.spec.commutes(write, read)
+
+    def test_reads_commute(self):
+        read = Action("o", "read", (), (5,))
+        assert self.spec.commutes(read, read)
+
+    def test_semantics(self):
+        state, prev = self.sem.apply(0, "write", (7,))
+        assert prev == (0,)
+        _, value = self.sem.apply(state, "read", ())
+        assert value == (7,)
+
+
+class TestLogs:
+    def test_sequence_appends_never_commute(self):
+        spec = sequence_log_spec()
+        append = Action("o", "append", ("x",), (0,))
+        assert not spec.commutes(append, append)
+
+    def test_multiset_logs_commute(self):
+        spec = multiset_log_spec()
+        log = Action("o", "log", ("x",), ())
+        assert spec.commutes(log, log)
+
+    def test_multiset_log_vs_snapshot(self):
+        spec = multiset_log_spec()
+        log = Action("o", "log", ("x",), ())
+        snapshot = Action("o", "snapshot", (), (3,))
+        assert not spec.commutes(log, snapshot)
+
+    def test_multiset_log_vs_count(self):
+        spec = multiset_log_spec()
+        log = Action("o", "log", ("x",), ())
+        count_same = Action("o", "count", ("x",), (1,))
+        count_other = Action("o", "count", ("y",), (0,))
+        assert not spec.commutes(log, count_same)
+        assert spec.commutes(log, count_other)
+
+    def test_multiset_semantics_is_order_insensitive(self):
+        sem = MultisetLogSemantics()
+        state1, _ = sem.apply((), "log", ("b",))
+        state1, _ = sem.apply(state1, "log", ("a",))
+        state2, _ = sem.apply((), "log", ("a",))
+        state2, _ = sem.apply(state2, "log", ("b",))
+        assert state1 == state2
+
+
+class TestAccumulator:
+    def setup_method(self):
+        self.spec = accumulator_spec()
+        self.sem = AccumulatorSemantics()
+
+    def test_samples_commute(self):
+        a = Action("o", "sample", (3,), ())
+        b = Action("o", "sample", (5,), ())
+        assert self.spec.commutes(a, b)
+
+    def test_positive_sample_conflicts_with_reads(self):
+        sample = Action("o", "sample", (3,), ())
+        total = Action("o", "total", (), (0,))
+        peak = Action("o", "peak", (), (0,))
+        assert not self.spec.commutes(sample, total)
+        assert not self.spec.commutes(sample, peak)
+
+    def test_zero_sample_commutes_with_reads(self):
+        sample = Action("o", "sample", (0,), ())
+        total = Action("o", "total", (), (0,))
+        peak = Action("o", "peak", (), (0,))
+        assert self.spec.commutes(sample, total)
+        assert self.spec.commutes(sample, peak)
+
+    def test_semantics_tracks_total_and_peak(self):
+        state = self.sem.initial_state()
+        for d in (3, 1, 5, 2):
+            state, _ = self.sem.apply(state, "sample", (d,))
+        _, total = self.sem.apply(state, "total", ())
+        _, peak = self.sem.apply(state, "peak", ())
+        assert total == (11,)
+        assert peak == (5,)

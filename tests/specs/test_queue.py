@@ -1,0 +1,165 @@
+"""The FIFO queue: spec subtleties, semantics, monitored collection."""
+
+import pytest
+
+from repro.core.events import NIL, Action
+from repro.runtime.collections_rt import MonitoredQueue
+from repro.runtime.monitor import Monitor
+from repro.specs.queue_spec import (QueueSemantics, queue_representation,
+                                    queue_spec)
+
+
+class TestSpecRows:
+    def setup_method(self):
+        self.spec = queue_spec()
+
+    def test_enqueues_never_commute(self):
+        a = Action("q", "enq", ("a",), ())
+        b = Action("q", "enq", ("b",), ())
+        assert not self.spec.commutes(a, b)
+        assert not self.spec.commutes(a, a)
+
+    def test_enq_vs_successful_other_deq_commutes(self):
+        enq = Action("q", "enq", ("x",), ())
+        deq = Action("q", "deq", (), ("y",))
+        assert self.spec.commutes(enq, deq)
+
+    def test_enq_vs_deq_of_same_element_does_not_commute(self):
+        """The empty-queue subtlety: enq(x); deq()/x is realizable while
+        deq()/x; enq(x) is not — the x ≠ y guard is essential."""
+        enq = Action("q", "enq", ("x",), ())
+        deq_same = Action("q", "deq", (), ("x",))
+        assert not self.spec.commutes(enq, deq_same)
+
+    def test_enq_vs_failed_deq_does_not_commute(self):
+        enq = Action("q", "enq", ("x",), ())
+        deq_nil = Action("q", "deq", (), (NIL,))
+        assert not self.spec.commutes(enq, deq_nil)
+
+    def test_noop_deqs_commute(self):
+        deq_nil = Action("q", "deq", (), (NIL,))
+        deq_real = Action("q", "deq", (), ("a",))
+        assert self.spec.commutes(deq_nil, deq_nil)
+        assert not self.spec.commutes(deq_real, deq_real)
+        assert not self.spec.commutes(deq_nil, deq_real)
+
+    def test_peek_rows(self):
+        enq = Action("q", "enq", ("x",), ())
+        peek_other = Action("q", "peek", (), ("y",))
+        peek_same = Action("q", "peek", (), ("x",))
+        peek_nil = Action("q", "peek", (), (NIL,))
+        assert self.spec.commutes(enq, peek_other)
+        assert not self.spec.commutes(enq, peek_same)
+        assert not self.spec.commutes(enq, peek_nil)
+        assert self.spec.commutes(peek_same, peek_other)
+
+    def test_size_rows(self):
+        enq = Action("q", "enq", ("x",), ())
+        deq_nil = Action("q", "deq", (), (NIL,))
+        deq_real = Action("q", "deq", (), ("a",))
+        size = Action("q", "size", (), (2,))
+        assert not self.spec.commutes(enq, size)
+        assert self.spec.commutes(deq_nil, size)
+        assert not self.spec.commutes(deq_real, size)
+        assert self.spec.commutes(size, size)
+
+    def test_spec_is_complete_ecl(self):
+        assert self.spec.is_complete()
+        assert self.spec.is_ecl()
+
+
+class TestSemantics:
+    def setup_method(self):
+        self.sem = QueueSemantics()
+
+    def test_fifo_order(self):
+        state = ()
+        for element in ("a", "b", "c"):
+            state, _ = self.sem.apply(state, "enq", (element,))
+        state, first = self.sem.apply(state, "deq", ())
+        state, second = self.sem.apply(state, "deq", ())
+        assert (first, second) == (("a",), ("b",))
+
+    def test_deq_on_empty_returns_nil(self):
+        state, result = self.sem.apply((), "deq", ())
+        assert result == (NIL,)
+        assert state == ()
+
+    def test_peek_does_not_consume(self):
+        state, _ = self.sem.apply((), "enq", ("a",))
+        after, result = self.sem.apply(state, "peek", ())
+        assert result == ("a",)
+        assert after == state
+
+    def test_size(self):
+        state, _ = self.sem.apply((), "enq", ("a",))
+        _, size = self.sem.apply(state, "size", ())
+        assert size == (1,)
+
+
+class TestRepresentation:
+    def test_translated_and_bounded(self):
+        rep = queue_representation()
+        assert rep.bounded
+        assert rep.max_conflict_degree() <= 4
+
+
+class TestMonitoredQueue:
+    def test_operations(self):
+        queue = MonitoredQueue(Monitor(record_trace=True))
+        queue.enq("a")
+        queue.enq("b")
+        assert queue.peek() == "a"
+        assert queue.size() == 2
+        assert queue.deq() == "a"
+        assert queue.deq() == "b"
+        assert queue.deq() is NIL
+        assert len(queue) == 0
+
+    def test_actions_recorded(self):
+        monitor = Monitor(record_trace=True)
+        queue = MonitoredQueue(monitor, name="q")
+        queue.enq("a")
+        queue.deq()
+        actions = [e.action for e in monitor.trace.actions("q")]
+        assert [a.method for a in actions] == ["enq", "deq"]
+        assert actions[1].returns == ("a",)
+
+    def test_concurrent_enqueues_race(self):
+        from repro.sched.explore import explore
+
+        def program(monitor, scheduler):
+            queue = MonitoredQueue(monitor, name="q")
+
+            def producer(tag):
+                queue.enq(tag)
+
+            scheduler.join_all([scheduler.spawn(producer, "a"),
+                                scheduler.spawn(producer, "b")])
+
+        result = explore(program, seeds=range(3))
+        assert result.race_frequency == 1.0
+
+    def test_pipelined_producer_consumer_is_clean(self):
+        """Producer enqueues, then (join-ordered) consumer drains: the
+        FIFO handoff is race-free once ordered."""
+        from repro.runtime.analyzers import Rd2Analyzer
+        from repro.sched.scheduler import Scheduler
+        rd2 = Rd2Analyzer()
+        monitor = Monitor(analyzers=[rd2])
+        scheduler = Scheduler(monitor, seed=0)
+
+        def main():
+            queue = MonitoredQueue(monitor, name="q")
+
+            def producer():
+                for element in ("a", "b"):
+                    queue.enq(element)
+
+            handle = scheduler.spawn(producer)
+            scheduler.join(handle)
+            while queue.deq() is not NIL:
+                pass
+
+        scheduler.run(main)
+        assert rd2.races() == []

@@ -1,0 +1,88 @@
+"""Shared helpers and hypothesis strategies for the test-suite.
+
+The recurring need is *consistent* random traces: fork/join/lock structure
+plus actions whose return values are realizable at their linearization
+points.  ``trace_strategy`` builds them via the executable semantics, for
+any bundled object kind.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.events import Action
+from repro.core.trace import Trace, TraceBuilder
+from repro.specs import BundledObject, bundled_objects
+
+
+# -- consistent random traces ------------------------------------------------------
+#
+# A trace is driven by a compact "program": a seed, a thread count, an op
+# count and a lock-usage rate.  Hypothesis shrinks over these integers, and
+# the builder below deterministically expands them into a consistent trace.
+
+@st.composite
+def trace_programs(draw,
+                   kinds: Tuple[str, ...] = ("dictionary", "set", "counter",
+                                             "register", "msetlog",
+                                             "accumulator", "queue")):
+    kind = draw(st.sampled_from(kinds))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    threads = draw(st.integers(min_value=1, max_value=4))
+    ops = draw(st.integers(min_value=0, max_value=30))
+    lock_rate = draw(st.sampled_from((0.0, 0.3, 1.0)))
+    join_all = draw(st.booleans())
+    return (kind, seed, threads, ops, lock_rate, join_all)
+
+
+def build_trace(program, registry=None) -> Tuple[Trace, BundledObject]:
+    """Expand a trace program into a consistent stamped trace."""
+    kind, seed, threads, ops, lock_rate, join_all = program
+    registry = registry or bundled_objects()
+    bundled = registry[kind]
+    semantics = bundled.semantics()
+    state = semantics.initial_state()
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    worker_tids = list(range(1, threads + 1))
+    for tid in worker_tids:
+        builder.fork(0, tid)
+    remaining = {tid: ops for tid in worker_tids}
+    held: Dict[int, bool] = {tid: False for tid in worker_tids}
+    while any(remaining.values()):
+        tid = rng.choice([t for t, n in remaining.items() if n])
+        use_lock = rng.random() < lock_rate
+        if use_lock:
+            builder.acquire(tid, "L")
+        method, args = semantics.sample_invocation(rng)
+        state, returns = semantics.apply(state, method, args)
+        builder.action(tid, Action("obj", method, args, returns))
+        if use_lock:
+            builder.release(tid, "L")
+        remaining[tid] -= 1
+    if join_all:
+        builder.join_all(0, worker_tids)
+        method, args = semantics.sample_invocation(rng)
+        state, returns = semantics.apply(state, method, args)
+        builder.action(0, Action("obj", method, args, returns))
+    return builder.build(), bundled
+
+
+def sample_actions(kind: str, count: int = 60, seed: int = 13,
+                   obj: str = "o") -> List[Action]:
+    """Realizable actions of a bundled kind, reached by random executions."""
+    bundled = bundled_objects()[kind]
+    semantics = bundled.semantics()
+    rng = random.Random(seed)
+    actions: List[Action] = []
+    state = semantics.initial_state()
+    for index in range(count):
+        if index % 9 == 0:
+            state = semantics.initial_state()
+        method, args = semantics.sample_invocation(rng)
+        state, returns = semantics.apply(state, method, args)
+        actions.append(Action(obj, method, args, returns))
+    return actions

@@ -1,0 +1,114 @@
+"""The repro-analyze command line and the spec reporter."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import dump_trace
+from repro.core.trace import TraceBuilder
+from repro.core.events import NIL
+from repro.logic.pretty import spec_report
+from repro.specs.dictionary import dictionary_spec
+
+
+@pytest.fixture()
+def racy_trace_file(tmp_path):
+    trace = (TraceBuilder(root=0)
+             .fork(0, 1).fork(0, 2)
+             .begin(1)
+             .invoke(1, "o", "get", "k", returns=NIL)
+             .invoke(2, "o", "put", "k", 9, returns=NIL)
+             .invoke(1, "o", "put", "k", 1, returns=9)
+             .commit(1)
+             .write(1, "field")
+             .write(2, "field")
+             .build())
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_trace(trace, stream)
+    return str(path)
+
+
+class TestAnalyzeCli:
+    def test_rd2_analysis_finds_races(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "commutativity race" in out
+        assert "loaded" in out
+
+    def test_direct_detector_option(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--detector", "direct"])
+        assert code == 1
+        assert "direct:" in capsys.readouterr().out
+
+    def test_fasttrack_needs_no_bindings(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--detector", "fasttrack"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "data race" in out
+
+    def test_eraser(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--detector", "eraser"])
+        assert code == 1
+        assert "lockset" in capsys.readouterr().out
+
+    def test_atomicity_mode(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--atomicity"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "atomicity violation" in out
+
+    def test_clean_trace_exits_zero(self, tmp_path, capsys):
+        trace = (TraceBuilder(root=0)
+                 .invoke(0, "o", "put", "k", 1, returns=NIL)
+                 .build())
+        path = tmp_path / "clean.jsonl"
+        with open(path, "w", encoding="utf-8") as stream:
+            dump_trace(trace, stream)
+        assert main([str(path), "--object", "o=dictionary"]) == 0
+
+    def test_missing_binding_rejected(self, racy_trace_file):
+        with pytest.raises(SystemExit):
+            main([racy_trace_file])
+
+    def test_bad_binding_syntax_rejected(self, racy_trace_file):
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--object", "o:dictionary"])
+
+    def test_unknown_kind_rejected(self, racy_trace_file):
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--object", "o=warpdrive"])
+
+    def test_trace_argument_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSpecReportCli:
+    def test_spec_report_flag(self, capsys):
+        assert main(["--spec-report", "dictionary"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6 style" in out
+        assert "Fig. 7 style" in out
+        assert "Theorem 6.6" in out
+
+    def test_unknown_spec_kind(self):
+        with pytest.raises(SystemExit):
+            main(["--spec-report", "nope"])
+
+
+class TestSpecReportFunction:
+    def test_contains_the_papers_artifacts(self):
+        report = spec_report(dictionary_spec())
+        assert "ϕ[put, put]" in report
+        assert "B(Φ, put) = {v = p, v = nil, p = nil}" in report
+        assert "max conflict degree: 2" in report
+        assert "B(Φ, get) = ∅" in report
+
+    def test_every_bundled_spec_reports(self):
+        from repro.specs import bundled_objects
+        for kind, bundled in bundled_objects().items():
+            report = spec_report(bundled.spec())
+            assert kind in report

@@ -1,0 +1,25 @@
+"""Every example script must run green (each asserts what it shows)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=180)
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{completed.stdout}\n"
+        f"--- stderr ---\n{completed.stderr}")
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
