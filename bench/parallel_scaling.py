@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Parallel scaling: throughput of the two-phase sharded analyzer.
+
+Generates a synthetic multi-object trace (default 100k events: dictionary
+shards under put/get/size churn from several unordered threads), runs the
+sequential :class:`CommutativityRaceDetector` as the baseline, then the
+:class:`ShardedDetector` at increasing worker counts, and reports
+events/second plus speedup over the sequential pass.  The differential
+guarantee is asserted on the way: every configuration must report the
+same number of races and conflict checks.
+
+The pipeline's phase A (the happens-before pass) is inherently
+sequential, so Amdahl bounds the speedup by the phase-B share of the
+sequential runtime — the report prints that share so the measured
+scaling can be judged against the ceiling.  On a single-CPU container the
+pool configurations show overhead, not speedup; run on >=4 cores to see
+the paper-style scaling (>=1.8x at 4 workers is typical, since phase B
+dominates at realistic object counts).
+
+Run:  PYTHONPATH=src python bench/parallel_scaling.py [--events N]
+          [--objects K] [--threads T] [--workers 1,2,4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.parallel import ShardedDetector
+from repro.core.trace import TraceBuilder
+from repro.specs.dictionary import dictionary_representation
+
+
+def synthetic_trace(events: int, objects: int, threads: int, seed: int = 0,
+                    keys: int = 64, lock_rate: float = 0.05):
+    """A put/get/size workload spread over ``objects`` dictionaries.
+
+    Returns come from a per-object shadow dict, so the trace is a
+    consistent execution.  ``keys`` sizes each object's key space and
+    ``lock_rate`` the fraction of operations done under a shared lock —
+    together they set the race density (smaller key space, less locking:
+    more races).
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    worker_tids = list(range(1, threads + 1))
+    for tid in worker_tids:
+        builder.fork(0, tid)
+    shadow = [dict() for _ in range(objects)]
+    from repro.core.events import NIL
+    budget = events - threads  # forks already emitted
+    for _ in range(budget):
+        tid = rng.choice(worker_tids)
+        index = rng.randrange(objects)
+        obj = f"d{index}"
+        locked = rng.random() < lock_rate
+        if locked:
+            builder.acquire(tid, "L")
+        roll = rng.random()
+        if roll < 0.6:
+            key = f"k{rng.randrange(keys)}"
+            value = rng.randrange(8)
+            prev = shadow[index].get(key, NIL)
+            shadow[index][key] = value
+            builder.invoke(tid, obj, "put", key, value, returns=prev)
+        elif roll < 0.9:
+            key = f"k{rng.randrange(keys)}"
+            builder.invoke(tid, obj, "get", key,
+                           returns=shadow[index].get(key, NIL))
+        else:
+            size = sum(1 for v in shadow[index].values() if v is not NIL)
+            builder.invoke(tid, obj, "size", returns=size)
+        if locked:
+            builder.release(tid, "L")
+    return builder.build(stamp=False)
+
+
+def register_all(detector, objects: int):
+    for index in range(objects):
+        detector.register_object(f"d{index}", dictionary_representation())
+    return detector
+
+
+def timed_run(detector, trace):
+    start = time.perf_counter()
+    detector.run(trace)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--objects", type=int, default=32)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts to sweep")
+    parser.add_argument("--keys", type=int, default=64,
+                        help="key space per object (smaller = racier)")
+    parser.add_argument("--lock-rate", type=float, default=0.05,
+                        help="fraction of ops under a shared lock")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    worker_counts = [int(w) for w in args.workers.split(",")]
+
+    print(f"generating {args.events} events over {args.objects} objects, "
+          f"{args.threads} threads ...")
+    trace = synthetic_trace(args.events, args.objects, args.threads,
+                            args.seed, keys=args.keys,
+                            lock_rate=args.lock_rate)
+
+    # Throughput mode: count races, don't materialize reports (the same
+    # keep_reports=False knob the long sequential benchmarks use).
+    sequential = register_all(
+        CommutativityRaceDetector(root=0, keep_reports=False), args.objects)
+    seq_seconds = timed_run(sequential, trace)
+    baseline = (len(trace) / seq_seconds, seq_seconds)
+    reference = (sequential.stats.races, sequential.stats.conflict_checks)
+
+    # Phase-A share of the sequential cost bounds the parallel speedup.
+    probe = ShardedDetector(root=0, workers=0)
+    start = time.perf_counter()
+    probe._stamp_and_partition(trace)
+    phase_a_seconds = time.perf_counter() - start
+    serial_share = min(1.0, phase_a_seconds / seq_seconds)
+    amdahl = 1.0 / (serial_share + (1 - serial_share) / max(worker_counts))
+
+    header = f"{'config':>12} {'seconds':>9} {'events/s':>10} {'speedup':>8}"
+    print(f"\n{header}\n{'-' * len(header)}")
+    print(f"{'sequential':>12} {seq_seconds:>9.3f} "
+          f"{baseline[0]:>10.0f} {'1.00x':>8}")
+    for workers in worker_counts:
+        detector = register_all(
+            ShardedDetector(root=0, workers=workers, keep_reports=False),
+            args.objects)
+        seconds = timed_run(detector, trace)
+        got = (detector.stats.races, detector.stats.conflict_checks)
+        assert got == reference, (
+            f"verdict drift at workers={workers}: {got} != {reference}")
+        speedup = seq_seconds / seconds
+        print(f"{f'{workers} workers':>12} {seconds:>9.3f} "
+              f"{len(trace) / seconds:>10.0f} {speedup:>7.2f}x")
+    print(f"\nphase A (sequential HB pass): {phase_a_seconds:.3f}s "
+          f"({serial_share:.0%} of sequential run)")
+    print(f"Amdahl ceiling at {max(worker_counts)} workers: "
+          f"{amdahl:.2f}x; races found: {reference[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

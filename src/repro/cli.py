@@ -4,6 +4,7 @@ Record a trace in a monitored run (``Monitor(record_trace=True)``), park it
 with :func:`repro.core.serialize.dump_trace`, then analyze it later::
 
     repro-analyze trace.jsonl --object o=dictionary --object s=set
+    repro-analyze trace.jsonl --object o=dictionary --workers 4
     repro-analyze trace.jsonl --object o=dictionary --detector direct
     repro-analyze trace.jsonl --detector fasttrack
     repro-analyze trace.jsonl --object o=dictionary --atomicity
@@ -43,25 +44,36 @@ def _parse_bindings(pairs: Sequence[str]) -> List[Tuple[str, str]]:
     return bindings
 
 
-def _analyze_commutativity(trace, bindings, detector_kind: str) -> int:
+def _analyze_commutativity(trace, bindings, detector_kind: str,
+                           workers: int = 1) -> int:
     registry = bundled_objects()
     if not bindings:
         raise SystemExit(
             "commutativity analysis needs at least one --object NAME=KIND")
     if detector_kind == "rd2":
-        from .core.detector import CommutativityRaceDetector
-        detector = CommutativityRaceDetector(root=trace.root)
+        if workers > 1:
+            from .core.parallel import ShardedDetector
+            detector = ShardedDetector(root=trace.root, workers=workers)
+        else:
+            from .core.detector import CommutativityRaceDetector
+            detector = CommutativityRaceDetector(root=trace.root)
         for name, kind in bindings:
             detector.register_object(name,
                                      registry[kind].representation())
     else:
+        if workers > 1:
+            raise SystemExit(
+                f"--workers applies only to the rd2 detector "
+                f"(got --detector {detector_kind})")
         from .core.direct import DirectDetector
         detector = DirectDetector(root=trace.root)
         for name, kind in bindings:
             detector.register_object(name, registry[kind].spec().commutes)
     detector.run(trace)
     races = detector.races
-    print(f"{detector_kind}: {tally(races)} commutativity race report(s)")
+    suffix = f" [{workers} workers]" if workers > 1 else ""
+    print(f"{detector_kind}{suffix}: {tally(races)} "
+          f"commutativity race report(s)")
     for group in group_races(races):
         print(f"  {group}")
     return 1 if races else 0
@@ -112,6 +124,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--detector", default="rd2",
                         choices=("rd2", "direct", "fasttrack", "eraser"),
                         help="which analysis to run (default rd2)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fan the rd2 per-object race checks out to N "
+                             "worker processes (two-phase sharded pipeline; "
+                             "default 1 = sequential)")
     parser.add_argument("--atomicity", action="store_true",
                         help="run the atomicity checker instead")
     parser.add_argument("--spec-report", metavar="KIND",
@@ -137,10 +153,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{len(trace.threads())} threads)")
 
     bindings = _parse_bindings(args.objects)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.workers > 1 and (args.detector != "rd2" or args.atomicity):
+        parser.error("--workers applies only to the rd2 detector")
     if args.atomicity:
         return _analyze_atomicity(trace, bindings)
     if args.detector in ("rd2", "direct"):
-        return _analyze_commutativity(trace, bindings, args.detector)
+        return _analyze_commutativity(trace, bindings, args.detector,
+                                      workers=args.workers)
     return _analyze_memory(trace, args.detector)
 
 

@@ -14,6 +14,7 @@ from .events import (NIL, Action, Event, EventKind, Nil, ObjectId,
                      write_event)
 from .hb import HappensBeforeTracker
 from .oracle import CommutativityOracle, RacingPair
+from .parallel import ShardedDetector, partition_by_load
 from .graph import (concurrency_matrix, critical_path,
                     happens_before_graph, parallelism_profile,
                     racing_context)
@@ -35,6 +36,7 @@ __all__ = [
     "read_event", "release_event", "write_event",
     "HappensBeforeTracker",
     "CommutativityOracle", "RacingPair",
+    "ShardedDetector", "partition_by_load",
     "CommutativityRace", "DataRace", "LocksetWarning", "RaceGroup",
     "RaceReport", "RaceTally", "group_races", "tally",
     "concurrency_matrix", "critical_path", "happens_before_graph",

@@ -45,6 +45,7 @@ performed, not just wall time.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, NamedTuple, Optional, Set, Union
@@ -115,6 +116,16 @@ class DetectorStats:
 
     def checks_per_action(self) -> float:
         return self.conflict_checks / self.actions if self.actions else 0.0
+
+    def absorb(self, other: "DetectorStats") -> None:
+        """Accumulate another detector's counters into this one.
+
+        Used by the sharded offline analyzer to merge per-shard stats; sums
+        every counter field so future counters cannot be silently dropped.
+        """
+        for fld in dataclasses.fields(self):
+            setattr(self, fld.name,
+                    getattr(self, fld.name) + getattr(other, fld.name))
 
 
 @dataclass
@@ -257,6 +268,24 @@ class CommutativityRaceDetector:
                 self._actions_since_prune = 0
                 self.prune_ordered_points()
         return found
+
+    def process_stamped(self, event: Event) -> Optional[List[CommutativityRace]]:
+        """Consume one *pre-stamped* event, trusting ``event.clock``.
+
+        The offline two-phase pipeline (:mod:`repro.core.parallel`) computes
+        every ``vc(e)`` in a single sequential happens-before pass and then
+        replays each object's actions independently; this entry point runs
+        phases 1 and 2 of Algorithm 1 against the precomputed clock instead
+        of advancing the tracker's own happens-before state.
+        """
+        if event.clock is None:
+            raise MonitorError(
+                f"process_stamped needs a stamped event (clock is None): "
+                f"{event}")
+        self.stats.events += 1
+        if event.kind is not EventKind.ACTION:
+            return None
+        return self._process_action(event, event.clock)
 
     def _process_action(self, event: Event,
                         clock: VectorClock) -> Optional[List[CommutativityRace]]:

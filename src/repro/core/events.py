@@ -37,6 +37,8 @@ __all__ = [
     "commit_event",
     "read_event",
     "write_event",
+    "pack_stamped_action",
+    "unpack_stamped_action",
 ]
 
 
@@ -224,3 +226,31 @@ def read_event(tid: Tid, location: Hashable) -> Event:
 def write_event(tid: Tid, location: Hashable) -> Event:
     """Low-level memory write (consumed only by read/write baselines)."""
     return Event(EventKind.WRITE, tid, location=location)
+
+
+# -- compact wire format ------------------------------------------------------
+#
+# The sharded offline analyzer (:mod:`repro.core.parallel`) ships stamped
+# action events to worker processes.  Pickling whole Event objects works but
+# drags along payload fields that are None for actions; these helpers
+# flatten a stamped action to a plain tuple (the object id is factored out
+# at the per-object group level, so it is not repeated per event).  The
+# clock rides along as the immutable VectorClock itself: sharing is safe,
+# it already pickles compactly via ``__reduce__``, and the in-process
+# (inline) shard path then needs no reconstruction at all.
+
+def pack_stamped_action(event: Event, index: int,
+                        clock: VectorClock) -> Tuple[Any, ...]:
+    """Flatten a stamped ACTION event to a compact picklable tuple."""
+    act = event.action
+    return (index, event.tid, act.method, act.args, act.returns, clock)
+
+
+def unpack_stamped_action(obj: ObjectId, packed: Tuple[Any, ...]) -> Event:
+    """Rebuild the Event (with its ``vc(e)``) from :func:`pack_stamped_action`."""
+    index, tid, method, args, returns, clock = packed
+    event = Event(EventKind.ACTION, tid,
+                  action=Action(obj, method, args, returns))
+    event.index = index
+    event.clock = clock
+    return event

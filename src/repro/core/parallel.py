@@ -1,0 +1,272 @@
+"""Sharded offline trace analysis: the two-phase HB/check pipeline.
+
+Algorithm 1's per-event work factors into (a) a *global* happens-before
+update — Table 1 bookkeeping that inherently serializes on the thread and
+lock clocks — and (b) a *per-object* race check and state update: phases 1
+and 2 touch only ``active(o)`` and the point clocks of the one object the
+action invokes.  Two actions on distinct objects therefore never read or
+write common detector state, so once every event carries its ``vc(e)``,
+the per-object work can be replayed in any interleaving — in particular,
+object-by-object on separate CPUs — without changing a single verdict.
+
+:class:`ShardedDetector` exploits that factoring for offline analysis:
+
+Phase A (sequential)
+    One pass over the trace drives :class:`~repro.core.hb.
+    HappensBeforeTracker`, stamping every event with ``vc(e)`` and
+    bucketing each registered object's actions (in compact wire form, see
+    :func:`~repro.core.events.pack_stamped_action`).
+
+Phase B (parallel)
+    Objects are partitioned into ``workers`` shards (greedy
+    longest-processing-time on action counts, deterministic), and each
+    shard replays its objects' stamped actions through an ordinary
+    :class:`~repro.core.detector.CommutativityRaceDetector` via
+    :meth:`~repro.core.detector.CommutativityRaceDetector.process_stamped`
+    in a ``multiprocessing`` pool.  Race reports come back tagged with
+    their trace index and are merged in stable event-index order; shard
+    stats merge via :meth:`~repro.core.detector.DetectorStats.absorb`.
+
+The merged ``races`` list is *identical* — report for report, in the same
+order — to what the sequential detector produces on the same trace, and
+the merged ``stats`` agree on every per-action counter (``events`` is
+taken from the phase-A pass over the whole trace).  The differential
+property suite in ``tests/integration/test_sharded_differential.py``
+checks exactly that across randomized multi-object traces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .detector import CommutativityRaceDetector, DetectorStats, Strategy
+from .errors import MonitorError
+from .events import (Action, Event, EventKind, ObjectId,
+                     pack_stamped_action, unpack_stamped_action)
+from .hb import HappensBeforeTracker
+from .races import CommutativityRace
+from .vector_clock import Tid
+
+__all__ = ["ShardedDetector", "partition_by_load"]
+
+
+def partition_by_load(loads: Sequence[Tuple[ObjectId, int]],
+                      shards: int) -> List[List[ObjectId]]:
+    """Split objects into ``shards`` balanced groups, deterministically.
+
+    Greedy longest-processing-time: objects sorted by descending load
+    (ties broken by their position in ``loads``, i.e. first-touch order)
+    are assigned to the currently lightest shard (ties to the lowest shard
+    index).  Empty shards are dropped, so at most ``len(loads)`` groups
+    come back.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    order = sorted(range(len(loads)), key=lambda i: (-loads[i][1], i))
+    bins: List[List[ObjectId]] = [[] for _ in range(shards)]
+    weights = [0] * shards
+    for i in order:
+        obj, load = loads[i]
+        target = min(range(shards), key=lambda b: (weights[b], b))
+        bins[target].append(obj)
+        weights[target] += load
+    return [group for group in bins if group]
+
+
+# One shard's inputs: detector knobs plus, per object, the registration
+# (representation, per-object strategy) and the object's stamped actions.
+_ShardPayload = Tuple[bool, Strategy, bool,
+                      List[Tuple[ObjectId, Any, Optional[Strategy],
+                                 List[Tuple[Any, ...]]]]]
+
+
+def _analyze_shard(payload: _ShardPayload):
+    """Worker: replay each object's stamped actions through Algorithm 1.
+
+    Module-level so it is importable under any multiprocessing start
+    method.  Returns ``(triples, stats)`` where each triple is
+    ``(event_index, seq_within_event, race)`` — actions touch exactly one
+    object, so per-object replay preserves the sequential within-event
+    report order, and sorting the merged triples by ``(index, seq)``
+    reconstructs the sequential global order exactly.
+
+    When the facade neither keeps reports nor has an ``on_race`` callback
+    (``need_reports`` false), races are only counted: shipping tens of
+    thousands of report objects back over the pipe would dominate the
+    pool's cost for report-dense traces, mirroring why the sequential
+    detector grew ``keep_reports=False`` for long benchmark runs.
+    """
+    adaptive, strategy, need_reports, objects = payload
+    detector = CommutativityRaceDetector(strategy=strategy, adaptive=adaptive,
+                                         keep_reports=False)
+    for obj, representation, obj_strategy, _ in objects:
+        detector.register_object(obj, representation, obj_strategy)
+    triples: List[Tuple[int, int, CommutativityRace]] = []
+    # One reusable Event shell per shard: the detector reads (and the race
+    # reports capture) only the per-iteration action/tid/clock values, so
+    # rebuilding the carrier dataclass per event is avoidable overhead.
+    shell = unpack_stamped_action(None, (0, 0, "", (), (), None))
+    stats = detector.stats
+    for obj, _, _, packed_actions in objects:
+        for packed in packed_actions:
+            index, shell.tid, method, args, returns, shell.clock = packed
+            shell.action = Action(obj, method, args, returns)
+            shell.index = index
+            stats.events += 1
+            found = detector._process_action(shell, shell.clock)
+            if found and need_reports:
+                triples.extend((index, seq, race)
+                               for seq, race in enumerate(found))
+    return triples, detector.stats
+
+
+class ShardedDetector:
+    """Offline commutativity race detection, fanned out by object shard.
+
+    Mirrors :class:`~repro.core.detector.CommutativityRaceDetector`'s
+    offline API (``register_object`` / ``release_object`` / ``run`` /
+    ``races`` / ``stats``) but requires the whole trace up front — there is
+    no single-event ``process``, because the happens-before pass must
+    complete before per-object work can be distributed.
+
+    Parameters
+    ----------
+    root:
+        Thread id of the initial thread.
+    strategy / adaptive / keep_reports / on_race:
+        As for the sequential detector; ``on_race`` fires during the merge,
+        in stable event-index order.
+    workers:
+        Worker process count for phase B.  ``None`` uses the machine's CPU
+        count; ``0`` or ``1`` runs the shard work inline (no subprocesses,
+        but the same pack/replay/merge pipeline — handy for tests and for
+        unpicklable custom representations).
+    mp_context:
+        Optional ``multiprocessing`` start-method name (``"fork"``,
+        ``"spawn"``...); default lets the platform choose.
+    """
+
+    def __init__(
+        self,
+        root: Tid = 0,
+        strategy: Strategy = Strategy.AUTO,
+        on_race: Optional[Callable[[CommutativityRace], None]] = None,
+        keep_reports: bool = True,
+        adaptive: bool = False,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ):
+        self._root = root
+        self._strategy = strategy
+        self._on_race = on_race
+        self._keep_reports = keep_reports
+        self._adaptive = adaptive
+        self.workers = multiprocessing.cpu_count() if workers is None else workers
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self._mp_context = mp_context
+        self._registrations: Dict[ObjectId, Tuple[Any, Optional[Strategy]]] = {}
+        self._hb: Optional[HappensBeforeTracker] = None
+        self.races: List[CommutativityRace] = []
+        self.stats = DetectorStats()
+
+    # -- object lifecycle ------------------------------------------------------
+
+    def register_object(self, obj: ObjectId, representation,
+                        strategy: Optional[Strategy] = None) -> None:
+        """Attach an access point representation to a shared object."""
+        if obj in self._registrations:
+            raise MonitorError(f"object {obj!r} registered twice")
+        if self.workers > 1:
+            try:
+                pickle.dumps(representation)
+            except Exception as exc:
+                raise MonitorError(
+                    f"object {obj!r}: representation {representation!r} is "
+                    f"not picklable, so it cannot be shipped to worker "
+                    f"processes; use workers<=1 (inline sharding) or the "
+                    f"sequential CommutativityRaceDetector") from exc
+        self._registrations[obj] = (representation, strategy)
+
+    def release_object(self, obj: ObjectId) -> None:
+        """Drop a registration before analysis (mirrors the sequential API)."""
+        self._registrations.pop(obj, None)
+
+    def registered_objects(self):
+        return self._registrations.keys()
+
+    # -- the two-phase pipeline ------------------------------------------------
+
+    def run(self, events) -> List[CommutativityRace]:
+        """Analyze a whole trace; returns (and stores) the merged reports.
+
+        Re-running replaces ``races`` and ``stats`` — each call analyzes
+        one complete trace, like a fresh sequential detector would.
+        """
+        groups, total_events = self._stamp_and_partition(events)
+        results = self._fan_out(groups)
+        self._merge(results, total_events)
+        return self.races
+
+    # Phase A: one sequential happens-before pass over the full trace.
+    def _stamp_and_partition(self, events):
+        self._hb = HappensBeforeTracker(root=self._root)
+        groups: Dict[ObjectId, List[Tuple[Any, ...]]] = {
+            obj: [] for obj in self._registrations}
+        total = 0
+        for index, event in enumerate(events):
+            clock = self._hb.observe(event)
+            total += 1
+            if event.kind is EventKind.ACTION:
+                bucket = groups.get(event.action.obj)
+                if bucket is not None:
+                    bucket.append(pack_stamped_action(event, index, clock))
+        return groups, total
+
+    # Phase B: shard the objects and fan the per-object replay out.
+    def _fan_out(self, groups: Dict[ObjectId, List[Tuple[Any, ...]]]):
+        loads = [(obj, len(bucket)) for obj, bucket in groups.items()]
+        shard_count = max(1, min(self.workers, len(loads)))
+        need_reports = self._keep_reports or self._on_race is not None
+        payloads = []
+        for shard_objs in partition_by_load(loads, shard_count):
+            objects = [(obj,) + self._registrations[obj] + (groups[obj],)
+                       for obj in shard_objs]
+            payloads.append((self._adaptive, self._strategy, need_reports,
+                             objects))
+        if not payloads:
+            return []
+        if self.workers <= 1 or len(payloads) == 1:
+            return [_analyze_shard(payload) for payload in payloads]
+        ctx = (multiprocessing.get_context(self._mp_context)
+               if self._mp_context else multiprocessing.get_context())
+        with ctx.Pool(processes=len(payloads)) as pool:
+            return pool.map(_analyze_shard, payloads)
+
+    # Merge: stable event-index order, summed counters.
+    def _merge(self, results, total_events: int) -> None:
+        self.stats = DetectorStats()
+        triples: List[Tuple[int, int, CommutativityRace]] = []
+        for shard_triples, shard_stats in results:
+            triples.extend(shard_triples)
+            self.stats.absorb(shard_stats)
+        # Workers count only their shard's events; the trace-wide total
+        # comes from the phase-A pass (sync events included, once).
+        self.stats.events = total_events
+        triples.sort(key=lambda t: (t[0], t[1]))
+        merged = [race for _, _, race in triples]
+        self.races = merged if self._keep_reports else []
+        if self._on_race is not None:
+            for race in merged:
+                self._on_race(race)
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def happens_before(self) -> HappensBeforeTracker:
+        """The phase-A happens-before state (available after :meth:`run`)."""
+        if self._hb is None:
+            raise MonitorError("run() has not been called yet")
+        return self._hb

@@ -19,6 +19,7 @@ clock of a freshly observed thread costs nothing.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as _Mapping
 from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
 
 __all__ = ["Tid", "VectorClock", "MutableVectorClock", "BOTTOM"]
@@ -54,10 +55,26 @@ class VectorClock:
     __slots__ = ("_entries", "_hash")
 
     def __init__(self, entries: Mapping[Tid, int] | Iterable[Tuple[Tid, int]] = ()):
-        if isinstance(entries, Mapping):
+        # collections.abc.Mapping, not typing.Mapping: this constructor is
+        # on every detector hot path and typing's __instancecheck__ walk
+        # shows up in profiles.
+        if isinstance(entries, _Mapping):
             entries = entries.items()
         self._entries: Dict[Tid, int] = _normalized(entries)
         self._hash: int | None = None
+
+    @staticmethod
+    def _trusted(entries: Dict[Tid, int]) -> "VectorClock":
+        """Wrap an already-normalized dict without copying or validating.
+
+        Internal fast path for lattice operations whose results are
+        normalized by construction (joins/increments of normalized
+        clocks).  The caller must hand over ownership of ``entries``.
+        """
+        clock = VectorClock.__new__(VectorClock)
+        clock._entries = entries
+        clock._hash = None
+        return clock
 
     # -- accessors ---------------------------------------------------------
 
@@ -102,7 +119,7 @@ class VectorClock:
         for tid, stamp in other.items():
             if stamp > merged.get(tid, 0):
                 merged[tid] = stamp
-        return VectorClock(merged)
+        return VectorClock._trusted(merged)
 
     __or__ = join
 
@@ -110,7 +127,7 @@ class VectorClock:
         """``incυ``: a copy with ``tid``'s component advanced by one step."""
         bumped = dict(self._entries)
         bumped[tid] = bumped.get(tid, 0) + 1
-        return VectorClock(bumped)
+        return VectorClock._trusted(bumped)
 
     # -- conversions ---------------------------------------------------------
 
@@ -139,6 +156,11 @@ class VectorClock:
             self._hash = hash(frozenset(self._entries.items()))
         return self._hash
 
+    def __reduce__(self):
+        # Compact pickling for the sharded analyzer's IPC: ship only the
+        # sparse entries (the cached hash is recomputed on demand).
+        return (VectorClock, (self._entries,))
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{tid!r}: {ts}" for tid, ts in sorted(
             self._entries.items(), key=lambda kv: repr(kv[0])))
@@ -161,7 +183,7 @@ class MutableVectorClock:
     __slots__ = ("_entries",)
 
     def __init__(self, entries: Mapping[Tid, int] | Iterable[Tuple[Tid, int]] = ()):
-        if isinstance(entries, Mapping):
+        if isinstance(entries, _Mapping):
             entries = entries.items()
         self._entries: Dict[Tid, int] = _normalized(entries)
 
@@ -212,10 +234,12 @@ class MutableVectorClock:
 
     def freeze(self) -> VectorClock:
         """An immutable snapshot of the current value."""
-        return VectorClock(self._entries)
+        return VectorClock._trusted(dict(self._entries))
 
     def copy(self) -> "MutableVectorClock":
-        return MutableVectorClock(self._entries)
+        dup = MutableVectorClock.__new__(MutableVectorClock)
+        dup._entries = dict(self._entries)
+        return dup
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, (VectorClock, MutableVectorClock)):
@@ -223,6 +247,9 @@ class MutableVectorClock:
         return NotImplemented
 
     __hash__ = None  # type: ignore[assignment]  # mutable: not hashable
+
+    def __reduce__(self):
+        return (MutableVectorClock, (self._entries,))
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{tid!r}: {ts}" for tid, ts in sorted(

@@ -1,0 +1,98 @@
+"""Cross-configuration verdict preservation on one randomized corpus.
+
+The detector docstring promises that its configuration knobs change cost,
+never verdicts: adaptive point epochs vs plain vector clocks, and the
+ENUMERATE vs SCAN phase-1 strategies (Section 5.4), must agree race for
+race.  This suite pins that promise on the same randomized multi-object
+corpus the sharded differential harness uses, for both the sequential
+detector and the sharded pipeline.
+
+Comparison granularity differs deliberately:
+
+* ENUMERATE vs SCAN visit the same (point, candidate) pairs in different
+  orders, so reports are compared as sorted full snapshots (clocks
+  included) — content must match exactly, order may not.
+* adaptive mode reports a *narrower* prior clock (the epoch) while a point
+  is single-threaded, so adaptive-vs-plain equivalence is stated on
+  verdict keys (object, action, point pair) — the same identity
+  ``tests/core/test_adaptive.py`` uses.
+"""
+
+import pytest
+
+from repro.core.detector import CommutativityRaceDetector, Strategy
+from repro.core.parallel import ShardedDetector
+
+from tests.support import (build_multi_object_trace, race_snapshot,
+                           random_multi_object_program, register_bindings,
+                           verdict_keys)
+
+CORPUS_SEEDS = range(40)
+
+
+def corpus():
+    for seed in CORPUS_SEEDS:
+        yield build_multi_object_trace(random_multi_object_program(seed))
+
+
+def run_detector(trace, bindings, factory, **kw):
+    detector = register_bindings(factory(root=0, **kw), bindings)
+    detector.run(trace)
+    return detector
+
+
+def snapshots(detector):
+    """Race snapshots as sortable tuples (order-insensitive comparison)."""
+    return sorted(tuple(sorted(race_snapshot(race).items()))
+                  for race in detector.races)
+
+
+@pytest.mark.parametrize("factory", [CommutativityRaceDetector,
+                                     ShardedDetector],
+                         ids=["sequential", "sharded"])
+class TestStrategyEquivalence:
+    def test_enumerate_vs_scan_same_reports(self, factory):
+        for trace, bindings in corpus():
+            enum = run_detector(trace, bindings, factory,
+                                strategy=Strategy.ENUMERATE)
+            scan = run_detector(trace, bindings, factory,
+                                strategy=Strategy.SCAN)
+            assert snapshots(enum) == snapshots(scan)
+            assert enum.stats.races == scan.stats.races
+
+    def test_auto_matches_enumerate_for_bundled_reps(self, factory):
+        # Every bundled representation is bounded, so AUTO must resolve to
+        # ENUMERATE — identical reports *and* identical check counts.
+        for trace, bindings in corpus():
+            auto = run_detector(trace, bindings, factory)
+            enum = run_detector(trace, bindings, factory,
+                                strategy=Strategy.ENUMERATE)
+            assert auto.races == enum.races
+            assert auto.stats == enum.stats
+
+
+@pytest.mark.parametrize("factory", [CommutativityRaceDetector,
+                                     ShardedDetector],
+                         ids=["sequential", "sharded"])
+class TestAdaptiveEquivalence:
+    def test_adaptive_vs_plain_same_verdicts(self, factory):
+        for trace, bindings in corpus():
+            plain = run_detector(trace, bindings, factory)
+            adaptive = run_detector(trace, bindings, factory, adaptive=True)
+            assert verdict_keys(adaptive.races) == verdict_keys(plain.races)
+            assert adaptive.stats.races == plain.stats.races
+
+
+class TestFullMatrixAgreesOnVerdicts:
+    def test_all_eight_configurations(self):
+        """adaptive × strategy × (sequential|sharded): one verdict set."""
+        for trace, bindings in corpus():
+            verdicts = set()
+            for factory in (CommutativityRaceDetector, ShardedDetector):
+                for adaptive in (False, True):
+                    for strategy in (Strategy.ENUMERATE, Strategy.SCAN):
+                        det = run_detector(trace, bindings, factory,
+                                           adaptive=adaptive,
+                                           strategy=strategy)
+                        verdicts.add(tuple(verdict_keys(det.races)))
+            assert len(verdicts) == 1

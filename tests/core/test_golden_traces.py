@@ -1,0 +1,64 @@
+"""Golden-trace regression corpus: frozen verdicts for frozen traces.
+
+The traces and expected reports under ``tests/data/`` were produced by
+``tests/data/generate_golden.py``.  Any refactor that changes a verdict —
+a race appearing, disappearing, reordering, or changing its clocks —
+fails here and must be an explicit, reviewed regeneration of the corpus,
+never a silent drift.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.parallel import ShardedDetector
+from repro.core.serialize import load_trace
+from repro.specs import bundled_objects
+
+from tests.support import race_snapshot
+
+DATA_DIR = pathlib.Path(__file__).resolve().parent.parent / "data"
+EXPECTED_DIR = DATA_DIR / "expected"
+GOLDEN_NAMES = sorted(path.stem for path in DATA_DIR.glob("*.jsonl"))
+
+
+def load_case(name):
+    with open(EXPECTED_DIR / f"{name}.json", encoding="utf-8") as stream:
+        expected = json.load(stream)
+    with open(DATA_DIR / expected["trace"], encoding="utf-8") as stream:
+        trace = load_trace(stream)
+    return trace, expected
+
+
+def test_corpus_is_present():
+    assert len(GOLDEN_NAMES) >= 6
+    racy = sum(bool(load_case(name)[1]["races"]) for name in GOLDEN_NAMES)
+    clean = len(GOLDEN_NAMES) - racy
+    assert racy >= 4 and clean >= 1  # both verdict polarities covered
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_sequential_detector_matches_snapshot(name):
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    detector = CommutativityRaceDetector(root=trace.root)
+    for obj, kind in expected["bindings"].items():
+        detector.register_object(obj, registry[kind].representation())
+    detector.run(trace)
+    assert [race_snapshot(race) for race in detector.races] \
+        == expected["races"]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_sharded_detector_matches_snapshot(name, workers):
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    detector = ShardedDetector(root=trace.root, workers=workers)
+    for obj, kind in expected["bindings"].items():
+        detector.register_object(obj, registry[kind].representation())
+    detector.run(trace)
+    assert [race_snapshot(race) for race in detector.races] \
+        == expected["races"]

@@ -71,6 +71,133 @@ def build_trace(program, registry=None) -> Tuple[Trace, BundledObject]:
     return builder.build(), bundled
 
 
+# -- multi-object traces (the sharded analyzer's natural workload) -----------------
+#
+# Same program-expansion idea, but the trace touches several shared objects
+# of (possibly) different kinds, so object sharding has something to chew
+# on.  ``random_multi_object_program`` is the plain-random twin used by the
+# seeded differential loops (>=100 seeds without hypothesis machinery).
+
+DEFAULT_KINDS: Tuple[str, ...] = ("dictionary", "set", "counter", "register",
+                                  "msetlog", "accumulator", "queue")
+
+
+@st.composite
+def multi_object_programs(draw, kinds: Tuple[str, ...] = DEFAULT_KINDS,
+                          max_objects: int = 4):
+    count = draw(st.integers(min_value=1, max_value=max_objects))
+    object_kinds = tuple(draw(st.sampled_from(kinds)) for _ in range(count))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    threads = draw(st.integers(min_value=1, max_value=4))
+    ops = draw(st.integers(min_value=0, max_value=40))
+    lock_rate = draw(st.sampled_from((0.0, 0.3, 1.0)))
+    join_all = draw(st.booleans())
+    return (object_kinds, seed, threads, ops, lock_rate, join_all)
+
+
+def random_multi_object_program(seed: int,
+                                kinds: Tuple[str, ...] = DEFAULT_KINDS,
+                                max_objects: int = 5,
+                                max_threads: int = 4,
+                                max_ops: int = 50):
+    """A deterministic pseudo-random program for plain seed loops."""
+    rng = random.Random(seed)
+    count = rng.randint(1, max_objects)
+    object_kinds = tuple(rng.choice(kinds) for _ in range(count))
+    threads = rng.randint(1, max_threads)
+    ops = rng.randint(0, max_ops)
+    lock_rate = rng.choice((0.0, 0.3, 1.0))
+    join_all = rng.random() < 0.5
+    return (object_kinds, seed, threads, ops, lock_rate, join_all)
+
+
+def build_multi_object_trace(program, registry=None):
+    """Expand a multi-object program into (stamped trace, bindings).
+
+    ``bindings`` maps object name (``"o0"``, ``"o1"``...) to its bundled
+    kind — the shape detector registration and the CLI's ``--object``
+    flags both want.  Each object evolves its own semantics state, so all
+    recorded return values are realizable at their linearization points.
+    """
+    object_kinds, seed, threads, ops, lock_rate, join_all = program
+    registry = registry or bundled_objects()
+    bindings = {f"o{i}": kind for i, kind in enumerate(object_kinds)}
+    semantics = {name: registry[kind].semantics()
+                 for name, kind in bindings.items()}
+    states = {name: sem.initial_state() for name, sem in semantics.items()}
+    names = list(bindings)
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    worker_tids = list(range(1, threads + 1))
+    for tid in worker_tids:
+        builder.fork(0, tid)
+    remaining = {tid: ops for tid in worker_tids}
+    while any(remaining.values()):
+        tid = rng.choice([t for t, n in remaining.items() if n])
+        name = rng.choice(names)
+        use_lock = rng.random() < lock_rate
+        if use_lock:
+            builder.acquire(tid, "L")
+        method, args = semantics[name].sample_invocation(rng)
+        states[name], returns = semantics[name].apply(states[name],
+                                                      method, args)
+        builder.action(tid, Action(name, method, args, returns))
+        if use_lock:
+            builder.release(tid, "L")
+        remaining[tid] -= 1
+    if join_all:
+        builder.join_all(0, worker_tids)
+        name = rng.choice(names)
+        method, args = semantics[name].sample_invocation(rng)
+        states[name], returns = semantics[name].apply(states[name],
+                                                      method, args)
+        builder.action(0, Action(name, method, args, returns))
+    return builder.build(), bindings
+
+
+def register_bindings(detector, bindings, registry=None, **register_kw):
+    """Register every bound object's bundled representation on a detector."""
+    registry = registry or bundled_objects()
+    for name, kind in bindings.items():
+        detector.register_object(name, registry[kind].representation(),
+                                 **register_kw)
+    return detector
+
+
+def race_snapshot(race) -> dict:
+    """A stable, JSON-able rendering of a CommutativityRace report.
+
+    Used both by the golden-trace corpus (snapshots on disk) and by
+    equivalence tests that compare verdicts across detector configurations
+    where report *order* may legitimately differ.
+    """
+    def clock_items(clock):
+        return [[str(tid), stamp] for tid, stamp in
+                sorted(clock.items(), key=lambda kv: str(kv[0]))]
+
+    return {
+        "obj": str(race.obj),
+        "tid": str(race.current_tid),
+        "current": str(race.current),
+        "point": str(race.point),
+        "prior_point": str(race.prior_point),
+        "current_clock": clock_items(race.current_clock),
+        "prior_clock": clock_items(race.prior_clock),
+    }
+
+
+def verdict_keys(races) -> List[Tuple]:
+    """Order- and clock-insensitive race identity (sorted).
+
+    The adaptive detector reports a *narrower* prior clock (the epoch) for
+    single-thread histories, so cross-configuration equivalence is stated
+    on (object, action, point pair) identity — exactly the detector
+    docstring's verdict-preservation promise.
+    """
+    return sorted((str(r.obj), str(r.current), str(r.point),
+                   str(r.prior_point)) for r in races)
+
+
 def sample_actions(kind: str, count: int = 60, seed: int = 13,
                    obj: str = "o") -> List[Action]:
     """Realizable actions of a bundled kind, reached by random executions."""

@@ -86,6 +86,42 @@ class TestAnalyzeCli:
             main([])
 
 
+class TestWorkersFlag:
+    def test_sharded_rd2_reports_the_same_races(self, racy_trace_file,
+                                                capsys):
+        sequential = main([racy_trace_file, "--object", "o=dictionary"])
+        seq_out = capsys.readouterr().out
+        sharded = main([racy_trace_file, "--object", "o=dictionary",
+                        "--workers", "2"])
+        shard_out = capsys.readouterr().out
+        assert sharded == sequential == 1
+        assert "[2 workers]" in shard_out
+        # Same grouped report lines, just the annotated header differs.
+        assert (seq_out.replace("rd2:", "rd2 [2 workers]:")
+                == shard_out)
+
+    def test_workers_one_is_the_plain_sequential_path(self, racy_trace_file,
+                                                      capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "workers" not in out
+
+    def test_workers_rejected_for_other_detectors(self, racy_trace_file):
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--detector", "direct", "--workers", "2"])
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--detector", "fasttrack",
+                  "--workers", "2"])
+
+    def test_nonpositive_workers_rejected(self, racy_trace_file):
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--workers", "0"])
+
+
 class TestSpecReportCli:
     def test_spec_report_flag(self, capsys):
         assert main(["--spec-report", "dictionary"]) == 0
