@@ -17,8 +17,14 @@ pool configurations show overhead, not speedup; run on >=4 cores to see
 the paper-style scaling (>=1.8x at 4 workers is typical, since phase B
 dominates at realistic object counts).
 
+``--smoke`` runs a scaled-down sweep plus the *observability overhead
+gate*: the detector is timed with metrics disabled and with the sampled
+registry enabled, and the run fails (exit 1) if the enabled mode costs
+more than 5% — the budget the CI smoke job enforces.
+
 Run:  PYTHONPATH=src python bench/parallel_scaling.py [--events N]
           [--objects K] [--threads T] [--workers 1,2,4]
+      PYTHONPATH=src python bench/parallel_scaling.py --smoke
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import time
 from repro.core.detector import CommutativityRaceDetector
 from repro.core.parallel import ShardedDetector
 from repro.core.trace import TraceBuilder
+from repro.obs import Registry, build_report, write_report
 from repro.specs.dictionary import dictionary_representation
 
 
@@ -89,6 +96,43 @@ def timed_run(detector, trace):
     return time.perf_counter() - start
 
 
+def overhead_gate(trace, objects: int, repeats: int = 12,
+                  threshold: float = 0.05) -> bool:
+    """Time the detector with obs off vs. sampled obs on; gate at 5%.
+
+    One warmup run of each mode first (the first runs after startup pay
+    allocator growth and code warmup that would otherwise be charged to
+    whichever mode goes first), then the modes alternate and the
+    best-of-``repeats`` wall times are compared, so slow outliers and
+    machine drift don't decide the verdict.
+    """
+    def run_once(obs):
+        detector = register_all(
+            CommutativityRaceDetector(root=0, keep_reports=False, obs=obs),
+            objects)
+        return timed_run(detector, trace)
+
+    def measure(rounds):
+        run_once(None), run_once(Registry())        # warmup, discarded
+        off, on = [], []
+        for _ in range(rounds):
+            off.append(run_once(None))
+            on.append(run_once(Registry()))
+        return min(on) / min(off) - 1.0, min(off), min(on)
+
+    overhead, best_off, best_on = measure(repeats)
+    if overhead > threshold:
+        # One noise spike shouldn't fail CI: confirm with a longer rerun.
+        print(f"\nobservability overhead gate: {overhead:+.1%} over a "
+              f"{threshold:.0%} budget on the first attempt; re-measuring")
+        overhead, best_off, best_on = measure(2 * repeats)
+    verdict = "PASS" if overhead <= threshold else "FAIL"
+    print(f"\nobservability overhead gate: disabled {best_off:.3f}s, "
+          f"enabled {best_on:.3f}s -> {overhead:+.1%} "
+          f"(budget {threshold:.0%}) [{verdict}]")
+    return overhead <= threshold
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=100_000)
@@ -101,7 +145,19 @@ def main(argv=None) -> int:
     parser.add_argument("--lock-rate", type=float, default=0.05,
                         help="fraction of ops under a shared lock")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: scaled-down sweep plus the "
+                             "observability overhead gate (exit 1 on a "
+                             "budget breach)")
+    parser.add_argument("--stats-json", metavar="PATH",
+                        help="write the sequential run's observability "
+                             "report (exact sampling) to PATH")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.events = min(args.events, 20_000)
+        args.objects = min(args.objects, 8)
+        args.threads = min(args.threads, 4)
+        args.workers = "2"
     worker_counts = [int(w) for w in args.workers.split(",")]
 
     print(f"generating {args.events} events over {args.objects} objects, "
@@ -145,6 +201,25 @@ def main(argv=None) -> int:
           f"({serial_share:.0%} of sequential run)")
     print(f"Amdahl ceiling at {max(worker_counts)} workers: "
           f"{amdahl:.2f}x; races found: {reference[0]}")
+
+    if args.stats_json:
+        obs = Registry(sample_interval=1)
+        instrumented = register_all(
+            CommutativityRaceDetector(root=0, keep_reports=False, obs=obs),
+            args.objects)
+        instrumented.run(trace)
+        from repro.obs import publish_detector_stats
+        publish_detector_stats(obs, instrumented.stats)
+        report = build_report(obs, meta={
+            "detector": "rd2", "workers": 1, "events": len(trace),
+            "trace": "synthetic", "seed": args.seed,
+        })
+        with open(args.stats_json, "w", encoding="utf-8") as out:
+            write_report(report, out)
+        print(f"observability report written to {args.stats_json}")
+
+    if args.smoke and not overhead_gate(trace, args.objects):
+        return 1
     return 0
 
 

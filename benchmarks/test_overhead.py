@@ -2,8 +2,13 @@
 
 Micro-level counterpart of Table 2's performance columns: the same recorded
 trace is replayed through every analyzer, isolating pure analysis cost from
-workload and scheduling cost.
+workload and scheduling cost.  The ``_obs`` variants replay with the
+sampled metrics registry enabled, and ``test_obs_overhead_within_budget``
+gates the enabled/disabled ratio at 5% — the same budget the
+``bench/parallel_scaling.py --smoke`` CI job enforces on a larger trace.
 """
+
+import time
 
 import pytest
 
@@ -12,6 +17,7 @@ from repro.baselines.fasttrack import FastTrack
 from repro.core.detector import CommutativityRaceDetector, Strategy
 from repro.core.hb import HappensBeforeTracker
 from repro.core.trace import TraceBuilder
+from repro.obs import Registry
 from repro.sched.workload import WorkloadConfig, generate_trace
 from repro.specs.dictionary import dictionary_representation
 
@@ -123,3 +129,75 @@ def test_overhead_eraser(benchmark):
 
     detector = benchmark(run)
     benchmark.extra_info["warnings"] = detector.warning_count
+
+
+# -- observability overhead ---------------------------------------------------
+
+
+def _rd2_replay(workload, obs):
+    detector = CommutativityRaceDetector(
+        root=0, strategy=Strategy.ENUMERATE, keep_reports=False, obs=obs)
+    for obj_id in workload.objects:
+        detector.register_object(obj_id, dictionary_representation())
+    for event in workload.trace:
+        detector.process(event)
+    return detector
+
+
+def test_overhead_rd2_obs_sampled(benchmark):
+    """rd2 with the sampled registry — compare against test_overhead_rd2."""
+    workload = interface_trace()
+    detector = benchmark(lambda: _rd2_replay(workload, Registry()))
+    benchmark.extra_info["races"] = detector.stats.races
+    benchmark.extra_info["sample_interval"] = Registry().sample_interval
+
+
+def test_overhead_rd2_obs_exact(benchmark):
+    """rd2 with exact (interval 1) attribution — the offline CLI mode."""
+    workload = interface_trace()
+    detector = benchmark(
+        lambda: _rd2_replay(workload, Registry(sample_interval=1)))
+    benchmark.extra_info["races"] = detector.stats.races
+
+
+def test_overhead_fasttrack_obs(benchmark):
+    trace = memory_trace()
+
+    def run():
+        detector = FastTrack(root=0, keep_reports=False, obs=Registry())
+        detector.run(trace)
+        return detector
+
+    detector = benchmark(run)
+    benchmark.extra_info["races"] = detector.race_count
+
+
+def test_obs_overhead_within_budget():
+    """Enabled sampled obs must stay within 5% of disabled, best-of-N.
+
+    A deterministic gate rather than a pytest-benchmark comparison so it
+    can fail the suite: one warmup pair, then alternating runs, comparing
+    minima (robust to scheduler noise), with one confirming re-measure
+    before declaring a breach.
+    """
+    workload = generate_trace(WorkloadConfig(
+        threads=4, ops_per_thread=400, seed=2, objects=(("dictionary", 2),)))
+
+    def run_once(obs):
+        start = time.perf_counter()
+        _rd2_replay(workload, obs)
+        return time.perf_counter() - start
+
+    def measure(rounds):
+        run_once(None), run_once(Registry())        # warmup, discarded
+        off, on = [], []
+        for _ in range(rounds):
+            off.append(run_once(None))
+            on.append(run_once(Registry()))
+        return min(on) / min(off) - 1.0
+
+    overhead = measure(10)
+    if overhead > 0.05:
+        overhead = measure(20)
+    assert overhead <= 0.05, (
+        f"sampled observability costs {overhead:+.1%}, budget is 5%")

@@ -35,11 +35,12 @@ class Djit:
     """Vector-clock read/write race detection (the FastTrack baseline's
     own baseline)."""
 
-    def __init__(self, root: Tid = 0, keep_reports: bool = True):
+    def __init__(self, root: Tid = 0, keep_reports: bool = True, obs=None):
         self._threads: Dict[Tid, MutableVectorClock] = {}
         self._locks: Dict[Hashable, MutableVectorClock] = {}
         self._vars: Dict[Hashable, _VarClocks] = {}
         self._keep_reports = keep_reports
+        self._obs = obs if (obs is not None and obs.enabled) else None
         self.races: List[DataRace] = []
         self.race_count = 0
         clock = MutableVectorClock()
@@ -123,6 +124,17 @@ class Djit:
         return race
 
     def run(self, events) -> List[DataRace]:
-        for event in events:
-            self.process(event)
+        obs = self._obs
+        if obs is None:
+            for event in events:
+                self.process(event)
+            return self.races
+        races0, count = self.race_count, 0
+        with obs.span("check"):
+            for event in events:
+                self.process(event)
+                count += 1
+        obs.add("events", count)
+        obs.add("races", self.race_count - races0)
+        obs.gauge("locations", len(self._vars))
         return self.races

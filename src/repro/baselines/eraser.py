@@ -52,10 +52,11 @@ class _LocState:
 class Eraser:
     """Lockset discipline checking over the runtime event stream."""
 
-    def __init__(self, root: Tid = 0, keep_reports: bool = True):
+    def __init__(self, root: Tid = 0, keep_reports: bool = True, obs=None):
         self._held: Dict[Tid, Set[Hashable]] = {root: set()}
         self._locations: Dict[Hashable, _LocState] = {}
         self._keep_reports = keep_reports
+        self._obs = obs if (obs is not None and obs.enabled) else None
         self.warnings: List[LocksetWarning] = []
         self.warning_count = 0
 
@@ -119,6 +120,17 @@ class Eraser:
         return None
 
     def run(self, events) -> List[LocksetWarning]:
-        for event in events:
-            self.process(event)
+        obs = self._obs
+        if obs is None:
+            for event in events:
+                self.process(event)
+            return self.warnings
+        warnings0, count = self.warning_count, 0
+        with obs.span("check"):
+            for event in events:
+                self.process(event)
+                count += 1
+        obs.add("events", count)
+        obs.add("warnings", self.warning_count - warnings0)
+        obs.gauge("locations", len(self._locations))
         return self.warnings

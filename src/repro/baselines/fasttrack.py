@@ -75,11 +75,12 @@ class FastTrack:
     instrumentation reports the accesses they perform separately).
     """
 
-    def __init__(self, root: Tid = 0, keep_reports: bool = True):
+    def __init__(self, root: Tid = 0, keep_reports: bool = True, obs=None):
         self._threads: Dict[Tid, MutableVectorClock] = {}
         self._locks: Dict[Hashable, MutableVectorClock] = {}
         self._vars: Dict[Hashable, _VarState] = {}
         self._keep_reports = keep_reports
+        self._obs = obs if (obs is not None and obs.enabled) else None
         self.races: List[DataRace] = []
         self.race_count = 0
         self.checks = 0
@@ -236,6 +237,18 @@ class FastTrack:
         return race
 
     def run(self, events) -> List[DataRace]:
-        for event in events:
-            self.process(event)
+        obs = self._obs
+        if obs is None:
+            for event in events:
+                self.process(event)
+            return self.races
+        races0, checks0, count = self.race_count, self.checks, 0
+        with obs.span("check"):
+            for event in events:
+                self.process(event)
+                count += 1
+        obs.add("events", count)
+        obs.add("conflict_checks", self.checks - checks0)
+        obs.add("races", self.race_count - races0)
+        obs.gauge("locations", len(self._vars))
         return self.races

@@ -13,16 +13,29 @@ with :func:`repro.core.serialize.dump_trace`, then analyze it later::
 ``--object NAME=KIND`` binds a shared object in the trace to a bundled
 specification kind; the commutativity detectors need at least one binding,
 the read/write detectors none.
+
+Observability sinks (see :mod:`repro.obs`):
+
+* ``--stats`` prints the per-phase/per-object/per-method-pair table to
+  **stderr** (stdout keeps carrying only the race report, so scripted
+  comparisons of the analysis output are unaffected),
+* ``--stats-json PATH`` writes the frozen JSON report schema,
+* ``--spans PATH`` appends coarse spans (load/stamp/fanout/merge/report)
+  as JSONL for offline flamegraph-style analysis.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from .core.errors import ReproError
 from .core.races import group_races, tally
 from .core.serialize import load_trace
+from .obs import (NULL_REGISTRY, Registry, SpanStream, build_report,
+                  publish_detector_stats, render_table, write_report)
 from .specs import bundled_objects
 
 __all__ = ["main"]
@@ -44,8 +57,27 @@ def _parse_bindings(pairs: Sequence[str]) -> List[Tuple[str, str]]:
     return bindings
 
 
+def _load_trace_file(path: str):
+    """Load a JSONL trace, turning format problems into clean exits.
+
+    A malformed line (invalid JSON) or an unknown event kind is a user
+    input problem, not a bug — report which file failed and why instead
+    of letting the traceback escape.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            return load_trace(stream)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {path!r}: {exc}") from exc
+    except (ReproError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError on malformed lines;
+        # ReproError covers unknown event kinds, bad sentinels, and
+        # truncated traces.
+        raise SystemExit(f"invalid trace file {path!r}: {exc}") from exc
+
+
 def _analyze_commutativity(trace, bindings, detector_kind: str,
-                           workers: int = 1) -> int:
+                           workers: int = 1, obs=NULL_REGISTRY) -> int:
     registry = bundled_objects()
     if not bindings:
         raise SystemExit(
@@ -53,13 +85,11 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
     if detector_kind == "rd2":
         if workers > 1:
             from .core.parallel import ShardedDetector
-            detector = ShardedDetector(root=trace.root, workers=workers)
+            detector = ShardedDetector(root=trace.root, workers=workers,
+                                       obs=obs)
         else:
             from .core.detector import CommutativityRaceDetector
-            detector = CommutativityRaceDetector(root=trace.root)
-        for name, kind in bindings:
-            detector.register_object(name,
-                                     registry[kind].representation())
+            detector = CommutativityRaceDetector(root=trace.root, obs=obs)
     else:
         if workers > 1:
             raise SystemExit(
@@ -67,47 +97,62 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                 f"(got --detector {detector_kind})")
         from .core.direct import DirectDetector
         detector = DirectDetector(root=trace.root)
-        for name, kind in bindings:
+    for name, kind in bindings:
+        if detector_kind == "rd2":
+            detector.register_object(name, registry[kind].representation())
+        else:
             detector.register_object(name, registry[kind].spec().commutes)
     detector.run(trace)
+    publish_detector_stats(obs, detector.stats)
+    hb = getattr(detector, "happens_before", None)
+    if hb is not None:
+        obs.gauge("hb_threads", len(hb.known_threads()))
+        obs.gauge("hb_locks", len(hb.known_locks()))
     races = detector.races
     suffix = f" [{workers} workers]" if workers > 1 else ""
-    print(f"{detector_kind}{suffix}: {tally(races)} "
-          f"commutativity race report(s)")
-    for group in group_races(races):
-        print(f"  {group}")
+    with obs.span("report"):
+        print(f"{detector_kind}{suffix}: {tally(races)} "
+              f"commutativity race report(s)")
+        for group in group_races(races):
+            print(f"  {group}")
     return 1 if races else 0
 
 
-def _analyze_memory(trace, detector_kind: str) -> int:
+def _analyze_memory(trace, detector_kind: str, obs=NULL_REGISTRY) -> int:
     if detector_kind == "fasttrack":
         from .baselines.fasttrack import FastTrack
-        detector = FastTrack(root=trace.root)
+        detector = FastTrack(root=trace.root, obs=obs)
         detector.run(trace)
         reports = detector.races
     else:
         from .baselines.eraser import Eraser
-        detector = Eraser(root=trace.root)
+        detector = Eraser(root=trace.root, obs=obs)
         detector.run(trace)
         reports = detector.warnings
-    print(f"{detector_kind}: {tally(reports)} report(s)")
-    for group in group_races(reports):
-        print(f"  {group}")
+    with obs.span("report"):
+        print(f"{detector_kind}: {tally(reports)} report(s)")
+        for group in group_races(reports):
+            print(f"  {group}")
     return 1 if reports else 0
 
 
-def _analyze_atomicity(trace, bindings) -> int:
+def _analyze_atomicity(trace, bindings, obs=NULL_REGISTRY) -> int:
     from .atomicity import AtomicityChecker, ConflictMode
     registry = bundled_objects()
     checker = AtomicityChecker(ConflictMode.COMMUTATIVITY)
     for name, kind in bindings:
         checker.register_object(name, registry[kind].representation())
-    report = checker.analyze(trace)
-    print(f"atomicity: {len(report.transactions)} transactions, "
-          f"{report.conflict_edges} conflict edges, "
-          f"{len(report.violations)} violation(s)")
-    for violation in report.violations:
-        print(f"  {violation}")
+    with obs.span("check"):
+        report = checker.analyze(trace)
+    obs.add("transactions", len(report.transactions))
+    obs.add("conflict_edges", report.conflict_edges)
+    obs.add("violations", len(report.violations))
+    with obs.span("report"):
+        print(f"atomicity: {len(report.transactions)} transactions, "
+              f"{report.conflict_edges} conflict edges, "
+              f"{len(report.violations)} violation(s)")
+        for violation in report.violations:
+            print(f"  {violation}")
     return 1 if report.violations else 0
 
 
@@ -133,6 +178,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--spec-report", metavar="KIND",
                         help="print the Fig. 6/7-style report of a bundled "
                              "spec and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the observability table (per-phase "
+                             "timings, per-object and per-method-pair "
+                             "attribution) to stderr")
+    parser.add_argument("--stats-json", metavar="PATH",
+                        help="write the structured observability report "
+                             "as JSON")
+    parser.add_argument("--spans", metavar="PATH",
+                        help="append coarse pipeline spans to PATH as JSONL "
+                             "(flamegraph-style offline analysis)")
     args = parser.parse_args(argv)
 
     if args.spec_report:
@@ -146,8 +201,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if not args.trace:
         parser.error("a trace file is required (or use --spec-report)")
-    with open(args.trace, "r", encoding="utf-8") as stream:
-        trace = load_trace(stream)
+
+    want_obs = args.stats or args.stats_json or args.spans
+    stream = SpanStream(args.spans) if args.spans else None
+    # Offline analysis can afford exact attribution (sample every event);
+    # the sampled default only matters for live runtime monitoring.
+    obs = (Registry(sample_interval=1, stream=stream) if want_obs
+           else NULL_REGISTRY)
+
+    with obs.span("load"):
+        trace = _load_trace_file(args.trace)
     print(f"loaded {len(trace)} events "
           f"({len(trace.actions())} actions, "
           f"{len(trace.threads())} threads)")
@@ -157,12 +220,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--workers must be >= 1")
     if args.workers > 1 and (args.detector != "rd2" or args.atomicity):
         parser.error("--workers applies only to the rd2 detector")
-    if args.atomicity:
-        return _analyze_atomicity(trace, bindings)
-    if args.detector in ("rd2", "direct"):
-        return _analyze_commutativity(trace, bindings, args.detector,
-                                      workers=args.workers)
-    return _analyze_memory(trace, args.detector)
+    try:
+        if args.atomicity:
+            code = _analyze_atomicity(trace, bindings, obs=obs)
+        elif args.detector in ("rd2", "direct"):
+            code = _analyze_commutativity(trace, bindings, args.detector,
+                                          workers=args.workers, obs=obs)
+        else:
+            code = _analyze_memory(trace, args.detector, obs=obs)
+    finally:
+        if stream is not None:
+            stream.close()
+
+    if want_obs:
+        mode = "atomicity" if args.atomicity else args.detector
+        report = build_report(obs, meta={
+            "detector": mode,
+            "workers": args.workers,
+            "trace": os.path.basename(args.trace),
+            "events": len(trace),
+        })
+        if args.stats_json:
+            with open(args.stats_json, "w", encoding="utf-8") as out:
+                write_report(report, out)
+        if args.stats:
+            print(render_table(report), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -48,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Dict, List, NamedTuple, Optional, Set, Union
 
 from .access_points import AccessPoint, AccessPointRepresentation
@@ -57,7 +58,13 @@ from .hb import HappensBeforeTracker
 from .races import CommutativityRace
 from .vector_clock import Tid, VectorClock
 
-__all__ = ["Strategy", "DetectorStats", "CommutativityRaceDetector"]
+#: Breakdown key standing in for "this candidate point was never touched"
+#: in the per-(method, method) check attribution: the probe found nothing
+#: active, so there is no prior method to attribute the check to.
+UNTOUCHED = "∅"
+
+__all__ = ["Strategy", "DetectorStats", "CommutativityRaceDetector",
+           "UNTOUCHED"]
 
 
 class _PointEpoch(NamedTuple):
@@ -113,6 +120,9 @@ class DetectorStats:
     races: int = 0
     #: adaptive mode: how many points ever needed a full vector clock
     epoch_promotions: int = 0
+    #: active points reclaimed by :meth:`~CommutativityRaceDetector.
+    #: prune_ordered_points` over the detector's lifetime
+    points_pruned: int = 0
 
     def checks_per_action(self) -> float:
         return self.conflict_checks / self.actions if self.actions else 0.0
@@ -141,6 +151,10 @@ class _ObjectState:
     strategy: Strategy
     active: Set[AccessPoint] = field(default_factory=set)
     point_clock: Dict[AccessPoint, _PointClock] = field(default_factory=dict)
+    #: observability only: which method last touched each point, so race
+    #: and check attribution can name (method, method) pairs.  Maintained
+    #: (and consulted) only when the detector carries an enabled registry.
+    point_method: Dict[AccessPoint, str] = field(default_factory=dict)
 
 
 class CommutativityRaceDetector:
@@ -168,6 +182,15 @@ class CommutativityRaceDetector:
     keep_reports:
         When false, races are counted but not accumulated (used by long
         benchmark runs to keep memory flat).
+    obs:
+        Optional :class:`~repro.obs.registry.Registry`.  When enabled, the
+        detector attributes conflict checks, races and pruned points per
+        object and per (method, method) pair, and samples the ``stamp``
+        (happens-before) and ``check`` (Algorithm 1 phases 1-2) timers —
+        every ``obs.sample_interval``-th event is measured, keeping the
+        instrumented hot path within the benchmark gate's 5% overhead
+        budget.  A disabled registry is equivalent to ``None``: the hot
+        path pays one ``is None`` test and nothing else.
     """
 
     def __init__(
@@ -178,6 +201,7 @@ class CommutativityRaceDetector:
         keep_reports: bool = True,
         prune_interval: int = 0,
         adaptive: bool = False,
+        obs=None,
     ):
         self._hb = HappensBeforeTracker(root=root)
         self._strategy = strategy
@@ -189,6 +213,31 @@ class CommutativityRaceDetector:
         self._objects: Dict[ObjectId, _ObjectState] = {}
         self.races: List[CommutativityRace] = []
         self.stats = DetectorStats()
+        # Every _obs_* attribute is assigned in both modes so enabled and
+        # disabled instances share one attribute layout: CPython keeps
+        # instance dicts on the class's shared-key table only while all
+        # instances set the same attributes in the same order, and losing
+        # that pessimizes every self.<attr> load in the hot loop — for
+        # both modes, which would poison the overhead benchmark's baseline.
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        enabled = self._obs is not None
+        self._obs_interval = self._obs.sample_interval if enabled else 0
+        self._obs_tick = 1            # sample the first event
+        self._obs_sampled = False
+        # Hot-path breakdowns are grabbed once as raw dicts; the registry
+        # merge machinery sees them by name.
+        self._obs_checks_by_object = (
+            self._obs.breakdown("checks_by_object") if enabled else None)
+        self._obs_checks_by_pair = (
+            self._obs.breakdown("checks_by_pair") if enabled else None)
+        self._obs_races_by_object = (
+            self._obs.breakdown("races_by_object") if enabled else None)
+        self._obs_races_by_pair = (
+            self._obs.breakdown("races_by_pair") if enabled else None)
+        self._obs_pruned_by_object = (
+            self._obs.breakdown("pruned_by_object") if enabled else None)
+        self._obs_stamp_timer = self._obs.timer("stamp") if enabled else None
+        self._obs_check_timer = self._obs.timer("check") if enabled else None
 
     # -- object lifecycle ------------------------------------------------------
 
@@ -236,14 +285,19 @@ class CommutativityRaceDetector:
         live_clocks = [self._hb.clock_of(tid)
                        for tid in self._hb.live_threads()]
         reclaimed = 0
-        for state in self._objects.values():
+        for obj, state in self._objects.items():
             doomed = [pt for pt in state.active
                       if all(_point_ordered(state.point_clock[pt], clock)
                              for clock in live_clocks)]
             for pt in doomed:
                 state.active.discard(pt)
                 del state.point_clock[pt]
+                state.point_method.pop(pt, None)
+            if doomed and self._obs is not None:
+                table = self._obs_pruned_by_object
+                table[obj] = table.get(obj, 0) + len(doomed)
             reclaimed += len(doomed)
+        self.stats.points_pruned += reclaimed
         return reclaimed
 
     def active_point_count(self) -> int:
@@ -255,9 +309,35 @@ class CommutativityRaceDetector:
 
     # -- event processing --------------------------------------------------------
 
+    def _obs_advance(self) -> bool:
+        """Tick the sampling window; true on the events that get measured."""
+        self._obs_tick -= 1
+        if self._obs_tick <= 0:
+            self._obs_tick = self._obs_interval
+            self._obs_sampled = True
+            return True
+        self._obs_sampled = False
+        return False
+
     def process(self, event: Event) -> Optional[List[CommutativityRace]]:
         """Consume one trace event; return races found on this event, if any."""
-        clock = self._hb.observe(event)
+        if self._obs is not None:
+            # Inlined _obs_advance(): this runs on every event, and a
+            # method call alone would eat a fifth of the 5% overhead
+            # budget the benchmark gate enforces.
+            self._obs_tick -= 1
+            if self._obs_tick <= 0:
+                self._obs_tick = self._obs_interval
+                self._obs_sampled = True
+                start = perf_counter_ns()
+                clock = self._hb.observe(event)
+                self._obs_stamp_timer.record(perf_counter_ns() - start,
+                                             self._obs_interval)
+            else:
+                self._obs_sampled = False
+                clock = self._hb.observe(event)
+        else:
+            clock = self._hb.observe(event)
         self.stats.events += 1
         if event.kind is not EventKind.ACTION:
             return None
@@ -300,6 +380,17 @@ class CommutativityRaceDetector:
         points = rep.points_of(action)
         self.stats.points_touched += len(points)
 
+        # Sampled actions pay for timing + attribution with their counts
+        # weight-scaled back up; unsampled actions pay only for this one
+        # flag check.  The point->method map is likewise maintained only on
+        # sampled actions (an AccessPoint dict store costs ~1µs, a fifth of
+        # an average event), so method-pair attribution is exact at
+        # sample_interval=1 and statistical otherwise.
+        sampled = self._obs is not None and self._obs_sampled
+        if sampled:
+            checks_before = self.stats.conflict_checks
+            start = perf_counter_ns()
+
         # Phase 1: check for commutativity races.
         found: List[CommutativityRace] = []
         for pt in points:
@@ -308,9 +399,20 @@ class CommutativityRaceDetector:
             else:
                 self._check_scan(state, pt, event, clock, found)
 
+        if sampled:
+            delta = ((self.stats.conflict_checks - checks_before)
+                     * self._obs_interval)
+            table = self._obs_checks_by_object
+            table[action.obj] = table.get(action.obj, 0) + delta
+            for pt in points:
+                self._attribute_checks(state, pt, action.method)
+
         # Phase 2: update auxiliary state.
         tid = event.tid
+        methods = state.point_method if sampled else None
         for pt in points:
+            if methods is not None:
+                methods[pt] = action.method
             prior = state.point_clock.get(pt)
             if prior is None:
                 if self._adaptive:
@@ -329,7 +431,33 @@ class CommutativityRaceDetector:
                     state.point_clock[pt] = prior.as_clock().join(clock)
             else:
                 state.point_clock[pt] = prior.join(clock)
+        if sampled:
+            self._obs_check_timer.record(perf_counter_ns() - start,
+                                         self._obs_interval)
         return found or None
+
+    def _attribute_checks(self, state: _ObjectState, pt: AccessPoint,
+                          method: str) -> None:
+        """Sampled per-(method, method) attribution of phase-1 probes.
+
+        Re-enumerates the candidates the strategy just probed and charges
+        each probe to ``(current method, prior toucher's method)`` —
+        :data:`UNTOUCHED` when the probe found no active point or the
+        prior toucher was never sampled.  Runs only on sampled actions;
+        counts carry weight ``sample_interval`` so the breakdown estimates
+        the true totals.  At ``sample_interval=1`` (the offline default)
+        every action is sampled and the attribution is exact.
+        """
+        pairs = self._obs_checks_by_pair
+        methods = state.point_method
+        weight = self._obs_interval
+        if state.strategy is Strategy.ENUMERATE:
+            candidates = state.representation.conflicting_candidates(pt)
+        else:
+            candidates = state.active
+        for candidate in candidates:
+            key = (method, methods.get(candidate, UNTOUCHED))
+            pairs[key] = pairs.get(key, 0) + weight
 
     def _check_enumerate(self, state: _ObjectState, pt: AccessPoint,
                          event: Event, clock: VectorClock,
@@ -372,6 +500,19 @@ class CommutativityRaceDetector:
             prior_clock=prior_clock,
         )
         self.stats.races += 1
+        if self._obs is not None:
+            # Per-object counts are exact (string-keyed, cheap); the
+            # method-pair attribution needs an AccessPoint lookup, so it
+            # rides the sampling window like the check attribution does
+            # and is exact only at sample_interval=1.
+            obj_table = self._obs_races_by_object
+            obj_table[race.obj] = obj_table.get(race.obj, 0) + 1
+            if self._obs_sampled:
+                pair = (event.action.method,
+                        state.point_method.get(prior_pt, UNTOUCHED))
+                pair_table = self._obs_races_by_pair
+                pair_table[pair] = (pair_table.get(pair, 0)
+                                    + self._obs_interval)
         found.append(race)
         if self._keep_reports:
             self.races.append(race)

@@ -75,6 +75,16 @@ class HappensBeforeTracker:
         """Thread ids that have been observed (root or forked)."""
         return self._threads.keys()
 
+    def known_locks(self):
+        """Lock identities that have been released at least once.
+
+        (Acquires of never-released locks read the bottom clock and leave
+        no ``L`` entry behind.)  Exposed for the observability gauges:
+        the lock-clock table is the detector's other growing map, so its
+        size belongs in capacity reports next to the thread count.
+        """
+        return self._locks.keys()
+
     def live_threads(self):
         """Threads that may still perform events.
 

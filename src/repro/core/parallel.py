@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .detector import CommutativityRaceDetector, DetectorStats, Strategy
@@ -77,7 +78,10 @@ def partition_by_load(loads: Sequence[Tuple[ObjectId, int]],
 
 # One shard's inputs: detector knobs plus, per object, the registration
 # (representation, per-object strategy) and the object's stamped actions.
-_ShardPayload = Tuple[bool, Strategy, bool,
+# ``obs_interval`` is None when observability is off; otherwise the
+# worker builds its own registry (sampling at that interval) and ships it
+# back for the merge.
+_ShardPayload = Tuple[bool, Strategy, bool, Optional[int],
                       List[Tuple[ObjectId, Any, Optional[Strategy],
                                  List[Tuple[Any, ...]]]]]
 
@@ -86,11 +90,14 @@ def _analyze_shard(payload: _ShardPayload):
     """Worker: replay each object's stamped actions through Algorithm 1.
 
     Module-level so it is importable under any multiprocessing start
-    method.  Returns ``(triples, stats)`` where each triple is
+    method.  Returns ``(triples, stats, obs)`` where each triple is
     ``(event_index, seq_within_event, race)`` — actions touch exactly one
     object, so per-object replay preserves the sequential within-event
     report order, and sorting the merged triples by ``(index, seq)``
-    reconstructs the sequential global order exactly.
+    reconstructs the sequential global order exactly.  ``obs`` is the
+    shard's metric registry (None with observability off); the facade
+    absorbs it next to the shard's stats, so per-object and per-method-
+    pair attribution survives the fan-out.
 
     When the facade neither keeps reports nor has an ``on_race`` callback
     (``need_reports`` false), races are only counted: shipping tens of
@@ -98,9 +105,13 @@ def _analyze_shard(payload: _ShardPayload):
     pool's cost for report-dense traces, mirroring why the sequential
     detector grew ``keep_reports=False`` for long benchmark runs.
     """
-    adaptive, strategy, need_reports, objects = payload
+    adaptive, strategy, need_reports, obs_interval, objects = payload
+    obs = None
+    if obs_interval is not None:
+        from ..obs.registry import Registry
+        obs = Registry(sample_interval=obs_interval)
     detector = CommutativityRaceDetector(strategy=strategy, adaptive=adaptive,
-                                         keep_reports=False)
+                                         keep_reports=False, obs=obs)
     for obj, representation, obj_strategy, _ in objects:
         detector.register_object(obj, representation, obj_strategy)
     triples: List[Tuple[int, int, CommutativityRace]] = []
@@ -109,17 +120,24 @@ def _analyze_shard(payload: _ShardPayload):
     # rebuilding the carrier dataclass per event is avoidable overhead.
     shell = unpack_stamped_action(None, (0, 0, "", (), (), None))
     stats = detector.stats
+    replay_start = perf_counter_ns() if obs is not None else 0
     for obj, _, _, packed_actions in objects:
         for packed in packed_actions:
             index, shell.tid, method, args, returns, shell.clock = packed
             shell.action = Action(obj, method, args, returns)
             shell.index = index
             stats.events += 1
+            if obs is not None:
+                detector._obs_advance()
             found = detector._process_action(shell, shell.clock)
             if found and need_reports:
                 triples.extend((index, seq, race)
                                for seq, race in enumerate(found))
-    return triples, detector.stats
+    if obs is not None:
+        # One exact span per shard: merged, the "shard" timer sums replay
+        # CPU time across shards (vs. the facade's "fanout" wall clock).
+        obs.timer("shard").record(perf_counter_ns() - replay_start)
+    return triples, detector.stats, obs
 
 
 class ShardedDetector:
@@ -146,6 +164,14 @@ class ShardedDetector:
     mp_context:
         Optional ``multiprocessing`` start-method name (``"fork"``,
         ``"spawn"``...); default lets the platform choose.
+    obs:
+        Optional :class:`~repro.obs.registry.Registry`.  The facade times
+        the pipeline's phases exactly (``stamp`` = phase A, ``fanout`` =
+        phase B wall clock, ``merge``); each worker builds a private
+        registry (per-object and per-method-pair attribution plus a
+        per-shard ``shard`` replay span) that is shipped back with the
+        shard's stats and absorbed here, alongside the existing
+        ``DetectorStats.absorb`` merge.
     """
 
     def __init__(
@@ -157,12 +183,14 @@ class ShardedDetector:
         adaptive: bool = False,
         workers: Optional[int] = None,
         mp_context: Optional[str] = None,
+        obs=None,
     ):
         self._root = root
         self._strategy = strategy
         self._on_race = on_race
         self._keep_reports = keep_reports
         self._adaptive = adaptive
+        self._obs = obs if (obs is not None and obs.enabled) else None
         self.workers = multiprocessing.cpu_count() if workers is None else workers
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -205,9 +233,21 @@ class ShardedDetector:
         Re-running replaces ``races`` and ``stats`` — each call analyzes
         one complete trace, like a fresh sequential detector would.
         """
-        groups, total_events = self._stamp_and_partition(events)
-        results = self._fan_out(groups)
-        self._merge(results, total_events)
+        obs = self._obs
+        if obs is None:
+            groups, total_events = self._stamp_and_partition(events)
+            results = self._fan_out(groups)
+            self._merge(results, total_events)
+            return self.races
+        with obs.span("stamp"):
+            groups, total_events = self._stamp_and_partition(events)
+        obs.gauge("hb_threads", len(self._hb.known_threads()))
+        obs.gauge("hb_locks", len(self._hb.known_locks()))
+        with obs.span("fanout"):
+            results = self._fan_out(groups)
+        obs.gauge("shards", len(results))
+        with obs.span("merge"):
+            self._merge(results, total_events)
         return self.races
 
     # Phase A: one sequential happens-before pass over the full trace.
@@ -230,12 +270,14 @@ class ShardedDetector:
         loads = [(obj, len(bucket)) for obj, bucket in groups.items()]
         shard_count = max(1, min(self.workers, len(loads)))
         need_reports = self._keep_reports or self._on_race is not None
+        obs_interval = (self._obs.sample_interval
+                        if self._obs is not None else None)
         payloads = []
         for shard_objs in partition_by_load(loads, shard_count):
             objects = [(obj,) + self._registrations[obj] + (groups[obj],)
                        for obj in shard_objs]
             payloads.append((self._adaptive, self._strategy, need_reports,
-                             objects))
+                             obs_interval, objects))
         if not payloads:
             return []
         if self.workers <= 1 or len(payloads) == 1:
@@ -249,9 +291,11 @@ class ShardedDetector:
     def _merge(self, results, total_events: int) -> None:
         self.stats = DetectorStats()
         triples: List[Tuple[int, int, CommutativityRace]] = []
-        for shard_triples, shard_stats in results:
+        for shard_triples, shard_stats, shard_obs in results:
             triples.extend(shard_triples)
             self.stats.absorb(shard_stats)
+            if shard_obs is not None and self._obs is not None:
+                self._obs.absorb(shard_obs)
         # Workers count only their shard's events; the trace-wide total
         # comes from the phase-A pass (sync events included, once).
         self.stats.events = total_events

@@ -1,0 +1,64 @@
+"""JSONL span streaming for offline flamegraph-style analysis.
+
+A :class:`SpanStream` appends one JSON object per completed span::
+
+    {"name": "stamp", "pid": 1234, "ts_ns": 1717..., "dur_ns": 52100}
+
+``ts_ns`` is the span's *start* in epoch nanoseconds (wall clock, so
+spans from different processes of one run line up on a shared axis);
+``dur_ns`` is measured with the monotonic clock.  The stream is line
+buffered and append-only — crash-truncated files lose at most the last
+line, and concatenating the streams of several runs stays valid JSONL.
+
+Only coarse per-run spans are streamed (trace load, the sharded
+pipeline's stamp/fanout/merge, baseline replays, report rendering); the
+sampled per-event phase timings are aggregated in the registry's timers
+instead, where their volume belongs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Optional, Union
+
+__all__ = ["SpanStream"]
+
+
+class SpanStream:
+    """Append completed spans to a JSONL sink.
+
+    Accepts either a path (opened for append, closed by :meth:`close`)
+    or an already-open text stream (left open — the caller owns it).
+    """
+
+    def __init__(self, sink: Union[str, "os.PathLike[str]", IO[str]]):
+        if hasattr(sink, "write"):
+            self._stream: IO[str] = sink  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._stream = open(sink, "a", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, name: str, dur_ns: int,
+             ts_ns: Optional[int] = None) -> None:
+        """Record one completed span."""
+        record = {
+            "name": name,
+            "pid": os.getpid(),
+            "ts_ns": (time.time_ns() - dur_ns) if ts_ns is None else ts_ns,
+            "dur_ns": dur_ns,
+        }
+        self._stream.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owned:
+            self._stream.close()
+
+    def __enter__(self) -> "SpanStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -64,9 +64,9 @@ class Rd2Analyzer(Analyzer):
     name = "rd2"
 
     def __init__(self, root: Tid = 0, strategy: Strategy = Strategy.AUTO,
-                 keep_reports: bool = True):
+                 keep_reports: bool = True, obs=None):
         self.detector = CommutativityRaceDetector(
-            root=root, strategy=strategy, keep_reports=keep_reports)
+            root=root, strategy=strategy, keep_reports=keep_reports, obs=obs)
 
     def register_object(self, obj_id, *, representation=None, commutes=None):
         if representation is None:

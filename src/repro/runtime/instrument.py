@@ -65,6 +65,11 @@ class InterceptedObject:
             return value
         sig = self._spec.signature(attr)
 
+        obs = self._monitor.obs
+        site_calls = (obs.breakdown("calls_by_site")
+                      if obs is not None else None)
+        site_key = (self.obj_id, attr)
+
         @functools.wraps(value)
         def monitored_call(*args: Any) -> Any:
             if len(args) != len(sig.params):
@@ -75,6 +80,8 @@ class InterceptedObject:
             result = value(*args)
             returns = self._pack_returns(sig.returns, result)
             self._monitor.on_action(self.obj_id, attr, tuple(args), returns)
+            if site_calls is not None:
+                site_calls[site_key] = site_calls.get(site_key, 0) + 1
             return result
 
         return monitored_call

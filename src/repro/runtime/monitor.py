@@ -52,10 +52,20 @@ class Monitor:
     record_trace:
         Keep the full event sequence in :attr:`trace` (needed by the oracle
         and by replay-based tests; off for long benchmark runs).
+    obs:
+        Optional :class:`~repro.obs.registry.Registry`.  The dispatch path
+        (already serialized under the monitor mutex) tallies events per
+        kind into the ``events_by_kind`` breakdown, and instrumentation
+        proxies (:mod:`repro.runtime.instrument`) attribute their
+        intercepted calls per ``(object, method)`` site through
+        :attr:`obs`.  A disabled registry costs the dispatch path one
+        ``is None`` test, preserving the "cheap when disabled" property
+        Table 2's Uninstrumented column relies on.
     """
 
     def __init__(self, analyzers: Iterable = (),
-                 record_trace: bool = False, low_level: bool = True):
+                 record_trace: bool = False, low_level: bool = True,
+                 obs=None):
         self._analyzers: List = list(analyzers)
         self._record = record_trace
         #: emit memory-access and internal-lock events?  False models the
@@ -68,6 +78,9 @@ class Monitor:
         self._next_tid = 1
         self._preempt: Callable[[], None] = lambda: None
         self.events_emitted = 0
+        self.obs = obs if (obs is not None and obs.enabled) else None
+        self._obs_by_kind = (self.obs.breakdown("events_by_kind")
+                             if self.obs is not None else None)
 
     # -- configuration -----------------------------------------------------
 
@@ -150,6 +163,9 @@ class Monitor:
     def _dispatch(self, event: Event) -> None:
         with self._mutex:
             self.events_emitted += 1
+            if self._obs_by_kind is not None:
+                kind = event.kind.value
+                self._obs_by_kind[kind] = self._obs_by_kind.get(kind, 0) + 1
             if self.trace is not None:
                 self.trace.append(event)
             for analyzer in self._analyzers:

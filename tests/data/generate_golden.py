@@ -15,14 +15,27 @@ code change::
 
 ``tests/core/test_golden_traces.py`` replays the corpus through the
 sequential and sharded detectors and fails on any verdict drift.
+
+Alongside each race snapshot the script freezes the ``--stats-json``
+observability report (``expected/<name>.stats.json``) by invoking the
+real CLI and scrubbing the non-deterministic timing fields — counters,
+breakdown attribution, and the report's key structure are deterministic
+because the CLI analyzes offline traces at ``sample_interval=1``.
+``multi_object_mixed`` additionally gets a ``--workers 2`` variant so the
+shard-merged attribution path is frozen too.
 """
 
+import contextlib
+import io
 import json
 import pathlib
+import tempfile
 
+from repro import cli
 from repro.core.detector import CommutativityRaceDetector
 from repro.core.serialize import dump_trace
 from repro.core.trace import TraceBuilder
+from repro.obs import scrub_timings
 from repro.specs import bundled_objects
 
 from tests.support import race_snapshot
@@ -146,6 +159,23 @@ def multi_object_mixed():
 SCENARIOS = (fig3_dictionary, locked_dictionary, set_churn, counter_mixed,
              queue_pipeline, multi_object_mixed)
 
+#: scenarios that also freeze a shard-merged (--workers 2) stats report
+SHARDED_STATS = ("multi_object_mixed",)
+
+
+def stats_golden(trace_path, bindings, out_path, workers=1):
+    """Freeze the CLI's ``--stats-json`` report for one scenario."""
+    argv = [str(trace_path), "--workers", str(workers)]
+    for obj, kind in bindings.items():
+        argv += ["--object", f"{obj}={kind}"]
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as tmp:
+        with contextlib.redirect_stdout(io.StringIO()):
+            cli.main(argv + ["--stats-json", tmp.name])
+        report = json.load(open(tmp.name, encoding="utf-8"))
+    with open(out_path, "w", encoding="utf-8") as out:
+        json.dump(scrub_timings(report), out, indent=2, sort_keys=True)
+        out.write("\n")
+
 
 def main():
     EXPECTED_DIR.mkdir(parents=True, exist_ok=True)
@@ -168,6 +198,12 @@ def main():
                   encoding="utf-8") as out:
             json.dump(expected, out, indent=2, sort_keys=True)
             out.write("\n")
+        stats_golden(DATA_DIR / f"{name}.jsonl", bindings,
+                     EXPECTED_DIR / f"{name}.stats.json")
+        if name in SHARDED_STATS:
+            stats_golden(DATA_DIR / f"{name}.jsonl", bindings,
+                         EXPECTED_DIR / f"{name}.workers2.stats.json",
+                         workers=2)
         print(f"{name}: {len(trace)} events, "
               f"{len(detector.races)} race(s)")
 

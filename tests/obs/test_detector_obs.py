@@ -1,0 +1,295 @@
+"""Observability instrumentation of the analyzers themselves.
+
+At ``sample_interval=1`` every event is sampled, so the detector's
+breakdown attribution is exact and can be checked against hand-built
+traces; larger intervals are statistical and only their bookkeeping
+(weights, the ∅ sentinel) is asserted here.
+"""
+
+from repro.baselines.djit import Djit
+from repro.baselines.eraser import Eraser
+from repro.baselines.fasttrack import FastTrack
+from repro.core.detector import UNTOUCHED, CommutativityRaceDetector
+from repro.core.events import NIL, EventKind
+from repro.core.parallel import ShardedDetector
+from repro.core.trace import TraceBuilder
+from repro.logic.spec import CommutativitySpec
+from repro.obs import Registry
+from repro.runtime.instrument import intercept
+from repro.runtime.monitor import Monitor
+from repro.specs.dictionary import dictionary_representation
+
+from tests.support import (build_multi_object_trace,
+                           random_multi_object_program, register_bindings)
+
+
+def race_trace():
+    """Fig. 3's shape: two unordered same-key puts, a joined size."""
+    return (TraceBuilder(root=0)
+            .fork(0, 1).fork(0, 2)
+            .invoke(1, "o", "put", "a.com", "c1", returns=NIL)
+            .invoke(2, "o", "put", "a.com", "c2", returns="c1")
+            .join_all(0, [1, 2])
+            .invoke(0, "o", "size", returns=1)
+            .build())
+
+
+def exact_detector(**kwargs):
+    obs = Registry(sample_interval=1)
+    det = CommutativityRaceDetector(root=0, obs=obs, **kwargs)
+    det.register_object("o", dictionary_representation())
+    return det, obs
+
+
+class TestExactAttribution:
+    """sample_interval=1: breakdowns must match DetectorStats exactly."""
+
+    def test_checks_by_object_matches_stats(self):
+        det, obs = exact_detector()
+        det.run(race_trace())
+        breakdowns = obs.snapshot()["breakdowns"]
+        assert breakdowns["checks_by_object"] == {
+            "o": det.stats.conflict_checks}
+
+    def test_races_by_object_matches_stats(self):
+        det, obs = exact_detector()
+        races = det.run(race_trace())
+        assert len(races) == det.stats.races == 1
+        breakdowns = obs.snapshot()["breakdowns"]
+        assert breakdowns["races_by_object"] == {"o": 1}
+
+    def test_race_attributed_to_the_put_put_pair(self):
+        det, obs = exact_detector()
+        det.run(race_trace())
+        breakdowns = obs.snapshot()["breakdowns"]
+        assert breakdowns["races_by_pair"] == {"put×put": 1}
+
+    def test_check_pairs_sum_to_conflict_checks(self):
+        det, obs = exact_detector()
+        det.run(race_trace())
+        pairs = obs.snapshot()["breakdowns"]["checks_by_pair"]
+        assert sum(pairs.values()) == det.stats.conflict_checks
+        # The conflicting probe hit the first put's recorded point; the
+        # probes that found no active point attribute to the ∅ sentinel.
+        assert pairs["put×put"] == 1
+        assert pairs[f"put×{UNTOUCHED}"] > 0
+
+    def test_race_free_trace_attributes_no_races(self):
+        det, obs = exact_detector()
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1)
+                 .invoke(1, "o", "put", "k", 1, returns=NIL)
+                 .join(0, 1)
+                 .invoke(0, "o", "get", "k", returns=1)
+                 .build())
+        assert det.run(trace) == []
+        snap = obs.snapshot()["breakdowns"]
+        assert snap["races_by_object"] == {}
+        assert snap["races_by_pair"] == {}
+        assert snap["checks_by_object"] == {"o": det.stats.conflict_checks}
+
+    def test_stamp_timer_counts_every_event(self):
+        det, obs = exact_detector()
+        trace = race_trace()
+        det.run(trace)
+        timers = obs.snapshot()["timers"]
+        assert timers["stamp"]["count"] == len(trace)
+        assert timers["check"]["count"] == det.stats.actions
+
+    def test_pruning_is_attributed(self):
+        det, obs = exact_detector(prune_interval=1)
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1)
+                 .invoke(1, "o", "put", "k", 1, returns=NIL)
+                 .join(0, 1)
+                 .invoke(0, "o", "put", "k2", 2, returns=NIL)
+                 .invoke(0, "o", "put", "k3", 3, returns=NIL)
+                 .build())
+        det.run(trace)
+        assert det.stats.points_pruned > 0
+        pruned = obs.snapshot()["breakdowns"]["pruned_by_object"]
+        assert pruned == {"o": det.stats.points_pruned}
+
+    def test_disabled_registry_records_nothing(self):
+        obs = Registry(enabled=False)
+        det = CommutativityRaceDetector(root=0, obs=obs)
+        det.register_object("o", dictionary_representation())
+        races = det.run(race_trace())
+        assert len(races) == 1
+        assert obs.snapshot() == {"enabled": False}
+
+
+class TestSampledAttribution:
+    """interval > 1: counts are weight-scaled, unsampled writers show ∅."""
+
+    def test_weights_scale_by_the_interval(self):
+        obs = Registry(sample_interval=2)
+        det = CommutativityRaceDetector(root=0, obs=obs)
+        det.register_object("o", dictionary_representation())
+        det.run(race_trace())
+        snap = obs.snapshot()
+        # Sampled events: 1st, 3rd, 5th, ... — check tallies are scaled
+        # by the interval, so every count is a multiple of it.
+        for table in ("checks_by_object", "checks_by_pair", "races_by_pair"):
+            assert all(count % 2 == 0
+                       for count in snap["breakdowns"][table].values())
+        assert snap["timers"]["stamp"]["count"] % 2 == 0
+        # Race totals per object stay exact regardless of sampling.
+        assert snap["breakdowns"]["races_by_object"] == {"o": 1}
+
+    def test_unsampled_writers_attribute_as_untouched(self):
+        obs = Registry(sample_interval=2)
+        det = CommutativityRaceDetector(root=0, obs=obs)
+        det.register_object("o", dictionary_representation())
+        # Events: fork[S] fork[N] put[S] put[N] size[S].  The second put's
+        # points were never labeled, so the sampled size probe can only
+        # attribute them to the ∅ sentinel.
+        trace = (TraceBuilder(root=0)
+                 .fork(0, 1).fork(0, 2)
+                 .invoke(1, "o", "put", "a", 1, returns=NIL)
+                 .invoke(2, "o", "put", "a", 2, returns=1)
+                 .invoke(0, "o", "size", returns=1)
+                 .build())
+        det.run(trace)
+        pairs = obs.snapshot()["breakdowns"]["checks_by_pair"]
+        assert any(key.endswith(f"×{UNTOUCHED}") for key in pairs)
+
+
+class TestShardedObs:
+    def _trace(self, seed=7):
+        program = random_multi_object_program(seed)
+        return build_multi_object_trace(program)
+
+    def test_phase_spans_and_shard_gauges(self):
+        trace, bindings = self._trace()
+        obs = Registry(sample_interval=1)
+        det = register_bindings(
+            ShardedDetector(root=0, workers=1, obs=obs), bindings)
+        det.run(trace)
+        snap = obs.snapshot()
+        for phase in ("stamp", "fanout", "merge", "shard"):
+            assert snap["timers"][phase]["count"] >= 1
+        assert snap["gauges"]["shards"] >= 1
+        assert snap["gauges"]["hb_threads"] >= 1
+
+    def test_inline_shards_match_sequential_attribution(self):
+        trace, bindings = self._trace()
+        seq_obs = Registry(sample_interval=1)
+        seq = register_bindings(
+            CommutativityRaceDetector(root=0, obs=seq_obs), bindings)
+        seq.run(trace)
+
+        shard_obs = Registry(sample_interval=1)
+        sharded = register_bindings(
+            ShardedDetector(root=0, workers=1, obs=shard_obs), bindings)
+        sharded.run(trace)
+
+        seq_b = seq_obs.snapshot()["breakdowns"]
+        shard_b = shard_obs.snapshot()["breakdowns"]
+        for table in ("checks_by_object", "checks_by_pair",
+                      "races_by_object", "races_by_pair"):
+            assert shard_b.get(table) == seq_b.get(table), table
+
+    def test_pool_workers_merge_the_same_attribution(self):
+        trace, bindings = self._trace(seed=11)
+        seq_obs = Registry(sample_interval=1)
+        seq = register_bindings(
+            CommutativityRaceDetector(root=0, obs=seq_obs), bindings)
+        seq.run(trace)
+
+        pool_obs = Registry(sample_interval=1)
+        pooled = register_bindings(
+            ShardedDetector(root=0, workers=2, obs=pool_obs), bindings)
+        pooled.run(trace)
+
+        assert (pool_obs.snapshot()["breakdowns"].get("checks_by_object")
+                == seq_obs.snapshot()["breakdowns"].get("checks_by_object"))
+
+
+class TestMonitorObs:
+    def test_dispatch_tallies_events_by_kind(self):
+        obs = Registry()
+        monitor = Monitor(record_trace=True, obs=obs)
+        child = monitor.fresh_tid()
+        monitor.on_fork(child)
+        monitor.on_action("o", "put", ("k", 1), (NIL,))
+        monitor.on_action("o", "get", ("k",), (1,))
+        monitor.on_read("x")
+        by_kind = obs.snapshot()["breakdowns"]["events_by_kind"]
+        assert by_kind[EventKind.FORK.value] == 1
+        assert by_kind[EventKind.ACTION.value] == 2
+        assert sum(by_kind.values()) == monitor.events_emitted
+
+    def test_disabled_registry_is_dropped(self):
+        monitor = Monitor(record_trace=True, obs=Registry(enabled=False))
+        assert monitor.obs is None
+
+
+class _Counter:
+    def __init__(self):
+        self.value = 0
+
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+    def read(self):
+        return self.value
+
+
+def _counter_spec():
+    spec = CommutativitySpec("ctr")
+    spec.method("add", params=("amount",), returns=("value",))
+    spec.method("read", params=(), returns=("value",))
+    spec.default_true()
+    return spec
+
+
+class TestInterceptObs:
+    def test_calls_attributed_per_site(self):
+        obs = Registry()
+        monitor = Monitor(record_trace=True, obs=obs)
+        counter = intercept(monitor, _Counter(), _counter_spec(), name="c")
+        counter.add(2)
+        counter.add(3)
+        counter.read()
+        sites = obs.snapshot()["breakdowns"]["calls_by_site"]
+        assert sites == {"c×add": 2, "c×read": 1}
+
+
+def memory_trace():
+    return (TraceBuilder(root=0)
+            .fork(0, 1)
+            .write(0, "x")
+            .write(1, "x")      # unordered write/write race
+            .read(1, "y")
+            .build(stamp=False))
+
+
+class TestBaselineObs:
+    def test_fasttrack_counters_and_span(self):
+        obs = Registry()
+        detector = FastTrack(root=0, obs=obs)
+        detector.run(memory_trace())
+        snap = obs.snapshot()
+        assert snap["counters"]["events"] == 4
+        assert snap["counters"]["races"] == detector.race_count >= 1
+        assert snap["counters"]["conflict_checks"] == detector.checks
+        assert snap["gauges"]["locations"] == 2
+        assert snap["timers"]["check"]["count"] == 1
+
+    def test_eraser_warnings(self):
+        obs = Registry()
+        detector = Eraser(root=0, obs=obs)
+        detector.run(memory_trace())
+        snap = obs.snapshot()
+        assert snap["counters"]["warnings"] == detector.warning_count
+        assert snap["gauges"]["locations"] == 2
+
+    def test_djit_races(self):
+        obs = Registry()
+        detector = Djit(root=0, obs=obs)
+        detector.run(memory_trace())
+        snap = obs.snapshot()
+        assert snap["counters"]["races"] == detector.race_count >= 1
+        assert snap["timers"]["check"]["count"] == 1

@@ -1,0 +1,73 @@
+"""Differential guarantee: observability must never change verdicts.
+
+Replays a randomized multi-object corpus with metrics disabled and with
+the registry enabled (exact and sampled), serializing each run's race
+reports to JSON and requiring the bytes to match.  Any divergence means
+the instrumentation leaked into Algorithm 1's control flow.
+"""
+
+import json
+
+import pytest
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.parallel import ShardedDetector
+from repro.obs import Registry
+
+from tests.support import (build_multi_object_trace,
+                           random_multi_object_program, race_snapshot,
+                           register_bindings)
+
+CORPUS = range(120)
+
+#: seeds exercised through a real worker pool (slow: process spawn)
+POOL_SEEDS = (3, 57)
+
+
+def report_bytes(detector_factory, trace, bindings):
+    detector = register_bindings(detector_factory(), bindings)
+    races = detector.run(trace)
+    return json.dumps([race_snapshot(race) for race in races],
+                      sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("seed", CORPUS)
+def test_sequential_reports_identical_with_obs(seed):
+    trace, bindings = build_multi_object_trace(
+        random_multi_object_program(seed))
+    baseline = report_bytes(
+        lambda: CommutativityRaceDetector(root=0), trace, bindings)
+    exact = report_bytes(
+        lambda: CommutativityRaceDetector(
+            root=0, obs=Registry(sample_interval=1)), trace, bindings)
+    sampled = report_bytes(
+        lambda: CommutativityRaceDetector(
+            root=0, obs=Registry(sample_interval=3)), trace, bindings)
+    assert exact == baseline
+    assert sampled == baseline
+
+
+@pytest.mark.parametrize("seed", range(0, 120, 10))
+def test_inline_sharded_reports_identical_with_obs(seed):
+    trace, bindings = build_multi_object_trace(
+        random_multi_object_program(seed))
+    baseline = report_bytes(
+        lambda: ShardedDetector(root=0, workers=1), trace, bindings)
+    instrumented = report_bytes(
+        lambda: ShardedDetector(root=0, workers=1,
+                                obs=Registry(sample_interval=1)),
+        trace, bindings)
+    assert instrumented == baseline
+
+
+@pytest.mark.parametrize("seed", POOL_SEEDS)
+def test_pool_sharded_reports_identical_with_obs(seed):
+    trace, bindings = build_multi_object_trace(
+        random_multi_object_program(seed))
+    baseline = report_bytes(
+        lambda: CommutativityRaceDetector(root=0), trace, bindings)
+    pooled = report_bytes(
+        lambda: ShardedDetector(root=0, workers=2,
+                                obs=Registry(sample_interval=1)),
+        trace, bindings)
+    assert pooled == baseline

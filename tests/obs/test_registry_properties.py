@@ -1,0 +1,115 @@
+"""Property tests: registry merging is a commutative monoid; disabled
+registries are inert.
+
+The sharded pipeline folds worker registries into the facade's in
+whatever order the pool yields them, so ``absorb`` must be associative
+and commutative (with the empty registry as identity) for the merged
+report to be deterministic.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Registry
+
+# One registry mutation: (kind, name, key, amount).
+_NAMES = ("events", "checks", "races")
+_KEYS = ("o1", "o2", ("put", "get"), ("del", "∅"))
+
+_OPS = st.lists(
+    st.tuples(st.sampled_from(("add", "gauge", "count_in", "timer")),
+              st.sampled_from(_NAMES),
+              st.sampled_from(_KEYS),
+              st.integers(min_value=0, max_value=100)),
+    max_size=30)
+
+
+def apply_ops(registry, ops):
+    for kind, name, key, amount in ops:
+        if kind == "add":
+            registry.add(name, amount)
+        elif kind == "gauge":
+            registry.gauge(name, amount)
+        elif kind == "count_in":
+            registry.count_in(name, key, amount)
+        else:
+            # Deterministic "durations": recorded, not measured.
+            registry.timer(name).record(amount, weight=1 + amount % 3)
+    return registry
+
+
+def registry_from(ops):
+    return apply_ops(Registry(), ops)
+
+
+@given(_OPS, _OPS)
+def test_absorb_is_commutative(ops_a, ops_b):
+    ab = registry_from(ops_a)
+    ab.absorb(registry_from(ops_b))
+    ba = registry_from(ops_b)
+    ba.absorb(registry_from(ops_a))
+    assert ab.snapshot() == ba.snapshot()
+
+
+@given(_OPS, _OPS, _OPS)
+def test_absorb_is_associative(ops_a, ops_b, ops_c):
+    left = registry_from(ops_a)
+    left.absorb(registry_from(ops_b))
+    left.absorb(registry_from(ops_c))
+
+    bc = registry_from(ops_b)
+    bc.absorb(registry_from(ops_c))
+    right = registry_from(ops_a)
+    right.absorb(bc)
+    assert left.snapshot() == right.snapshot()
+
+
+@given(_OPS)
+def test_empty_registry_is_identity(ops):
+    reg = registry_from(ops)
+    expected = reg.snapshot()
+    reg.absorb(Registry())
+    assert reg.snapshot() == expected
+
+    fresh = Registry()
+    fresh.absorb(registry_from(ops))
+    assert fresh.snapshot() == expected
+
+
+@settings(max_examples=30)
+@given(st.lists(_OPS, min_size=1, max_size=6),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_any_merge_order_yields_the_same_totals(shards, seed):
+    """The pool's completion order must not leak into the merged report."""
+    reference = Registry()
+    for ops in shards:
+        reference.absorb(registry_from(ops))
+
+    shuffled = list(shards)
+    random.Random(seed).shuffle(shuffled)
+    merged = Registry()
+    for ops in shuffled:
+        merged.absorb(registry_from(ops))
+    assert merged.snapshot() == reference.snapshot()
+
+
+@given(_OPS)
+def test_disabled_registry_emits_nothing(ops):
+    reg = apply_ops(Registry(enabled=False), ops)
+    with reg.span("phase"):
+        pass
+    assert reg.snapshot() == {"enabled": False}
+
+
+@given(_OPS, _OPS)
+def test_disabled_registry_neither_absorbs_nor_contributes(ops_a, ops_b):
+    disabled = apply_ops(Registry(enabled=False), ops_a)
+    disabled.absorb(registry_from(ops_b))
+    assert disabled.snapshot() == {"enabled": False}
+
+    enabled = registry_from(ops_b)
+    expected = enabled.snapshot()
+    enabled.absorb(disabled)
+    assert enabled.snapshot() == expected

@@ -1,5 +1,7 @@
 """The repro-analyze command line and the spec reporter."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -120,6 +122,100 @@ class TestWorkersFlag:
         with pytest.raises(SystemExit):
             main([racy_trace_file, "--object", "o=dictionary",
                   "--workers", "0"])
+
+
+class TestObservabilityFlags:
+    def test_stats_table_goes_to_stderr(self, racy_trace_file, capsys):
+        baseline = main([racy_trace_file, "--object", "o=dictionary"])
+        plain_out = capsys.readouterr().out
+        code = main([racy_trace_file, "--object", "o=dictionary", "--stats"])
+        captured = capsys.readouterr()
+        assert code == baseline == 1
+        # the race report on stdout is untouched by the flag
+        assert captured.out == plain_out
+        assert "checks_by_object" in captured.err
+        assert "stamp" in captured.err
+
+    def test_stats_json_report(self, racy_trace_file, tmp_path, capsys):
+        out_path = tmp_path / "stats.json"
+        main([racy_trace_file, "--object", "o=dictionary",
+              "--stats-json", str(out_path)])
+        capsys.readouterr()
+        report = json.loads(out_path.read_text())
+        assert report["repro-stats"] == 1
+        assert report["meta"]["detector"] == "rd2"
+        assert report["meta"]["workers"] == 1
+        counters = report["stats"]["counters"]
+        assert counters["events"] == 9
+        assert counters["races"] >= 1
+        assert report["stats"]["breakdowns"]["checks_by_object"]
+        assert report["stats"]["timers"]["stamp"]["count"] == 9
+
+    def test_stats_json_with_workers_merges_shards(self, racy_trace_file,
+                                                   tmp_path, capsys):
+        out_path = tmp_path / "stats.json"
+        main([racy_trace_file, "--object", "o=dictionary",
+              "--workers", "2", "--stats-json", str(out_path)])
+        capsys.readouterr()
+        report = json.loads(out_path.read_text())
+        assert report["meta"]["workers"] == 2
+        timers = report["stats"]["timers"]
+        for phase in ("stamp", "fanout", "merge", "shard"):
+            assert phase in timers
+        assert report["stats"]["gauges"]["shards"] >= 1
+
+    def test_spans_stream_is_jsonl(self, racy_trace_file, tmp_path, capsys):
+        spans_path = tmp_path / "spans.jsonl"
+        main([racy_trace_file, "--object", "o=dictionary",
+              "--spans", str(spans_path)])
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in spans_path.read_text().splitlines()]
+        names = [record["name"] for record in records]
+        assert "load" in names
+        assert "report" in names
+        assert all(record["dur_ns"] >= 0 for record in records)
+
+    def test_without_flags_no_stats_output(self, racy_trace_file, capsys):
+        main([racy_trace_file, "--object", "o=dictionary"])
+        assert capsys.readouterr().err == ""
+
+
+class TestTraceErrors:
+    HEADER = '{"repro-trace": 1, "root": 0, "events": 2}\n'
+
+    def _run(self, path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(path), "--object", "o=dictionary"])
+        return str(excinfo.value)
+
+    def test_malformed_json_line_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(self.HEADER
+                        + '{"kind": "fork", "tid": 0, "peer": 1}\n'
+                        + "{not json\n")
+        message = self._run(path)
+        assert message.startswith(f"invalid trace file {str(path)!r}:")
+
+    def test_unknown_event_kind_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(self.HEADER
+                        + '{"kind": "fork", "tid": 0, "peer": 1}\n'
+                        + '{"kind": "teleport", "tid": 1}\n')
+        message = self._run(path)
+        assert message.startswith(f"invalid trace file {str(path)!r}:")
+        assert "teleport" in message
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "nope.jsonl"
+        message = self._run(path)
+        assert message.startswith(f"cannot read trace {str(path)!r}:")
+
+    def test_empty_file_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        message = self._run(path)
+        assert message.startswith(f"invalid trace file {str(path)!r}:")
 
 
 class TestSpecReportCli:
