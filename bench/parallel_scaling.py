@@ -17,10 +17,12 @@ pool configurations show overhead, not speedup; run on >=4 cores to see
 the paper-style scaling (>=1.8x at 4 workers is typical, since phase B
 dominates at realistic object counts).
 
-``--smoke`` runs a scaled-down sweep plus the *observability overhead
-gate*: the detector is timed with metrics disabled and with the sampled
-registry enabled, and the run fails (exit 1) if the enabled mode costs
-more than 5% — the budget the CI smoke job enforces.
+``--smoke`` runs a scaled-down sweep plus two 5%-budget gates the CI
+smoke job enforces (each fails the run with exit 1 on a breach): the
+*observability overhead gate* (detector timed with metrics disabled vs.
+the sampled registry enabled) and the *supervisor overhead gate* (the
+sharded pool timed with shard supervision on vs. the bare ``pool.map``
+baseline, on the fault-free path).
 
 Run:  PYTHONPATH=src python bench/parallel_scaling.py [--events N]
           [--objects K] [--threads T] [--workers 1,2,4]
@@ -133,6 +135,44 @@ def overhead_gate(trace, objects: int, repeats: int = 12,
     return overhead <= threshold
 
 
+def supervisor_overhead_gate(trace, objects: int, workers: int = 2,
+                             repeats: int = 5,
+                             threshold: float = 0.05) -> bool:
+    """Time the sharded pool with supervision on vs. off; gate at 5%.
+
+    Supervision replaces one ``pool.map`` with per-job ``apply_async`` +
+    timed ``get``; on the fault-free path that must be noise, not a tax.
+    Pool startup dominates these runs (and is identical in both modes), so
+    fewer repeats suffice than for the in-process observability gate; the
+    same warmup / alternate / best-of-N / re-measure discipline applies.
+    """
+    def run_once(supervise):
+        detector = register_all(
+            ShardedDetector(root=0, workers=workers, keep_reports=False,
+                            supervise=supervise),
+            objects)
+        return timed_run(detector, trace)
+
+    def measure(rounds):
+        run_once(False), run_once(True)             # warmup, discarded
+        bare, supervised = [], []
+        for _ in range(rounds):
+            bare.append(run_once(False))
+            supervised.append(run_once(True))
+        return min(supervised) / min(bare) - 1.0, min(bare), min(supervised)
+
+    overhead, best_bare, best_sup = measure(repeats)
+    if overhead > threshold:
+        print(f"\nsupervisor overhead gate: {overhead:+.1%} over a "
+              f"{threshold:.0%} budget on the first attempt; re-measuring")
+        overhead, best_bare, best_sup = measure(2 * repeats)
+    verdict = "PASS" if overhead <= threshold else "FAIL"
+    print(f"\nsupervisor overhead gate ({workers} workers): bare pool.map "
+          f"{best_bare:.3f}s, supervised {best_sup:.3f}s -> {overhead:+.1%} "
+          f"(budget {threshold:.0%}) [{verdict}]")
+    return overhead <= threshold
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=100_000)
@@ -218,8 +258,11 @@ def main(argv=None) -> int:
             write_report(report, out)
         print(f"observability report written to {args.stats_json}")
 
-    if args.smoke and not overhead_gate(trace, args.objects):
-        return 1
+    if args.smoke:
+        ok = overhead_gate(trace, args.objects)
+        ok = supervisor_overhead_gate(trace, args.objects) and ok
+        if not ok:
+            return 1
     return 0
 
 

@@ -22,6 +22,16 @@ Observability sinks (see :mod:`repro.obs`):
 * ``--stats-json PATH`` writes the frozen JSON report schema,
 * ``--spans PATH`` appends coarse spans (load/stamp/fanout/merge/report)
   as JSONL for offline flamegraph-style analysis.
+
+Fault tolerance (see ``docs/robustness.md``): multi-worker rd2 runs are
+supervised (``--shard-timeout``, ``--shard-retries``), long phase-A passes
+can checkpoint (``--checkpoint``, ``--checkpoint-interval``) and a killed
+run resumes with ``--resume-from``.  Tolerated faults are summarized on
+stderr and recorded under ``"faults"`` in the ``--stats-json`` report.
+
+Exit codes are part of the scripting interface (see ``EXIT_*``): 0 clean,
+1 reports found, 2 usage error, 3 unreadable/invalid input, 130
+interrupted.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .core.errors import ReproError
 from .core.races import group_races, tally
@@ -38,7 +48,34 @@ from .obs import (NULL_REGISTRY, Registry, SpanStream, build_report,
                   publish_detector_stats, render_table, write_report)
 from .specs import bundled_objects
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_CLEAN", "EXIT_REPORTS", "EXIT_USAGE", "EXIT_DATA",
+           "EXIT_INTERRUPT"]
+
+#: No reports found, analysis completed.
+EXIT_CLEAN = 0
+#: Analysis completed and found race/atomicity reports.
+EXIT_REPORTS = 1
+#: Bad invocation: unknown flags or invalid option values.
+EXIT_USAGE = 2
+#: Input problem: unreadable or malformed trace file.
+EXIT_DATA = 3
+#: Interrupted by the user (128 + SIGINT, the shell convention).
+EXIT_INTERRUPT = 130
+
+_EXIT_CODE_HELP = """\
+exit codes:
+  0   analysis completed, no reports
+  1   analysis completed, race/atomicity reports found
+  2   usage error (bad flag or option value)
+  3   input error (unreadable or invalid trace file)
+  130 interrupted (SIGINT)
+"""
+
+
+def _fail(message: str, code: int) -> "SystemExit":
+    """Exit with a clean one-line diagnostic on stderr (no traceback)."""
+    print(f"repro-analyze: error: {message}", file=sys.stderr)
+    raise SystemExit(code)
 
 
 def _parse_bindings(pairs: Sequence[str]) -> List[Tuple[str, str]]:
@@ -46,15 +83,26 @@ def _parse_bindings(pairs: Sequence[str]) -> List[Tuple[str, str]]:
     bindings = []
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(
-                f"--object expects NAME=KIND, got {pair!r}")
+            _fail(f"--object expects NAME=KIND, got {pair!r}", EXIT_USAGE)
         name, kind = pair.split("=", 1)
         if kind not in registry:
-            raise SystemExit(
-                f"unknown object kind {kind!r}; available: "
-                f"{sorted(registry)}")
+            _fail(f"unknown object kind {kind!r}; available: "
+                  f"{sorted(registry)}", EXIT_USAGE)
         bindings.append((name, kind))
     return bindings
+
+
+def _parse_workers(raw: str) -> int:
+    """Validate ``--workers`` (kept a string so non-integers get our
+    one-line diagnostic instead of argparse's usage dump)."""
+    try:
+        workers = int(raw)
+    except ValueError:
+        _fail(f"--workers expects a positive integer, got {raw!r}",
+              EXIT_USAGE)
+    if workers < 1:
+        _fail(f"--workers must be >= 1, got {workers}", EXIT_USAGE)
+    return workers
 
 
 def _load_trace_file(path: str):
@@ -68,33 +116,35 @@ def _load_trace_file(path: str):
         with open(path, "r", encoding="utf-8") as stream:
             return load_trace(stream)
     except OSError as exc:
-        raise SystemExit(f"cannot read trace {path!r}: {exc}") from exc
+        _fail(f"cannot read trace {path!r}: {exc}", EXIT_DATA)
     except (ReproError, ValueError) as exc:
         # ValueError covers json.JSONDecodeError on malformed lines;
         # ReproError covers unknown event kinds, bad sentinels, and
         # truncated traces.
-        raise SystemExit(f"invalid trace file {path!r}: {exc}") from exc
+        _fail(f"invalid trace file {path!r}: {exc}", EXIT_DATA)
 
 
 def _analyze_commutativity(trace, bindings, detector_kind: str,
-                           workers: int = 1, obs=NULL_REGISTRY) -> int:
+                           workers: int = 1, obs=NULL_REGISTRY,
+                           supervisor=None, checkpoint=None,
+                           resume_from: Optional[str] = None,
+                           ) -> Tuple[int, Optional[Dict[str, Any]]]:
     registry = bundled_objects()
     if not bindings:
-        raise SystemExit(
-            "commutativity analysis needs at least one --object NAME=KIND")
-    if detector_kind == "rd2":
-        if workers > 1:
-            from .core.parallel import ShardedDetector
-            detector = ShardedDetector(root=trace.root, workers=workers,
-                                       obs=obs)
-        else:
-            from .core.detector import CommutativityRaceDetector
-            detector = CommutativityRaceDetector(root=trace.root, obs=obs)
+        _fail("commutativity analysis needs at least one --object NAME=KIND",
+              EXIT_USAGE)
+    sharded = (workers > 1 or supervisor is not None
+               or checkpoint is not None or resume_from is not None)
+    if detector_kind == "rd2" and sharded:
+        from .core.parallel import ShardedDetector
+        detector = ShardedDetector(root=trace.root, workers=workers,
+                                   obs=obs, supervisor=supervisor,
+                                   checkpoint=checkpoint,
+                                   resume_from=resume_from)
+    elif detector_kind == "rd2":
+        from .core.detector import CommutativityRaceDetector
+        detector = CommutativityRaceDetector(root=trace.root, obs=obs)
     else:
-        if workers > 1:
-            raise SystemExit(
-                f"--workers applies only to the rd2 detector "
-                f"(got --detector {detector_kind})")
         from .core.direct import DirectDetector
         detector = DirectDetector(root=trace.root)
     for name, kind in bindings:
@@ -115,10 +165,13 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
               f"commutativity race report(s)")
         for group in group_races(races):
             print(f"  {group}")
-    return 1 if races else 0
+    fault_log = getattr(detector, "faults", None)
+    faults = fault_log.snapshot() if fault_log else None
+    return (EXIT_REPORTS if races else EXIT_CLEAN), faults
 
 
-def _analyze_memory(trace, detector_kind: str, obs=NULL_REGISTRY) -> int:
+def _analyze_memory(trace, detector_kind: str, obs=NULL_REGISTRY,
+                    ) -> Tuple[int, Optional[Dict[str, Any]]]:
     if detector_kind == "fasttrack":
         from .baselines.fasttrack import FastTrack
         detector = FastTrack(root=trace.root, obs=obs)
@@ -133,10 +186,11 @@ def _analyze_memory(trace, detector_kind: str, obs=NULL_REGISTRY) -> int:
         print(f"{detector_kind}: {tally(reports)} report(s)")
         for group in group_races(reports):
             print(f"  {group}")
-    return 1 if reports else 0
+    return (EXIT_REPORTS if reports else EXIT_CLEAN), None
 
 
-def _analyze_atomicity(trace, bindings, obs=NULL_REGISTRY) -> int:
+def _analyze_atomicity(trace, bindings, obs=NULL_REGISTRY,
+                       ) -> Tuple[int, Optional[Dict[str, Any]]]:
     from .atomicity import AtomicityChecker, ConflictMode
     registry = bundled_objects()
     checker = AtomicityChecker(ConflictMode.COMMUTATIVITY)
@@ -153,14 +207,16 @@ def _analyze_atomicity(trace, bindings, obs=NULL_REGISTRY) -> int:
               f"{len(report.violations)} violation(s)")
         for violation in report.violations:
             print(f"  {violation}")
-    return 1 if report.violations else 0
+    return (EXIT_REPORTS if report.violations else EXIT_CLEAN), None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="Analyze a saved trace (JSONL) for commutativity "
-                    "races, read/write races, or atomicity violations.")
+                    "races, read/write races, or atomicity violations.",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("trace", nargs="?",
                         help="path to a trace written by dump_trace()")
     parser.add_argument("--object", action="append", default=[],
@@ -169,10 +225,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--detector", default="rd2",
                         choices=("rd2", "direct", "fasttrack", "eraser"),
                         help="which analysis to run (default rd2)")
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
+    parser.add_argument("--workers", default="1", metavar="N",
                         help="fan the rd2 per-object race checks out to N "
                              "worker processes (two-phase sharded pipeline; "
                              "default 1 = sequential)")
+    parser.add_argument("--shard-timeout", default=None, metavar="SECONDS",
+                        help="per-shard supervision timeout for --workers "
+                             "runs (default 120)")
+    parser.add_argument("--shard-retries", default=None, metavar="N",
+                        help="pool retries per failed shard before falling "
+                             "back to in-process replay (default 2)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="periodically checkpoint phase-A stamping "
+                             "state to PATH (rd2 only)")
+    parser.add_argument("--checkpoint-interval", default="10000", metavar="N",
+                        help="events between checkpoints (default 10000)")
+    parser.add_argument("--resume-from", metavar="PATH", dest="resume_from",
+                        help="resume phase-A stamping from a checkpoint "
+                             "written by a previous run on the same trace "
+                             "(a rejected checkpoint degrades to a full "
+                             "restamp)")
     parser.add_argument("--atomicity", action="store_true",
                         help="run the atomicity checker instead")
     parser.add_argument("--spec-report", metavar="KIND",
@@ -193,14 +265,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.spec_report:
         registry = bundled_objects()
         if args.spec_report not in registry:
-            raise SystemExit(f"unknown kind {args.spec_report!r}; "
-                             f"available: {sorted(registry)}")
+            _fail(f"unknown kind {args.spec_report!r}; "
+                  f"available: {sorted(registry)}", EXIT_USAGE)
         from .logic.pretty import spec_report
         print(spec_report(registry[args.spec_report].spec()))
-        return 0
+        return EXIT_CLEAN
 
     if not args.trace:
-        parser.error("a trace file is required (or use --spec-report)")
+        _fail("a trace file is required (or use --spec-report)", EXIT_USAGE)
+
+    workers = _parse_workers(args.workers)
+    supervisor = _parse_supervisor(args)
+    checkpoint = _parse_checkpoint(args)
+    rd2_only = (workers > 1 or supervisor is not None
+                or checkpoint is not None or args.resume_from)
+    if rd2_only and (args.detector != "rd2" or args.atomicity):
+        _fail("--workers, --shard-*, --checkpoint and --resume-from apply "
+              "only to the rd2 detector", EXIT_USAGE)
 
     want_obs = args.stats or args.stats_json or args.spans
     stream = SpanStream(args.spans) if args.spans else None
@@ -209,43 +290,103 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs = (Registry(sample_interval=1, stream=stream) if want_obs
            else NULL_REGISTRY)
 
-    with obs.span("load"):
-        trace = _load_trace_file(args.trace)
-    print(f"loaded {len(trace)} events "
-          f"({len(trace.actions())} actions, "
-          f"{len(trace.threads())} threads)")
-
-    bindings = _parse_bindings(args.objects)
-    if args.workers < 1:
-        parser.error("--workers must be >= 1")
-    if args.workers > 1 and (args.detector != "rd2" or args.atomicity):
-        parser.error("--workers applies only to the rd2 detector")
+    faults: Optional[Dict[str, Any]] = None
     try:
+        with obs.span("load"):
+            trace = _load_trace_file(args.trace)
+        print(f"loaded {len(trace)} events "
+              f"({len(trace.actions())} actions, "
+              f"{len(trace.threads())} threads)")
+
+        bindings = _parse_bindings(args.objects)
         if args.atomicity:
-            code = _analyze_atomicity(trace, bindings, obs=obs)
+            code, faults = _analyze_atomicity(trace, bindings, obs=obs)
         elif args.detector in ("rd2", "direct"):
-            code = _analyze_commutativity(trace, bindings, args.detector,
-                                          workers=args.workers, obs=obs)
+            code, faults = _analyze_commutativity(
+                trace, bindings, args.detector, workers=workers, obs=obs,
+                supervisor=supervisor, checkpoint=checkpoint,
+                resume_from=args.resume_from)
         else:
-            code = _analyze_memory(trace, args.detector, obs=obs)
+            code, faults = _analyze_memory(trace, args.detector, obs=obs)
+    except KeyboardInterrupt:
+        # The supervisor already tore its pool down on the way out (no
+        # orphan workers); the span stream is closed by the finally, so
+        # partial --spans output stays valid JSONL.
+        print("repro-analyze: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
     finally:
         if stream is not None:
             stream.close()
+
+    if faults and faults.get("counts"):
+        total = sum(faults["counts"].values())
+        summary = ", ".join(f"{kind}×{count}" for kind, count
+                            in sorted(faults["counts"].items()))
+        print(f"repro-analyze: tolerated {total} fault(s): {summary}",
+              file=sys.stderr)
 
     if want_obs:
         mode = "atomicity" if args.atomicity else args.detector
         report = build_report(obs, meta={
             "detector": mode,
-            "workers": args.workers,
+            "workers": workers,
             "trace": os.path.basename(args.trace),
             "events": len(trace),
-        })
+        }, faults=faults)
         if args.stats_json:
             with open(args.stats_json, "w", encoding="utf-8") as out:
                 write_report(report, out)
         if args.stats:
             print(render_table(report), file=sys.stderr)
     return code
+
+
+def _parse_supervisor(args):
+    """Build a SupervisorConfig iff a supervision flag was given."""
+    if args.shard_timeout is None and args.shard_retries is None:
+        return None
+    from .core.supervise import SupervisorConfig
+    kwargs: Dict[str, Any] = {}
+    if args.shard_timeout is not None:
+        try:
+            timeout = float(args.shard_timeout)
+        except ValueError:
+            _fail(f"--shard-timeout expects a number of seconds, got "
+                  f"{args.shard_timeout!r}", EXIT_USAGE)
+        if timeout <= 0:
+            _fail(f"--shard-timeout must be > 0, got {timeout:g}", EXIT_USAGE)
+        kwargs["shard_timeout"] = timeout
+    if args.shard_retries is not None:
+        try:
+            retries = int(args.shard_retries)
+        except ValueError:
+            _fail(f"--shard-retries expects a non-negative integer, got "
+                  f"{args.shard_retries!r}", EXIT_USAGE)
+        if retries < 0:
+            _fail(f"--shard-retries must be >= 0, got {retries}", EXIT_USAGE)
+        kwargs["max_retries"] = retries
+    return SupervisorConfig(**kwargs)
+
+
+def _parse_checkpoint(args):
+    """Build a CheckpointConfig iff --checkpoint was given.
+
+    Wires in the fault harness's kill hook (``REPRO_CHECKPOINT_KILL_AFTER``)
+    so resume tests can SIGKILL a real CLI run at an exact write.
+    """
+    try:
+        interval = int(args.checkpoint_interval)
+    except ValueError:
+        interval = 0
+    if interval < 1:
+        _fail(f"--checkpoint-interval must be a positive integer, got "
+              f"{args.checkpoint_interval!r}", EXIT_USAGE)
+    if not args.checkpoint:
+        return None
+    from .core.checkpoint import CheckpointConfig
+    from .testing.faults import checkpoint_kill_hook
+    return CheckpointConfig(path=args.checkpoint, interval=interval,
+                            after_write=checkpoint_kill_hook())
 
 
 if __name__ == "__main__":

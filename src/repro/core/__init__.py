@@ -4,10 +4,13 @@ and the commutativity race detector (Sections 3–5 of the paper)."""
 from .access_points import (AccessPoint, AccessPointRepresentation,
                             NaiveRepresentation, SchemaRepresentation,
                             representations_equivalent)
+from .checkpoint import CheckpointConfig, load_checkpoint, save_checkpoint
 from .detector import CommutativityRaceDetector, DetectorStats, Strategy
 from .direct import DirectDetector
-from .errors import (FragmentError, MonitorError, ParseError, ReproError,
-                     SchedulerError, SpecificationError, TranslationError)
+from .errors import (CheckpointError, FragmentError, MonitorError,
+                     ParseError, ReproError, SchedulerError,
+                     SpecificationError, TranslationError)
+from .faults import FaultLog, FaultRecord
 from .events import (NIL, Action, Event, EventKind, Nil, ObjectId,
                      acquire_event, action_event, begin_event, commit_event,
                      fork_event, join_event, read_event, release_event,
@@ -21,6 +24,7 @@ from .graph import (concurrency_matrix, critical_path,
 from .races import (CommutativityRace, DataRace, LocksetWarning, RaceGroup,
                     RaceReport, RaceTally, group_races, tally)
 from .serialize import dump_trace, dumps_trace, load_trace, loads_trace
+from .supervise import ShardSupervisor, SupervisorConfig
 from .trace import Trace, TraceBuilder
 from .vector_clock import BOTTOM, MutableVectorClock, Tid, VectorClock
 
@@ -29,8 +33,11 @@ __all__ = [
     "SchemaRepresentation", "representations_equivalent",
     "CommutativityRaceDetector", "DetectorStats", "Strategy",
     "DirectDetector",
-    "FragmentError", "MonitorError", "ParseError", "ReproError",
-    "SchedulerError", "SpecificationError", "TranslationError",
+    "CheckpointError", "FragmentError", "MonitorError", "ParseError",
+    "ReproError", "SchedulerError", "SpecificationError", "TranslationError",
+    "CheckpointConfig", "load_checkpoint", "save_checkpoint",
+    "FaultLog", "FaultRecord",
+    "ShardSupervisor", "SupervisorConfig",
     "NIL", "Nil", "Action", "Event", "EventKind", "ObjectId",
     "acquire_event", "action_event", "fork_event", "join_event",
     "read_event", "release_event", "write_event",

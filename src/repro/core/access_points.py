@@ -36,7 +36,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, FrozenSet, Hashable, Iterable,
-                    Iterator, List, Mapping, Optional, Sequence, Set, Tuple)
+                    Iterator, List, Mapping, Optional, Sequence, Tuple)
 
 from .errors import SpecificationError
 from .events import Action, ObjectId
@@ -143,7 +143,11 @@ class SchemaRepresentation(AccessPointRepresentation):
             raise SpecificationError(
                 f"schemas declared both value-carrying and plain: {overlap}")
         self._touches = touches
-        self._conflicts: Dict[SchemaId, Set[SchemaId]] = {}
+        # Insertion-ordered dict-sets: candidate enumeration order must be
+        # declaration order, not hash order — an unpickled set rehashes, so
+        # worker processes would otherwise enumerate (and hence report
+        # races) in a different order than the sequential detector.
+        self._conflicts: Dict[SchemaId, Dict[SchemaId, None]] = {}
         self._bounded = True
         for left, right in conflict_pairs:
             self._add_conflict(left, right)
@@ -157,8 +161,8 @@ class SchemaRepresentation(AccessPointRepresentation):
         if (left in self._value_schemas) != (right in self._value_schemas):
             # A plain point would conflict with points at *every* value.
             self._bounded = False
-        self._conflicts.setdefault(left, set()).add(right)
-        self._conflicts.setdefault(right, set()).add(left)
+        self._conflicts.setdefault(left, {})[right] = None
+        self._conflicts.setdefault(right, {})[left] = None
 
     # -- introspection -------------------------------------------------------
 

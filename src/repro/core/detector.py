@@ -49,7 +49,7 @@ import dataclasses
 import enum
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import Callable, Dict, List, NamedTuple, Optional, Set, Union
+from typing import Callable, Dict, List, NamedTuple, Optional, Union
 
 from .access_points import AccessPoint, AccessPointRepresentation
 from .errors import MonitorError
@@ -149,7 +149,11 @@ class _ObjectState:
 
     representation: AccessPointRepresentation
     strategy: Strategy
-    active: Set[AccessPoint] = field(default_factory=set)
+    #: ``active(o)`` as an insertion-ordered dict-set: scan order must be
+    #: first-touch order, not hash order, so race reports come out
+    #: identical across processes (hash(AccessPoint) is not stable across
+    #: interpreters — spawn workers would otherwise reorder them).
+    active: Dict[AccessPoint, None] = field(default_factory=dict)
     point_clock: Dict[AccessPoint, _PointClock] = field(default_factory=dict)
     #: observability only: which method last touched each point, so race
     #: and check attribution can name (method, method) pairs.  Maintained
@@ -290,7 +294,7 @@ class CommutativityRaceDetector:
                       if all(_point_ordered(state.point_clock[pt], clock)
                              for clock in live_clocks)]
             for pt in doomed:
-                state.active.discard(pt)
+                state.active.pop(pt, None)
                 del state.point_clock[pt]
                 state.point_method.pop(pt, None)
             if doomed and self._obs is not None:
@@ -419,7 +423,7 @@ class CommutativityRaceDetector:
                     state.point_clock[pt] = _PointEpoch(tid, clock[tid])
                 else:
                     state.point_clock[pt] = clock
-                state.active.add(pt)
+                state.active[pt] = None
             elif type(prior) is _PointEpoch:
                 if prior.tid == tid:
                     # Same thread: its touches are totally ordered, so the

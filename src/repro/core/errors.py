@@ -15,6 +15,7 @@ __all__ = [
     "TranslationError",
     "MonitorError",
     "SchedulerError",
+    "CheckpointError",
 ]
 
 
@@ -72,4 +73,16 @@ class SchedulerError(ReproError):
 
     Examples: deadlock (no runnable task while unfinished tasks remain) or a
     task yielding after it already completed.
+    """
+
+
+class CheckpointError(ReproError):
+    """A phase-A checkpoint could not be used.
+
+    Examples: the file is truncated or fails its digest, it was written by
+    an unsupported format version, or it belongs to a different trace or
+    object registration than the resuming run's.  The resuming pipeline
+    treats this as a recoverable fault — it logs the rejection and restamps
+    from the beginning — so the error only escapes to callers that load
+    checkpoints directly via :func:`repro.core.checkpoint.load_checkpoint`.
     """

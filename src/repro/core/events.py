@@ -63,6 +63,12 @@ class Nil:
     def __bool__(self) -> bool:
         return False
 
+    def __hash__(self) -> int:
+        # Stable across interpreters (the default id() hash is not):
+        # ``nil`` appears inside Const/Atom/β-schema hashes, and spawned
+        # workers re-import a fresh singleton at a new address.
+        return 0x6E696C  # "nil"
+
     def __reduce__(self):
         return (Nil, ())
 

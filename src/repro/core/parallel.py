@@ -33,21 +33,35 @@ the merged ``stats`` agree on every per-action counter (``events`` is
 taken from the phase-A pass over the whole trace).  The differential
 property suite in ``tests/integration/test_sharded_differential.py``
 checks exactly that across randomized multi-object traces.
+
+Both phases are fault-tolerant.  Phase B runs under a
+:class:`~repro.core.supervise.ShardSupervisor` (timeouts, bounded retry,
+in-process fallback — the identity guarantee above holds even when shard
+workers crash, hang, or return unpicklable results), and phase A can
+periodically checkpoint its state (:mod:`repro.core.checkpoint`) so a
+killed run resumes via ``resume_from`` without restamping the prefix.
+Every tolerated failure lands in :attr:`ShardedDetector.faults`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import multiprocessing
 import pickle
 from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .checkpoint import (CHECKPOINT_VERSION, Checkpoint, CheckpointConfig,
+                         CheckpointWriter, event_fingerprint, load_checkpoint)
 from .detector import CommutativityRaceDetector, DetectorStats, Strategy
-from .errors import MonitorError
+from .errors import CheckpointError, MonitorError
 from .events import (Action, Event, EventKind, ObjectId,
                      pack_stamped_action, unpack_stamped_action)
+from .faults import FaultLog
 from .hb import HappensBeforeTracker
 from .races import CommutativityRace
+from .supervise import ShardSupervisor, SupervisorConfig
 from .vector_clock import Tid
 
 __all__ = ["ShardedDetector", "partition_by_load"]
@@ -140,6 +154,53 @@ def _analyze_shard(payload: _ShardPayload):
     return triples, detector.stats, obs
 
 
+def _shard_job(index: int, payload: _ShardPayload, attempt: int):
+    """Supervised-worker adapter: ignores the supervision bookkeeping.
+
+    The supervisor's worker contract is ``worker(index, payload, attempt)``
+    so retries are distinguishable (and so the fault harness can key on
+    shard and attempt); the shard computation itself depends only on the
+    payload — every attempt, pool or inline, replays identically.
+    """
+    return _analyze_shard(payload)
+
+
+def _diagnose_unpicklable(payload: _ShardPayload,
+                          exc: Exception) -> Optional[MonitorError]:
+    """Explain a worker failure that is really a task-pickling failure.
+
+    A payload that cannot be pickled never reaches the worker — the pool
+    hands the serialization error back through the job's result, where it
+    is indistinguishable from an exception the worker raised.  Retrying a
+    deterministic serialization failure is useless, so the supervisor asks
+    us first: if the payload truly does not pickle, pinpoint the object
+    (and which of its parts) to blame and return a :class:`MonitorError`
+    for the caller; if it pickles fine, return None — the worker genuinely
+    raised ``exc`` and normal retry/fallback handling applies.
+    """
+    try:
+        pickle.dumps(payload)
+    except Exception as probe:
+        _, _, _, _, objects = payload
+        for obj, representation, obj_strategy, packed_actions in objects:
+            for part, value in (("representation", representation),
+                                ("strategy override", obj_strategy),
+                                ("stamped actions", packed_actions)):
+                try:
+                    pickle.dumps(value)
+                except Exception:
+                    return MonitorError(
+                        f"object {obj!r}: its {part} cannot be pickled for "
+                        f"shipment to worker processes "
+                        f"({type(probe).__name__}: {probe}); use workers<=1 "
+                        f"(inline sharding) or the sequential "
+                        f"CommutativityRaceDetector")
+        return MonitorError(
+            f"shard payload cannot be pickled for worker processes "
+            f"({type(probe).__name__}: {probe})")
+    return None
+
+
 class ShardedDetector:
     """Offline commutativity race detection, fanned out by object shard.
 
@@ -172,6 +233,22 @@ class ShardedDetector:
         per-shard ``shard`` replay span) that is shipped back with the
         shard's stats and absorbed here, alongside the existing
         ``DetectorStats.absorb`` merge.
+    supervise / supervisor:
+        With ``supervise`` (the default) phase B runs under a
+        :class:`~repro.core.supervise.ShardSupervisor` — per-shard
+        timeout, bounded retry, in-process fallback — configured by the
+        optional ``supervisor`` :class:`SupervisorConfig`.
+        ``supervise=False`` restores the bare ``pool.map`` (the overhead
+        gate in ``bench/parallel_scaling.py`` compares the two).
+    checkpoint:
+        Optional :class:`~repro.core.checkpoint.CheckpointConfig`; phase A
+        then snapshots its state every ``interval`` events so a killed run
+        can resume.
+    resume_from:
+        Optional path to a checkpoint written by a previous run over the
+        same trace and registrations.  A checkpoint that fails any
+        validity check is *rejected, not fatal*: the rejection is recorded
+        in :attr:`faults` and the run restamps from the beginning.
     """
 
     def __init__(
@@ -184,6 +261,10 @@ class ShardedDetector:
         workers: Optional[int] = None,
         mp_context: Optional[str] = None,
         obs=None,
+        supervise: bool = True,
+        supervisor: Optional[SupervisorConfig] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        resume_from: Optional[str] = None,
     ):
         self._root = root
         self._strategy = strategy
@@ -195,10 +276,17 @@ class ShardedDetector:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self._mp_context = mp_context
+        self._supervise = supervise
+        self._supervisor_config = supervisor
+        self._checkpoint = checkpoint
+        self._resume_from = resume_from
         self._registrations: Dict[ObjectId, Tuple[Any, Optional[Strategy]]] = {}
         self._hb: Optional[HappensBeforeTracker] = None
         self.races: List[CommutativityRace] = []
         self.stats = DetectorStats()
+        #: Tolerated failures from the most recent :meth:`run` (shard
+        #: supervision and checkpoint rejection; cleared per run).
+        self.faults = FaultLog()
 
     # -- object lifecycle ------------------------------------------------------
 
@@ -233,6 +321,7 @@ class ShardedDetector:
         Re-running replaces ``races`` and ``stats`` — each call analyzes
         one complete trace, like a fresh sequential detector would.
         """
+        self.faults.clear()
         obs = self._obs
         if obs is None:
             groups, total_events = self._stamp_and_partition(events)
@@ -252,18 +341,101 @@ class ShardedDetector:
 
     # Phase A: one sequential happens-before pass over the full trace.
     def _stamp_and_partition(self, events):
-        self._hb = HappensBeforeTracker(root=self._root)
-        groups: Dict[ObjectId, List[Tuple[Any, ...]]] = {
-            obj: [] for obj in self._registrations}
-        total = 0
-        for index, event in enumerate(events):
+        writer = (CheckpointWriter(self._checkpoint)
+                  if self._checkpoint is not None else None)
+        resumed = None
+        if self._resume_from is not None:
+            # Resume validation reads the trace prefix and may still have
+            # to restart from event zero, so it needs a re-iterable trace.
+            if not isinstance(events, (list, tuple)):
+                events = list(events)
+            resumed = self._try_resume(events)
+        if resumed is not None:
+            snapshot, hasher = resumed
+            self._hb = snapshot.hb
+            groups = snapshot.groups
+            start = snapshot.next_index
+        else:
+            self._hb = HappensBeforeTracker(root=self._root)
+            groups = {obj: [] for obj in self._registrations}
+            start = 0
+            hasher = hashlib.sha256() if writer is not None else None
+        total = start
+        iterator = (itertools.islice(iter(events), start, None)
+                    if start else iter(events))
+        if writer is None:
+            for index, event in enumerate(iterator, start):
+                clock = self._hb.observe(event)
+                total += 1
+                if event.kind is EventKind.ACTION:
+                    bucket = groups.get(event.action.obj)
+                    if bucket is not None:
+                        bucket.append(pack_stamped_action(event, index, clock))
+            return groups, total
+        for index, event in enumerate(iterator, start):
             clock = self._hb.observe(event)
             total += 1
             if event.kind is EventKind.ACTION:
                 bucket = groups.get(event.action.obj)
                 if bucket is not None:
                     bucket.append(pack_stamped_action(event, index, clock))
+            hasher.update(event_fingerprint(event))
+            stamped = index + 1
+            if writer.maybe_write(stamped, lambda: Checkpoint(
+                    version=CHECKPOINT_VERSION, root=self._root,
+                    next_index=stamped, prefix_digest=hasher.hexdigest(),
+                    objects=self._registration_ids(), hb=self._hb,
+                    groups=groups)):
+                if self._obs is not None:
+                    self._obs.add("checkpoint_writes")
         return groups, total
+
+    def _registration_ids(self) -> List[str]:
+        """Canonical registered-object identity list for checkpoint guards."""
+        return sorted(repr(obj) for obj in self._registrations)
+
+    def _try_resume(self, events):
+        """Load and validate ``resume_from``; ``(Checkpoint, hasher)`` or None.
+
+        Every defect — unreadable/corrupt file, version skew, different
+        root or registrations, or a trace whose stamped prefix does not
+        reproduce the checkpoint's fingerprint digest — degrades to a full
+        restamp, recorded as a ``checkpoint/rejected`` fault.  On success
+        the returned hasher has absorbed the verified prefix, so
+        checkpoint writing can continue the same running digest.
+        """
+        try:
+            snapshot = load_checkpoint(self._resume_from)
+            if snapshot.root != self._root:
+                raise CheckpointError(
+                    f"checkpoint was taken with root thread "
+                    f"{snapshot.root!r}, this run uses {self._root!r}")
+            if snapshot.objects != self._registration_ids():
+                raise CheckpointError(
+                    "checkpoint was taken with a different set of "
+                    "registered objects")
+            if snapshot.next_index > len(events):
+                raise CheckpointError(
+                    f"checkpoint is ahead of this trace "
+                    f"({snapshot.next_index} stamped events, trace has "
+                    f"{len(events)})")
+            hasher = hashlib.sha256()
+            for event in itertools.islice(iter(events), snapshot.next_index):
+                hasher.update(event_fingerprint(event))
+            if hasher.hexdigest() != snapshot.prefix_digest:
+                raise CheckpointError(
+                    "trace prefix does not match the checkpoint's "
+                    "fingerprint digest (different or modified trace)")
+        except CheckpointError as exc:
+            self.faults.record(site="checkpoint", kind="rejected",
+                               detail=str(exc))
+            if self._obs is not None:
+                self._obs.add("checkpoint_rejected")
+                self._obs.count_in("faults_by_kind", "checkpoint/rejected")
+            return None
+        if self._obs is not None:
+            self._obs.add("checkpoint_resumes")
+        return snapshot, hasher
 
     # Phase B: shard the objects and fan the per-object replay out.
     def _fan_out(self, groups: Dict[ObjectId, List[Tuple[Any, ...]]]):
@@ -282,10 +454,20 @@ class ShardedDetector:
             return []
         if self.workers <= 1 or len(payloads) == 1:
             return [_analyze_shard(payload) for payload in payloads]
-        ctx = (multiprocessing.get_context(self._mp_context)
-               if self._mp_context else multiprocessing.get_context())
-        with ctx.Pool(processes=len(payloads)) as pool:
-            return pool.map(_analyze_shard, payloads)
+        if not self._supervise:
+            # Unsupervised baseline: the original bare pool.map.  Kept for
+            # the supervisor-overhead benchmark gate and as an escape
+            # hatch; any worker failure here takes the whole run down.
+            ctx = (multiprocessing.get_context(self._mp_context)
+                   if self._mp_context else multiprocessing.get_context())
+            with ctx.Pool(processes=len(payloads)) as pool:
+                return pool.map(_analyze_shard, payloads)
+        supervisor = ShardSupervisor(
+            _shard_job, processes=len(payloads), mp_context=self._mp_context,
+            config=self._supervisor_config, obs=self._obs, faults=self.faults,
+            diagnose=lambda index, exc: _diagnose_unpicklable(
+                payloads[index], exc))
+        return supervisor.run(payloads)
 
     # Merge: stable event-index order, summed counters.
     def _merge(self, results, total_events: int) -> None:

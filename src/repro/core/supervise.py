@@ -1,0 +1,273 @@
+"""Shard supervision: tracked jobs, timeouts, bounded retry, inline fallback.
+
+The sharded pipeline's phase B used to be a bare ``pool.map``: one hung,
+killed or crashing worker took the whole analysis down with it — unfit for
+the long-lived production runs the paper's evaluation targets (H2 under
+PolePosition, Cassandra's snitch).  :class:`ShardSupervisor` replaces it
+with per-shard job tracking built around one invariant:
+
+    **a supervised run's merged race report is byte-identical to the
+    fault-free run's.**
+
+That invariant is cheap to guarantee here because shard replay is *pure*:
+each attempt builds a fresh detector from the shard's payload, so attempts
+are idempotent and any successful attempt — in a pool worker or inline —
+produces exactly the same triples.  Supervision therefore only decides
+*where* a shard runs, never *what* it computes:
+
+1. Every shard is submitted as an individually tracked job
+   (``apply_async``) with a per-round timeout covering hung workers *and*
+   workers that died mid-task (a killed pool worker is replaced by
+   ``multiprocessing``, but its job's result never arrives).
+2. A failed shard is retried in a fresh pool, up to
+   :attr:`SupervisorConfig.max_retries` times, with exponential backoff
+   between rounds.  Any round that saw a failure tears its pool down with
+   ``terminate()`` so hung or zombie attempts cannot linger.
+3. A shard that exhausts its retries — or fails in a way retrying cannot
+   fix, like a result that does not pickle — is replayed **in-process**,
+   where no pool, pipe or pickling is involved.  Graceful degradation:
+   slower, never wrong.
+
+Failures are recorded in the run's :class:`~repro.core.faults.FaultLog`
+and, when observability is on, as registry counters (``shard_timeouts``,
+``shard_worker_errors``, ``shard_result_errors``, ``shard_retries``,
+``shard_fallbacks``, plus the ``faults_by_kind`` breakdown), so a tolerated
+fault is always visible in ``--stats-json``.
+
+Task-side pickling failures (the *payload* cannot be shipped) are the one
+non-recoverable class: they are a caller input problem, so the supervisor
+asks its ``diagnose`` callback to turn them into a precise
+:class:`~repro.core.errors.MonitorError` naming the offending object
+instead of retrying a deterministic failure.
+
+For deterministic robustness testing, the worker can be wrapped with a
+fault-injection plan (:attr:`SupervisorConfig.wrap`, or the
+``REPRO_FAULT_PLAN`` environment variable consumed by
+:mod:`repro.testing.faults`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
+
+from .faults import FaultLog
+
+__all__ = ["DEFAULT_SHARD_TIMEOUT", "SupervisorConfig", "ShardSupervisor"]
+
+#: Per-round shard deadline, in seconds.  Generous — a shard replay is
+#: seconds, not minutes — because the timeout's job is to detect hung and
+#: killed workers, not to police slow ones; a shard that legitimately needs
+#: longer can raise it via ``SupervisorConfig`` / ``--shard-timeout``.
+DEFAULT_SHARD_TIMEOUT = 120.0
+
+
+@dataclass
+class SupervisorConfig:
+    """Supervision knobs (defaults suit offline analysis runs).
+
+    ``shard_timeout`` is the per-round budget for a shard attempt;
+    ``None`` waits forever (then a killed worker's lost job would hang the
+    round, so only disable it for debugging).  ``max_retries`` bounds
+    *pool* attempts beyond the first; after ``1 + max_retries`` failed
+    attempts the shard is replayed inline.  Backoff before retry round
+    ``n`` is ``backoff_base * backoff_factor ** n`` seconds.
+
+    ``wrap`` (a callable ``worker -> worker``) lets the fault-injection
+    harness interpose on the worker; ``sleep`` is injectable so tests can
+    run backoff-free.
+    """
+
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    wrap: Optional[Callable[[Callable], Callable]] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0 (or None), got {self.shard_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff must be non-negative and non-shrinking, got "
+                f"base={self.backoff_base} factor={self.backoff_factor}")
+
+    def backoff(self, round_index: int) -> float:
+        """Delay before retry round ``round_index`` (0-based)."""
+        return self.backoff_base * self.backoff_factor ** round_index
+
+
+class ShardSupervisor:
+    """Run one job per payload through a worker pool, surviving failures.
+
+    Parameters
+    ----------
+    worker:
+        Module-level callable ``worker(index, payload, attempt) -> result``
+        (module-level so it is importable under any multiprocessing start
+        method).  ``index`` and ``attempt`` are supervision bookkeeping a
+        plain worker is free to ignore; the fault harness keys on them.
+    processes:
+        Pool size ceiling (each round's pool is sized to its pending jobs).
+    mp_context:
+        Optional start-method name (``"fork"``, ``"spawn"``...).
+    config:
+        :class:`SupervisorConfig`; defaults used when omitted.
+    obs / faults:
+        Optional metrics registry and fault log to record failures into
+        (a fresh private :class:`FaultLog` is created when none is given).
+    diagnose:
+        Optional ``(index, exc) -> Optional[Exception]`` consulted on
+        worker-side exceptions; returning an exception aborts the run by
+        raising it (used to turn raw task pickling errors into a
+        :class:`~repro.core.errors.MonitorError` naming the object).
+    """
+
+    def __init__(self, worker: Callable, processes: int,
+                 mp_context: Optional[str] = None,
+                 config: Optional[SupervisorConfig] = None,
+                 obs=None, faults: Optional[FaultLog] = None,
+                 diagnose: Optional[Callable[[int, Exception],
+                                             Optional[Exception]]] = None):
+        self._config = config or SupervisorConfig()
+        self._processes = max(1, processes)
+        self._mp_context = mp_context
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self._diagnose = diagnose
+        self.faults = faults if faults is not None else FaultLog()
+        wrap = self._config.wrap
+        if wrap is None and os.environ.get("REPRO_FAULT_PLAN"):
+            # Deterministic harness hook: an externally provided plan (JSON
+            # in the environment) wraps the worker exactly like a test
+            # passing SupervisorConfig(wrap=...) would — this is how the
+            # differential suite injects faults through the real CLI.
+            from ..testing.faults import FaultPlan
+            wrap = FaultPlan.from_env().wrap
+        self._worker = wrap(worker) if wrap is not None else worker
+
+    # -- the supervision loop ----------------------------------------------
+
+    def run(self, payloads: Sequence[Any]) -> List[Any]:
+        """Compute one result per payload, in payload order."""
+        results: Dict[int, Any] = {}
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(payloads))]
+        degraded: List[Tuple[int, int]] = []
+        round_index = 0
+        while pending:
+            failures = self._pool_round(payloads, pending, results)
+            pending = []
+            for index, attempt, retryable in failures:
+                done = attempt + 1
+                if not retryable or done > self._config.max_retries:
+                    degraded.append((index, done))
+                else:
+                    self._count("shard_retries")
+                    pending.append((index, done))
+            if pending:
+                self._config.sleep(self._config.backoff(round_index))
+            round_index += 1
+        for index, attempt in sorted(degraded):
+            # In-process replay: same payload, same pure computation, no
+            # pool/pipe/pickle in the way — the merged report stays
+            # byte-identical to the fault-free run's.
+            self._record("fallback", shard=index, attempt=attempt,
+                         detail="shard replayed in-process after "
+                                "supervision gave up on the pool")
+            self._count("shard_fallbacks")
+            results[index] = self._worker(index, payloads[index], attempt)
+        return [results[index] for index in range(len(payloads))]
+
+    def _pool_round(self, payloads: Sequence[Any],
+                    jobs: List[Tuple[int, int]],
+                    results: Dict[int, Any]) -> List[Tuple[int, int, bool]]:
+        """One pool generation; returns ``(index, attempt, retryable)`` fails.
+
+        Any failure dirties the round and the whole pool is ``terminate``d
+        (a timed-out job may be a hung worker still squatting on a CPU);
+        a clean round closes and joins normally.  ``KeyboardInterrupt`` —
+        or any other escaping exception — also terminates the pool before
+        propagating, so an interrupted analysis leaves no orphan workers.
+        """
+        config = self._config
+        ctx = (multiprocessing.get_context(self._mp_context)
+               if self._mp_context else multiprocessing.get_context())
+        pool = ctx.Pool(processes=min(self._processes, len(jobs)))
+        failures: List[Tuple[int, int, bool]] = []
+        dirty = False
+        try:
+            handles = [
+                (index, attempt,
+                 pool.apply_async(self._worker, (index, payloads[index],
+                                                 attempt)))
+                for index, attempt in jobs]
+            deadline = (time.monotonic() + config.shard_timeout
+                        if config.shard_timeout is not None else None)
+            for index, attempt, handle in handles:
+                try:
+                    results[index] = self._await(handle, deadline)
+                except multiprocessing.TimeoutError:
+                    dirty = True
+                    self._record(
+                        "timeout", shard=index, attempt=attempt,
+                        detail=f"no result within {config.shard_timeout:g}s "
+                               f"(hung or killed worker)")
+                    self._count("shard_timeouts")
+                    failures.append((index, attempt, True))
+                except multiprocessing.pool.MaybeEncodingError as exc:
+                    # The worker finished but its *result* would not pickle.
+                    # Retrying in a pool reproduces the failure; the inline
+                    # fallback needs no pickling, so degrade immediately.
+                    dirty = True
+                    self._record("result-unpicklable", shard=index,
+                                 attempt=attempt, detail=str(exc))
+                    self._count("shard_result_errors")
+                    failures.append((index, attempt, False))
+                except Exception as exc:
+                    dirty = True
+                    diagnosed = (self._diagnose(index, exc)
+                                 if self._diagnose is not None else None)
+                    if diagnosed is not None:
+                        raise diagnosed from exc
+                    self._record("worker-raised", shard=index, attempt=attempt,
+                                 detail=f"{type(exc).__name__}: {exc}")
+                    self._count("shard_worker_errors")
+                    failures.append((index, attempt, True))
+        except BaseException:
+            pool.terminate()
+            pool.join()
+            raise
+        if dirty:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+        return failures
+
+    @staticmethod
+    def _await(handle, deadline: Optional[float]):
+        """Wait for one job (separated out so tests can interpose)."""
+        if deadline is None:
+            return handle.get()
+        return handle.get(max(0.0, deadline - time.monotonic()))
+
+    # -- accounting --------------------------------------------------------
+
+    def _record(self, kind: str, shard: int, attempt: int,
+                detail: str = "") -> None:
+        self.faults.record(site="shard", kind=kind, detail=detail,
+                           shard=shard, attempt=attempt)
+        if self._obs is not None:
+            self._obs.add("shard_faults")
+            self._obs.count_in("faults_by_kind", f"shard/{kind}")
+
+    def _count(self, name: str) -> None:
+        if self._obs is not None:
+            self._obs.add(name)

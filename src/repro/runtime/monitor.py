@@ -21,6 +21,16 @@ Key properties:
 * **Serialized dispatch**: events are processed under an internal mutex, so
   analyzer state needs no further synchronization even if the program uses
   real preemptive threads.
+* **Analyzer isolation**: by default an analyzer exception propagates into
+  the monitored application (``analyzer_policy="raise"``, correct for
+  tests and controlled replay, where a broken analyzer must be loud).  In
+  production-style monitoring that coupling is backwards — the *tool*
+  must not take the *application* down — so ``"log"`` swallows and counts
+  each analyzer exception, and ``"disable"`` additionally quarantines an
+  analyzer after ``max_analyzer_faults`` failures, dropping it from
+  dispatch for the rest of the run.  Faults land in :attr:`Monitor.faults`
+  and the obs registry (``analyzer_faults`` breakdown by analyzer name,
+  ``analyzers_quarantined`` counter).
 """
 
 from __future__ import annotations
@@ -33,12 +43,16 @@ from ..core.errors import MonitorError
 from ..core.events import (Action, Event, acquire_event, action_event,
                            begin_event, commit_event, fork_event, join_event,
                            read_event, release_event, write_event)
+from ..core.faults import FaultLog
 from ..core.trace import Trace
 from ..core.vector_clock import Tid
 
-__all__ = ["Monitor", "ROOT_TID"]
+__all__ = ["Monitor", "ROOT_TID", "ANALYZER_POLICIES"]
 
 ROOT_TID: Tid = 0
+
+#: Valid ``analyzer_policy`` values (see the module docstring).
+ANALYZER_POLICIES = ("raise", "disable", "log")
 
 
 class Monitor:
@@ -61,11 +75,29 @@ class Monitor:
         :attr:`obs`.  A disabled registry costs the dispatch path one
         ``is None`` test, preserving the "cheap when disabled" property
         Table 2's Uninstrumented column relies on.
+    analyzer_policy:
+        What an analyzer exception does to the monitored run: ``"raise"``
+        (default) propagates it, ``"log"`` records it and keeps the
+        analyzer attached, ``"disable"`` records it and quarantines the
+        analyzer once it has faulted ``max_analyzer_faults`` times.
+    max_analyzer_faults:
+        Quarantine threshold for the ``"disable"`` policy (a single
+        transient exception should not evict an otherwise healthy
+        analyzer; an analyzer crashing on every event should not get to
+        log millions of faults either).
     """
 
     def __init__(self, analyzers: Iterable = (),
                  record_trace: bool = False, low_level: bool = True,
-                 obs=None):
+                 obs=None, analyzer_policy: str = "raise",
+                 max_analyzer_faults: int = 5):
+        if analyzer_policy not in ANALYZER_POLICIES:
+            raise ValueError(
+                f"analyzer_policy must be one of {ANALYZER_POLICIES}, "
+                f"got {analyzer_policy!r}")
+        if max_analyzer_faults < 1:
+            raise ValueError(
+                f"max_analyzer_faults must be >= 1, got {max_analyzer_faults}")
         self._analyzers: List = list(analyzers)
         self._record = record_trace
         #: emit memory-access and internal-lock events?  False models the
@@ -81,6 +113,15 @@ class Monitor:
         self.obs = obs if (obs is not None and obs.enabled) else None
         self._obs_by_kind = (self.obs.breakdown("events_by_kind")
                              if self.obs is not None else None)
+        self.analyzer_policy = analyzer_policy
+        self.max_analyzer_faults = max_analyzer_faults
+        #: Isolated analyzer failures (empty under the ``raise`` policy).
+        self.faults = FaultLog()
+        self._isolate = analyzer_policy != "raise"
+        self._quarantined: set = set()          # id(analyzer)
+        self._fault_counts: dict = {}           # id(analyzer) -> int
+        self._obs_analyzer_faults = (self.obs.breakdown("analyzer_faults")
+                                     if self.obs is not None else None)
 
     # -- configuration -----------------------------------------------------
 
@@ -168,8 +209,49 @@ class Monitor:
                 self._obs_by_kind[kind] = self._obs_by_kind.get(kind, 0) + 1
             if self.trace is not None:
                 self.trace.append(event)
+            if not self._isolate:
+                for analyzer in self._analyzers:
+                    analyzer.process(event)
+                return
             for analyzer in self._analyzers:
-                analyzer.process(event)
+                if id(analyzer) in self._quarantined:
+                    continue
+                try:
+                    analyzer.process(event)
+                except Exception as exc:
+                    self._on_analyzer_fault(analyzer, exc)
+
+    def _on_analyzer_fault(self, analyzer, exc: Exception) -> None:
+        """Record an isolated analyzer exception; maybe quarantine.
+
+        Only ever called with ``self._isolate`` true, under the dispatch
+        mutex.  The count passed as ``attempt`` is this analyzer's running
+        fault total, so the fault log reads as a progression toward the
+        quarantine threshold.
+        """
+        name = getattr(analyzer, "name", type(analyzer).__name__)
+        count = self._fault_counts.get(id(analyzer), 0) + 1
+        self._fault_counts[id(analyzer)] = count
+        self.faults.record(
+            site="analyzer", kind="exception", attempt=count,
+            detail=f"{name}: {type(exc).__name__}: {exc}")
+        if self._obs_analyzer_faults is not None:
+            self._obs_analyzer_faults[name] = \
+                self._obs_analyzer_faults.get(name, 0) + 1
+        if (self.analyzer_policy == "disable"
+                and count >= self.max_analyzer_faults):
+            self._quarantined.add(id(analyzer))
+            self.faults.record(
+                site="analyzer", kind="quarantined", attempt=count,
+                detail=f"{name}: dropped from dispatch after {count} faults")
+            if self.obs is not None:
+                self.obs.add("analyzers_quarantined")
+                self.obs.count_in("analyzer_quarantined", name)
+
+    def quarantined_analyzers(self) -> Tuple:
+        """Analyzers currently dropped from dispatch (``disable`` policy)."""
+        return tuple(a for a in self._analyzers
+                     if id(a) in self._quarantined)
 
     def on_action(self, obj_id: Hashable, method: str,
                   args: Tuple[Any, ...], returns: Tuple[Any, ...]) -> None:

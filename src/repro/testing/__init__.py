@@ -1,0 +1,15 @@
+"""Test-support machinery shipped with the library.
+
+Lives under ``repro`` (rather than ``tests/``) because pieces of it must be
+importable *inside worker processes* — a fault plan wrapping the shard
+worker has to unpickle in a ``spawn``-started child, where the test tree is
+not on ``sys.path``.  Nothing here is imported by the analysis pipeline
+itself except behind explicit opt-in hooks (the ``REPRO_FAULT_PLAN`` and
+``REPRO_CHECKPOINT_KILL_AFTER`` environment variables).
+"""
+
+from .faults import (FaultPlan, FaultSpec, FaultyAnalyzer, FaultyWorker,
+                     Unpicklable, checkpoint_kill_hook, truncate_file)
+
+__all__ = ["FaultPlan", "FaultSpec", "FaultyAnalyzer", "FaultyWorker",
+           "Unpicklable", "checkpoint_kill_hook", "truncate_file"]

@@ -1,0 +1,10 @@
+"""Module-level workers for supervisor tests (importable under spawn)."""
+
+
+def echo(index, payload, attempt):
+    """The simplest deterministic worker: returns its own call record."""
+    return ("ok", index, payload)
+
+
+def double(index, payload, attempt):
+    return payload * 2

@@ -1,0 +1,94 @@
+"""Analyzer isolation: the tool must not take the application down.
+
+Covers the three policies (``raise`` propagates, ``log`` contains,
+``disable`` contains and quarantines after N faults), the quarantine
+accounting in the fault log and obs registry, and the acceptance
+criterion: a workload whose analyzer raises on *every* event runs to
+completion with its healthy co-analyzers unaffected.
+"""
+
+import pytest
+
+from repro.runtime.analyzers import NullAnalyzer
+from repro.runtime.monitor import ANALYZER_POLICIES, Monitor
+from repro.obs.registry import Registry
+from repro.testing.faults import FaultyAnalyzer
+
+
+def drive(monitor, events=10):
+    for i in range(events):
+        monitor.on_action("o", "put", (f"k{i}",), (None,))
+
+
+def test_raise_policy_propagates_by_default():
+    monitor = Monitor(analyzers=[FaultyAnalyzer()])
+    with pytest.raises(RuntimeError, match="injected analyzer fault"):
+        drive(monitor, 1)
+
+
+def test_log_policy_contains_and_keeps_dispatching():
+    faulty, healthy = FaultyAnalyzer(), NullAnalyzer()
+    monitor = Monitor(analyzers=[faulty, healthy], analyzer_policy="log")
+    drive(monitor, 10)
+    assert monitor.events_emitted == 10
+    assert faulty.calls == 10              # never dropped under "log"
+    assert healthy.event_count == 10            # co-analyzer unaffected
+    assert monitor.faults.count(site="analyzer", kind="exception") == 10
+    assert monitor.faults.count(kind="quarantined") == 0
+    assert not monitor.quarantined_analyzers()
+
+
+def test_disable_policy_quarantines_after_threshold():
+    faulty, healthy = FaultyAnalyzer(), NullAnalyzer()
+    obs = Registry(sample_interval=1)
+    monitor = Monitor(analyzers=[faulty, healthy],
+                      analyzer_policy="disable", max_analyzer_faults=3,
+                      obs=obs)
+    drive(monitor, 10)
+    # Acceptance criterion: the workload ran to completion, unchanged.
+    assert monitor.events_emitted == 10
+    assert healthy.event_count == 10
+    assert faulty.calls == 3               # dropped from dispatch after #3
+    assert monitor.quarantined_analyzers() == (faulty,)
+    assert monitor.faults.count(kind="exception") == 3
+    assert monitor.faults.count(kind="quarantined") == 1
+    snapshot = obs.snapshot()
+    assert snapshot["counters"]["analyzers_quarantined"] == 1
+    assert snapshot["breakdowns"]["analyzer_faults"] == {"faulty": 3}
+    assert snapshot["breakdowns"]["analyzer_quarantined"] == {"faulty": 1}
+
+
+def test_transient_faults_below_threshold_keep_analyzer_attached():
+    flaky = FaultyAnalyzer(times=2)
+    monitor = Monitor(analyzers=[flaky], analyzer_policy="disable",
+                      max_analyzer_faults=3)
+    drive(monitor, 10)
+    assert flaky.calls == 10               # recovered, still dispatched
+    assert not monitor.quarantined_analyzers()
+    assert monitor.faults.count(kind="exception") == 2
+
+
+def test_quarantine_is_per_analyzer():
+    bad, flaky = FaultyAnalyzer(), FaultyAnalyzer(times=1)
+    monitor = Monitor(analyzers=[bad, flaky], analyzer_policy="disable",
+                      max_analyzer_faults=2)
+    drive(monitor, 8)
+    assert monitor.quarantined_analyzers() == (bad,)
+    assert flaky.calls == 8
+
+
+def test_policy_and_threshold_validation():
+    with pytest.raises(ValueError, match="analyzer_policy"):
+        Monitor(analyzer_policy="ignore")
+    with pytest.raises(ValueError, match="max_analyzer_faults"):
+        Monitor(analyzer_policy="disable", max_analyzer_faults=0)
+    for policy in ANALYZER_POLICIES:
+        assert Monitor(analyzer_policy=policy).analyzer_policy == policy
+
+
+def test_raise_policy_fast_path_records_nothing():
+    healthy = NullAnalyzer()
+    monitor = Monitor(analyzers=[healthy])
+    drive(monitor, 5)
+    assert not monitor.faults
+    assert healthy.event_count == 5

@@ -1,0 +1,219 @@
+"""Checkpoint/resume: format integrity, resume equivalence, kill -9.
+
+Three layers: (1) the file format rejects every corruption a crash or a
+bad disk can produce, as :class:`CheckpointError`; (2) a resumed run's
+output is identical to an uninterrupted run's, across the golden-trace
+corpus, and *any* rejected checkpoint degrades gracefully to a full
+restamp with the rejection on the fault record; (3) a real
+``repro-analyze`` process SIGKILLed mid-run resumes from the checkpoint
+it left behind and prints the same report.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.checkpoint import (CHECKPOINT_VERSION, Checkpoint,
+                                   CheckpointConfig, load_checkpoint,
+                                   save_checkpoint)
+from repro.core.errors import CheckpointError
+from repro.core.hb import HappensBeforeTracker
+from repro.core.parallel import ShardedDetector
+from repro.obs.registry import Registry
+from repro.testing.faults import KILL_ENV, truncate_file
+
+from tests.core.test_golden_traces import GOLDEN_NAMES, load_case
+from tests.support import (build_multi_object_trace, race_snapshot,
+                           random_multi_object_program, register_bindings)
+
+
+def sample_checkpoint():
+    return Checkpoint(version=CHECKPOINT_VERSION, root=0, next_index=3,
+                      prefix_digest="ab" * 32, objects=["'d'"],
+                      hb=HappensBeforeTracker(root=0),
+                      groups={"d": [(0, 1, "put", ("k", 1), (None,), None)]})
+
+
+class TestFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ck")
+        original = sample_checkpoint()
+        save_checkpoint(path, original)
+        loaded = load_checkpoint(path)
+        assert loaded.next_index == original.next_index
+        assert loaded.prefix_digest == original.prefix_digest
+        assert loaded.objects == original.objects
+        assert loaded.groups == original.groups
+
+    def test_atomic_write_replaces_not_appends(self, tmp_path):
+        path = str(tmp_path / "ck")
+        save_checkpoint(path, sample_checkpoint())
+        first_size = os.path.getsize(path)
+        save_checkpoint(path, sample_checkpoint())
+        assert os.path.getsize(path) == first_size
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.startswith(".repro-ckpt-")]  # no temp litter
+
+    @pytest.mark.parametrize("drop", [1, 16, 4096])
+    def test_truncation_detected(self, tmp_path, drop):
+        path = str(tmp_path / "ck")
+        save_checkpoint(path, sample_checkpoint())
+        truncate_file(path, drop_bytes=drop)
+        with pytest.raises(CheckpointError, match="truncated|magic"):
+            load_checkpoint(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = str(tmp_path / "ck")
+        path_obj = tmp_path / "ck"
+        save_checkpoint(path, sample_checkpoint())
+        blob = path_obj.read_bytes()
+        path_obj.write_bytes(b"X" + blob[1:])
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_payload_corruption_fails_digest(self, tmp_path):
+        path_obj = tmp_path / "ck"
+        save_checkpoint(str(path_obj), sample_checkpoint())
+        blob = bytearray(path_obj.read_bytes())
+        blob[-1] ^= 0xFF
+        path_obj.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(str(path_obj))
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = str(tmp_path / "ck")
+        future = sample_checkpoint()
+        future.version = CHECKPOINT_VERSION + 1
+        save_checkpoint(path, future)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "absent"))
+
+    def test_config_validates_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointConfig(path=str(tmp_path / "ck"), interval=0)
+
+
+class TestResume:
+    def run_detector(self, trace, bindings, root=0, **kwargs):
+        obs = Registry(sample_interval=1)
+        detector = ShardedDetector(root=root, workers=1, obs=obs, **kwargs)
+        register_bindings(detector, bindings)
+        detector.run(trace)
+        return detector, obs.snapshot()["counters"]
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_resume_matches_uninterrupted_on_golden_corpus(self, name,
+                                                           tmp_path):
+        trace, expected = load_case(name)
+        bindings = expected["bindings"]
+        path = str(tmp_path / "ck")
+        interval = max(1, len(trace) // 3)
+        full, _ = self.run_detector(
+            trace, bindings, root=trace.root,
+            checkpoint=CheckpointConfig(path, interval=interval))
+        assert [race_snapshot(r) for r in full.races] == expected["races"]
+        resumed, counters = self.run_detector(
+            trace, bindings, root=trace.root, resume_from=path)
+        assert counters.get("checkpoint_resumes") == 1  # not rejected
+        assert not resumed.faults
+        assert [race_snapshot(r) for r in resumed.races] == expected["races"]
+        assert resumed.stats == full.stats
+
+    def corpus_case(self, seed=0):
+        program = random_multi_object_program(seed, max_objects=6,
+                                              max_ops=80)
+        return build_multi_object_trace(program)
+
+    def write_checkpoint(self, trace, bindings, path, interval=20):
+        detector, _ = self.run_detector(
+            trace, bindings, checkpoint=CheckpointConfig(path,
+                                                         interval=interval))
+        return detector
+
+    def test_interval_counts_writes(self, tmp_path):
+        trace, bindings = self.corpus_case()
+        writes = []
+        config = CheckpointConfig(str(tmp_path / "ck"), interval=50,
+                                  after_write=writes.append)
+        self.run_detector(trace, bindings, checkpoint=config)
+        assert writes == list(range(1, len(trace) // 50 + 1))
+
+    def assert_degrades(self, trace, bindings, baseline, path):
+        """A rejected checkpoint must restamp fully and log the rejection."""
+        resumed, counters = self.run_detector(trace, bindings,
+                                              resume_from=path)
+        assert resumed.faults.count(site="checkpoint", kind="rejected") == 1
+        assert counters.get("checkpoint_rejected") == 1
+        assert "checkpoint_resumes" not in counters
+        assert ([race_snapshot(r) for r in resumed.races]
+                == [race_snapshot(r) for r in baseline.races])
+        assert resumed.stats == baseline.stats
+
+    def test_truncated_checkpoint_degrades_to_restamp(self, tmp_path):
+        trace, bindings = self.corpus_case()
+        path = str(tmp_path / "ck")
+        baseline = self.write_checkpoint(trace, bindings, path)
+        truncate_file(path)
+        self.assert_degrades(trace, bindings, baseline, path)
+
+    def test_modified_trace_prefix_degrades_to_restamp(self, tmp_path):
+        trace, bindings = self.corpus_case()
+        path = str(tmp_path / "ck")
+        self.write_checkpoint(trace, bindings, path)
+        tampered = list(trace)
+        tampered[1], tampered[2] = tampered[2], tampered[1]
+        # The checkpoint belongs to the *original* event order; resuming
+        # on the tampered trace must restamp and match a fresh run of the
+        # tampered trace, not silently mix the two.
+        baseline, _ = self.run_detector(tampered, bindings)
+        self.assert_degrades(tampered, bindings, baseline, path)
+
+    def test_different_registrations_degrade_to_restamp(self, tmp_path):
+        trace, bindings = self.corpus_case()
+        assert len(bindings) > 1
+        path = str(tmp_path / "ck")
+        self.write_checkpoint(trace, bindings, path)
+        fewer = dict(list(bindings.items())[:-1])
+        baseline, _ = self.run_detector(trace, fewer)
+        self.assert_degrades(trace, fewer, baseline, path)
+
+
+TRACE = "tests/data/multi_object_mixed.jsonl"
+OBJECTS = ("--object", "a=accumulator", "--object", "d=dictionary",
+           "--object", "r=register")
+
+
+def run_cli(*argv, env_extra=None):
+    env = dict(os.environ, PYTHONPATH="src")
+    env.update(env_extra or {})
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    return subprocess.run([sys.executable, "-m", "repro.cli", *argv],
+                          capture_output=True, text=True, env=env, cwd=repo)
+
+
+def test_sigkilled_analyze_resumes_identically(tmp_path):
+    """Acceptance criterion: kill -9 mid-run, resume, same report."""
+    path = str(tmp_path / "run.ck")
+    stats = str(tmp_path / "stats.json")
+    killed = run_cli(TRACE, *OBJECTS, "--checkpoint", path,
+                     "--checkpoint-interval", "5",
+                     env_extra={KILL_ENV: "1"})
+    assert killed.returncode == -9  # genuinely SIGKILLed, not an exit()
+    snapshot = load_checkpoint(path)  # complete and valid on disk
+    assert snapshot.next_index == 5
+    uninterrupted = run_cli(TRACE, *OBJECTS)
+    resumed = run_cli(TRACE, *OBJECTS, "--resume-from", path,
+                      "--stats-json", stats)
+    assert resumed.returncode == uninterrupted.returncode == 1
+    assert resumed.stdout == uninterrupted.stdout
+    report = json.loads(open(stats).read())
+    assert report["stats"]["counters"]["checkpoint_resumes"] == 1
+    assert "faults" not in report

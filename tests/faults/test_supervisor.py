@@ -1,0 +1,149 @@
+"""Shard supervision semantics, one failure mode at a time.
+
+Each test drives :class:`ShardSupervisor` directly with a trivial worker
+and a deterministic fault plan, asserting three things: the results are
+the fault-free results, the recovery path taken is the intended one
+(retry vs. in-process fallback), and the failure is accounted for in the
+fault log and obs counters.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.errors import MonitorError
+from repro.core.faults import FaultLog
+from repro.core.supervise import ShardSupervisor, SupervisorConfig
+from repro.obs.registry import Registry
+from repro.testing.faults import FaultPlan, FaultSpec
+
+from tests.faults._workers import double, echo
+from tests.faults.conftest import FAST_TIMEOUT, HANG_SECONDS, START_METHOD
+
+EXPECT = [("ok", 0, "a"), ("ok", 1, "b")]
+
+
+def supervisor(worker=echo, plan=None, retries=2, timeout=60.0, obs=None,
+               faults=None, diagnose=None, processes=2):
+    config = SupervisorConfig(
+        shard_timeout=timeout, max_retries=retries, backoff_base=0.0,
+        wrap=plan.wrap if plan is not None else None)
+    return ShardSupervisor(worker, processes=processes,
+                           mp_context=START_METHOD, config=config, obs=obs,
+                           faults=faults, diagnose=diagnose)
+
+
+def test_fault_free_run_in_payload_order():
+    sup = supervisor()
+    assert sup.run(["a", "b"]) == EXPECT
+    assert not sup.faults
+
+
+def test_worker_exception_retried_then_succeeds():
+    plan = FaultPlan.build({0: FaultSpec("raise", times=1)})
+    obs = Registry(sample_interval=1)
+    sup = supervisor(plan=plan, retries=2, obs=obs)
+    assert sup.run(["a", "b"]) == EXPECT
+    assert sup.faults.count(site="shard", kind="worker-raised") == 1
+    assert sup.faults.count(kind="fallback") == 0
+    snapshot = obs.snapshot()
+    assert snapshot["counters"]["shard_worker_errors"] == 1
+    assert snapshot["counters"]["shard_retries"] == 1
+    assert snapshot["breakdowns"]["faults_by_kind"] == {
+        "shard/worker-raised": 1}
+
+
+def test_exhausted_retries_fall_back_in_process():
+    # The shard fails on every pool attempt; only the in-process replay
+    # (where injected faults never fire) can complete it.
+    plan = FaultPlan.build({1: FaultSpec("raise", times=99)})
+    obs = Registry(sample_interval=1)
+    sup = supervisor(plan=plan, retries=1, obs=obs)
+    assert sup.run(["a", "b"]) == EXPECT
+    assert sup.faults.count(kind="worker-raised") == 2  # attempts 0 and 1
+    assert sup.faults.count(kind="fallback") == 1
+    assert obs.snapshot()["counters"]["shard_fallbacks"] == 1
+
+
+def test_hung_worker_times_out_and_recovers():
+    plan = FaultPlan.build({0: FaultSpec("hang", times=99,
+                                         seconds=HANG_SECONDS)})
+    sup = supervisor(plan=plan, retries=0, timeout=FAST_TIMEOUT)
+    assert sup.run(["a", "b"]) == EXPECT
+    assert sup.faults.count(kind="timeout") == 1
+    assert sup.faults.count(kind="fallback") == 1
+
+
+def test_killed_worker_surfaces_as_timeout_then_retries():
+    # os._exit takes the worker down without an exception; the pool
+    # replaces the process but the job's result is simply never coming,
+    # which only the shard deadline can detect.
+    plan = FaultPlan.build({0: FaultSpec("exit", times=1)})
+    sup = supervisor(plan=plan, retries=1, timeout=FAST_TIMEOUT)
+    assert sup.run(["a", "b"]) == EXPECT
+    assert sup.faults.count(kind="timeout") == 1
+    assert sup.faults.count(kind="fallback") == 0  # retry succeeded
+
+
+def test_unpicklable_result_degrades_without_retry():
+    # A result that cannot cross the pipe fails identically on every
+    # pool attempt, so the supervisor must skip straight to the inline
+    # fallback instead of burning retries.
+    plan = FaultPlan.build({0: FaultSpec("bad-result", times=99)})
+    obs = Registry(sample_interval=1)
+    sup = supervisor(plan=plan, retries=2, obs=obs)
+    assert sup.run(["a", "b"]) == EXPECT
+    assert sup.faults.count(kind="result-unpicklable") == 1
+    assert sup.faults.count(kind="fallback") == 1
+    assert "shard_retries" not in obs.snapshot()["counters"]
+
+
+def test_every_shard_faulting_still_completes():
+    plan = FaultPlan(default=FaultSpec("raise", times=1))
+    sup = supervisor(worker=double, plan=plan, retries=1)
+    assert sup.run([1, 2, 3]) == [2, 4, 6]
+    assert sup.faults.count(kind="worker-raised") == 3
+
+
+def test_shared_fault_log_and_private_default():
+    log = FaultLog()
+    plan = FaultPlan.build({0: FaultSpec("raise", times=1)})
+    sup = supervisor(plan=plan, faults=log)
+    sup.run(["a", "b"])
+    assert sup.faults is log and log.count(kind="worker-raised") == 1
+    assert isinstance(supervisor().faults, FaultLog)
+
+
+def test_diagnose_turns_worker_error_into_callers_exception():
+    plan = FaultPlan.build({0: FaultSpec("raise", times=99)})
+    sup = supervisor(plan=plan,
+                     diagnose=lambda index, exc: MonitorError(f"shard {index}"))
+    with pytest.raises(MonitorError, match="shard 0"):
+        sup.run(["a", "b"])
+    assert not multiprocessing.active_children()
+
+
+def test_keyboard_interrupt_terminates_pool_without_orphans(monkeypatch):
+    def interrupt(handle, deadline):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(ShardSupervisor, "_await", staticmethod(interrupt))
+    sup = supervisor()
+    with pytest.raises(KeyboardInterrupt):
+        sup.run(["a", "b"])
+    assert not multiprocessing.active_children()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SupervisorConfig(shard_timeout=0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(max_retries=-1)
+    with pytest.raises(ValueError):
+        SupervisorConfig(backoff_factor=0.5)
+    assert SupervisorConfig(shard_timeout=None).shard_timeout is None
+
+
+def test_backoff_schedule_is_exponential():
+    config = SupervisorConfig(backoff_base=0.1, backoff_factor=2.0)
+    assert [config.backoff(i) for i in range(3)] == [0.1, 0.2, 0.4]

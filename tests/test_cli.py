@@ -184,38 +184,43 @@ class TestObservabilityFlags:
 class TestTraceErrors:
     HEADER = '{"repro-trace": 1, "root": 0, "events": 2}\n'
 
-    def _run(self, path):
+    def _run(self, path, capsys):
+        """Bad input exits with EXIT_DATA and one clean stderr line."""
         with pytest.raises(SystemExit) as excinfo:
             main([str(path), "--object", "o=dictionary"])
-        return str(excinfo.value)
+        assert excinfo.value.code == 3
+        message = capsys.readouterr().err.strip()
+        assert message.startswith("repro-analyze: error: ")
+        assert "\n" not in message
+        return message
 
-    def test_malformed_json_line_is_a_clean_error(self, tmp_path):
+    def test_malformed_json_line_is_a_clean_error(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
         path.write_text(self.HEADER
                         + '{"kind": "fork", "tid": 0, "peer": 1}\n'
                         + "{not json\n")
-        message = self._run(path)
-        assert message.startswith(f"invalid trace file {str(path)!r}:")
+        message = self._run(path, capsys)
+        assert f"invalid trace file {str(path)!r}:" in message
 
-    def test_unknown_event_kind_is_a_clean_error(self, tmp_path):
+    def test_unknown_event_kind_is_a_clean_error(self, tmp_path, capsys):
         path = tmp_path / "future.jsonl"
         path.write_text(self.HEADER
                         + '{"kind": "fork", "tid": 0, "peer": 1}\n'
                         + '{"kind": "teleport", "tid": 1}\n')
-        message = self._run(path)
-        assert message.startswith(f"invalid trace file {str(path)!r}:")
+        message = self._run(path, capsys)
+        assert f"invalid trace file {str(path)!r}:" in message
         assert "teleport" in message
 
-    def test_missing_file_is_a_clean_error(self, tmp_path):
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
         path = tmp_path / "nope.jsonl"
-        message = self._run(path)
-        assert message.startswith(f"cannot read trace {str(path)!r}:")
+        message = self._run(path, capsys)
+        assert f"cannot read trace {str(path)!r}:" in message
 
-    def test_empty_file_is_a_clean_error(self, tmp_path):
+    def test_empty_file_is_a_clean_error(self, tmp_path, capsys):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        message = self._run(path)
-        assert message.startswith(f"invalid trace file {str(path)!r}:")
+        message = self._run(path, capsys)
+        assert f"invalid trace file {str(path)!r}:" in message
 
 
 class TestSpecReportCli:
