@@ -17,29 +17,46 @@ pool configurations show overhead, not speedup; run on >=4 cores to see
 the paper-style scaling (>=1.8x at 4 workers is typical, since phase B
 dominates at realistic object counts).
 
-``--smoke`` runs a scaled-down sweep plus two 5%-budget gates the CI
-smoke job enforces (each fails the run with exit 1 on a breach): the
-*observability overhead gate* (detector timed with metrics disabled vs.
-the sampled registry enabled) and the *supervisor overhead gate* (the
-sharded pool timed with shard supervision on vs. the bare ``pool.map``
-baseline, on the fault-free path).
+``--smoke`` runs a scaled-down sweep plus the CI smoke job's gates (each
+fails the run with exit 1 on a breach): two 5%-overhead-budget gates —
+the *observability overhead gate* (detector timed with metrics disabled
+vs. the sampled registry enabled) and the *supervisor overhead gate*
+(the sharded pool timed with shard supervision on vs. the bare
+``pool.map`` baseline, on the fault-free path) — plus the *hot-path
+gate*: the compiled detector path (check plans + interned points + CoW
+stamping) must be >=1.3x the seed path end-to-end, and copy-on-write
+stamping >=1.5x the copying freeze on the Phase-A microbench.
+
+``--hotpath`` runs the hot-path microbench suite on its own (stamping,
+end-to-end detector, golden-trace corpus replay) and writes the
+machine-readable results to ``BENCH_PR4.json`` (see ``--hotpath-json``).
 
 Run:  PYTHONPATH=src python bench/parallel_scaling.py [--events N]
           [--objects K] [--threads T] [--workers 1,2,4]
       PYTHONPATH=src python bench/parallel_scaling.py --smoke
+      PYTHONPATH=src python bench/parallel_scaling.py --hotpath
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import pathlib
 import random
 import time
 
 from repro.core.detector import CommutativityRaceDetector
+from repro.core.hb import HappensBeforeTracker
 from repro.core.parallel import ShardedDetector
+from repro.core.serialize import load_trace
 from repro.core.trace import TraceBuilder
+from repro.core.vector_clock import MutableVectorClock, VectorClock
 from repro.obs import Registry, build_report, write_report
+from repro.specs import bundled_objects
 from repro.specs.dictionary import dictionary_representation
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
 
 
 def synthetic_trace(events: int, objects: int, threads: int, seed: int = 0,
@@ -173,6 +190,273 @@ def supervisor_overhead_gate(trace, objects: int, workers: int = 2,
     return overhead <= threshold
 
 
+# -- hot-path microbench (PR 4) ---------------------------------------------
+
+
+def _seed_stamp_next(self, tid):
+    """The pre-CoW per-event stamp: advance, then copy the whole dict.
+
+    Monkeypatched over ``MutableVectorClock.stamp_next`` for the seed
+    baselines of the hot-path benchmarks.  The guarded invalidation keeps
+    the CoW bookkeeping of the *other* operations (fork/join/acq/rel still
+    run the real handlers) consistent, so verdicts are unchanged.
+    """
+    entries = self._entries
+    entries[tid] = entries.get(tid, 0) + 1
+    if self._base is not None:
+        self._invalidate()
+    return VectorClock._trusted(dict(entries))
+
+
+@contextlib.contextmanager
+def _seed_stamping():
+    """Run the enclosed block under the seed's always-copy stamping."""
+    saved = MutableVectorClock.stamp_next
+    MutableVectorClock.stamp_next = _seed_stamp_next
+    try:
+        yield
+    finally:
+        MutableVectorClock.stamp_next = saved
+
+
+def _interleaved_best(run_fast, run_seed, repeats: int):
+    """Warm both modes up once, then alternate and keep best-of-N times.
+
+    The same discipline as the overhead gates: interleaving means machine
+    drift hits both modes alike, and the minimum discards GC/scheduler
+    outliers.
+    """
+    run_fast(), run_seed()                          # warmup, discarded
+    fast, seed = [], []
+    for _ in range(repeats):
+        fast.append(run_fast())
+        seed.append(run_seed())
+    return min(fast), min(seed)
+
+
+def stamping_bench(events: int, threads: int, seed: int = 0,
+                   repeats: int = 5) -> dict:
+    """Phase-A stamping alone: copy-on-write freeze vs. per-event copy.
+
+    Runs just the happens-before tracker over a synthetic trace — the
+    sequential Phase A of the sharded pipeline is exactly this loop — and
+    compares the fused CoW ``stamp_next`` against the seed's
+    advance-then-copy-the-dict stamp.
+    """
+    trace = synthetic_trace(events, objects=4, threads=threads, seed=seed)
+
+    def observe_all():
+        tracker = HappensBeforeTracker(root=trace.root)
+        start = time.perf_counter()
+        for event in trace:
+            tracker.observe(event)
+        return time.perf_counter() - start
+
+    def run_seed():
+        with _seed_stamping():
+            return observe_all()
+
+    best_cow, best_seed = _interleaved_best(observe_all, run_seed, repeats)
+    return {
+        "events": len(trace),
+        "threads": threads,
+        "cow_seconds": best_cow,
+        "seed_seconds": best_seed,
+        "cow_events_per_s": len(trace) / best_cow,
+        "seed_events_per_s": len(trace) / best_seed,
+        "speedup": best_seed / best_cow,
+    }
+
+
+def detector_bench(trace, objects: int, repeats: int = 5) -> dict:
+    """End-to-end detector throughput, compiled path vs. seed path.
+
+    Compiled = check plans + interned access points + CoW stamping (the
+    default).  Seed = ``compiled=False`` (representation dispatch per
+    action) under the seed's copying stamp.  Verdicts are asserted equal
+    before any timing counts.
+    """
+    def run_once(compiled):
+        detector = register_all(
+            CommutativityRaceDetector(root=0, keep_reports=False,
+                                      compiled=compiled),
+            objects)
+        return timed_run(detector, trace), detector
+
+    _, fast = run_once(True)
+    with _seed_stamping():
+        _, slow = run_once(False)
+    got = (fast.stats.races, fast.stats.conflict_checks)
+    want = (slow.stats.races, slow.stats.conflict_checks)
+    assert got == want, f"verdict drift on compiled path: {got} != {want}"
+
+    def run_seed():
+        with _seed_stamping():
+            return run_once(False)[0]
+
+    best_fast, best_seed = _interleaved_best(
+        lambda: run_once(True)[0], run_seed, repeats)
+    return {
+        "events": len(trace),
+        "objects": objects,
+        "races": fast.stats.races,
+        "compiled_seconds": best_fast,
+        "seed_seconds": best_seed,
+        "compiled_events_per_s": len(trace) / best_fast,
+        "seed_events_per_s": len(trace) / best_seed,
+        "speedup": best_seed / best_fast,
+    }
+
+
+def golden_corpus_bench(repeats: int = 5, passes: int = 20) -> dict:
+    """Replay the frozen golden traces (``tests/data``) in both modes.
+
+    The traces are small, so each timed run replays the whole corpus
+    ``passes`` times.  Race and check counts are asserted identical
+    between the modes before timing (the byte-level report identity is
+    the test suite's job; the bench only needs to not time a lie).
+    """
+    registry = bundled_objects()
+    cases = []
+    for path in sorted(GOLDEN_DIR.glob("*.jsonl")):
+        expected_path = GOLDEN_DIR / "expected" / f"{path.stem}.json"
+        with open(expected_path, encoding="utf-8") as stream:
+            bindings = json.load(stream)["bindings"]
+        with open(path, encoding="utf-8") as stream:
+            trace = load_trace(stream)
+        cases.append((path.stem, trace, bindings))
+    if not cases:
+        raise SystemExit(f"no golden traces found under {GOLDEN_DIR}")
+    events_per_pass = sum(len(trace) for _, trace, _ in cases)
+
+    def replay_all(compiled):
+        # Time only detector.run: the corpus traces are tiny, so detector
+        # construction and plan compilation (both once-per-object setup,
+        # not per-event work) would otherwise swamp the hot path.
+        verdicts = []
+        total = 0.0
+        for _ in range(passes):
+            verdicts.clear()
+            for _, trace, bindings in cases:
+                detector = CommutativityRaceDetector(
+                    root=trace.root, keep_reports=False, compiled=compiled)
+                for obj, kind in bindings.items():
+                    detector.register_object(
+                        obj, registry[kind].representation())
+                start = time.perf_counter()
+                detector.run(trace)
+                total += time.perf_counter() - start
+                verdicts.append((detector.stats.races,
+                                 detector.stats.conflict_checks))
+        return total, verdicts
+
+    _, fast_verdicts = replay_all(True)
+    with _seed_stamping():
+        _, seed_verdicts = replay_all(False)
+    assert fast_verdicts == seed_verdicts, (
+        "verdict drift on the golden corpus: "
+        f"{fast_verdicts} != {seed_verdicts}")
+
+    def run_seed():
+        with _seed_stamping():
+            return replay_all(False)[0]
+
+    best_fast, best_seed = _interleaved_best(
+        lambda: replay_all(True)[0], run_seed, repeats)
+    total = events_per_pass * passes
+    return {
+        "traces": [name for name, _, _ in cases],
+        "events_per_pass": events_per_pass,
+        "passes": passes,
+        "compiled_seconds": best_fast,
+        "seed_seconds": best_seed,
+        "compiled_events_per_s": total / best_fast,
+        "seed_events_per_s": total / best_seed,
+        "speedup": best_seed / best_fast,
+    }
+
+
+def hotpath_suite(events: int, objects: int, threads: int, seed: int = 0,
+                  repeats: int = 5, corpus_passes: int = 20) -> dict:
+    """All three hot-path legs; returns the machine-readable result dict."""
+    trace = synthetic_trace(events, objects, threads, seed)
+    return {
+        "benchmark": "hotpath",
+        "config": {"events": events, "objects": objects, "threads": threads,
+                   "seed": seed, "repeats": repeats,
+                   "corpus_passes": corpus_passes},
+        # The stamping leg needs runs long enough that per-event costs,
+        # not startup noise, decide the ratio — floor it at 100k events
+        # even in smoke mode (generation is a one-off outside the timers).
+        "stamping": stamping_bench(max(events, 100_000),
+                                   threads=max(threads, 16),
+                                   seed=seed, repeats=repeats),
+        "detector": detector_bench(trace, objects, repeats=repeats),
+        "golden_corpus": golden_corpus_bench(repeats=repeats,
+                                             passes=corpus_passes),
+    }
+
+
+def hotpath_gate(events: int, objects: int, threads: int, seed: int = 0,
+                 repeats: int = 5, corpus_passes: int = 20,
+                 json_path: str | None = None,
+                 stamping_min: float = 1.5,
+                 detector_min: float = 1.3) -> bool:
+    """Run the suite, print it, gate on the speedup floors, write the JSON.
+
+    Floors (from the PR acceptance criteria): CoW stamping must be
+    >=1.5x the seed stamp on the Phase-A microbench, and the compiled
+    detector >=1.3x the seed path end-to-end.  As with the overhead
+    gates, a first-attempt breach triggers one longer re-measurement
+    before the verdict sticks.
+    """
+    def passed(results):
+        return (results["stamping"]["speedup"] >= stamping_min
+                and results["detector"]["speedup"] >= detector_min)
+
+    results = hotpath_suite(events, objects, threads, seed,
+                            repeats=repeats, corpus_passes=corpus_passes)
+    if not passed(results):
+        print(f"\nhot-path gate: stamping {results['stamping']['speedup']:.2f}x "
+              f"/ detector {results['detector']['speedup']:.2f}x below the "
+              f"{stamping_min:.1f}x/{detector_min:.1f}x floors on the first "
+              f"attempt; re-measuring")
+        results = hotpath_suite(events, objects, threads, seed,
+                                repeats=2 * repeats,
+                                corpus_passes=corpus_passes)
+    ok = passed(results)
+    results["gates"] = {
+        "stamping_min": stamping_min,
+        "detector_min": detector_min,
+        "pass": ok,
+    }
+
+    stamping, detector, corpus = (results["stamping"], results["detector"],
+                                  results["golden_corpus"])
+    print("\nhot-path microbench (interleaved, best of "
+          f"{results['config']['repeats']})")
+    print(f"  stamping   ({stamping['threads']} threads): "
+          f"CoW {stamping['cow_events_per_s']:>9.0f} ev/s, "
+          f"seed {stamping['seed_events_per_s']:>9.0f} ev/s -> "
+          f"{stamping['speedup']:.2f}x (floor {stamping_min:.1f}x)")
+    print(f"  detector   ({detector['objects']} objects): "
+          f"compiled {detector['compiled_events_per_s']:>9.0f} ev/s, "
+          f"seed {detector['seed_events_per_s']:>9.0f} ev/s -> "
+          f"{detector['speedup']:.2f}x (floor {detector_min:.1f}x)")
+    print(f"  golden corpus ({len(corpus['traces'])} traces): "
+          f"compiled {corpus['compiled_events_per_s']:>9.0f} ev/s, "
+          f"seed {corpus['seed_events_per_s']:>9.0f} ev/s -> "
+          f"{corpus['speedup']:.2f}x")
+    print(f"hot-path gate: [{'PASS' if ok else 'FAIL'}]")
+
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as out:
+            json.dump(results, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"hot-path results written to {json_path}")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=100_000)
@@ -186,9 +470,17 @@ def main(argv=None) -> int:
                         help="fraction of ops under a shared lock")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
-                        help="CI mode: scaled-down sweep plus the "
-                             "observability overhead gate (exit 1 on a "
-                             "budget breach)")
+                        help="CI mode: scaled-down sweep plus the overhead "
+                             "and hot-path gates (exit 1 on any breach)")
+    parser.add_argument("--hotpath", action="store_true",
+                        help="run only the hot-path microbench suite "
+                             "(stamping, end-to-end detector, golden "
+                             "corpus), write the results JSON, and gate "
+                             "on the speedup floors (exit 1 on a breach)")
+    parser.add_argument("--hotpath-json", metavar="PATH",
+                        default="BENCH_PR4.json",
+                        help="where --hotpath/--smoke write the hot-path "
+                             "results (default: %(default)s)")
     parser.add_argument("--stats-json", metavar="PATH",
                         help="write the sequential run's observability "
                              "report (exact sampling) to PATH")
@@ -199,6 +491,14 @@ def main(argv=None) -> int:
         args.threads = min(args.threads, 4)
         args.workers = "2"
     worker_counts = [int(w) for w in args.workers.split(",")]
+
+    if args.hotpath:
+        ok = hotpath_gate(args.events, args.objects, args.threads,
+                          seed=args.seed,
+                          repeats=3 if args.smoke else 5,
+                          corpus_passes=10 if args.smoke else 25,
+                          json_path=args.hotpath_json)
+        return 0 if ok else 1
 
     print(f"generating {args.events} events over {args.objects} objects, "
           f"{args.threads} threads ...")
@@ -259,8 +559,13 @@ def main(argv=None) -> int:
         print(f"observability report written to {args.stats_json}")
 
     if args.smoke:
+        # The observability gate times the default (compiled) detector, so
+        # the compiled path is also held to the existing 5% obs budget.
         ok = overhead_gate(trace, args.objects)
         ok = supervisor_overhead_gate(trace, args.objects) and ok
+        ok = hotpath_gate(args.events, args.objects, args.threads,
+                          seed=args.seed, repeats=3, corpus_passes=10,
+                          json_path=args.hotpath_json) and ok
         if not ok:
             return 1
     return 0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Profile the detector's per-event hot path over a golden trace.
+
+Replays one frozen trace from ``tests/data`` through the sequential
+detector many times under :mod:`cProfile` and prints the top functions by
+cumulative time — the view that surfaced the pre-PR-4 costs (per-event
+``freeze()`` dict copies, ``points_of`` re-validation, candidate
+generators) and that should now show the compiled plan loop at the top.
+
+Run:  PYTHONPATH=src python bench/profile_hotpath.py
+          [--trace NAME] [--passes N] [--top N] [--seed-path]
+
+``--seed-path`` profiles the baseline instead (``compiled=False`` under
+the seed's copying clock stamp), for before/after comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pathlib
+import pstats
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from parallel_scaling import GOLDEN_DIR, _seed_stamping  # noqa: E402
+
+from repro.core.detector import CommutativityRaceDetector  # noqa: E402
+from repro.core.serialize import load_trace  # noqa: E402
+from repro.specs import bundled_objects  # noqa: E402
+
+
+def load_case(name: str):
+    import json
+    expected_path = GOLDEN_DIR / "expected" / f"{name}.json"
+    if not expected_path.exists():
+        known = sorted(path.stem for path in GOLDEN_DIR.glob("*.jsonl"))
+        raise SystemExit(f"unknown golden trace {name!r}; "
+                         f"choose from: {', '.join(known)}")
+    with open(expected_path, encoding="utf-8") as stream:
+        bindings = json.load(stream)["bindings"]
+    with open(GOLDEN_DIR / f"{name}.jsonl", encoding="utf-8") as stream:
+        trace = load_trace(stream)
+    return trace, bindings
+
+
+def replay(trace, bindings, passes: int, compiled: bool) -> None:
+    registry = bundled_objects()
+    for _ in range(passes):
+        detector = CommutativityRaceDetector(
+            root=trace.root, keep_reports=False, compiled=compiled)
+        for obj, kind in bindings.items():
+            detector.register_object(obj, registry[kind].representation())
+        detector.run(trace)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default="multi_object_mixed",
+                        help="golden trace name under tests/data "
+                             "(default: %(default)s)")
+    parser.add_argument("--passes", type=int, default=500,
+                        help="replays per profile run (default: %(default)s)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the cumulative-time table to print")
+    parser.add_argument("--seed-path", action="store_true",
+                        help="profile the seed path (compiled=False plus "
+                             "the copying clock stamp) instead of the "
+                             "compiled hot path")
+    args = parser.parse_args(argv)
+
+    trace, bindings = load_case(args.trace)
+    mode = "seed" if args.seed_path else "compiled"
+    print(f"profiling {mode} path: {args.passes} passes over "
+          f"{args.trace!r} ({len(trace)} events)\n")
+
+    profiler = cProfile.Profile()
+    if args.seed_path:
+        with _seed_stamping():
+            profiler.runcall(replay, trace, bindings, args.passes, False)
+    else:
+        profiler.runcall(replay, trace, bindings, args.passes, True)
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,6 +128,7 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                            workers: int = 1, obs=NULL_REGISTRY,
                            supervisor=None, checkpoint=None,
                            resume_from: Optional[str] = None,
+                           adaptive: bool = False,
                            ) -> Tuple[int, Optional[Dict[str, Any]]]:
     registry = bundled_objects()
     if not bindings:
@@ -138,12 +139,14 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
     if detector_kind == "rd2" and sharded:
         from .core.parallel import ShardedDetector
         detector = ShardedDetector(root=trace.root, workers=workers,
+                                   adaptive=adaptive,
                                    obs=obs, supervisor=supervisor,
                                    checkpoint=checkpoint,
                                    resume_from=resume_from)
     elif detector_kind == "rd2":
         from .core.detector import CommutativityRaceDetector
-        detector = CommutativityRaceDetector(root=trace.root, obs=obs)
+        detector = CommutativityRaceDetector(root=trace.root,
+                                             adaptive=adaptive, obs=obs)
     else:
         from .core.direct import DirectDetector
         detector = DirectDetector(root=trace.root)
@@ -245,6 +248,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "written by a previous run on the same trace "
                              "(a rejected checkpoint degrades to a full "
                              "restamp)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="adaptive point clocks for rd2: keep a scalar "
+                             "epoch per access point while one thread "
+                             "touches it, promoting to a full vector clock "
+                             "on the second thread (verdict-preserving)")
     parser.add_argument("--atomicity", action="store_true",
                         help="run the atomicity checker instead")
     parser.add_argument("--spec-report", metavar="KIND",
@@ -282,6 +290,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if rd2_only and (args.detector != "rd2" or args.atomicity):
         _fail("--workers, --shard-*, --checkpoint and --resume-from apply "
               "only to the rd2 detector", EXIT_USAGE)
+    if args.adaptive and (args.detector != "rd2" or args.atomicity):
+        _fail("--adaptive applies only to the rd2 detector", EXIT_USAGE)
 
     want_obs = args.stats or args.stats_json or args.spans
     stream = SpanStream(args.spans) if args.spans else None
@@ -305,7 +315,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             code, faults = _analyze_commutativity(
                 trace, bindings, args.detector, workers=workers, obs=obs,
                 supervisor=supervisor, checkpoint=checkpoint,
-                resume_from=args.resume_from)
+                resume_from=args.resume_from, adaptive=args.adaptive)
         else:
             code, faults = _analyze_memory(trace, args.detector, obs=obs)
     except KeyboardInterrupt:

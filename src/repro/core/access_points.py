@@ -65,6 +65,25 @@ class AccessPoint:
     schema: SchemaId
     value: Any = None
 
+    def __hash__(self) -> int:
+        # Identity-cached: the detector probes ``active(o)``/``point_clock``
+        # with the same interned instances over and over, and re-hashing a
+        # three-field dataclass per probe is measurable on the hot path.
+        # Same tuple the generated __hash__ uses, so cached and uncached
+        # instances collide correctly.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash((self.obj, self.schema, self.value))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __reduce__(self):
+        # Rebuild from fields: the lazily cached hash must never cross an
+        # interpreter boundary (string hashing is salted per process, so a
+        # shipped cache would poison dict lookups in spawned workers).
+        return (AccessPoint, (self.obj, self.schema, self.value))
+
     def __str__(self) -> str:
         if self.value is None:
             return f"{self.obj}:{self.schema}"
@@ -177,6 +196,21 @@ class SchemaRepresentation(AccessPointRepresentation):
         """The schemas conflicting with ``schema`` (Theorem 6.6's bound)."""
         return frozenset(self._conflicts.get(schema, ()))
 
+    def conflict_peers(self, schema: SchemaId) -> Tuple[SchemaId, ...]:
+        """The conflicting schemas in *declaration order*.
+
+        Unlike :meth:`schema_conflicts` (an unordered frozenset), the tuple
+        preserves the order :meth:`conflicting_candidates` enumerates —
+        which cross-process race-report determinism relies on.  This is the
+        order compiled check plans bake in.
+        """
+        return tuple(self._conflicts.get(schema, ()))
+
+    @property
+    def touches(self) -> Callable[[Action], Iterable[Tuple[SchemaId, Any]]]:
+        """The schema-level ηo callable (consumed by compiled check plans)."""
+        return self._touches
+
     def max_conflict_degree(self) -> int:
         """The bound of Theorem 6.6: max |Co(pt)| over all points."""
         if not self._conflicts:
@@ -282,14 +316,18 @@ def representations_equivalent(
     translator's test suite (translated-vs-handwritten dictionary) and for
     users validating hand-written representations against specifications.
     """
-    for a in actions:
-        pts_a1 = rep1.points_of(a)
-        pts_a2 = rep2.points_of(a)
-        for b in actions:
-            pts_b1 = rep1.points_of(b)
-            pts_b2 = rep2.points_of(b)
-            clash1 = any(rep1.conflicts(p, q) for p in pts_a1 for q in pts_b1)
-            clash2 = any(rep2.conflicts(p, q) for p in pts_a2 for q in pts_b2)
+    # ηo is evaluated once per action up front; recomputing points_of(b)
+    # inside the pair loop made this O(n²) ηo evaluations for n actions.
+    points1 = [rep1.points_of(a) for a in actions]
+    points2 = [rep2.points_of(a) for a in actions]
+    for i, a in enumerate(actions):
+        pts_a1 = points1[i]
+        pts_a2 = points2[i]
+        for j, b in enumerate(actions):
+            clash1 = any(rep1.conflicts(p, q)
+                         for p in pts_a1 for q in points1[j])
+            clash2 = any(rep2.conflicts(p, q)
+                         for p in pts_a2 for q in points2[j])
             if clash1 != clash2:
                 return (a, b)
     return None

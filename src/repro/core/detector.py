@@ -49,12 +49,14 @@ import dataclasses
 import enum
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import Callable, Dict, List, NamedTuple, Optional, Union
+from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple,
+                    Union)
 
-from .access_points import AccessPoint, AccessPointRepresentation
-from .errors import MonitorError
+from .access_points import AccessPoint, AccessPointRepresentation, SchemaId
+from .errors import MonitorError, SpecificationError
 from .events import Action, Event, EventKind, ObjectId
 from .hb import HappensBeforeTracker
+from .plan import CheckPlan, compile_check_plan
 from .races import CommutativityRace
 from .vector_clock import Tid, VectorClock
 
@@ -149,6 +151,8 @@ class _ObjectState:
 
     representation: AccessPointRepresentation
     strategy: Strategy
+    #: compiled ENUMERATE fast path (None: generic interpreted path)
+    plan: Optional[CheckPlan] = None
     #: ``active(o)`` as an insertion-ordered dict-set: scan order must be
     #: first-touch order, not hash order, so race reports come out
     #: identical across processes (hash(AccessPoint) is not stable across
@@ -159,6 +163,16 @@ class _ObjectState:
     #: and check attribution can name (method, method) pairs.  Maintained
     #: (and consulted) only when the detector carries an enabled registry.
     point_method: Dict[AccessPoint, str] = field(default_factory=dict)
+    #: compiled path: ``(schema, value) -> canonical AccessPoint``, so the
+    #: state dicts are probed with identity-cached hashes instead of fresh
+    #: dataclass instances.  ηo-output validation happens on intern miss —
+    #: once per distinct pair, not once per action.
+    interned: Dict[Tuple[SchemaId, Any], AccessPoint] = field(
+        default_factory=dict)
+    #: compiled path: cached ``Co(pt)`` tuples of canonical points, so
+    #: phase 1 stops driving the conflicting_candidates generator.
+    candidates: Dict[AccessPoint, Tuple[AccessPoint, ...]] = field(
+        default_factory=dict)
 
 
 class CommutativityRaceDetector:
@@ -195,6 +209,14 @@ class CommutativityRaceDetector:
         instrumented hot path within the benchmark gate's 5% overhead
         budget.  A disabled registry is equivalent to ``None``: the hot
         path pays one ``is None`` test and nothing else.
+    compiled:
+        When true (the default), ENUMERATE-strategy objects whose
+        representation is a bounded :class:`~repro.core.access_points.
+        SchemaRepresentation` run Algorithm 1 through a compiled
+        :class:`~repro.core.plan.CheckPlan` (interned access points,
+        cached candidate tuples, no per-action ηo validation).  Verdict
+        and counter preserving; ``compiled=False`` keeps the generic
+        interpreted path everywhere (the hot-path benchmark's baseline).
     """
 
     def __init__(
@@ -206,6 +228,7 @@ class CommutativityRaceDetector:
         prune_interval: int = 0,
         adaptive: bool = False,
         obs=None,
+        compiled: bool = True,
     ):
         self._hb = HappensBeforeTracker(root=root)
         self._strategy = strategy
@@ -213,6 +236,7 @@ class CommutativityRaceDetector:
         self._keep_reports = keep_reports
         self._prune_interval = prune_interval
         self._adaptive = adaptive
+        self._compiled = compiled
         self._actions_since_prune = 0
         self._objects: Dict[ObjectId, _ObjectState] = {}
         self.races: List[CommutativityRace] = []
@@ -247,8 +271,15 @@ class CommutativityRaceDetector:
 
     def register_object(self, obj: ObjectId,
                         representation: AccessPointRepresentation,
-                        strategy: Optional[Strategy] = None) -> None:
-        """Attach an access point representation to a shared object."""
+                        strategy: Optional[Strategy] = None, *,
+                        plan: Optional[CheckPlan] = None) -> None:
+        """Attach an access point representation to a shared object.
+
+        ``plan`` lets callers supply a pre-compiled check plan (the sharded
+        analyzer compiles once and ships the plan to every worker);
+        normally it is compiled here when the resolved strategy is
+        ENUMERATE and the detector runs compiled.
+        """
         if obj in self._objects:
             raise MonitorError(f"object {obj!r} registered twice")
         chosen = strategy or self._strategy
@@ -259,7 +290,11 @@ class CommutativityRaceDetector:
             raise MonitorError(
                 f"object {obj!r}: ENUMERATE strategy requires a bounded "
                 f"representation ({representation!r} is unbounded)")
-        self._objects[obj] = _ObjectState(representation, chosen)
+        if chosen is not Strategy.ENUMERATE:
+            plan = None
+        elif plan is None and self._compiled:
+            plan = compile_check_plan(representation)
+        self._objects[obj] = _ObjectState(representation, chosen, plan=plan)
 
     def release_object(self, obj: ObjectId) -> None:
         """Drop the auxiliary state of a dead object (Section 5.3).
@@ -380,6 +415,8 @@ class CommutativityRaceDetector:
             # likewise only track instrumented classes).
             return None
         self.stats.actions += 1
+        if state.plan is not None:
+            return self._process_compiled(state, action, event, clock)
         rep = state.representation
         points = rep.points_of(action)
         self.stats.points_touched += len(points)
@@ -440,6 +477,147 @@ class CommutativityRaceDetector:
                                          self._obs_interval)
         return found or None
 
+    def _process_compiled(self, state: _ObjectState, action: Action,
+                          event: Event, clock: VectorClock
+                          ) -> Optional[List[CommutativityRace]]:
+        """Algorithm 1 over a compiled :class:`CheckPlan`.
+
+        Semantically identical to the generic ENUMERATE path — same
+        verdicts in the same order, same counters, same sampled
+        attribution — but runs a closed loop over interned points and
+        cached candidate tuples: no ``points_of`` validation (moved to the
+        intern miss), no representation dispatch, no candidate generator.
+        """
+        interned = state.interned
+        stats = self.stats
+        # ηo: resolve each (schema, value) pair to its canonical point.
+        # The full list is built before phase 1 so an invalid pair raises
+        # before any state changes, exactly like points_of would.
+        touched: List[AccessPoint] = []
+        append = touched.append
+        for schema, value in state.plan.touches(action):
+            pt = interned.get((schema, value))
+            if pt is None:
+                pt = self._intern_point(state, action, schema, value)
+            append(pt)
+        stats.points_touched += len(touched)
+
+        sampled = self._obs is not None and self._obs_sampled
+        if sampled:
+            start = perf_counter_ns()
+
+        # Phase 1: check for commutativity races.
+        found: List[CommutativityRace] = []
+        checks = 0
+        point_clock = state.point_clock
+        candidate_map = state.candidates
+        for pt in touched:
+            cands = candidate_map.get(pt)
+            if cands is None:
+                cands = self._intern_candidates(state, pt)
+            checks += len(cands)
+            for candidate in cands:
+                prior_clock = point_clock.get(candidate)
+                if prior_clock is None:
+                    continue  # candidate not active
+                if type(prior_clock) is _PointEpoch:
+                    if prior_clock.stamp <= clock[prior_clock.tid]:
+                        continue
+                    prior = prior_clock.as_clock()
+                elif prior_clock.leq(clock):
+                    continue
+                else:
+                    prior = prior_clock
+                self._report(state, pt, candidate, prior, event, clock, found)
+        stats.conflict_checks += checks
+
+        if sampled:
+            delta = checks * self._obs_interval
+            table = self._obs_checks_by_object
+            table[action.obj] = table.get(action.obj, 0) + delta
+            for pt in touched:
+                self._attribute_checks(state, pt, action.method)
+
+        # Phase 2: update auxiliary state.
+        tid = event.tid
+        adaptive = self._adaptive
+        methods = state.point_method if sampled else None
+        active = state.active
+        for pt in touched:
+            if methods is not None:
+                methods[pt] = action.method
+            prior_clock = point_clock.get(pt)
+            if prior_clock is None:
+                if adaptive:
+                    point_clock[pt] = _PointEpoch(tid, clock[tid])
+                else:
+                    point_clock[pt] = clock
+                active[pt] = None
+            elif type(prior_clock) is _PointEpoch:
+                if prior_clock.tid == tid:
+                    point_clock[pt] = _PointEpoch(tid, clock[tid])
+                else:
+                    stats.epoch_promotions += 1
+                    point_clock[pt] = prior_clock.as_clock().join(clock)
+            else:
+                point_clock[pt] = prior_clock.join(clock)
+        if sampled:
+            self._obs_check_timer.record(perf_counter_ns() - start,
+                                         self._obs_interval)
+        return found or None
+
+    def _intern_point(self, state: _ObjectState, action: Action,
+                      schema: SchemaId, value: Any) -> AccessPoint:
+        """Intern-miss path: validate the ηo output pair and canonicalize.
+
+        Raises the same :class:`SpecificationError`s ``points_of`` would —
+        invalid pairs never enter the table, so they take this path (and
+        fail) on every action, matching the generic behavior.
+        """
+        entry = state.plan.table.get(schema)
+        if entry is None:
+            raise SpecificationError(
+                f"ηo touched unknown schema {schema!r} for {action}")
+        if entry[0]:
+            if value is None:
+                raise SpecificationError(
+                    f"schema {schema!r} carries a value but ηo supplied "
+                    f"none for {action}")
+        elif value is not None:
+            raise SpecificationError(
+                f"plain schema {schema!r} was given value {value!r} "
+                f"for {action}")
+        pt = AccessPoint(action.obj, schema, value)
+        state.interned[(schema, value)] = pt
+        return pt
+
+    def _intern_candidates(self, state: _ObjectState,
+                           pt: AccessPoint) -> Tuple[AccessPoint, ...]:
+        """Build and cache ``Co(pt)`` as a tuple of canonical points.
+
+        Candidates are interned too, so a probe and a later real touch of
+        the same (schema, value) pair share one instance — dict hits then
+        ride the identity fast path with a cached hash.  Candidate pairs
+        are valid by construction: peers of a value schema carry the same
+        value, peers of a plain schema carry None (bounded representations
+        never declare mixed conflicts), so the intern table stays
+        validation-clean.
+        """
+        interned = state.interned
+        # pt.value is None exactly for plain schemas, so it doubles as the
+        # candidate value in both cases (same as conflicting_candidates).
+        value = pt.value
+        cands = []
+        for peer in state.plan.table[pt.schema][1]:
+            candidate = interned.get((peer, value))
+            if candidate is None:
+                candidate = AccessPoint(pt.obj, peer, value)
+                interned[(peer, value)] = candidate
+            cands.append(candidate)
+        tup = tuple(cands)
+        state.candidates[pt] = tup
+        return tup
+
     def _attribute_checks(self, state: _ObjectState, pt: AccessPoint,
                           method: str) -> None:
         """Sampled per-(method, method) attribution of phase-1 probes.
@@ -455,7 +633,12 @@ class CommutativityRaceDetector:
         pairs = self._obs_checks_by_pair
         methods = state.point_method
         weight = self._obs_interval
-        if state.strategy is Strategy.ENUMERATE:
+        if state.plan is not None:
+            # Compiled path: the cached Co(pt) tuple is exactly what
+            # phase 1 just probed (and it is guaranteed present — phase 1
+            # interned it before attribution runs).
+            candidates = state.candidates[pt]
+        elif state.strategy is Strategy.ENUMERATE:
             candidates = state.representation.conflicting_candidates(pt)
         else:
             candidates = state.active

@@ -120,6 +120,18 @@ class HappensBeforeTracker:
         is stamped (sync events with the acting thread's clock at the
         relevant instant).
         """
+        if event.kind is EventKind.ACTION:
+            # Inlined _on_stamp: actions are the overwhelming majority of
+            # real traces and the sequential Phase A of the sharded
+            # pipeline is nothing but this line repeated — skip the
+            # handler-table dispatch and use the fused copy-on-write
+            # inc+freeze, which is O(1) between synchronization events.
+            clock = self._threads.get(event.tid)
+            if clock is None:
+                self._thread(event.tid)  # raises MonitorError
+            stamp = clock.stamp_next(event.tid)
+            event.clock = stamp
+            return stamp
         handler = self._HANDLERS[event.kind]
         clock = handler(self, event)
         event.clock = clock

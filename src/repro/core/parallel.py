@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from .checkpoint import (CHECKPOINT_VERSION, Checkpoint, CheckpointConfig,
                          CheckpointWriter, event_fingerprint, load_checkpoint)
 from .detector import CommutativityRaceDetector, DetectorStats, Strategy
+from .plan import compile_check_plan
 from .errors import CheckpointError, MonitorError
 from .events import (Action, Event, EventKind, ObjectId,
                      pack_stamped_action, unpack_stamped_action)
@@ -91,12 +92,14 @@ def partition_by_load(loads: Sequence[Tuple[ObjectId, int]],
 
 
 # One shard's inputs: detector knobs plus, per object, the registration
-# (representation, per-object strategy) and the object's stamped actions.
-# ``obs_interval`` is None when observability is off; otherwise the
-# worker builds its own registry (sampling at that interval) and ships it
-# back for the merge.
-_ShardPayload = Tuple[bool, Strategy, bool, Optional[int],
-                      List[Tuple[ObjectId, Any, Optional[Strategy],
+# (representation, per-object strategy, pre-compiled check plan) and the
+# object's stamped actions.  ``obs_interval`` is None when observability
+# is off; otherwise the worker builds its own registry (sampling at that
+# interval) and ships it back for the merge.  Plans are compiled once in
+# the facade and shipped, not recompiled per shard; pickle memoization
+# dedups the plan's references into the representation riding alongside.
+_ShardPayload = Tuple[bool, Strategy, bool, Optional[int], bool,
+                      List[Tuple[ObjectId, Any, Optional[Strategy], Any,
                                  List[Tuple[Any, ...]]]]]
 
 
@@ -119,15 +122,16 @@ def _analyze_shard(payload: _ShardPayload):
     pool's cost for report-dense traces, mirroring why the sequential
     detector grew ``keep_reports=False`` for long benchmark runs.
     """
-    adaptive, strategy, need_reports, obs_interval, objects = payload
+    adaptive, strategy, need_reports, obs_interval, compiled, objects = payload
     obs = None
     if obs_interval is not None:
         from ..obs.registry import Registry
         obs = Registry(sample_interval=obs_interval)
     detector = CommutativityRaceDetector(strategy=strategy, adaptive=adaptive,
-                                         keep_reports=False, obs=obs)
-    for obj, representation, obj_strategy, _ in objects:
-        detector.register_object(obj, representation, obj_strategy)
+                                         keep_reports=False, obs=obs,
+                                         compiled=compiled)
+    for obj, representation, obj_strategy, plan, _ in objects:
+        detector.register_object(obj, representation, obj_strategy, plan=plan)
     triples: List[Tuple[int, int, CommutativityRace]] = []
     # One reusable Event shell per shard: the detector reads (and the race
     # reports capture) only the per-iteration action/tid/clock values, so
@@ -135,7 +139,7 @@ def _analyze_shard(payload: _ShardPayload):
     shell = unpack_stamped_action(None, (0, 0, "", (), (), None))
     stats = detector.stats
     replay_start = perf_counter_ns() if obs is not None else 0
-    for obj, _, _, packed_actions in objects:
+    for obj, _, _, _, packed_actions in objects:
         for packed in packed_actions:
             index, shell.tid, method, args, returns, shell.clock = packed
             shell.action = Action(obj, method, args, returns)
@@ -181,10 +185,11 @@ def _diagnose_unpicklable(payload: _ShardPayload,
     try:
         pickle.dumps(payload)
     except Exception as probe:
-        _, _, _, _, objects = payload
-        for obj, representation, obj_strategy, packed_actions in objects:
+        objects = payload[-1]
+        for obj, representation, obj_strategy, plan, packed_actions in objects:
             for part, value in (("representation", representation),
                                 ("strategy override", obj_strategy),
+                                ("check plan", plan),
                                 ("stamped actions", packed_actions)):
                 try:
                     pickle.dumps(value)
@@ -249,6 +254,10 @@ class ShardedDetector:
         same trace and registrations.  A checkpoint that fails any
         validity check is *rejected, not fatal*: the rejection is recorded
         in :attr:`faults` and the run restamps from the beginning.
+    compiled:
+        As for the sequential detector.  Check plans are compiled once at
+        registration in this facade and shipped inside the shard payloads,
+        so workers skip recompilation.
     """
 
     def __init__(
@@ -265,6 +274,7 @@ class ShardedDetector:
         supervisor: Optional[SupervisorConfig] = None,
         checkpoint: Optional[CheckpointConfig] = None,
         resume_from: Optional[str] = None,
+        compiled: bool = True,
     ):
         self._root = root
         self._strategy = strategy
@@ -280,7 +290,9 @@ class ShardedDetector:
         self._supervisor_config = supervisor
         self._checkpoint = checkpoint
         self._resume_from = resume_from
-        self._registrations: Dict[ObjectId, Tuple[Any, Optional[Strategy]]] = {}
+        self._compiled = compiled
+        self._registrations: Dict[
+            ObjectId, Tuple[Any, Optional[Strategy], Any]] = {}
         self._hb: Optional[HappensBeforeTracker] = None
         self.races: List[CommutativityRace] = []
         self.stats = DetectorStats()
@@ -304,7 +316,19 @@ class ShardedDetector:
                     f"not picklable, so it cannot be shipped to worker "
                     f"processes; use workers<=1 (inline sharding) or the "
                     f"sequential CommutativityRaceDetector") from exc
-        self._registrations[obj] = (representation, strategy)
+        # Compile the ENUMERATE fast path once, here in the facade: every
+        # worker receives the finished plan in its payload instead of
+        # re-deriving it per shard (per-object strategy resolution mirrors
+        # CommutativityRaceDetector.register_object).
+        plan = None
+        if self._compiled:
+            chosen = strategy or self._strategy
+            if chosen is Strategy.AUTO:
+                chosen = (Strategy.ENUMERATE if representation.bounded
+                          else Strategy.SCAN)
+            if chosen is Strategy.ENUMERATE:
+                plan = compile_check_plan(representation)
+        self._registrations[obj] = (representation, strategy, plan)
 
     def release_object(self, obj: ObjectId) -> None:
         """Drop a registration before analysis (mirrors the sequential API)."""
@@ -449,7 +473,7 @@ class ShardedDetector:
             objects = [(obj,) + self._registrations[obj] + (groups[obj],)
                        for obj in shard_objs]
             payloads.append((self._adaptive, self._strategy, need_reports,
-                             obs_interval, objects))
+                             obs_interval, self._compiled, objects))
         if not payloads:
             return []
         if self.workers <= 1 or len(payloads) == 1:

@@ -1,0 +1,94 @@
+"""Compiled per-object check plans — the detector's ENUMERATE fast path.
+
+Algorithm 1's per-action work against a :class:`~repro.core.access_points.
+SchemaRepresentation` repeatedly asks the representation questions whose
+answers never change after registration: which schemas carry values, which
+schemas conflict with which (and in what enumeration order), and what ηo
+is.  The generic path answers them through ``points_of`` (re-validating
+every ``(schema, value)`` pair per action) and the ``conflicting_candidates``
+generator (re-instantiating ``Co(pt)`` per probe).
+
+A :class:`CheckPlan` is those answers flattened at ``register_object`` time
+into one plain dict of plain tuples::
+
+    table[schema] = (carries_value, (peer_schema, ...))
+
+so the detector's compiled loop (``CommutativityRaceDetector.
+_process_compiled``) runs with no representation dispatch, no ``Strategy``
+branch and no per-action validation — ηo output validation moves to the
+intern-table miss path, which fires once per distinct ``(schema, value)``
+pair instead of once per action.  The peer tuples preserve the conflict
+*declaration* order, which is exactly the order ``conflicting_candidates``
+yields; race-report identity across processes depends on it.
+
+Plans are picklable (a callable plus a dict of tuples), so the sharded
+analyzer compiles once in the facade and ships the plan to every worker
+instead of recompiling per shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from .access_points import (AccessPointRepresentation, SchemaId,
+                            SchemaRepresentation)
+from .events import Action
+
+__all__ = ["CheckPlan", "compile_check_plan"]
+
+#: ``schema -> (carries_value, declaration-ordered conflicting schemas)``
+PlanTable = Dict[SchemaId, Tuple[bool, Tuple[SchemaId, ...]]]
+
+
+class CheckPlan:
+    """A bounded representation compiled to flat lookup tables.
+
+    ``touches`` is the representation's schema-level ηo (shared, not
+    copied — it is the one genuinely dynamic ingredient); ``table`` maps
+    every known schema to its value-carrying flag and its conflict peers
+    in declaration order; ``kind`` tags diagnostics.
+    """
+
+    __slots__ = ("touches", "table", "kind")
+
+    def __init__(self,
+                 touches: Callable[[Action], Iterable[Tuple[SchemaId, Any]]],
+                 table: PlanTable,
+                 kind: str):
+        self.touches = touches
+        self.table = table
+        self.kind = kind
+
+    def max_conflict_degree(self) -> int:
+        """The Theorem 6.6 bound, as baked into the plan."""
+        if not self.table:
+            return 0
+        return max(len(peers) for _, peers in self.table.values())
+
+    def __reduce__(self):
+        return (CheckPlan, (self.touches, self.table, self.kind))
+
+    def __repr__(self) -> str:
+        return (f"CheckPlan({self.kind!r}, {len(self.table)} schemas, "
+                f"max degree {self.max_conflict_degree()})")
+
+
+def compile_check_plan(
+        representation: AccessPointRepresentation) -> Optional[CheckPlan]:
+    """Compile ``representation`` for the ENUMERATE fast path, if possible.
+
+    Returns ``None`` when the representation is not a bounded
+    :class:`SchemaRepresentation` — custom ``AccessPointRepresentation``
+    subclasses and unbounded (SCAN-only) representations keep the generic
+    interpreted path, whose semantics the compiled loop must match
+    verdict-for-verdict anyway.
+    """
+    if not isinstance(representation, SchemaRepresentation):
+        return None
+    if not representation.bounded:
+        return None
+    table: PlanTable = {}
+    for schema in representation.schemas:
+        table[schema] = (representation.carries_value(schema),
+                        representation.conflict_peers(schema))
+    return CheckPlan(representation.touches, table, representation.kind)

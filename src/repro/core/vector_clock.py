@@ -15,6 +15,23 @@ Two implementations are provided:
 Both store clocks sparsely as ``tid -> timestamp`` with zero entries elided,
 so thread identifiers may be arbitrary hashables (ints in practice) and the
 clock of a freshly observed thread costs nothing.
+
+Copy-on-write freezing
+----------------------
+
+Stamping an event requires an immutable snapshot of the acting thread's
+clock (``vc(e) ← T(τ)``), and the Fig. 3 refinement increments the
+thread's own component first — so between two synchronization events a
+thread's clock changes *only at its own component*.  A naive ``freeze()``
+copies the whole sparse dict per event, which makes stamping O(threads)
+and dominates Phase A of the sharded pipeline.  :meth:`MutableVectorClock.
+freeze` instead keeps one immutable *base* snapshot per synchronization
+window and hands out :class:`_SteppedClock` views — the base plus the one
+advanced component — in O(1).  Any mutation that touches another
+component (join at ``join``/``acq``, ``set_component``) invalidates the
+base; the next freeze takes a fresh snapshot.  The base dict is written
+only at snapshot creation and never mutated afterwards, so outstanding
+views stay sound.
 """
 
 from __future__ import annotations
@@ -77,6 +94,10 @@ class VectorClock:
         return clock
 
     # -- accessors ---------------------------------------------------------
+
+    def _mapping(self) -> Dict[Tid, int]:
+        """The entries dict (hook point for lazily materialized subclasses)."""
+        return self._entries
 
     def __getitem__(self, tid: Tid) -> int:
         """The timestamp recorded for ``tid`` (0 if never observed)."""
@@ -146,29 +167,132 @@ class VectorClock:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, VectorClock):
-            return self._entries == other._entries
+            return self._mapping() == other._mapping()
         if isinstance(other, MutableVectorClock):
-            return self._entries == other._entries
+            return self._mapping() == other._entries
         return NotImplemented
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._entries.items()))
+            self._hash = hash(frozenset(self._mapping().items()))
         return self._hash
 
     def __reduce__(self):
         # Compact pickling for the sharded analyzer's IPC: ship only the
         # sparse entries (the cached hash is recomputed on demand).
-        return (VectorClock, (self._entries,))
+        # Stepped views materialize and pickle as plain VectorClocks.
+        return (VectorClock, (self._mapping(),))
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{tid!r}: {ts}" for tid, ts in sorted(
-            self._entries.items(), key=lambda kv: repr(kv[0])))
+            self._mapping().items(), key=lambda kv: repr(kv[0])))
         return f"VectorClock({{{inner}}})"
 
 
 BOTTOM = VectorClock()
 """The least vector clock ``⊥V`` (every component zero)."""
+
+
+class _SteppedClock(VectorClock):
+    """A lazily materialized ``base`` with one component advanced.
+
+    The copy-on-write ``freeze()`` returns these for event stamps inside a
+    synchronization window: the thread's clock equals the window's base
+    snapshot everywhere except the thread's own component.  The two reads
+    on the detector's hot path — ``clock[tid]`` and ``prior.leq(clock)``
+    (as the right-hand side) — never materialize; anything that needs the
+    full mapping (join, hash, pickle, repr) builds the dict once and
+    caches it in ``_entries``.
+
+    Invariants: ``base`` is never mutated after creation, and
+    ``stamp > base.get(tid, 0)`` (the component really did advance), so a
+    passed ``stamp ≤ other[tid]`` check implies the base cannot exceed
+    ``other`` at ``tid`` either.
+    """
+
+    __slots__ = ("_base", "_tid", "_stamp")
+
+    def __init__(self, base: Dict[Tid, int], tid: Tid, stamp: int):
+        self._base = base
+        self._tid = tid
+        self._stamp = stamp
+        self._entries = None  # type: ignore[assignment]
+        self._hash = None
+
+    def _mapping(self) -> Dict[Tid, int]:
+        entries = self._entries
+        if entries is None:
+            entries = dict(self._base)
+            entries[self._tid] = self._stamp
+            self._entries = entries
+        return entries
+
+    # -- non-materializing fast paths ---------------------------------------
+
+    def __getitem__(self, tid: Tid) -> int:
+        entries = self._entries
+        if entries is not None:
+            return entries.get(tid, 0)
+        if tid == self._tid:
+            return self._stamp
+        return self._base.get(tid, 0)
+
+    def leq(self, other: "VectorClock | MutableVectorClock") -> bool:
+        entries = self._entries
+        if entries is not None:
+            for tid, stamp in entries.items():
+                if stamp > other[tid]:
+                    return False
+            return True
+        if self._stamp > other[self._tid]:
+            return False
+        # stamp > base[tid] (see invariant), so base cannot fail at _tid
+        # once the stamp check passed — no need to exclude it below.
+        for tid, stamp in self._base.items():
+            if stamp > other[tid]:
+                return False
+        return True
+
+    __le__ = leq
+
+    def __len__(self) -> int:
+        entries = self._entries
+        if entries is not None:
+            return len(entries)
+        return len(self._base) + (0 if self._tid in self._base else 1)
+
+    def is_bottom(self) -> bool:
+        return False  # stamp >= 1 by construction
+
+    # -- materializing delegates --------------------------------------------
+
+    def threads(self) -> Iterator[Tid]:
+        return iter(self._mapping())
+
+    def items(self) -> Iterator[Tuple[Tid, int]]:
+        return iter(self._mapping().items())
+
+    def join(self, other: "VectorClock | MutableVectorClock") -> "VectorClock":
+        merged = dict(self._mapping())
+        for tid, stamp in other.items():
+            if stamp > merged.get(tid, 0):
+                merged[tid] = stamp
+        return VectorClock._trusted(merged)
+
+    __or__ = join
+
+    def inc(self, tid: Tid) -> "VectorClock":
+        bumped = dict(self._mapping())
+        bumped[tid] = bumped.get(tid, 0) + 1
+        return VectorClock._trusted(bumped)
+
+    def thaw(self) -> "MutableVectorClock":
+        return MutableVectorClock(self._mapping())
+
+
+#: Sentinel for "no component diverged from the cached snapshot".  A real
+#: thread id could legitimately be None, so the dirty marker cannot be.
+_NO_DELTA = object()
 
 
 class MutableVectorClock:
@@ -178,14 +302,22 @@ class MutableVectorClock:
     (:meth:`join_in_place`, :meth:`inc_in_place`).  Call :meth:`freeze` to
     snapshot the current value as an immutable clock — detectors do this when
     stamping events, so later in-place updates cannot corrupt past stamps.
+
+    ``freeze`` is copy-on-write (see the module docstring): ``_base`` holds
+    the last full snapshot's dict, ``_base_clock`` the VectorClock wrapping
+    it, and ``_delta_tid`` the single component (if any) that has advanced
+    since — the state needed to answer the next freeze in O(1).
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_base", "_base_clock", "_delta_tid")
 
     def __init__(self, entries: Mapping[Tid, int] | Iterable[Tuple[Tid, int]] = ()):
         if isinstance(entries, _Mapping):
             entries = entries.items()
         self._entries: Dict[Tid, int] = _normalized(entries)
+        self._base: Dict[Tid, int] | None = None
+        self._base_clock: VectorClock | None = None
+        self._delta_tid = _NO_DELTA
 
     def __getitem__(self, tid: Tid) -> int:
         return self._entries.get(tid, 0)
@@ -210,17 +342,38 @@ class MutableVectorClock:
     def parallel(self, other: "VectorClock | MutableVectorClock") -> bool:
         return not self.leq(other) and not other.leq(self)
 
+    def _invalidate(self) -> None:
+        self._base = None
+        self._base_clock = None
+        self._delta_tid = _NO_DELTA
+
     def join_in_place(self, other: "VectorClock | MutableVectorClock") -> "MutableVectorClock":
         """``self ← self ⊔ other`` (returns self for chaining)."""
         mine = self._entries
+        changed = False
         for tid, stamp in other.items():
             if stamp > mine.get(tid, 0):
                 mine[tid] = stamp
+                changed = True
+        # A no-op join (acquiring a lock whose clock is already dominated)
+        # leaves the cached snapshot valid — freeze stays O(1).
+        if changed and self._base is not None:
+            self._invalidate()
         return self
 
     def inc_in_place(self, tid: Tid) -> "MutableVectorClock":
         """``self ← inc_tid(self)`` (returns self for chaining)."""
-        self._entries[tid] = self._entries.get(tid, 0) + 1
+        entries = self._entries
+        entries[tid] = entries.get(tid, 0) + 1
+        if self._base is not None:
+            delta = self._delta_tid
+            if delta is _NO_DELTA:
+                self._delta_tid = tid
+            elif delta != tid:
+                # Two distinct components diverged: the stepped-view trick
+                # no longer applies (never happens under Table 1, where a
+                # thread only ever increments its own component).
+                self._invalidate()
         return self
 
     def set_component(self, tid: Tid, stamp: int) -> None:
@@ -231,14 +384,87 @@ class MutableVectorClock:
             self._entries[tid] = stamp
         else:
             self._entries.pop(tid, None)
+        if self._base is not None:
+            self._invalidate()
 
     def freeze(self) -> VectorClock:
-        """An immutable snapshot of the current value."""
+        """An immutable snapshot of the current value — copy-on-write.
+
+        The first freeze after a cross-component mutation copies the dict
+        once and caches it; while only this clock's own component advances
+        (the Fig. 3 stamping pattern), subsequent freezes return the cached
+        snapshot itself or an O(1) :class:`_SteppedClock` view of it.
+        """
+        base = self._base
+        if base is None:
+            base = dict(self._entries)
+            self._base = base
+            clock = VectorClock._trusted(base)
+            self._base_clock = clock
+            self._delta_tid = _NO_DELTA
+            return clock
+        delta = self._delta_tid
+        if delta is _NO_DELTA:
+            return self._base_clock
+        # Inline _SteppedClock construction (bypassing __init__): this is
+        # the once-per-event stamp of Phase A, where even one extra Python
+        # frame is measurable.
+        stepped = _SteppedClock.__new__(_SteppedClock)
+        stepped._base = base
+        stepped._tid = delta
+        stepped._stamp = self._entries[delta]
+        stepped._entries = None
+        stepped._hash = None
+        return stepped
+
+    def stamp_next(self, tid: Tid) -> VectorClock:
+        """Fused ``inc_in_place(tid)`` + ``freeze()`` — the per-event stamp.
+
+        Phase A runs this once per action (the Fig. 3 refinement: advance
+        the thread's own component, then snapshot), so the pair is
+        flattened into one call with one dict probe and no intermediate
+        method dispatch.  Semantically identical to calling the two
+        operations in sequence.
+        """
+        entries = self._entries
+        stamp = entries.get(tid, 0) + 1
+        entries[tid] = stamp
+        base = self._base
+        if base is not None:
+            delta = self._delta_tid
+            if delta is _NO_DELTA:
+                self._delta_tid = tid
+            elif delta != tid:
+                base = None  # second component diverged: snapshot afresh
+        if base is None:
+            base = dict(entries)
+            self._base = base
+            clock = VectorClock._trusted(base)
+            self._base_clock = clock
+            self._delta_tid = _NO_DELTA
+            return clock
+        stepped = _SteppedClock.__new__(_SteppedClock)
+        stepped._base = base
+        stepped._tid = tid
+        stepped._stamp = stamp
+        stepped._entries = None
+        stepped._hash = None
+        return stepped
+
+    def freeze_copy(self) -> VectorClock:
+        """Always-copying freeze (the pre-CoW behavior).
+
+        Kept for the hot-path benchmark's seed baseline and for callers
+        that explicitly want an independent plain snapshot.
+        """
         return VectorClock._trusted(dict(self._entries))
 
     def copy(self) -> "MutableVectorClock":
         dup = MutableVectorClock.__new__(MutableVectorClock)
         dup._entries = dict(self._entries)
+        dup._base = None
+        dup._base_clock = None
+        dup._delta_tid = _NO_DELTA
         return dup
 
     def __eq__(self, other: object) -> bool:

@@ -16,6 +16,11 @@ Comparison granularity differs deliberately:
   is single-threaded, so adaptive-vs-plain equivalence is stated on
   verdict keys (object, action, point pair) — the same identity
   ``tests/core/test_adaptive.py`` uses.
+* the compiled hot path (check plans + interned access points) is a pure
+  execution strategy: it enumerates the same candidates in the same
+  order as representation dispatch, so compiled-vs-uncompiled is the
+  *strictest* comparison — reports equal in content **and order**, stats
+  equal counter for counter.
 """
 
 import pytest
@@ -83,16 +88,48 @@ class TestAdaptiveEquivalence:
             assert adaptive.stats.races == plain.stats.races
 
 
+@pytest.mark.parametrize("factory", [CommutativityRaceDetector,
+                                     ShardedDetector],
+                         ids=["sequential", "sharded"])
+class TestCompiledEquivalence:
+    def test_compiled_vs_uncompiled_identical(self, factory):
+        """The strict identity: same reports in the same order, same stats."""
+        for trace, bindings in corpus():
+            compiled = run_detector(trace, bindings, factory)
+            dispatch = run_detector(trace, bindings, factory, compiled=False)
+            assert compiled.races == dispatch.races
+            assert compiled.stats == dispatch.stats
+
+    def test_compiled_composes_with_adaptive_and_scan(self, factory):
+        # The plan axis must be invisible whatever it is combined with:
+        # under SCAN no plan compiles (the flag is a no-op), under
+        # adaptive the epoch bookkeeping rides the compiled loop.
+        for trace, bindings in corpus():
+            for adaptive in (False, True):
+                for strategy in (Strategy.ENUMERATE, Strategy.SCAN):
+                    compiled = run_detector(trace, bindings, factory,
+                                            adaptive=adaptive,
+                                            strategy=strategy)
+                    dispatch = run_detector(trace, bindings, factory,
+                                            adaptive=adaptive,
+                                            strategy=strategy,
+                                            compiled=False)
+                    assert compiled.races == dispatch.races
+                    assert compiled.stats == dispatch.stats
+
+
 class TestFullMatrixAgreesOnVerdicts:
-    def test_all_eight_configurations(self):
-        """adaptive × strategy × (sequential|sharded): one verdict set."""
+    def test_all_sixteen_configurations(self):
+        """compiled × adaptive × strategy × (sequential|sharded)."""
         for trace, bindings in corpus():
             verdicts = set()
             for factory in (CommutativityRaceDetector, ShardedDetector):
-                for adaptive in (False, True):
-                    for strategy in (Strategy.ENUMERATE, Strategy.SCAN):
-                        det = run_detector(trace, bindings, factory,
-                                           adaptive=adaptive,
-                                           strategy=strategy)
-                        verdicts.add(tuple(verdict_keys(det.races)))
+                for compiled in (False, True):
+                    for adaptive in (False, True):
+                        for strategy in (Strategy.ENUMERATE, Strategy.SCAN):
+                            det = run_detector(trace, bindings, factory,
+                                               compiled=compiled,
+                                               adaptive=adaptive,
+                                               strategy=strategy)
+                            verdicts.add(tuple(verdict_keys(det.races)))
             assert len(verdicts) == 1

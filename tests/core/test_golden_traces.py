@@ -17,7 +17,7 @@ from repro.core.parallel import ShardedDetector
 from repro.core.serialize import load_trace
 from repro.specs import bundled_objects
 
-from tests.support import race_snapshot
+from tests.support import race_snapshot, verdict_keys
 
 DATA_DIR = pathlib.Path(__file__).resolve().parent.parent / "data"
 EXPECTED_DIR = DATA_DIR / "expected"
@@ -62,3 +62,56 @@ def test_sharded_detector_matches_snapshot(name, workers):
     detector.run(trace)
     assert [race_snapshot(race) for race in detector.races] \
         == expected["races"]
+
+
+# -- fast-path axes (PR 4): same frozen snapshots, never regenerated ---------
+#
+# The default sequential/sharded tests above already run the compiled hot
+# path (``compiled=True`` is the default), so the corpus pins it byte for
+# byte.  These variants pin the remaining axes against the *same* disk
+# snapshots: the seed dispatch path, the compiled flag through the process
+# pool, and adaptive mode (clock-insensitive verdict keys, per the
+# equivalence-matrix conventions).
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_seed_path_matches_snapshot(name):
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    detector = CommutativityRaceDetector(root=trace.root, compiled=False)
+    for obj, kind in expected["bindings"].items():
+        detector.register_object(obj, registry[kind].representation())
+    detector.run(trace)
+    assert [race_snapshot(race) for race in detector.races] \
+        == expected["races"]
+
+
+@pytest.mark.parametrize("compiled", [False, True],
+                         ids=["dispatch", "compiled"])
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_sharded_compiled_axis_matches_snapshot(name, compiled):
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    detector = ShardedDetector(root=trace.root, workers=2, compiled=compiled)
+    for obj, kind in expected["bindings"].items():
+        detector.register_object(obj, registry[kind].representation())
+    detector.run(trace)
+    assert [race_snapshot(race) for race in detector.races] \
+        == expected["races"]
+
+
+@pytest.mark.parametrize("compiled", [False, True],
+                         ids=["dispatch", "compiled"])
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_adaptive_axis_matches_snapshot_verdicts(name, compiled):
+    # Adaptive narrows prior clocks (epochs) so the full snapshot may
+    # differ; the verdict keys must still match the frozen corpus.
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    detector = CommutativityRaceDetector(root=trace.root, adaptive=True,
+                                         compiled=compiled)
+    for obj, kind in expected["bindings"].items():
+        detector.register_object(obj, registry[kind].representation())
+    detector.run(trace)
+    assert verdict_keys(detector.races) == sorted(
+        (race["obj"], race["current"], race["point"], race["prior_point"])
+        for race in expected["races"])

@@ -1,5 +1,7 @@
 """Vector clock lattice laws and representation details (Section 3.2)."""
 
+import pickle
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -182,3 +184,128 @@ class TestMutable:
     def test_set_component_rejects_negative(self):
         with pytest.raises(ValueError):
             MutableVectorClock().set_component(1, -1)
+
+
+class TestCopyOnWriteFreeze:
+    """The CoW stamping contract: O(1) snapshots, never a stale value."""
+
+    def test_unchanged_clock_returns_the_cached_snapshot(self):
+        clock = MutableVectorClock({1: 1})
+        assert clock.freeze() is clock.freeze()
+
+    def test_own_component_advance_yields_correct_view(self):
+        clock = MutableVectorClock({1: 1, 2: 5})
+        base = clock.freeze()
+        clock.inc_in_place(1)
+        stepped = clock.freeze()
+        assert stepped == VectorClock({1: 2, 2: 5})
+        assert (stepped[1], stepped[2], stepped[99]) == (2, 5, 0)
+        assert base == VectorClock({1: 1, 2: 5})  # past stamps unharmed
+
+    def test_stepped_view_matches_plain_clock_semantics(self):
+        clock = MutableVectorClock({1: 3, 2: 1})
+        clock.freeze()
+        clock.inc_in_place(1)
+        stepped = clock.freeze()
+        plain = VectorClock({1: 4, 2: 1})
+        other = VectorClock({1: 4, 3: 7})
+        assert stepped == plain and plain == stepped
+        assert hash(stepped) == hash(plain)
+        assert len(stepped) == len(plain)
+        assert not stepped.is_bottom()
+        assert sorted(stepped.items()) == sorted(plain.items())
+        assert stepped.leq(plain) and plain.leq(stepped)
+        assert stepped.leq(other) == plain.leq(other)
+        assert stepped.parallel(other) == plain.parallel(other)
+        assert stepped.join(other) == plain.join(other)
+        assert stepped.inc(3) == plain.inc(3)
+        assert stepped.thaw() == plain.thaw()
+
+    def test_stepped_view_pickles_as_plain_clock(self):
+        clock = MutableVectorClock({1: 1})
+        clock.freeze()
+        clock.inc_in_place(1)
+        stepped = clock.freeze()
+        revived = pickle.loads(pickle.dumps(stepped))
+        assert type(revived) is VectorClock
+        assert revived == stepped
+        assert hash(revived) == hash(stepped)
+
+    def test_cross_component_join_invalidates(self):
+        clock = MutableVectorClock({1: 1})
+        cached = clock.freeze()
+        clock.join_in_place(VectorClock({2: 9}))
+        assert clock.freeze() == VectorClock({1: 1, 2: 9})
+        assert cached == VectorClock({1: 1})
+
+    def test_dominated_join_keeps_the_cache(self):
+        clock = MutableVectorClock({1: 5})
+        cached = clock.freeze()
+        clock.join_in_place(VectorClock({1: 3}))
+        assert clock.freeze() is cached
+
+    def test_set_component_invalidates(self):
+        clock = MutableVectorClock({1: 2})
+        snapshot = clock.freeze()
+        clock.set_component(1, 9)
+        assert clock.freeze() == VectorClock({1: 9})
+        assert snapshot == VectorClock({1: 2})
+
+    def test_second_component_divergence_snapshots_afresh(self):
+        clock = MutableVectorClock({1: 1, 2: 1})
+        clock.freeze()
+        clock.inc_in_place(1)
+        clock.inc_in_place(2)  # the one-delta view no longer applies
+        assert clock.freeze() == VectorClock({1: 2, 2: 2})
+        assert clock.stamp_next(1) == VectorClock({1: 3, 2: 2})
+
+    def test_stamp_next_equals_inc_then_freeze(self):
+        fused = MutableVectorClock({1: 1, 2: 4})
+        twostep = fused.copy()
+        for _ in range(3):
+            stamped = fused.stamp_next(1)
+            twostep.inc_in_place(1)
+            assert stamped == twostep.freeze()
+
+    def test_stamp_next_produces_distinct_stamps(self):
+        clock = MutableVectorClock()
+        first = clock.stamp_next(1)
+        second = clock.stamp_next(1)
+        assert first == VectorClock({1: 1})
+        assert second == VectorClock({1: 2})
+        assert first < second
+
+    def test_freeze_copy_is_plain_and_independent(self):
+        clock = MutableVectorClock({1: 1})
+        snapshot = clock.freeze_copy()
+        assert type(snapshot) is VectorClock
+        clock.inc_in_place(1)
+        assert snapshot == VectorClock({1: 1})
+
+    @given(st.lists(st.tuples(st.sampled_from("ijsf"),
+                              st.integers(min_value=0, max_value=3)),
+                    max_size=40))
+    def test_freeze_always_matches_a_shadow_dict(self, ops):
+        # Whatever the mutation history, every freeze must equal the
+        # value a plain dict would hold at that instant — and earlier
+        # snapshots must never change retroactively.
+        clock = MutableVectorClock()
+        shadow = {}
+        taken = []
+        for op, tid in ops:
+            if op == "i":
+                clock.inc_in_place(tid)
+                shadow[tid] = shadow.get(tid, 0) + 1
+            elif op == "j":
+                clock.join_in_place(VectorClock({tid: 5}))
+                shadow[tid] = max(shadow.get(tid, 0), 5)
+            elif op == "s":
+                stamped = clock.stamp_next(tid)
+                shadow[tid] = shadow.get(tid, 0) + 1
+                taken.append((stamped, VectorClock(shadow)))
+            else:
+                taken.append((clock.freeze(), VectorClock(shadow)))
+        taken.append((clock.freeze(), VectorClock(shadow)))
+        for snapshot, expected in taken:
+            assert snapshot == expected
+            assert hash(snapshot) == hash(expected)

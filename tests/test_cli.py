@@ -124,6 +124,42 @@ class TestWorkersFlag:
                   "--workers", "0"])
 
 
+class TestAdaptiveFlag:
+    def test_adaptive_reports_the_same_races(self, racy_trace_file, capsys):
+        plain = main([racy_trace_file, "--object", "o=dictionary"])
+        plain_out = capsys.readouterr().out
+        adaptive = main([racy_trace_file, "--object", "o=dictionary",
+                         "--adaptive"])
+        adaptive_out = capsys.readouterr().out
+        assert adaptive == plain == 1
+        # Adaptive epochs narrow reported prior clocks but never change
+        # verdicts: same races found, report for report.
+        assert adaptive_out.count("commutativity race") \
+            == plain_out.count("commutativity race")
+
+    def test_adaptive_composes_with_workers(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--adaptive", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[2 workers]" in out
+
+    def test_adaptive_rejected_for_other_detectors(self, racy_trace_file):
+        with pytest.raises(SystemExit) as err:
+            main([racy_trace_file, "--detector", "fasttrack", "--adaptive"])
+        assert err.value.code == 2
+        with pytest.raises(SystemExit) as err:
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--detector", "direct", "--adaptive"])
+        assert err.value.code == 2
+
+    def test_adaptive_rejected_with_atomicity(self, racy_trace_file):
+        with pytest.raises(SystemExit) as err:
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--atomicity", "--adaptive"])
+        assert err.value.code == 2
+
+
 class TestObservabilityFlags:
     def test_stats_table_goes_to_stderr(self, racy_trace_file, capsys):
         baseline = main([racy_trace_file, "--object", "o=dictionary"])
