@@ -190,6 +190,108 @@ def supervisor_overhead_gate(trace, objects: int, workers: int = 2,
     return overhead <= threshold
 
 
+# -- streaming memory gate (PR 5) -------------------------------------------
+
+
+def phased_trace(events: int, objects: int = 8, threads: int = 8,
+                 phases: int = 20, seed: int = 0, keys: int = 16):
+    """A joinall-heavy workload: fork/churn/join-all phases, fresh every time.
+
+    Each phase forks ``threads`` *new* tids, churns put/get/size over the
+    shared objects with *phase-scoped* keys, then joins everything back
+    into the root.  Once a phase's threads are joined, all of its access
+    points are ordered before every live thread — so a pruning analyzer's
+    footprint is one phase, while an unpruned one accumulates all of
+    them: dead points, dead threads' clocks, and (the PR 4 leak) one
+    interned ``(schema, value)`` entry per phase-scoped key it ever saw.
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    from repro.core.events import NIL
+    churn = max(1, events // phases - 2 * threads)
+    next_tid = 1
+    emitted = 0
+    phase = 0
+    while emitted < events:
+        tids = list(range(next_tid, next_tid + threads))
+        next_tid += threads
+        for tid in tids:
+            builder.fork(0, tid)
+        shadow = [dict() for _ in range(objects)]
+        for _ in range(min(churn, max(1, events - emitted - 2 * threads))):
+            tid = rng.choice(tids)
+            index = rng.randrange(objects)
+            obj = f"d{index}"
+            key = f"p{phase}k{rng.randrange(keys)}"
+            roll = rng.random()
+            if roll < 0.6:
+                value = rng.randrange(8)
+                prev = shadow[index].get(key, NIL)
+                shadow[index][key] = value
+                builder.invoke(tid, obj, "put", key, value, returns=prev)
+            elif roll < 0.9:
+                builder.invoke(tid, obj, "get", key,
+                               returns=shadow[index].get(key, NIL))
+            else:
+                size = sum(1 for v in shadow[index].values() if v is not NIL)
+                builder.invoke(tid, obj, "size", returns=size)
+        for tid in tids:
+            builder.join(0, tid)
+        emitted += 2 * threads + churn
+        phase += 1
+    return builder.build(stamp=False)
+
+
+def streaming_memory_gate(events: int = 200_000, objects: int = 8,
+                          threads: int = 8, phases: int = 20, seed: int = 0,
+                          prune_interval: int = 256, window: int = 512,
+                          max_ratio: float = 0.10) -> bool:
+    """Bounded-memory gate: streaming peak footprint vs. unpruned total.
+
+    Runs the phased joinall workload twice — batch with pruning off, then
+    :class:`~repro.core.stream.StreamAnalyzer` with pruning/eviction on —
+    and requires the streaming peak (active + interned points, sampled at
+    every maintenance window) to stay under ``max_ratio`` of the unpruned
+    final count.  Race verdicts are asserted identical first, so the gate
+    cannot pass by dropping work.
+    """
+    from repro.core.stream import StreamAnalyzer
+
+    print(f"\nstreaming memory gate: {events} events, {phases} fork/join "
+          f"phases over {objects} objects ...")
+    trace = phased_trace(events, objects=objects, threads=threads,
+                         phases=phases, seed=seed)
+    baseline = register_all(
+        CommutativityRaceDetector(root=0, keep_reports=False), objects)
+    baseline.run(trace)
+    unpruned = (baseline.active_point_count()
+                + baseline.interned_point_count())
+
+    analyzer = register_all(
+        StreamAnalyzer(root=0, keep_reports=False,
+                       prune_interval=prune_interval, window=window),
+        objects)
+    analyzer.run(trace)
+    assert analyzer.stats.races == baseline.stats.races, (
+        f"verdict drift under streaming: {analyzer.stats.races} != "
+        f"{baseline.stats.races}")
+
+    peak = analyzer.peak_active + analyzer.peak_interned
+    ratio = peak / unpruned if unpruned else 0.0
+    verdict = "PASS" if ratio < max_ratio else "FAIL"
+    print(f"  unpruned final footprint: "
+          f"{baseline.active_point_count()} active + "
+          f"{baseline.interned_point_count()} interned = {unpruned} points")
+    print(f"  streaming peak footprint: {analyzer.peak_active} active + "
+          f"{analyzer.peak_interned} interned = {peak} points "
+          f"({analyzer.stats.points_pruned} pruned, "
+          f"{analyzer.stats.interned_points_evicted} evicted, "
+          f"{analyzer.threads_retired} threads retired)")
+    print(f"streaming memory gate: {ratio:.1%} of unpruned "
+          f"(budget {max_ratio:.0%}) [{verdict}]")
+    return ratio < max_ratio
+
+
 # -- hot-path microbench (PR 4) ---------------------------------------------
 
 
@@ -477,6 +579,12 @@ def main(argv=None) -> int:
                              "(stamping, end-to-end detector, golden "
                              "corpus), write the results JSON, and gate "
                              "on the speedup floors (exit 1 on a breach)")
+    parser.add_argument("--stream", action="store_true",
+                        help="run only the streaming memory gate: peak "
+                             "active+interned points of a pruning "
+                             "StreamAnalyzer over a joinall-heavy phased "
+                             "trace must stay under 10%% of the unpruned "
+                             "footprint (exit 1 on a breach)")
     parser.add_argument("--hotpath-json", metavar="PATH",
                         default="BENCH_PR4.json",
                         help="where --hotpath/--smoke write the hot-path "
@@ -491,6 +599,15 @@ def main(argv=None) -> int:
         args.threads = min(args.threads, 4)
         args.workers = "2"
     worker_counts = [int(w) for w in args.workers.split(",")]
+
+    if args.stream:
+        # The gate's default workload is 200k events (the acceptance
+        # criterion's size); an explicit --events overrides it.
+        import sys
+        given = argv if argv is not None else sys.argv[1:]
+        events = args.events if "--events" in given else 200_000
+        ok = streaming_memory_gate(events=events, seed=args.seed)
+        return 0 if ok else 1
 
     if args.hotpath:
         ok = hotpath_gate(args.events, args.objects, args.threads,

@@ -105,6 +105,48 @@ def _parse_workers(raw: str) -> int:
     return workers
 
 
+def _parse_prune_interval(args) -> int:
+    """Validate ``--prune-interval`` (0 = pruning off, the default)."""
+    if args.prune_interval is None:
+        return 0
+    try:
+        interval = int(args.prune_interval)
+    except ValueError:
+        _fail(f"--prune-interval expects a positive integer, got "
+              f"{args.prune_interval!r}", EXIT_USAGE)
+    if interval < 1:
+        _fail(f"--prune-interval must be >= 1, got {interval}", EXIT_USAGE)
+    return interval
+
+
+def _parse_follow_window(args) -> Optional[int]:
+    """Validate ``--window`` (None when the flag was not given)."""
+    if args.window is None:
+        return None
+    try:
+        window = int(args.window)
+    except ValueError:
+        _fail(f"--window expects a positive integer, got {args.window!r}",
+              EXIT_USAGE)
+    if window < 1:
+        _fail(f"--window must be >= 1, got {window}", EXIT_USAGE)
+    return window
+
+
+def _parse_follow_timeout(args) -> Optional[float]:
+    """Validate ``--follow-timeout`` (None when the flag was not given)."""
+    if args.follow_timeout is None:
+        return None
+    try:
+        timeout = float(args.follow_timeout)
+    except ValueError:
+        _fail(f"--follow-timeout expects a number of seconds, got "
+              f"{args.follow_timeout!r}", EXIT_USAGE)
+    if timeout <= 0:
+        _fail(f"--follow-timeout must be > 0, got {timeout:g}", EXIT_USAGE)
+    return timeout
+
+
 def _load_trace_file(path: str):
     """Load a JSONL trace, turning format problems into clean exits.
 
@@ -129,6 +171,7 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                            supervisor=None, checkpoint=None,
                            resume_from: Optional[str] = None,
                            adaptive: bool = False,
+                           prune_interval: int = 0,
                            ) -> Tuple[int, Optional[Dict[str, Any]]]:
     registry = bundled_objects()
     if not bindings:
@@ -140,13 +183,16 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
         from .core.parallel import ShardedDetector
         detector = ShardedDetector(root=trace.root, workers=workers,
                                    adaptive=adaptive,
+                                   prune_interval=prune_interval,
                                    obs=obs, supervisor=supervisor,
                                    checkpoint=checkpoint,
                                    resume_from=resume_from)
     elif detector_kind == "rd2":
         from .core.detector import CommutativityRaceDetector
         detector = CommutativityRaceDetector(root=trace.root,
-                                             adaptive=adaptive, obs=obs)
+                                             adaptive=adaptive,
+                                             prune_interval=prune_interval,
+                                             obs=obs)
     else:
         from .core.direct import DirectDetector
         detector = DirectDetector(root=trace.root)
@@ -161,6 +207,11 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
     if hb is not None:
         obs.gauge("hb_threads", len(hb.known_threads()))
         obs.gauge("hb_locks", len(hb.known_locks()))
+    if hasattr(detector, "interned_point_count"):
+        # Sequential rd2 only: the sharded detector's per-object state
+        # lives (and dies) in its workers.
+        obs.gauge("active_points", detector.active_point_count())
+        obs.gauge("interned_points", detector.interned_point_count())
     races = detector.races
     suffix = f" [{workers} workers]" if workers > 1 else ""
     with obs.span("report"):
@@ -171,6 +222,84 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
     fault_log = getattr(detector, "faults", None)
     faults = fault_log.snapshot() if fault_log else None
     return (EXIT_REPORTS if races else EXIT_CLEAN), faults
+
+
+def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
+                    adaptive: bool = False, prune_interval: int = 0,
+                    window: int = 1024, idle_timeout: float = 10.0,
+                    stats_json: Optional[str] = None,
+                    meta_base: Optional[Dict[str, Any]] = None,
+                    poll_interval: float = 0.05,
+                    ) -> Tuple[int, int]:
+    """Stream a trace that may still be growing; returns (code, events).
+
+    Races print the moment phase 1 reports them (the whole point of
+    following a live trace), and every maintenance window rewrites the
+    ``--stats-json`` snapshot so an operator can watch the memory gauges
+    of a run that never ends.  The snapshot is built from a throwaway
+    merged registry — publishing cumulative detector counters into ``obs``
+    every window would double-count them.
+    """
+    from .core.stream import StreamAnalyzer, follow_analyze
+    registry = bundled_objects()
+    if not bindings:
+        _fail("commutativity analysis needs at least one --object NAME=KIND",
+              EXIT_USAGE)
+
+    def on_race(race) -> None:
+        print(f"race: {race}", flush=True)
+
+    def snapshot(analyzer: "StreamAnalyzer") -> None:
+        if not stats_json:
+            return
+        merged = Registry(sample_interval=1)
+        merged.absorb(obs)
+        publish_detector_stats(merged, analyzer.stats)
+        meta = dict(meta_base or {})
+        meta["events"] = analyzer.events_processed
+        meta["windows"] = analyzer.windows_completed
+        report = build_report(merged, meta=meta)
+        # Write-then-rename so a reader polling the snapshot never sees a
+        # half-written report.
+        tmp = f"{stats_json}.tmp"
+        with open(tmp, "w", encoding="utf-8") as out:
+            write_report(report, out)
+        os.replace(tmp, stats_json)
+
+    def build(root) -> "StreamAnalyzer":
+        analyzer = StreamAnalyzer(root=root, on_race=on_race,
+                                  prune_interval=prune_interval,
+                                  window=window, adaptive=adaptive,
+                                  obs=obs, on_window=snapshot)
+        for name, kind in bindings:
+            analyzer.register_object(name, registry[kind].representation())
+        return analyzer
+
+    try:
+        analyzer, status = follow_analyze(path, build,
+                                          poll_interval=poll_interval,
+                                          idle_timeout=idle_timeout)
+    except (ReproError, ValueError) as exc:
+        _fail(f"invalid trace file {path!r}: {exc}", EXIT_DATA)
+    if analyzer is None:
+        _fail(f"cannot read trace {path!r}: no complete header after "
+              f"{idle_timeout:g}s", EXIT_DATA)
+    if not status.complete:
+        declared = ("?" if status.declared_events is None
+                    else status.declared_events)
+        print(f"repro-analyze: follow: no new events for {idle_timeout:g}s; "
+              f"trace incomplete ({status.events_read} of {declared} events, "
+              f"resume offset {status.resume_offset})", file=sys.stderr)
+    publish_detector_stats(obs, analyzer.stats)
+    hb = analyzer.detector.happens_before
+    obs.gauge("hb_threads", len(hb.known_threads()))
+    obs.gauge("hb_locks", len(hb.known_locks()))
+    races = analyzer.races
+    with obs.span("report"):
+        print(f"rd2 [follow]: {tally(races)} commutativity race report(s)")
+        for group in group_races(races):
+            print(f"  {group}")
+    return (EXIT_REPORTS if races else EXIT_CLEAN), status.events_read
 
 
 def _analyze_memory(trace, detector_kind: str, obs=NULL_REGISTRY,
@@ -253,6 +382,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "epoch per access point while one thread "
                              "touches it, promoting to a full vector clock "
                              "on the second thread (verdict-preserving)")
+    parser.add_argument("--prune-interval", default=None, metavar="N",
+                        dest="prune_interval",
+                        help="rd2: every N actions, reclaim active points "
+                             "(and their interned entries) ordered before "
+                             "every live thread — bounds memory by the "
+                             "concurrent footprint (verdict-preserving; "
+                             "works sequentially and with --workers)")
+    parser.add_argument("--follow", action="store_true",
+                        help="stream the trace as it is being written: "
+                             "analyze incrementally, print races as they "
+                             "are found, tolerate a partially written "
+                             "tail, stop when the declared event count is "
+                             "reached or no data arrives for "
+                             "--follow-timeout seconds (rd2, sequential)")
+    parser.add_argument("--window", default=None, metavar="N",
+                        help="events per --follow maintenance cycle: dead "
+                             "threads retire, memory gauges sample and "
+                             "--stats-json rewrites (default 1024)")
+    parser.add_argument("--follow-timeout", default=None, metavar="SECONDS",
+                        dest="follow_timeout",
+                        help="give up on --follow after this long without "
+                             "a new complete event — a writer killed "
+                             "mid-record cannot wedge the reader "
+                             "(default 10)")
     parser.add_argument("--atomicity", action="store_true",
                         help="run the atomicity checker instead")
     parser.add_argument("--spec-report", metavar="KIND",
@@ -292,6 +445,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "only to the rd2 detector", EXIT_USAGE)
     if args.adaptive and (args.detector != "rd2" or args.atomicity):
         _fail("--adaptive applies only to the rd2 detector", EXIT_USAGE)
+    prune_interval = _parse_prune_interval(args)
+    if prune_interval and (args.detector != "rd2" or args.atomicity):
+        _fail("--prune-interval applies only to the rd2 detector", EXIT_USAGE)
+    if prune_interval and (checkpoint is not None or args.resume_from):
+        # Phase-A prune-boundary snapshots are not part of the checkpoint
+        # format; a resumed run would skip worker-side pruning and diverge
+        # from the original's stats.
+        _fail("--prune-interval cannot be combined with --checkpoint or "
+              "--resume-from", EXIT_USAGE)
+    window = _parse_follow_window(args)
+    follow_timeout = _parse_follow_timeout(args)
+    if args.follow:
+        if args.detector != "rd2" or args.atomicity:
+            _fail("--follow applies only to the rd2 detector", EXIT_USAGE)
+        if rd2_only:
+            _fail("--follow is a sequential streaming mode; it cannot be "
+                  "combined with --workers, --shard-*, --checkpoint or "
+                  "--resume-from", EXIT_USAGE)
+    elif window is not None or follow_timeout is not None:
+        _fail("--window and --follow-timeout require --follow", EXIT_USAGE)
 
     want_obs = args.stats or args.stats_json or args.spans
     stream = SpanStream(args.spans) if args.spans else None
@@ -300,24 +473,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs = (Registry(sample_interval=1, stream=stream) if want_obs
            else NULL_REGISTRY)
 
+    mode = "atomicity" if args.atomicity else args.detector
+    meta_base = {"detector": mode, "workers": workers,
+                 "trace": os.path.basename(args.trace)}
     faults: Optional[Dict[str, Any]] = None
     try:
-        with obs.span("load"):
-            trace = _load_trace_file(args.trace)
-        print(f"loaded {len(trace)} events "
-              f"({len(trace.actions())} actions, "
-              f"{len(trace.threads())} threads)")
-
         bindings = _parse_bindings(args.objects)
-        if args.atomicity:
-            code, faults = _analyze_atomicity(trace, bindings, obs=obs)
-        elif args.detector in ("rd2", "direct"):
-            code, faults = _analyze_commutativity(
-                trace, bindings, args.detector, workers=workers, obs=obs,
-                supervisor=supervisor, checkpoint=checkpoint,
-                resume_from=args.resume_from, adaptive=args.adaptive)
+        if args.follow:
+            code, events_total = _analyze_follow(
+                args.trace, bindings, obs=obs, adaptive=args.adaptive,
+                prune_interval=prune_interval,
+                window=window if window is not None else 1024,
+                idle_timeout=(follow_timeout if follow_timeout is not None
+                              else 10.0),
+                stats_json=args.stats_json, meta_base=meta_base)
         else:
-            code, faults = _analyze_memory(trace, args.detector, obs=obs)
+            with obs.span("load"):
+                trace = _load_trace_file(args.trace)
+            events_total = len(trace)
+            print(f"loaded {len(trace)} events "
+                  f"({len(trace.actions())} actions, "
+                  f"{len(trace.threads())} threads)")
+
+            if args.atomicity:
+                code, faults = _analyze_atomicity(trace, bindings, obs=obs)
+            elif args.detector in ("rd2", "direct"):
+                code, faults = _analyze_commutativity(
+                    trace, bindings, args.detector, workers=workers, obs=obs,
+                    supervisor=supervisor, checkpoint=checkpoint,
+                    resume_from=args.resume_from, adaptive=args.adaptive,
+                    prune_interval=prune_interval)
+            else:
+                code, faults = _analyze_memory(trace, args.detector, obs=obs)
     except KeyboardInterrupt:
         # The supervisor already tore its pool down on the way out (no
         # orphan workers); the span stream is closed by the finally, so
@@ -336,13 +523,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
 
     if want_obs:
-        mode = "atomicity" if args.atomicity else args.detector
-        report = build_report(obs, meta={
-            "detector": mode,
-            "workers": workers,
-            "trace": os.path.basename(args.trace),
-            "events": len(trace),
-        }, faults=faults)
+        report = build_report(obs, meta=dict(meta_base, events=events_total),
+                              faults=faults)
         if args.stats_json:
             with open(args.stats_json, "w", encoding="utf-8") as out:
                 write_report(report, out)

@@ -23,7 +23,9 @@ from .graph import (concurrency_matrix, critical_path,
                     racing_context)
 from .races import (CommutativityRace, DataRace, LocksetWarning, RaceGroup,
                     RaceReport, RaceTally, group_races, tally)
-from .serialize import dump_trace, dumps_trace, load_trace, loads_trace
+from .serialize import (TailReader, dump_trace, dumps_trace, follow_trace,
+                        load_trace, loads_trace)
+from .stream import FollowStatus, StreamAnalyzer, follow_analyze
 from .supervise import ShardSupervisor, SupervisorConfig
 from .trace import Trace, TraceBuilder
 from .vector_clock import BOTTOM, MutableVectorClock, Tid, VectorClock
@@ -49,6 +51,8 @@ __all__ = [
     "concurrency_matrix", "critical_path", "happens_before_graph",
     "parallelism_profile", "racing_context",
     "dump_trace", "dumps_trace", "load_trace", "loads_trace",
+    "TailReader", "follow_trace",
+    "FollowStatus", "StreamAnalyzer", "follow_analyze",
     "begin_event", "commit_event",
     "Trace", "TraceBuilder",
     "BOTTOM", "MutableVectorClock", "Tid", "VectorClock",

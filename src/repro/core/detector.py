@@ -125,6 +125,11 @@ class DetectorStats:
     #: active points reclaimed by :meth:`~CommutativityRaceDetector.
     #: prune_ordered_points` over the detector's lifetime
     points_pruned: int = 0
+    #: intern-table entries dropped alongside pruned points (the compiled
+    #: path's ``(schema, value) -> AccessPoint`` table would otherwise
+    #: retain every value-carrying point ever touched — pruning without
+    #: eviction bounds ``active(o)`` but not memory)
+    interned_points_evicted: int = 0
 
     def checks_per_action(self) -> float:
         return self.conflict_checks / self.actions if self.actions else 0.0
@@ -325,23 +330,130 @@ class CommutativityRaceDetector:
                        for tid in self._hb.live_threads()]
         reclaimed = 0
         for obj, state in self._objects.items():
-            doomed = [pt for pt in state.active
-                      if all(_point_ordered(state.point_clock[pt], clock)
-                             for clock in live_clocks)]
-            for pt in doomed:
-                state.active.pop(pt, None)
-                del state.point_clock[pt]
-                state.point_method.pop(pt, None)
-            if doomed and self._obs is not None:
-                table = self._obs_pruned_by_object
-                table[obj] = table.get(obj, 0) + len(doomed)
-            reclaimed += len(doomed)
-        self.stats.points_pruned += reclaimed
+            reclaimed += self._prune_state(obj, state, live_clocks)
         return reclaimed
+
+    def prune_object_with_clocks(self, obj: ObjectId,
+                                 live_clocks) -> int:
+        """Prune one object's points against externally supplied clocks.
+
+        The sharded pipeline's shard workers replay per-object actions
+        with a pristine happens-before tracker of their own, so they
+        cannot compute the live-thread clocks themselves; phase A captures
+        them at each prune boundary and the workers apply them here —
+        reaching the exact per-object state (and stats) the sequential
+        detector's :meth:`prune_ordered_points` would at that boundary.
+        """
+        state = self._objects.get(obj)
+        if state is None:
+            return 0
+        return self._prune_state(obj, state, live_clocks)
+
+    def _prune_state(self, obj: ObjectId, state: _ObjectState,
+                     live_clocks) -> int:
+        """Prune one object's dead points and evict their interned traces."""
+        point_clock = state.point_clock
+        doomed = [pt for pt in state.active
+                  if all(_point_ordered(point_clock[pt], clock)
+                         for clock in live_clocks)]
+        if not doomed:
+            return 0
+        for pt in doomed:
+            state.active.pop(pt, None)
+            del point_clock[pt]
+            state.point_method.pop(pt, None)
+        # Evict the compiled path's canonical instances along with the
+        # points: every interned entry whose point is no longer active is
+        # dead weight — the pruned points themselves, plus probe-only
+        # candidates that were interned for their sake and would otherwise
+        # accumulate one entry per distinct value forever.  Candidate
+        # tuples keyed by a pruned point, or referencing an evicted
+        # instance, are invalidated too (a later touch re-interns and
+        # rebuilds them; AccessPoint equality is by value, so verdicts
+        # cannot depend on which instance survives).
+        if state.interned:
+            interned = state.interned
+            stale = [key for key, pt in interned.items()
+                     if pt not in point_clock]
+            if stale:
+                evicted = set()
+                for key in stale:
+                    evicted.add(interned.pop(key))
+                self.stats.interned_points_evicted += len(stale)
+                candidates = state.candidates
+                dead_keys = [pt for pt, peers in candidates.items()
+                             if pt in evicted
+                             or any(peer in evicted for peer in peers)]
+                for pt in dead_keys:
+                    del candidates[pt]
+        if self._obs is not None:
+            table = self._obs_pruned_by_object
+            table[obj] = table.get(obj, 0) + len(doomed)
+        self.stats.points_pruned += len(doomed)
+        return len(doomed)
 
     def active_point_count(self) -> int:
         """Total |active(o)| across objects (for memory accounting)."""
         return sum(len(state.active) for state in self._objects.values())
+
+    def interned_point_count(self) -> int:
+        """Total interned (schema, value) entries across objects.
+
+        The compiled path's other growing table — together with
+        :meth:`active_point_count` this is the detector's per-object
+        memory footprint in points.
+        """
+        return sum(len(state.interned) for state in self._objects.values())
+
+    def per_object_footprint(self) -> Dict[ObjectId, Tuple[int, int]]:
+        """``obj -> (active, interned)`` point counts, for HWM gauges."""
+        return {obj: (len(state.active), len(state.interned))
+                for obj, state in self._objects.items()}
+
+    def compact_dead_clock_components(self) -> int:
+        """Drop dead threads' clock components everywhere it is sound.
+
+        After a join the joined thread's component stops advancing, but
+        every clock that absorbed it keeps the entry forever — over a
+        never-ending fork/join workload the *width* of every clock grows
+        with the total thread count even though the live set stays small.
+        This retires a dead component ``u`` when all live threads agree on
+        its value ``c`` and no lock clock or active point clock exceeds
+        ``c`` at ``u``: every future stamp would then carry exactly ``c``
+        at ``u`` and every phase-1 comparison at ``u`` would pass, so
+        removing the component from thread clocks, lock clocks and point
+        clocks cannot change any verdict.  Reported clocks *narrow* (the
+        dead entries disappear from race reports), so this is opt-in for
+        streaming mode — the same contract as ``adaptive``, and the
+        equivalence suite compares it via verdict keys.
+
+        Returns the number of components retired.  Point clocks are
+        rebuilt, never mutated: reported races may alias them.
+        """
+        floors = []
+        for state in self._objects.values():
+            for prior in state.point_clock.values():
+                floors.append(_as_clock(prior))
+        stripped = self._hb.compact_dead_components(floors)
+        if not stripped:
+            return 0
+        dead = set(stripped)
+        for state in self._objects.values():
+            point_clock = state.point_clock
+            for pt, prior in point_clock.items():
+                if type(prior) is _PointEpoch:
+                    if prior.tid in dead:
+                        # The epoch's only component is dead and ⊑ every
+                        # future stamp (the floor condition): bottom
+                        # preserves "never races again" exactly.
+                        point_clock[pt] = VectorClock()
+                    continue
+                entries = dict(prior.items())
+                if any(tid in dead for tid in entries):
+                    point_clock[pt] = VectorClock._trusted(
+                        {tid: stamp for tid, stamp in entries.items()
+                         if tid not in dead})
+        return len(stripped)
 
     def registered_objects(self):
         return self._objects.keys()

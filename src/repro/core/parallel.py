@@ -98,7 +98,12 @@ def partition_by_load(loads: Sequence[Tuple[ObjectId, int]],
 # interval) and ships it back for the merge.  Plans are compiled once in
 # the facade and shipped, not recompiled per shard; pickle memoization
 # dedups the plan's references into the representation riding alongside.
+# ``prune_snaps`` are the phase-A prune boundaries: ``(trace index of the
+# triggering action, live-thread clocks at that moment)`` — what a shard
+# worker needs to prune exactly where (and with exactly the clocks) the
+# sequential detector's ``prune_interval`` counter would.
 _ShardPayload = Tuple[bool, Strategy, bool, Optional[int], bool,
+                      List[Tuple[int, List[Any]]],
                       List[Tuple[ObjectId, Any, Optional[Strategy], Any,
                                  List[Tuple[Any, ...]]]]]
 
@@ -122,7 +127,8 @@ def _analyze_shard(payload: _ShardPayload):
     pool's cost for report-dense traces, mirroring why the sequential
     detector grew ``keep_reports=False`` for long benchmark runs.
     """
-    adaptive, strategy, need_reports, obs_interval, compiled, objects = payload
+    (adaptive, strategy, need_reports, obs_interval, compiled, prune_snaps,
+     objects) = payload
     obs = None
     if obs_interval is not None:
         from ..obs.registry import Registry
@@ -138,10 +144,21 @@ def _analyze_shard(payload: _ShardPayload):
     # rebuilding the carrier dataclass per event is avoidable overhead.
     shell = unpack_stamped_action(None, (0, 0, "", (), (), None))
     stats = detector.stats
+    snap_count = len(prune_snaps)
     replay_start = perf_counter_ns() if obs is not None else 0
     for obj, _, _, _, packed_actions in objects:
+        # The sequential detector prunes *all* objects after the action at
+        # each boundary index; this object's state at that moment is fully
+        # determined by its own actions with index <= boundary, so
+        # applying each snapshot between the surrounding actions replays
+        # the sequential prune (and its stats) exactly.
+        snap_at = 0
         for packed in packed_actions:
             index, shell.tid, method, args, returns, shell.clock = packed
+            while snap_at < snap_count and prune_snaps[snap_at][0] < index:
+                detector.prune_object_with_clocks(
+                    obj, prune_snaps[snap_at][1])
+                snap_at += 1
             shell.action = Action(obj, method, args, returns)
             shell.index = index
             stats.events += 1
@@ -151,6 +168,9 @@ def _analyze_shard(payload: _ShardPayload):
             if found and need_reports:
                 triples.extend((index, seq, race)
                                for seq, race in enumerate(found))
+        while snap_at < snap_count:
+            detector.prune_object_with_clocks(obj, prune_snaps[snap_at][1])
+            snap_at += 1
     if obs is not None:
         # One exact span per shard: merged, the "shard" timer sums replay
         # CPU time across shards (vs. the facade's "fanout" wall clock).
@@ -258,6 +278,15 @@ class ShardedDetector:
         As for the sequential detector.  Check plans are compiled once at
         registration in this facade and shipped inside the shard payloads,
         so workers skip recompilation.
+    prune_interval:
+        As for the sequential detector: every N actions, reclaim active
+        points (and their interned entries) that are ordered before every
+        live thread.  Phase A records the live-thread clocks at each
+        boundary and ships them to the shard workers, which apply them
+        between the surrounding actions — verdicts, ``points_pruned`` and
+        ``interned_points_evicted`` all match the sequential detector's.
+        Not combinable with ``checkpoint``/``resume_from`` (the boundary
+        snapshots are not checkpointed).
     """
 
     def __init__(
@@ -275,8 +304,18 @@ class ShardedDetector:
         checkpoint: Optional[CheckpointConfig] = None,
         resume_from: Optional[str] = None,
         compiled: bool = True,
+        prune_interval: int = 0,
     ):
+        if prune_interval and (checkpoint is not None
+                               or resume_from is not None):
+            raise MonitorError(
+                "prune_interval cannot be combined with checkpointing: "
+                "phase-A prune-boundary snapshots are not part of the "
+                "checkpoint format, so a resumed run would prune "
+                "differently than the run it resumes")
         self._root = root
+        self._prune_interval = prune_interval
+        self._prune_snaps: List[Tuple[int, List[Any]]] = []
         self._strategy = strategy
         self._on_race = on_race
         self._keep_reports = keep_reports
@@ -387,6 +426,15 @@ class ShardedDetector:
         total = start
         iterator = (itertools.islice(iter(events), start, None)
                     if start else iter(events))
+        # Prune boundaries: the sequential detector counts *actions* (all
+        # ACTION events, registered or not) and prunes after every
+        # interval-th one; record that action's trace index and the live
+        # clocks at that instant for the shard workers.  clock_of()
+        # freezes, so the snapshots cannot be corrupted by later stamping.
+        interval = self._prune_interval
+        snaps: List[Tuple[int, List[Any]]] = []
+        self._prune_snaps = snaps
+        actions_seen = 0
         if writer is None:
             for index, event in enumerate(iterator, start):
                 clock = self._hb.observe(event)
@@ -395,6 +443,13 @@ class ShardedDetector:
                     bucket = groups.get(event.action.obj)
                     if bucket is not None:
                         bucket.append(pack_stamped_action(event, index, clock))
+                    if interval:
+                        actions_seen += 1
+                        if actions_seen >= interval:
+                            actions_seen = 0
+                            snaps.append((index, [
+                                self._hb.clock_of(tid)
+                                for tid in self._hb.live_threads()]))
             return groups, total
         for index, event in enumerate(iterator, start):
             clock = self._hb.observe(event)
@@ -473,7 +528,8 @@ class ShardedDetector:
             objects = [(obj,) + self._registrations[obj] + (groups[obj],)
                        for obj in shard_objs]
             payloads.append((self._adaptive, self._strategy, need_reports,
-                             obs_interval, self._compiled, objects))
+                             obs_interval, self._compiled,
+                             self._prune_snaps, objects))
         if not payloads:
             return []
         if self.workers <= 1 or len(payloads) == 1:

@@ -21,7 +21,8 @@ values fail loudly — silent lossy encoding would corrupt replay verdicts.
 from __future__ import annotations
 
 import json
-from typing import Any, IO, Iterable, List, Union
+import time as _time
+from typing import Any, IO, Iterable, Iterator, List, Optional, Union
 
 from .errors import ReproError
 from .events import (NIL, Action, Event, EventKind, acquire_event,
@@ -29,7 +30,8 @@ from .events import (NIL, Action, Event, EventKind, acquire_event,
                      join_event, read_event, release_event, write_event)
 from .trace import Trace
 
-__all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace"]
+__all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace",
+           "TailReader", "follow_trace"]
 
 _FORMAT_KEY = "repro-trace"
 _FORMAT_VERSION = 1
@@ -161,3 +163,153 @@ def loads_trace(text: str, stamp: bool = True) -> Trace:
     """Parse a trace from a JSONL string."""
     import io
     return load_trace(io.StringIO(text), stamp=stamp)
+
+
+# -- incremental reading (streaming analysis) --------------------------------
+
+
+class TailReader:
+    """Incremental JSONL trace reader that tolerates a partial tail.
+
+    :func:`load_trace` treats a trace whose event count falls short of the
+    header's declaration as fatally truncated — correct for batch analysis
+    of a finished file, wrong for a trace *still being written*: the
+    stream analyzer must distinguish "corrupt" from "not yet flushed".
+    This reader makes that distinction mechanical.  It reads the file in
+    chunks, decodes every newline-terminated record, and stops at the
+    first incomplete one, remembering its byte offset; the next
+    :meth:`poll` (or a fresh reader built with ``resume_offset``) retries
+    from there, so a writer killed mid-record leaves the reader parked at
+    the last complete event instead of wedged or crashed.  A *complete*
+    line that fails to decode is real corruption and still raises.
+
+    Typical loop::
+
+        reader = TailReader(path)
+        while not reader.done:
+            for event in reader.poll():
+                analyzer.process(event)
+            time.sleep(poll_interval)   # or give up after an idle budget
+
+    ``done`` turns true once the header's declared event count has been
+    read; headerless writers never report done and the caller decides
+    when to stop (idle timeout).
+    """
+
+    def __init__(self, path: str, resume_offset: Optional[int] = None,
+                 root: Any = None, declared_events: Optional[int] = None,
+                 events_read: int = 0, chunk_size: int = 1 << 16):
+        self._path = path
+        self._chunk_size = chunk_size
+        #: True when the last poll ended on a partially written record.
+        self.truncated = False
+        if resume_offset is None:
+            self.offset = 0
+            self.root: Any = None
+            self.declared_events: Optional[int] = None
+            self.events_read = 0
+            self._header_done = False
+        else:
+            # Resuming a previous reader's position: the header was
+            # already consumed, so the caller supplies its fields —
+            # including how many events the prefix held, so ``done``
+            # still means "declared count reached".
+            self.offset = resume_offset
+            self.root = root
+            self.declared_events = declared_events
+            self.events_read = events_read
+            self._header_done = True
+
+    @property
+    def header_ready(self) -> bool:
+        """True once the header line has been read and validated."""
+        return self._header_done
+
+    @property
+    def done(self) -> bool:
+        """All declared events read (never true for headerless counts)."""
+        return (self.declared_events is not None
+                and self.events_read >= self.declared_events)
+
+    def poll(self) -> List[Event]:
+        """Decode every complete record appended since the last poll.
+
+        Returns the (possibly empty) list of new events.  Leaves
+        ``offset`` at the first byte of the first incomplete record —
+        the resume position — and sets ``truncated`` accordingly.
+        """
+        try:
+            handle = open(self._path, "rb")
+        except FileNotFoundError:
+            return []
+        with handle:
+            handle.seek(self.offset)
+            chunks = []
+            while True:
+                chunk = handle.read(self._chunk_size)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        buffer = b"".join(chunks)
+        events: List[Event] = []
+        start = 0
+        while True:
+            newline = buffer.find(b"\n", start)
+            if newline < 0:
+                break
+            line = buffer[start:newline]
+            consumed = newline + 1 - start
+            start = newline + 1
+            self.offset += consumed
+            text = line.strip()
+            if not text:
+                continue
+            record = json.loads(text.decode("utf-8"))
+            if not self._header_done:
+                self._read_header(record)
+                continue
+            events.append(_decode_event(record))
+            self.events_read += 1
+        self.truncated = start < len(buffer)
+        return events
+
+    def _read_header(self, record: dict) -> None:
+        if record.get(_FORMAT_KEY) != _FORMAT_VERSION:
+            raise _TraceFormatError(
+                f"not a repro trace (or unsupported version): "
+                f"header {record!r}")
+        self.root = _decode_value(record["root"])
+        self.declared_events = record.get("events")
+        self._header_done = True
+
+
+def follow_trace(path: str, poll_interval: float = 0.05,
+                 idle_timeout: Optional[float] = 10.0,
+                 reader: Optional[TailReader] = None) -> Iterator[Event]:
+    """Yield a growing trace's events as they land on disk.
+
+    Polls ``path`` every ``poll_interval`` seconds through a
+    :class:`TailReader` and yields each complete event once.  Returns
+    when the header's declared event count has been read, or — so a
+    killed writer cannot wedge the consumer — after ``idle_timeout``
+    seconds without a single new complete record (``None`` waits
+    forever).  Pass an existing ``reader`` to resume; inspect it after
+    the generator ends to tell completion (``reader.done``) from an
+    abandoned partial trace (``reader.truncated`` / ``reader.offset``).
+    """
+    if reader is None:
+        reader = TailReader(path)
+    idle = 0.0
+    while True:
+        events = reader.poll()
+        for event in events:
+            yield event
+        if reader.done:
+            return
+        if events:
+            idle = 0.0
+        elif idle_timeout is not None:
+            idle += poll_interval
+            if idle >= idle_timeout:
+                return
+        _time.sleep(poll_interval)

@@ -50,8 +50,11 @@ class TestShapeClaims:
 
     @pytest.fixture(scope="class")
     def rows(self):
+        # Best-of-3 per cell: the shape claims compare wall-clock numbers,
+        # and a single-shot measurement can catch a GC pause on whichever
+        # config runs first (flaky under a loaded full-suite run).
         return {row.benchmark: row
-                for row in run_table2(scale=0.15, seed=0)}
+                for row in run_table2(scale=0.15, seed=0, repeats=3)}
 
     def test_uninstrumented_is_fastest(self, rows):
         for row in rows.values():

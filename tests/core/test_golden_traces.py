@@ -99,6 +99,44 @@ def test_sharded_compiled_axis_matches_snapshot(name, compiled):
         == expected["races"]
 
 
+# -- streaming axes (PR 5): same frozen snapshots, never regenerated ---------
+
+@pytest.mark.parametrize("prune_interval", [0, 1, 3],
+                         ids=["noprune", "prune1", "prune3"])
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_streaming_axis_matches_snapshot(name, prune_interval):
+    # Streaming (incremental processing + pruning + intern eviction +
+    # thread retirement) must be byte-identical to the frozen corpus —
+    # clocks included.
+    from repro.core.stream import StreamAnalyzer
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    analyzer = StreamAnalyzer(root=trace.root,
+                              prune_interval=prune_interval, window=4)
+    for obj, kind in expected["bindings"].items():
+        analyzer.register_object(obj, registry[kind].representation())
+    analyzer.run(trace)
+    assert [race_snapshot(race) for race in analyzer.races] \
+        == expected["races"]
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_compact_clocks_axis_matches_snapshot_verdicts(name):
+    # Dead-component compaction narrows reported clocks (like adaptive),
+    # so the equivalence is on verdict keys.
+    from repro.core.stream import StreamAnalyzer
+    trace, expected = load_case(name)
+    registry = bundled_objects()
+    analyzer = StreamAnalyzer(root=trace.root, prune_interval=1, window=2,
+                              compact_clocks=True)
+    for obj, kind in expected["bindings"].items():
+        analyzer.register_object(obj, registry[kind].representation())
+    analyzer.run(trace)
+    assert verdict_keys(analyzer.races) == sorted(
+        (race["obj"], race["current"], race["point"], race["prior_point"])
+        for race in expected["races"])
+
+
 @pytest.mark.parametrize("compiled", [False, True],
                          ids=["dispatch", "compiled"])
 @pytest.mark.parametrize("name", GOLDEN_NAMES)

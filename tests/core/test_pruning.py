@@ -97,6 +97,80 @@ class TestPruningPreservesVerdicts:
         assert len(races) == 1
 
 
+class TestInternEviction:
+    """Pruning must also reclaim the compiled path's intern table.
+
+    PR 4's ``(schema, value) -> AccessPoint`` table made point lookup
+    O(1) but retained every value-carrying point ever touched, so
+    pruning bounded ``active(o)`` while memory still grew with history —
+    the leak this PR fixes.
+    """
+
+    def joined_phase_trace(self, keys=4):
+        builder = TraceBuilder(root=0)
+        builder.fork(0, 1)
+        for i in range(keys):
+            builder.invoke(1, "obj", "put", f"k{i}", i, returns=NIL)
+        builder.join(0, 1)
+        # The post-join action both triggers interval pruning and shows
+        # re-interning still works on a live key afterwards.
+        builder.invoke(0, "obj", "put", "k0", 9, returns=0)
+        return builder.build()
+
+    def test_pruned_points_leave_the_intern_table(self):
+        det = detector()
+        det.run(self.joined_phase_trace())
+        assert det.interned_point_count() > 4
+        reclaimed = det.prune_ordered_points()
+        assert reclaimed == det.stats.points_pruned
+        assert det.active_point_count() == 0
+        assert det.interned_point_count() == 0
+
+    def test_eviction_counter_mirrors_points_pruned(self):
+        det = detector(prune_interval=1)
+        det.run(self.joined_phase_trace())
+        assert det.stats.points_pruned > 0
+        assert det.stats.interned_points_evicted > 0
+        # Eviction also covers probe-only peers interned via candidate
+        # tuples, so it may exceed points_pruned — never trail at zero
+        # while points are being reclaimed.
+        assert det.stats.interned_points_evicted \
+            >= det.stats.points_pruned
+
+    def test_no_pruning_no_eviction(self):
+        det = detector()
+        det.run(self.joined_phase_trace())
+        assert det.stats.interned_points_evicted == 0
+
+    def test_reinterned_point_races_identically(self):
+        """Evicting an interned point must not lose future races on the
+        same (schema, value): equality is by value, so a re-created
+        instance checks identically."""
+        builder = (TraceBuilder(root=0)
+                   .fork(0, 1)
+                   .invoke(1, "obj", "put", "k", 1, returns=NIL)
+                   .join(0, 1)
+                   .invoke(0, "obj", "put", "k", 2, returns=1)  # prunes
+                   .fork(0, 2).fork(0, 3)
+                   .invoke(2, "obj", "put", "k", 3, returns=2)
+                   .invoke(3, "obj", "put", "k", 4, returns=3))
+        pruning = detector(prune_interval=1)
+        races = pruning.run(builder.build())
+        baseline = detector()
+        expected = baseline.run(builder.build())
+        assert [str(r) for r in races] == [str(r) for r in expected]
+        assert pruning.stats.interned_points_evicted > 0
+
+    def test_per_object_footprint_shape(self):
+        det = detector()
+        det.run(self.joined_phase_trace())
+        footprint = det.per_object_footprint()
+        assert set(footprint) == {"obj"}
+        active, interned = footprint["obj"]
+        assert active == det.active_point_count()
+        assert interned == det.interned_point_count()
+
+
 class TestMemoryEffect:
     def test_pruning_bounds_active_sets_with_join_phases(self):
         """Fork/join phases: pruning keeps the footprint per-phase."""

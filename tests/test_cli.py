@@ -160,6 +160,110 @@ class TestAdaptiveFlag:
         assert err.value.code == 2
 
 
+class TestPruneIntervalFlag:
+    def test_pruning_reports_the_same_races(self, racy_trace_file, capsys):
+        plain = main([racy_trace_file, "--object", "o=dictionary"])
+        plain_out = capsys.readouterr().out
+        pruned = main([racy_trace_file, "--object", "o=dictionary",
+                       "--prune-interval", "1"])
+        pruned_out = capsys.readouterr().out
+        assert pruned == plain == 1
+        # Pruning is fully verdict-preserving: identical reports, byte
+        # for byte (only the "loaded ..." preamble is shared anyway).
+        assert pruned_out == plain_out
+
+    def test_composes_with_workers(self, racy_trace_file, capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--prune-interval", "2", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[2 workers]" in out
+
+    def test_nonpositive_rejected(self, racy_trace_file):
+        for bad in ("0", "-3", "soon"):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      "--prune-interval", bad])
+            assert err.value.code == 2
+
+    def test_rejected_for_other_detectors(self, racy_trace_file):
+        with pytest.raises(SystemExit) as err:
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--detector", "direct", "--prune-interval", "2"])
+        assert err.value.code == 2
+
+    def test_rejected_with_checkpointing(self, racy_trace_file, tmp_path):
+        # Prune-boundary snapshots are not part of the checkpoint format.
+        ck = str(tmp_path / "ck")
+        for extra in (["--checkpoint", ck], ["--resume-from", ck]):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      "--prune-interval", "2", *extra])
+            assert err.value.code == 2
+
+
+class TestFollowFlag:
+    def test_follow_streams_and_matches_batch_summary(self, racy_trace_file,
+                                                      capsys):
+        batch = main([racy_trace_file, "--object", "o=dictionary"])
+        batch_out = capsys.readouterr().out
+        followed = main([racy_trace_file, "--object", "o=dictionary",
+                         "--follow", "--window", "3",
+                         "--prune-interval", "2", "--follow-timeout", "5"])
+        follow_out = capsys.readouterr().out
+        assert followed == batch == 1
+        assert "race:" in follow_out           # incremental emission
+        assert "rd2 [follow]:" in follow_out
+        batch_groups = [l for l in batch_out.splitlines()
+                        if l.startswith("  ")]
+        follow_groups = [l for l in follow_out.splitlines()
+                         if l.startswith("  ")]
+        assert follow_groups == batch_groups
+
+    def test_window_and_timeout_require_follow(self, racy_trace_file):
+        for extra in (["--window", "4"], ["--follow-timeout", "1"]):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary", *extra])
+            assert err.value.code == 2
+
+    def test_follow_is_sequential_rd2_only(self, racy_trace_file, tmp_path):
+        for extra in (["--workers", "2"],
+                      ["--shard-timeout", "5"],
+                      ["--checkpoint", str(tmp_path / "ck")],
+                      ["--resume-from", str(tmp_path / "ck")],
+                      ["--detector", "direct"],
+                      ["--atomicity"]):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      "--follow", *extra])
+            assert err.value.code == 2
+
+    def test_bad_window_and_timeout_values(self, racy_trace_file):
+        for extra in (["--window", "0"], ["--window", "wide"],
+                      ["--follow-timeout", "0"],
+                      ["--follow-timeout", "later"]):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      "--follow", *extra])
+            assert err.value.code == 2
+
+    def test_follow_stats_json_snapshot(self, racy_trace_file, tmp_path,
+                                        capsys):
+        stats = tmp_path / "stats.json"
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--follow", "--window", "2", "--prune-interval", "1",
+                     "--follow-timeout", "5", "--stats-json", str(stats)])
+        capsys.readouterr()
+        assert code == 1
+        report = json.loads(stats.read_text(encoding="utf-8"))
+        assert report["meta"]["detector"] == "rd2"
+        assert report["meta"]["events"] > 0
+        gauges = report["stats"]["gauges"]
+        assert "active_points" in gauges and "interned_points" in gauges
+        counters = report["stats"]["counters"]
+        assert "interned_points_evicted" in counters
+
+
 class TestObservabilityFlags:
     def test_stats_table_goes_to_stderr(self, racy_trace_file, capsys):
         baseline = main([racy_trace_file, "--object", "o=dictionary"])
