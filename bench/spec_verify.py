@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Throughput of the exhaustive spec checker.
+
+Verification runs on every push (the ``spec-verify`` CI job), so the
+sweep must stay cheap.  This benchmark times ``verify_spec`` per kind at
+the registry's default depth and one level deeper, and reports reachable
+states, realizable actions, checked action pairs, and pairs/second — the
+number that degrades first if a registry invocation grid grows careless.
+
+::
+
+    PYTHONPATH=src python bench/spec_verify.py
+    PYTHONPATH=src python bench/spec_verify.py --depth 4 --repeat 5
+    PYTHONPATH=src python bench/spec_verify.py --gate 2.0   # fail if any
+                                                            # kind > 2s
+
+The ``--gate`` option makes the script CI-usable: it exits 1 if any
+single kind's verification exceeds the budget (seconds), which is how a
+combinatorial blow-up in a bounded universe shows up before it slows
+every push.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.obs import Registry
+from repro.verify import verifiable_objects, verify_spec
+
+
+def bench_kind(kind, depth, repeat):
+    entry = verifiable_objects()[kind]
+    domain = entry.domain(depth)
+    spec = entry.spec()
+    semantics = entry.semantics()
+    waivers = entry.waiver_map()
+    best = None
+    pairs = 0
+    for _ in range(repeat):
+        obs = Registry(sample_interval=1)
+        start = time.perf_counter()
+        verdict = verify_spec(spec, semantics, domain, waivers, obs=obs)
+        elapsed = time.perf_counter() - start
+        if not verdict.ok:
+            raise SystemExit(f"{kind}: verification FAILED during bench")
+        pairs = obs.snapshot()["counters"]["verify_action_pairs"]
+        best = elapsed if best is None else min(best, elapsed)
+    described = domain.describe()
+    return {"kind": kind, "depth": described["depth"],
+            "states": described["states"], "actions": described["actions"],
+            "action_pairs": pairs, "seconds": best,
+            "pairs_per_sec": pairs / best if best else float("inf")}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("kinds", nargs="*",
+                        help="kinds to benchmark (default: all)")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="override the per-kind default depth")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions, best-of (default 3)")
+    parser.add_argument("--gate", type=float, default=None, metavar="SECS",
+                        help="exit 1 if any kind exceeds this budget")
+    args = parser.parse_args(argv)
+
+    kinds = args.kinds or sorted(verifiable_objects())
+    header = (f"{'kind':<16} {'depth':>5} {'states':>7} {'actions':>8} "
+              f"{'pairs':>9} {'seconds':>9} {'pairs/s':>10}")
+    print(header)
+    print("-" * len(header))
+    breaches = []
+    for kind in kinds:
+        row = bench_kind(kind, args.depth, args.repeat)
+        print(f"{row['kind']:<16} {row['depth']:>5} {row['states']:>7} "
+              f"{row['actions']:>8} {row['action_pairs']:>9} "
+              f"{row['seconds']:>9.4f} {row['pairs_per_sec']:>10.0f}")
+        if args.gate is not None and row["seconds"] > args.gate:
+            breaches.append((kind, row["seconds"]))
+    if breaches:
+        for kind, seconds in breaches:
+            print(f"GATE BREACH: {kind} took {seconds:.3f}s "
+                  f"(budget {args.gate:.3f}s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ with :func:`repro.core.serialize.dump_trace`, then analyze it later::
     repro-analyze trace.jsonl --detector fasttrack
     repro-analyze trace.jsonl --object o=dictionary --atomicity
     repro-analyze trace.jsonl --spec-report dictionary
+    repro-analyze --verify-specs dictionary
 
 ``--object NAME=KIND`` binds a shared object in the trace to a bundled
 specification kind; the commutativity detectors need at least one binding,
@@ -411,6 +412,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--spec-report", metavar="KIND",
                         help="print the Fig. 6/7-style report of a bundled "
                              "spec and exit")
+    parser.add_argument("--verify-specs", nargs="?", const="all",
+                        metavar="KIND", dest="verify_specs",
+                        help="exhaustively verify a bundled spec (or all "
+                             "of them) against its executable semantics "
+                             "and exit; see repro-verify-specs for the "
+                             "full interface")
     parser.add_argument("--stats", action="store_true",
                         help="print the observability table (per-phase "
                              "timings, per-object and per-method-pair "
@@ -431,6 +438,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .logic.pretty import spec_report
         print(spec_report(registry[args.spec_report].spec()))
         return EXIT_CLEAN
+
+    if args.verify_specs:
+        from .verify.cli import main as verify_main
+        kinds = [] if args.verify_specs == "all" else [args.verify_specs]
+        return verify_main(kinds)
 
     if not args.trace:
         _fail("a trace file is required (or use --spec-report)", EXIT_USAGE)

@@ -131,15 +131,23 @@ def final_state(semantics: ObjectSemantics, state: Any,
 
 @dataclass(frozen=True)
 class SoundnessCounterexample:
-    """A witness that a specification is unsound (Definition 4.2 violated)."""
+    """A witness that a specification is unsound (Definition 4.2 violated).
+
+    ``seed`` is the RNG seed of the :func:`check_soundness` run that found
+    the witness — quoting it in the message makes any randomized failure
+    reproducible verbatim: re-run with the printed seed and the same
+    sample budget to land on the identical action pair and state.
+    """
 
     state: Any
     a: Action
     b: Action
+    seed: Optional[int] = None
 
     def __str__(self) -> str:
+        suffix = "" if self.seed is None else f" [seed={self.seed}]"
         return (f"spec claims {self.a} and {self.b} commute, but at state "
-                f"{self.state!r} the composed effects differ")
+                f"{self.state!r} the composed effects differ{suffix}")
 
 
 def check_soundness(spec: CommutativitySpec, semantics: ObjectSemantics,
@@ -151,7 +159,9 @@ def check_soundness(spec: CommutativitySpec, semantics: ObjectSemantics,
     For ``samples`` random action pairs (generated by running the sampled
     invocations at sampled states so that recorded returns are realizable),
     whenever the specification asserts commutativity, verify Definition 3.1
-    at ``states_per_sample`` probe states.  Deterministic for a fixed seed.
+    at ``states_per_sample`` probe states.  Deterministic for a fixed seed,
+    and any counterexample carries the seed that produced it, so a failure
+    message alone is enough to replay the exact run.
 
     Returns ``None`` if no violation was found.  Like all testing this is
     one-sided: it can prove unsoundness, not soundness — which mirrors the
@@ -174,5 +184,6 @@ def check_soundness(spec: CommutativitySpec, semantics: ObjectSemantics,
             continue
         for state in states:
             if not commute_at(semantics, state, a, b):
-                return SoundnessCounterexample(state=state, a=a, b=b)
+                return SoundnessCounterexample(state=state, a=a, b=b,
+                                               seed=seed)
     return None

@@ -19,8 +19,9 @@ from .accumulator import (AccumulatorSemantics, accumulator_representation,
 from .counter import CounterSemantics, counter_representation, counter_spec
 from .dictionary import (DictionarySemantics, dictionary_representation,
                          dictionary_spec, extended_dictionary_spec)
-from .list_spec import (MultisetLogSemantics, multiset_log_representation,
-                        multiset_log_spec, sequence_log_spec)
+from .list_spec import (MultisetLogSemantics, SequenceLogSemantics,
+                        multiset_log_representation, multiset_log_spec,
+                        sequence_log_spec)
 from .queue_spec import QueueSemantics, queue_representation, queue_spec
 from .register import (RegisterSemantics, register_representation,
                        register_spec)
@@ -33,7 +34,7 @@ __all__ = [
     "DictionarySemantics", "dictionary_representation", "dictionary_spec",
     "extended_dictionary_spec",
     "MultisetLogSemantics", "multiset_log_representation",
-    "multiset_log_spec", "sequence_log_spec",
+    "multiset_log_spec", "sequence_log_spec", "SequenceLogSemantics",
     "QueueSemantics", "queue_representation", "queue_spec",
     "RegisterSemantics", "register_representation", "register_spec",
     "SetSemantics", "set_representation", "set_spec",

@@ -25,12 +25,13 @@ import random
 from typing import Any, Tuple
 
 from ..core.access_points import SchemaRepresentation
-from ..core.events import Action
+from ..core.events import NIL, Action
 from ..logic.semantics import ObjectSemantics
 from ..logic.spec import CommutativitySpec
 
 __all__ = [
     "sequence_log_spec",
+    "SequenceLogSemantics",
     "multiset_log_spec",
     "multiset_log_representation",
     "MultisetLogSemantics",
@@ -38,14 +39,22 @@ __all__ = [
 
 
 def sequence_log_spec() -> CommutativitySpec:
-    """Appends to an order-sensitive log never commute with each other."""
+    """Appends to an order-sensitive log never commute with each other.
+
+    ``append``/``get`` commute exactly when the read index differs from
+    the appended slot.  (An earlier revision declared them unconditionally
+    commuting — "appended slots are fresh" — which the exhaustive bounded
+    checker in :mod:`repro.verify` refutes: ``append(x)/i`` followed by
+    ``get(i)/x`` is realizable on a log of length ``i``, while the reverse
+    order reads ``nil`` there, so the two orders are distinguishable.)
+    """
     spec = CommutativitySpec("seqlog")
     spec.method("append", params=("x",), returns=("i",))
     spec.method("snapshot", returns=("n",))
     spec.method("get", params=("i",), returns=("x",))
     spec.pair("append", "append", "false")
     spec.pair("append", "snapshot", "false")
-    spec.pair("append", "get", "true")   # appended slots are fresh
+    spec.pair("append", "get", "i1 != i2")   # conflicts only on the new slot
     spec.default_true()
     return spec
 
@@ -61,6 +70,45 @@ def multiset_log_spec() -> CommutativitySpec:
     spec.pair("log", "count", "x1 != x2")
     spec.default_true()
     return spec
+
+
+class SequenceLogSemantics(ObjectSemantics):
+    """Executable order-sensitive log; states are tuples in append order.
+
+    ``get`` of an out-of-range index returns ``nil`` (a total method, like
+    the dictionary's ``get`` of an absent key), which is what makes the
+    ``append``/``get`` same-slot conflict realizable: before the append the
+    slot reads ``nil``, after it reads the appended element.
+    """
+
+    kind = "seqlog"
+
+    ELEMENTS: Tuple[Any, ...] = ("x", "y")
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def apply(self, state: Tuple[Any, ...], method: str,
+              args: Tuple[Any, ...]) -> Tuple[Tuple[Any, ...],
+                                              Tuple[Any, ...]]:
+        if method == "append":
+            return state + (args[0],), (len(state),)
+        if method == "snapshot":
+            return state, (len(state),)
+        if method == "get":
+            index = args[0]
+            if 0 <= index < len(state):
+                return state, (state[index],)
+            return state, (NIL,)
+        raise ValueError(f"seqlog has no method {method!r}")
+
+    def sample_invocation(self, rng: random.Random) -> Tuple[str, Tuple[Any, ...]]:
+        roll = rng.random()
+        if roll < 0.5:
+            return "append", (rng.choice(self.ELEMENTS),)
+        if roll < 0.8:
+            return "get", (rng.randrange(0, 4),)
+        return "snapshot", ()
 
 
 _LOG, _SNAP, _CW, _CR = "log", "snap", "cw", "cr"

@@ -1,0 +1,288 @@
+"""The exhaustive bounded model checker for commutativity specs.
+
+For one method pair ``(m1, m2)`` the checker enumerates *every* realizable
+action pair over a :class:`~repro.verify.domains.BoundedDomain` and, per
+pair, every enumerated state, and decides both directions of
+``spec says commute ⟺ ⟦a⟧∘⟦b⟧ = ⟦b⟧∘⟦a⟧``:
+
+* **Soundness (Definition 4.2).**  Wherever the spec asserts
+  commutativity, the composed partial effects must agree at every state.
+  A violation is fatal and reported as a minimal
+  :class:`Counterexample` — action pairs are scanned smallest-first and
+  states smallest-first, so the first failure names the simplest witness.
+
+* **Precision.**  Wherever the spec asserts a conflict, some state must
+  actually distinguish the two orders.  Two escape hatches keep this
+  honest rather than vacuous:
+
+  - a conflict claim about a pair whose compositions are *undefined at
+    every state in either order* (e.g. two effective ``add(x)/true`` on a
+    set — the second add cannot observe ``true``) is **unrealizable**:
+    the paper allows declaring such pairs either way, and several specs
+    deliberately declare them conflicting;
+  - a claim that is realizable but indistinguishable may carry an
+    explicit :class:`~repro.verify.registry.Waiver` naming the reason —
+    always that the exact condition falls outside ECL (Definition 6.3),
+    e.g. the cross-side guard ``x1 = x2`` under which two queue ``enq``
+    invocations do commute.  Waivers are counted, surfaced in reports,
+    and tested to be *necessary* (an unused waiver fails the suite).
+
+The checker is pure and deterministic; ``obs`` counters make its work
+visible in ``--stats-json`` reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import SpecificationError
+from ..core.events import Action
+from ..logic.semantics import ObjectSemantics, apply_action
+from ..logic.spec import CommutativitySpec
+from ..obs import NULL_REGISTRY
+from .domains import BoundedDomain, state_size
+
+__all__ = ["Counterexample", "PairVerdict", "SpecVerdict",
+           "verify_pair", "verify_spec"]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness that one verification direction fails.
+
+    ``direction`` is ``"soundness"`` (spec claims commute, effects differ
+    at ``state``) or ``"precision"`` (spec claims conflict, but the two
+    orders agree at every bounded state; ``state`` is then the smallest
+    state where the pair is realizable).
+    """
+
+    kind: str
+    direction: str
+    state: Any
+    a: Action
+    b: Action
+    formula: str
+
+    def __str__(self) -> str:
+        if self.direction == "soundness":
+            return (f"{self.kind}: ϕ[{self.a.method}, {self.b.method}] = "
+                    f"{self.formula} claims {self.a} and {self.b} commute, "
+                    f"but at state {self.state!r} the composed effects "
+                    f"differ")
+        return (f"{self.kind}: ϕ[{self.a.method}, {self.b.method}] = "
+                f"{self.formula} claims {self.a} and {self.b} conflict, "
+                f"but their effects agree at every bounded state "
+                f"(realizable at state {self.state!r})")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"direction": self.direction,
+                "state": repr(self.state),
+                "a": str(self.a),
+                "b": str(self.b),
+                "formula": self.formula,
+                "message": str(self)}
+
+
+@dataclass
+class PairVerdict:
+    """Exhaustive verification outcome for one method pair."""
+
+    kind: str
+    m1: str
+    m2: str
+    formula: str
+    action_pairs: int = 0
+    commute_claims: int = 0
+    conflict_claims: int = 0
+    #: conflict claims distinguished by at least one state
+    witnessed: int = 0
+    #: conflict claims with no state where either order is defined
+    unrealizable: int = 0
+    #: realizable-but-indistinguishable conflict claims forgiven by a waiver
+    waived: int = 0
+    waiver_reason: Optional[str] = None
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def sound(self) -> bool:
+        return (self.counterexample is None
+                or self.counterexample.direction != "soundness")
+
+    @property
+    def precise(self) -> bool:
+        """Every conflict claim is witnessed, unrealizable, or waived."""
+        return (self.counterexample is None
+                or self.counterexample.direction != "precision")
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    def to_json(self) -> Dict[str, Any]:
+        soundness = {"status": "verified" if self.sound else "counterexample",
+                     "commute_claims": self.commute_claims}
+        if self.waived:
+            precision_status = "waived"
+        elif self.precise:
+            precision_status = "verified"
+        else:
+            precision_status = "counterexample"
+        precision = {"status": precision_status,
+                     "conflict_claims": self.conflict_claims,
+                     "witnessed": self.witnessed,
+                     "unrealizable": self.unrealizable,
+                     "waived": self.waived}
+        if self.waiver_reason is not None:
+            precision["waiver_reason"] = self.waiver_reason
+        return {"m1": self.m1, "m2": self.m2, "formula": self.formula,
+                "action_pairs": self.action_pairs,
+                "soundness": soundness, "precision": precision,
+                "counterexample": (self.counterexample.to_json()
+                                   if self.counterexample else None)}
+
+
+@dataclass
+class SpecVerdict:
+    """Verification outcome for a whole specification."""
+
+    kind: str
+    bound: Dict[str, int]
+    pairs: List[PairVerdict] = field(default_factory=list)
+    #: waivers supplied but never exercised — each one fails the suite
+    unused_waivers: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(pair.ok for pair in self.pairs) and not self.unused_waivers
+
+    @property
+    def counterexamples(self) -> List[Counterexample]:
+        return [p.counterexample for p in self.pairs if p.counterexample]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "verified": self.ok,
+                "bound": dict(self.bound),
+                "pairs": [p.to_json() for p in self.pairs],
+                "unused_waivers": list(self.unused_waivers)}
+
+
+def _compose(semantics: ObjectSemantics, state: Any,
+             first: Action, second: Action) -> Optional[Any]:
+    mid = apply_action(semantics, state, first)
+    if mid is None:
+        return None
+    return apply_action(semantics, mid, second)
+
+
+def _action_key(action: Action) -> Tuple[int, str]:
+    return (state_size(action.args) + state_size(action.returns), str(action))
+
+
+def verify_pair(spec: CommutativitySpec, semantics: ObjectSemantics,
+                domain: BoundedDomain, m1: str, m2: str,
+                waiver_reason: Optional[str] = None,
+                obs=NULL_REGISTRY) -> PairVerdict:
+    """Exhaustively verify one method pair against the semantics.
+
+    Scans every realizable action pair (unordered — the spec is
+    orientation-insensitive by construction) and every bounded state.
+    Stops at the first counterexample for the pair; other pairs of the
+    spec are unaffected (``verify_spec`` reports them all).
+    """
+    try:
+        actions1 = domain.actions_by_method[m1]
+        actions2 = domain.actions_by_method[m2]
+    except KeyError as exc:
+        raise SpecificationError(
+            f"{domain.kind}: bounded domain has no invocations for method "
+            f"{exc.args[0]!r}; cannot verify pair ({m1}, {m2})") from None
+    formula = str(spec.formula_for(m1, m2))
+    verdict = PairVerdict(kind=domain.kind, m1=m1, m2=m2, formula=formula)
+
+    if m1 == m2:
+        candidates = itertools.combinations_with_replacement(
+            sorted(actions1, key=_action_key), 2)
+    else:
+        candidates = itertools.product(sorted(actions1, key=_action_key),
+                                       sorted(actions2, key=_action_key))
+
+    states = domain.states
+    for a, b in candidates:
+        verdict.action_pairs += 1
+        claimed = spec.commutes(a, b)
+        if claimed:
+            verdict.commute_claims += 1
+            for state in states:
+                if _compose(semantics, state, b, a) != \
+                        _compose(semantics, state, a, b):
+                    verdict.counterexample = Counterexample(
+                        kind=domain.kind, direction="soundness",
+                        state=state, a=a, b=b, formula=formula)
+                    obs.add("verify_counterexamples")
+                    return verdict
+        else:
+            verdict.conflict_claims += 1
+            first_defined: Optional[Any] = None
+            distinguished = False
+            for state in states:
+                ab = _compose(semantics, state, a, b)
+                ba = _compose(semantics, state, b, a)
+                if first_defined is None and (ab is not None
+                                              or ba is not None):
+                    first_defined = state
+                if ab != ba:
+                    distinguished = True
+                    break
+            if distinguished:
+                verdict.witnessed += 1
+            elif first_defined is None:
+                verdict.unrealizable += 1
+            elif waiver_reason is not None:
+                verdict.waived += 1
+                verdict.waiver_reason = waiver_reason
+            else:
+                verdict.counterexample = Counterexample(
+                    kind=domain.kind, direction="precision",
+                    state=first_defined, a=a, b=b, formula=formula)
+                obs.add("verify_counterexamples")
+                return verdict
+    obs.add("verify_action_pairs", verdict.action_pairs)
+    return verdict
+
+
+def verify_spec(spec: CommutativitySpec, semantics: ObjectSemantics,
+                domain: BoundedDomain,
+                waivers: Optional[Dict[frozenset, str]] = None,
+                obs=NULL_REGISTRY) -> SpecVerdict:
+    """Exhaustively verify every method pair of a specification.
+
+    ``waivers`` maps ``frozenset({m1, m2})`` to a reason string; a waiver
+    that forgives nothing is reported in ``unused_waivers`` (and fails
+    :attr:`SpecVerdict.ok`) so stale waivers cannot linger after a spec
+    becomes precise.
+    """
+    waivers = dict(waivers or {})
+    verdict = SpecVerdict(kind=domain.kind, bound=domain.describe())
+    exercised = set()
+    obs.add("verify_specs")
+    obs.add("verify_states", len(domain.states))
+    for m1, m2, _ in sorted(spec.pairs(), key=lambda p: (p[0], p[1])):
+        key = frozenset({m1, m2})
+        pair = verify_pair(spec, semantics, domain, m1, m2,
+                           waiver_reason=waivers.get(key), obs=obs)
+        obs.add("verify_method_pairs")
+        if pair.waived:
+            exercised.add(key)
+        verdict.pairs.append(pair)
+    for key, reason in sorted(waivers.items(),
+                              key=lambda kv: sorted(kv[0])):
+        if key not in exercised:
+            verdict.unused_waivers.append(
+                f"{'/'.join(sorted(key))}: {reason}")
+            obs.add("verify_unused_waivers")
+    if verdict.ok:
+        obs.add("verify_specs_ok")
+    return verdict

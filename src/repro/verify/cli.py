@@ -1,0 +1,230 @@
+"""The ``repro-verify-specs`` command: verify bundled specs, from a shell.
+
+::
+
+    repro-verify-specs                       # verify every kind
+    repro-verify-specs set queue             # just these kinds
+    repro-verify-specs --depth 4             # deeper bounded universes
+    repro-verify-specs --json verdicts.json  # frozen verdict schema
+    repro-verify-specs --smt                 # add the Z3 soundness leg
+    repro-verify-specs --synthesize          # re-derive conditions per pair
+    repro-verify-specs --list                # available kinds
+
+The JSON schema (``repro-verify/v1``) is frozen and golden-file tested::
+
+    {"schema": "repro-verify/v1",
+     "verified": bool,                 -- conjunction over kinds
+     "depth": int | null,              -- the --depth override, if any
+     "kinds": [{"kind": ..., "verified": ..., "bound": {...},
+                "pairs": [...], "unused_waivers": [...],
+                "smt": [...],          -- only with --smt
+                "synthesis": [...]}]}  -- only with --synthesize
+
+Exit codes follow :mod:`repro.cli`'s scripting interface: 0 every spec
+verified, 1 some verification failed (counterexample or unused waiver), 2
+usage error (e.g. an unknown kind).  The ``--smt`` leg degrades to status
+``"unavailable"`` without ``z3-solver`` and never affects the exit code
+on its own unless it finds a counterexample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import NULL_REGISTRY, Registry, build_report, write_report
+from .registry import VerifiedObject, verifiable_objects
+
+__all__ = ["main", "run_verification", "SCHEMA"]
+
+SCHEMA = "repro-verify/v1"
+
+EXIT_CLEAN = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2
+
+_EXIT_CODE_HELP = """\
+exit codes:
+  0   every requested spec verified (sound and precise modulo waivers)
+  1   a counterexample, unused waiver, or SMT refutation was found
+  2   usage error (unknown kind or bad option value)
+"""
+
+
+def _fail(message: str, code: int) -> "SystemExit":
+    print(f"repro-verify-specs: error: {message}", file=sys.stderr)
+    raise SystemExit(code)
+
+
+def _verify_kind(entry: VerifiedObject, depth: Optional[int],
+                 smt: bool, synthesize: bool,
+                 obs=NULL_REGISTRY) -> Dict[str, Any]:
+    """One kind's full verdict (checker [+ smt] [+ synthesis]), as JSON."""
+    from .checker import verify_spec
+    domain = entry.domain(depth)
+    spec = entry.spec()
+    semantics = entry.semantics()
+    verdict = verify_spec(spec, semantics, domain, entry.waiver_map(),
+                          obs=obs)
+    payload = verdict.to_json()
+
+    if smt:
+        from .smt import verify_spec_smt
+        results = verify_spec_smt(entry.kind, spec)
+        payload["smt"] = [r.to_json() for r in results]
+        if any(r.status == "counterexample" for r in results):
+            payload["verified"] = False
+
+    if synthesize:
+        from .synthesis import synthesize_condition
+        synth = []
+        for m1, m2, _ in sorted(spec.pairs(), key=lambda p: (p[0], p[1])):
+            result = synthesize_condition(spec, semantics, domain, m1, m2,
+                                          obs=obs)
+            synth.append(result.to_json())
+        payload["synthesis"] = synth
+    return payload
+
+
+def _render_kind(payload: Dict[str, Any], verbose: bool) -> str:
+    lines = []
+    bound = payload["bound"]
+    waived = [(p["m1"], p["m2"], p["precision"]["waived"])
+              for p in payload["pairs"] if p["precision"]["waived"]]
+    status = "OK" if payload["verified"] else "FAIL"
+    summary = (f"{payload['kind']}: {status} "
+               f"({bound['states']} states, {bound['actions']} actions, "
+               f"{len(payload['pairs'])} pairs, depth {bound['depth']})")
+    if waived:
+        summary += ("; waived: "
+                    + ", ".join(f"{m1}/{m2}×{n}" for m1, m2, n in waived))
+    lines.append(summary)
+    for pair in payload["pairs"]:
+        ce = pair["counterexample"]
+        if ce is not None:
+            lines.append(f"  counterexample: {ce['message']}")
+        elif verbose:
+            lines.append(f"  {pair['m1']}/{pair['m2']}: "
+                         f"ϕ = {pair['formula']} "
+                         f"[{pair['soundness']['status']}/"
+                         f"{pair['precision']['status']}]")
+    for unused in payload["unused_waivers"]:
+        lines.append(f"  unused waiver: {unused}")
+    for result in payload.get("smt", ()):
+        if result["status"] == "counterexample":
+            lines.append(f"  smt counterexample {result['m1']}/"
+                         f"{result['m2']}: {result['detail']}")
+        elif verbose:
+            lines.append(f"  smt {result['m1']}/{result['m2']}: "
+                         f"{result['status']}")
+    for result in payload.get("synthesis", ()):
+        if verbose or result["formula"] is None:
+            shape = result["formula"] or "<no ECL cover>"
+            agrees = ("matches spec" if result["matches_spec"]
+                      else "differs from spec")
+            lines.append(f"  synth {result['m1']}/{result['m2']}: "
+                         f"{shape} [{agrees}]")
+    return "\n".join(lines)
+
+
+def run_verification(kinds: Sequence[str], depth: Optional[int] = None,
+                     smt: bool = False, synthesize: bool = False,
+                     obs=NULL_REGISTRY) -> Dict[str, Any]:
+    """Programmatic entry point: the full ``repro-verify/v1`` document."""
+    registry = verifiable_objects()
+    unknown = [k for k in kinds if k not in registry]
+    if unknown:
+        _fail(f"unknown kind(s) {sorted(unknown)}; "
+              f"available: {sorted(registry)}", EXIT_USAGE)
+    selected = list(kinds) if kinds else sorted(registry)
+    payloads = [_verify_kind(registry[kind], depth, smt, synthesize, obs=obs)
+                for kind in selected]
+    return {"schema": SCHEMA,
+            "verified": all(p["verified"] for p in payloads),
+            "depth": depth,
+            "kinds": payloads}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify-specs",
+        description="Exhaustively verify the bundled commutativity "
+                    "specifications against their executable semantics.",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("kinds", nargs="*", metavar="KIND",
+                        help="object kinds to verify (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list verifiable kinds and exit")
+    parser.add_argument("--depth", default=None, metavar="N",
+                        help="override the bounded-domain reachability "
+                             "depth (default: per-kind, typically 3)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write the frozen repro-verify/v1 verdict "
+                             "document ('-' for stdout)")
+    parser.add_argument("--smt", action="store_true",
+                        help="also discharge each pair's soundness "
+                             "symbolically via Z3 (skipped as "
+                             "'unavailable' without z3-solver)")
+    parser.add_argument("--synthesize", action="store_true",
+                        help="re-derive each pair's condition from "
+                             "labelled samples and compare with the "
+                             "shipped formula")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-pair verdict lines, not just "
+                             "per-kind summaries")
+    parser.add_argument("--stats-json", metavar="PATH",
+                        help="write the observability report as JSON")
+    args = parser.parse_args(argv)
+
+    registry = verifiable_objects()
+    if args.list:
+        for kind in sorted(registry):
+            entry = registry[kind]
+            extras = []
+            if entry.smt_supported:
+                extras.append("smt")
+            if entry.waivers:
+                extras.append(f"{len(entry.waivers)} waiver(s)")
+            suffix = f"  [{', '.join(extras)}]" if extras else ""
+            print(f"{kind}{suffix}")
+        return EXIT_CLEAN
+
+    depth: Optional[int] = None
+    if args.depth is not None:
+        try:
+            depth = int(args.depth)
+        except ValueError:
+            _fail(f"--depth expects a positive integer, got "
+                  f"{args.depth!r}", EXIT_USAGE)
+        if depth < 1:
+            _fail(f"--depth must be >= 1, got {depth}", EXIT_USAGE)
+
+    obs = Registry(sample_interval=1) if args.stats_json else NULL_REGISTRY
+    document = run_verification(args.kinds, depth=depth, smt=args.smt,
+                                synthesize=args.synthesize, obs=obs)
+
+    for payload in document["kinds"]:
+        print(_render_kind(payload, args.verbose))
+
+    if args.json_path:
+        if args.json_path == "-":
+            write_report(document, sys.stdout)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as out:
+                write_report(document, out)
+
+    if args.stats_json:
+        meta = {"command": "verify-specs",
+                "kinds": len(document["kinds"]),
+                "depth": depth if depth is not None else "default"}
+        report = build_report(obs, meta=meta)
+        with open(args.stats_json, "w", encoding="utf-8") as out:
+            write_report(report, out)
+
+    return EXIT_CLEAN if document["verified"] else EXIT_FAILURES
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

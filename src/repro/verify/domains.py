@@ -1,0 +1,146 @@
+"""Bounded verification universes: every state, every realizable action.
+
+A :class:`BoundedDomain` fixes, for one object kind, the finite universe
+the exhaustive checker quantifies over:
+
+* **states** — every state reachable from ``initial_state()`` by at most
+  ``depth`` invocations drawn from the invocation domain, deduplicated and
+  sorted smallest-first (so the first counterexample the checker reports
+  is minimal under the state ordering);
+* **actions** — every ``(method, args)`` over the kind's small value
+  domain, paired with every return vector *realizable* at some enumerated
+  state.  Enumerating returns from actual executions keeps the action set
+  consistent: an action like ``size()/99`` that no bounded state realizes
+  never enters the universe, exactly as the randomized sampler only ever
+  produced executed returns.
+
+The per-kind invocation domains live in :mod:`repro.verify.registry`; this
+module is the kind-agnostic machinery.  Everything is deterministic — the
+enumeration order is a sorted order, not an iteration accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.events import Action
+from ..logic.semantics import ObjectSemantics
+
+__all__ = ["Invocation", "BoundedDomain", "reachable_states",
+           "enumerate_actions", "state_size"]
+
+Invocation = Tuple[str, Tuple[Any, ...]]
+"""A ``(method, args)`` pair, prior to choosing return values."""
+
+
+def state_size(state: Any) -> int:
+    """A rough "how big is this state" metric for minimality ordering.
+
+    Containers count their elements (recursively, one level is enough for
+    the bundled kinds); integers count their magnitude.  Smaller states
+    sort first, so counterexamples are reported at the simplest state that
+    exhibits them — the initial state whenever possible.
+    """
+    if isinstance(state, (tuple, frozenset, list)):
+        return len(state) + sum(state_size(item) for item in state)
+    if isinstance(state, bool):
+        return int(state)
+    if isinstance(state, int):
+        return abs(state)
+    return 0
+
+
+def _sort_key(value: Any) -> Tuple[int, str]:
+    return (state_size(value), repr(value))
+
+
+def reachable_states(semantics: ObjectSemantics,
+                     invocations: Sequence[Invocation],
+                     depth: int) -> List[Any]:
+    """All states within ``depth`` invocations of the initial state.
+
+    Breadth-first closure with deduplication (states are hashable values
+    by the :class:`ObjectSemantics` contract); the result is sorted
+    smallest-first by :func:`state_size`.
+    """
+    initial = semantics.initial_state()
+    seen = {initial}
+    frontier = [initial]
+    for _ in range(depth):
+        next_frontier = []
+        for state in frontier:
+            for method, args in invocations:
+                new_state, _ = semantics.apply(state, method, args)
+                if new_state not in seen:
+                    seen.add(new_state)
+                    next_frontier.append(new_state)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return sorted(seen, key=_sort_key)
+
+
+def enumerate_actions(semantics: ObjectSemantics,
+                      invocations: Sequence[Invocation],
+                      states: Sequence[Any],
+                      obj: Any = "o") -> Dict[str, List[Action]]:
+    """Every realizable action per method, sorted deterministically.
+
+    For each invocation, the realizable return vectors are exactly the
+    returns produced by executing it at each enumerated state.
+    """
+    by_method: Dict[str, List[Action]] = {}
+    for method, args in invocations:
+        returns_seen = set()
+        for state in states:
+            _, returns = semantics.apply(state, method, args)
+            returns_seen.add(returns)
+        bucket = by_method.setdefault(method, [])
+        for returns in returns_seen:
+            bucket.append(Action(obj, method, args, returns))
+    for method, actions in by_method.items():
+        actions.sort(key=lambda a: (_sort_key(a.args), _sort_key(a.returns)))
+    return by_method
+
+
+@dataclass(frozen=True)
+class BoundedDomain:
+    """The finite universe one kind's exhaustive verification ranges over."""
+
+    kind: str
+    #: the ``(method, args)`` grid the enumeration is built from
+    invocations: Tuple[Invocation, ...]
+    #: reachability depth used to close the state set
+    depth: int
+    #: every reachable state, sorted smallest-first
+    states: Tuple[Any, ...]
+    #: every realizable action, per method, sorted
+    actions_by_method: Dict[str, Tuple[Action, ...]] = field(repr=False)
+
+    @property
+    def action_count(self) -> int:
+        return sum(len(acts) for acts in self.actions_by_method.values())
+
+    def describe(self) -> Dict[str, int]:
+        """The bound parameters for verdict reports (frozen JSON schema)."""
+        return {"depth": self.depth,
+                "states": len(self.states),
+                "invocations": len(self.invocations),
+                "actions": self.action_count}
+
+
+def build_domain(kind: str, semantics: ObjectSemantics,
+                 invocations: Sequence[Invocation], depth: int,
+                 obj: Any = "o") -> BoundedDomain:
+    """Close the state set and realize the action universe for one kind."""
+    invocations = tuple(invocations)
+    states = reachable_states(semantics, invocations, depth)
+    by_method = enumerate_actions(semantics, invocations, states, obj=obj)
+    return BoundedDomain(
+        kind=kind,
+        invocations=invocations,
+        depth=depth,
+        states=tuple(states),
+        actions_by_method={m: tuple(a) for m, a in by_method.items()},
+    )

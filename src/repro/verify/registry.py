@@ -1,0 +1,200 @@
+"""The registry of verifiable objects: spec + semantics + bounded domain.
+
+Extends the bundled registry (:func:`repro.specs.bundled_objects`) with
+everything the verifier needs per kind:
+
+* an explicit **invocation domain** — the ``(method, args)`` grid the
+  bounded enumeration is built from.  Unlike the randomized
+  ``sample_invocation`` samplers, these cover *every* method of the spec
+  (the dictionary sampler, for instance, never draws the extended
+  methods);
+* the default **reachability depth** for the state closure;
+* the pair **waivers** documenting imprecision that ECL (Definition 6.3)
+  provably cannot avoid.  Every waiver must be *exercised* — the checker
+  reports unused waivers as failures, and ``tests/verify`` asserts each
+  one forgives at least one realizable indistinguishable pair.
+
+Two kinds are verified beyond the bundled seven: ``dictionary-ext`` (the
+extended Fig. 6 spec the applications use) and ``seqlog`` (whose
+``append``/``get`` formula the checker corrected — see
+:func:`repro.specs.list_spec.sequence_log_spec`).
+
+Domain notes:
+
+* ``putIfAbsent`` never takes ``nil`` as its value argument.  Java's
+  ``ConcurrentHashMap`` (the method's origin) prohibits null values, and
+  ``putIfAbsent(k, nil)`` on an absent key would be a state-preserving
+  write that the spec's presence-based formulas cannot classify.
+* Counter deltas include ``0`` and negatives — ``add(0)``'s
+  read-commutativity is part of the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.events import NIL
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec
+from ..specs import (AccumulatorSemantics, CounterSemantics,
+                     DictionarySemantics, MultisetLogSemantics,
+                     QueueSemantics, RegisterSemantics,
+                     SequenceLogSemantics, SetSemantics, accumulator_spec,
+                     counter_spec, dictionary_spec, extended_dictionary_spec,
+                     multiset_log_spec, queue_spec, register_spec,
+                     sequence_log_spec, set_spec)
+from .domains import BoundedDomain, Invocation, build_domain
+
+__all__ = ["Waiver", "VerifiedObject", "verifiable_objects"]
+
+#: why a pair may legitimately stay imprecise: the exact commutativity
+#: condition needs an atom relating values of *both* sides beyond a
+#: disequality, which Definition 6.3 excludes from ECL.
+_OUTSIDE_ECL = ("exact condition needs a cross-side atom outside ECL "
+                "(Definition 6.3): {condition}")
+
+
+def _ecl_waiver(condition: str) -> str:
+    return _OUTSIDE_ECL.format(condition=condition)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A documented, audited imprecision for one method pair."""
+
+    m1: str
+    m2: str
+    reason: str
+
+    @property
+    def key(self) -> frozenset:
+        return frozenset({self.m1, self.m2})
+
+
+@dataclass(frozen=True)
+class VerifiedObject:
+    """One object kind with everything exhaustive verification needs."""
+
+    kind: str
+    spec: Callable[[], CommutativitySpec]
+    semantics: Callable[[], ObjectSemantics]
+    invocations: Tuple[Invocation, ...]
+    depth: int = 3
+    waivers: Tuple[Waiver, ...] = ()
+    #: whether :mod:`repro.verify.smt` can encode this kind's theory
+    smt_supported: bool = False
+
+    def domain(self, depth: Optional[int] = None) -> BoundedDomain:
+        return build_domain(self.kind, self.semantics(), self.invocations,
+                            depth if depth is not None else self.depth)
+
+    def waiver_map(self) -> Dict[frozenset, str]:
+        return {w.key: w.reason for w in self.waivers}
+
+
+def _dictionary_invocations(keys=("a", "b"), values=(NIL, 1, 2),
+                            extended=False) -> Tuple[Invocation, ...]:
+    out = []
+    for key in keys:
+        for value in values:
+            out.append(("put", (key, value)))
+        out.append(("get", (key,)))
+    out.append(("size", ()))
+    if extended:
+        for key in keys:
+            out.append(("remove", (key,)))
+            out.append(("contains", (key,)))
+            for value in values:
+                if value is not NIL:   # CHM prohibits null values
+                    out.append(("putIfAbsent", (key, value)))
+    return tuple(out)
+
+
+def _set_invocations(elements=("a", "b", "c")) -> Tuple[Invocation, ...]:
+    out = []
+    for element in elements:
+        out.append(("add", (element,)))
+        out.append(("remove", (element,)))
+        out.append(("contains", (element,)))
+    out.append(("size", ()))
+    return tuple(out)
+
+
+def _counter_invocations(deltas=(-2, -1, 0, 1, 2)) -> Tuple[Invocation, ...]:
+    return tuple(("add", (d,)) for d in deltas) + (("read", ()),)
+
+
+def _register_invocations(values=(0, 1, 2)) -> Tuple[Invocation, ...]:
+    return tuple(("write", (v,)) for v in values) + (("read", ()),)
+
+
+def _accumulator_invocations(samples=(0, 1, 2)) -> Tuple[Invocation, ...]:
+    return (tuple(("sample", (d,)) for d in samples)
+            + (("total", ()), ("peak", ())))
+
+
+def _msetlog_invocations(elements=("x", "y")) -> Tuple[Invocation, ...]:
+    return (tuple(("log", (e,)) for e in elements)
+            + tuple(("count", (e,)) for e in elements)
+            + (("snapshot", ()),))
+
+
+def _queue_invocations(elements=("a", "b")) -> Tuple[Invocation, ...]:
+    return (tuple(("enq", (e,)) for e in elements)
+            + (("deq", ()), ("peek", ()), ("size", ())))
+
+
+def _seqlog_invocations(elements=("x", "y"),
+                        indices=(0, 1, 2, 3)) -> Tuple[Invocation, ...]:
+    return (tuple(("append", (e,)) for e in elements)
+            + tuple(("get", (i,)) for i in indices)
+            + (("snapshot", ()),))
+
+
+def verifiable_objects() -> Dict[str, VerifiedObject]:
+    """All verifiable kinds, keyed by name (superset of the bundle)."""
+    entries = [
+        VerifiedObject(
+            "dictionary", dictionary_spec, DictionarySemantics,
+            _dictionary_invocations(), smt_supported=True),
+        VerifiedObject(
+            "dictionary-ext", extended_dictionary_spec, DictionarySemantics,
+            _dictionary_invocations(extended=True), smt_supported=True),
+        VerifiedObject(
+            "set", set_spec, SetSemantics, _set_invocations(),
+            smt_supported=True),
+        VerifiedObject(
+            "counter", counter_spec, CounterSemantics,
+            _counter_invocations(), smt_supported=True),
+        VerifiedObject(
+            "register", register_spec, RegisterSemantics,
+            _register_invocations(), smt_supported=True),
+        VerifiedObject(
+            "accumulator", accumulator_spec, AccumulatorSemantics,
+            _accumulator_invocations(), smt_supported=True,
+            waivers=(
+                Waiver("sample", "peak",
+                       _ecl_waiver("a positive sample below the running "
+                                   "maximum leaves every peak() read "
+                                   "unchanged, i.e. commute iff d1 <= m2")),
+            )),
+        VerifiedObject(
+            "msetlog", multiset_log_spec, MultisetLogSemantics,
+            _msetlog_invocations()),
+        VerifiedObject(
+            "queue", queue_spec, QueueSemantics, _queue_invocations(),
+            waivers=(
+                Waiver("enq", "enq",
+                       _ecl_waiver("two enqueues of the same element "
+                                   "commute, i.e. commute iff x1 = x2")),
+                Waiver("deq", "deq",
+                       _ecl_waiver("two successful dequeues of the same "
+                                   "element commute (the head repeats), "
+                                   "i.e. commute iff y1 = y2")),
+            )),
+        VerifiedObject(
+            "seqlog", sequence_log_spec, SequenceLogSemantics,
+            _seqlog_invocations()),
+    ]
+    return {entry.kind: entry for entry in entries}

@@ -1,0 +1,432 @@
+"""SMT soundness backend: the bounded checker's query, unbounded.
+
+The exhaustive checker proves ``spec says commute ⟹ effects commute``
+over a *finite* universe; this module re-states the same implication
+symbolically and hands it to Z3, discharging it for **all** states,
+arguments and return values of the background theory at once.  Only the
+soundness direction is encoded — precision ("some state distinguishes
+the orders") is an existential the bounded checker already witnesses
+concretely, and a symbolic witness would add nothing.
+
+Per method pair the query is::
+
+    ϕ(a, b) ∧ (  defined(a·b) ∧ defined(b·a) ∧ final(a·b) ≠ final(b·a)
+               ∨ defined(a·b) ≠ defined(b·a))            -- partiality!
+
+where ``defined`` conjoins "each action's recorded returns equal what
+execution produces" (the partial-effect semantics of Definition 3.1).
+``unsat`` means the spec's commute claims are sound over the unbounded
+theory; ``sat`` yields a symbolic counterexample model.
+
+Encodings (exact, not abstractions — with one documented exception):
+
+* **counter / register / accumulator** — integer states.  The
+  accumulator carries the reachability invariant ``peak ≥ 0 ∧ d ≥ 0``
+  (samples are non-negative measurements and the peak starts at 0);
+  without it Z3 reports spurious pre-states like ``peak = -5``.
+* **set** — ``Array(Elem, Bool)`` membership plus a symbolic cardinality
+  tracked by exact deltas.  The cardinality is *decoupled* from the
+  array (a spurious state may pair an empty array with ``card = 7``),
+  which is harmless: every shipped formula constrains size *changes*
+  (via effectiveness returns), never absolute sizes.
+* **dictionary** — ``Array(Key, Val)`` with a distinguished ``nil``
+  value and a delta-tracked size; covers the extended methods too
+  (``putIfAbsent`` arguments carry the ``v ≠ nil`` domain constraint,
+  matching the registry's bounded domain).
+
+Queues and logs are **unsupported**: their states are sequences, whose
+theory is a different engagement (and the bounded checker covers them).
+
+Z3 is an *optional* dependency: everything degrades to status
+``"unavailable"`` when the import fails, and the test-suite skips — no
+environment without ``z3-solver`` ever errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import NIL
+from ..logic.formulas import (And, Atom, Const, FalseF, Formula, Not, Or,
+                              Side, TrueF, Var)
+from ..logic.spec import CommutativitySpec, MethodSig
+
+__all__ = ["SmtResult", "smt_available", "verify_pair_smt",
+           "verify_spec_smt", "SUPPORTED_KINDS"]
+
+#: kinds with an exact symbolic encoding below
+SUPPORTED_KINDS = ("counter", "register", "accumulator", "set",
+                   "dictionary", "dictionary-ext")
+
+
+def smt_available() -> bool:
+    """Whether the optional ``z3-solver`` package is importable."""
+    return _z3() is not None
+
+
+def _z3():
+    try:
+        import z3
+        return z3
+    except ImportError:
+        return None
+
+
+@dataclass
+class SmtResult:
+    """Outcome of one symbolic soundness query."""
+
+    kind: str
+    m1: str
+    m2: str
+    #: "verified" | "counterexample" | "unsupported" | "unavailable"
+    status: str
+    detail: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "counterexample"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"m1": self.m1, "m2": self.m2, "status": self.status,
+                "detail": self.detail}
+
+
+class _Encoder:
+    """Symbolic semantics of one kind: state sorts + method effects."""
+
+    def __init__(self, z3: Any):
+        self.z3 = z3
+
+    def fresh_state(self, tag: str) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def state_eq(self, s1: Tuple[Any, ...], s2: Tuple[Any, ...]) -> Any:
+        parts = [a == b for a, b in zip(s1, s2)]
+        return self.z3.And(*parts) if len(parts) > 1 else parts[0]
+
+    def state_invariant(self, state: Tuple[Any, ...]) -> List[Any]:
+        return []
+
+    def fresh_value(self, name: str, tag: str) -> Any:
+        """A symbolic argument/return slot (default sort: Int)."""
+        return self.z3.Int(f"{name}_{tag}")
+
+    def value_constraints(self, method: str, env: Dict[str, Any]) -> List[Any]:
+        """Domain constraints on a method's symbolic arguments."""
+        return []
+
+    def nil(self) -> Any:
+        raise _Unsupported("this kind's values have no nil")
+
+    def const(self, value: Any) -> Any:
+        if value is NIL:
+            return self.nil()
+        if isinstance(value, bool):
+            return self.z3.BoolVal(value)
+        if isinstance(value, int):
+            return self.z3.IntVal(value)
+        raise _Unsupported(f"cannot encode constant {value!r}")
+
+    def apply(self, state: Tuple[Any, ...], method: str,
+              env: Dict[str, Any], sig: MethodSig) -> Tuple[Tuple[Any, ...],
+                                                            Dict[str, Any]]:
+        """Return ``(post_state, {return_name: produced_value})``."""
+        raise NotImplementedError
+
+
+class _Unsupported(Exception):
+    """The pair (or a formula construct) falls outside the encoding."""
+
+
+class _CounterEncoder(_Encoder):
+    def fresh_state(self, tag):
+        return (self.z3.Int(f"c_{tag}"),)
+
+    def apply(self, state, method, env, sig):
+        (c,) = state
+        if method == "add":
+            return (c + env["d"],), {}
+        if method == "read":
+            return state, {"v": c}
+        raise _Unsupported(f"counter has no method {method!r}")
+
+
+class _RegisterEncoder(_Encoder):
+    def fresh_state(self, tag):
+        return (self.z3.Int(f"r_{tag}"),)
+
+    def apply(self, state, method, env, sig):
+        (v,) = state
+        if method == "write":
+            return (env["v"],), {"p": v}
+        if method == "read":
+            return state, {"v": v}
+        raise _Unsupported(f"register has no method {method!r}")
+
+
+class _AccumulatorEncoder(_Encoder):
+    def fresh_state(self, tag):
+        return (self.z3.Int(f"total_{tag}"), self.z3.Int(f"peak_{tag}"))
+
+    def state_invariant(self, state):
+        total, peak = state
+        return [peak >= 0]   # reachable peaks are maxima of d ≥ 0 samples
+
+    def value_constraints(self, method, env):
+        if method == "sample":
+            return [env["d"] >= 0]   # non-negative measurements
+        return []
+
+    def apply(self, state, method, env, sig):
+        total, peak = state
+        z3 = self.z3
+        if method == "sample":
+            d = env["d"]
+            return (total + d, z3.If(peak >= d, peak, d)), {}
+        if method == "total":
+            return state, {"t": total}
+        if method == "peak":
+            return state, {"m": peak}
+        raise _Unsupported(f"accumulator has no method {method!r}")
+
+
+class _SetEncoder(_Encoder):
+    def __init__(self, z3):
+        super().__init__(z3)
+        self.elem = z3.DeclareSort("Elem")
+
+    def fresh_state(self, tag):
+        members = self.z3.Array(f"members_{tag}", self.elem,
+                                self.z3.BoolSort())
+        card = self.z3.Int(f"card_{tag}")
+        return (members, card)
+
+    def state_invariant(self, state):
+        return [state[1] >= 0]
+
+    def fresh_value(self, name, tag):
+        if name in ("x",):                       # elements
+            return self.z3.Const(f"{name}_{tag}", self.elem)
+        return self.z3.Int(f"{name}_{tag}")      # b / r flags and sizes
+
+    def apply(self, state, method, env, sig):
+        members, card = state
+        z3 = self.z3
+        if method in ("add", "remove"):
+            x = env["x"]
+            present = z3.Select(members, x)
+            if method == "add":
+                changed = z3.Not(present)
+                post = z3.Store(members, x, z3.BoolVal(True))
+                delta = z3.If(changed, 1, 0)
+            else:
+                changed = present
+                post = z3.Store(members, x, z3.BoolVal(False))
+                delta = z3.If(changed, -1, 0)
+            return (post, card + delta), {"b": z3.If(changed, 1, 0)}
+        if method == "contains":
+            return state, {"b": z3.If(z3.Select(members, env["x"]), 1, 0)}
+        if method == "size":
+            return state, {"r": card}
+        raise _Unsupported(f"set has no method {method!r}")
+
+
+class _DictionaryEncoder(_Encoder):
+    """Covers both the Fig. 6 spec and the extended methods."""
+
+    def __init__(self, z3):
+        super().__init__(z3)
+        self.key = z3.DeclareSort("Key")
+        self.val = z3.DeclareSort("Val")
+        self._nil = z3.Const("nilv", self.val)
+
+    def nil(self):
+        return self._nil
+
+    def fresh_state(self, tag):
+        table = self.z3.Array(f"table_{tag}", self.key, self.val)
+        size = self.z3.Int(f"size_{tag}")
+        return (table, size)
+
+    def state_invariant(self, state):
+        return [state[1] >= 0]
+
+    def fresh_value(self, name, tag):
+        if name == "k":
+            return self.z3.Const(f"k_{tag}", self.key)
+        if name in ("v", "p"):
+            return self.z3.Const(f"{name}_{tag}", self.val)
+        if name == "c":                          # contains flag
+            return self.z3.Bool(f"c_{tag}")
+        return self.z3.Int(f"{name}_{tag}")      # size result r
+
+    def value_constraints(self, method, env):
+        if method == "putIfAbsent":
+            return [env["v"] != self._nil]   # CHM prohibits null values
+        return []
+
+    def _put(self, state, key, value):
+        table, size = state
+        z3 = self.z3
+        prev = z3.Select(table, key)
+        post = z3.Store(table, key, value)
+        delta = z3.If(z3.And(value != self._nil, prev == self._nil), 1,
+                      z3.If(z3.And(value == self._nil, prev != self._nil),
+                            -1, 0))
+        return (post, size + delta), prev
+
+    def apply(self, state, method, env, sig):
+        table, size = state
+        z3 = self.z3
+        if method == "put":
+            post, prev = self._put(state, env["k"], env["v"])
+            return post, {"p": prev}
+        if method == "remove":
+            post, prev = self._put(state, env["k"], self._nil)
+            return post, {"p": prev}
+        if method == "get":
+            return state, {"v": z3.Select(table, env["k"])}
+        if method == "contains":
+            return state, {"c": z3.Select(table, env["k"]) != self._nil}
+        if method == "size":
+            return state, {"r": size}
+        if method == "putIfAbsent":
+            prev = z3.Select(table, env["k"])
+            post_table = z3.If(prev == self._nil,
+                               z3.Store(table, env["k"], env["v"]), table)
+            post_size = size + z3.If(z3.And(prev == self._nil,
+                                            env["v"] != self._nil), 1, 0)
+            return (post_table, post_size), {"p": prev}
+        raise _Unsupported(f"dictionary has no method {method!r}")
+
+
+_ENCODERS: Dict[str, Callable[[Any], _Encoder]] = {
+    "counter": _CounterEncoder,
+    "register": _RegisterEncoder,
+    "accumulator": _AccumulatorEncoder,
+    "set": _SetEncoder,
+    "dictionary": _DictionaryEncoder,
+    "dictionary-ext": _DictionaryEncoder,
+}
+
+
+def _encode_formula(z3, encoder: _Encoder, formula: Formula,
+                    env1: Dict[str, Any], env2: Dict[str, Any]) -> Any:
+    """Translate a spec formula to a Z3 constraint over the symbol envs."""
+    def term(t):
+        if isinstance(t, Const):
+            return encoder.const(t.value)
+        env = env1 if t.side is Side.FIRST else env2
+        return env[t.name]
+
+    if isinstance(formula, TrueF):
+        return z3.BoolVal(True)
+    if isinstance(formula, FalseF):
+        return z3.BoolVal(False)
+    if isinstance(formula, Atom):
+        args = [term(t) for t in formula.args]
+        if formula.pred == "eq":
+            return args[0] == args[1]
+        if formula.pred == "ne":
+            return args[0] != args[1]
+        if formula.pred in ("lt", "le", "gt", "ge"):
+            if not all(a.sort() == z3.IntSort() for a in args):
+                raise _Unsupported(
+                    f"order atom {formula} on a non-integer sort")
+            op = {"lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+                  "gt": lambda a, b: a > b,
+                  "ge": lambda a, b: a >= b}[formula.pred]
+            # the library's nil-guarded order semantics agrees with plain
+            # integer comparison: integer slots never hold nil
+            return op(args[0], args[1])
+        raise _Unsupported(f"predicate {formula.pred!r} has no encoding")
+    if isinstance(formula, Not):
+        return z3.Not(_encode_formula(z3, encoder, formula.operand,
+                                      env1, env2))
+    if isinstance(formula, And):
+        return z3.And(_encode_formula(z3, encoder, formula.left, env1, env2),
+                      _encode_formula(z3, encoder, formula.right, env1, env2))
+    if isinstance(formula, Or):
+        return z3.Or(_encode_formula(z3, encoder, formula.left, env1, env2),
+                     _encode_formula(z3, encoder, formula.right, env1, env2))
+    raise _Unsupported(f"cannot encode {formula!r}")
+
+
+def _run(z3, encoder: _Encoder, spec: CommutativitySpec, kind: str,
+         m1: str, m2: str, timeout_ms: int) -> SmtResult:
+    sig1, sig2 = spec.signature(m1), spec.signature(m2)
+    env1 = {n: encoder.fresh_value(n, "a") for n in sig1.value_names}
+    env2 = {n: encoder.fresh_value(n, "b") for n in sig2.value_names}
+
+    def compose(state, first, second):
+        """(final_state, definedness) for ``first`` then ``second``."""
+        (mfirst, sigf, envf), (msecond, sigs, envs) = first, second
+        mid, produced_f = encoder.apply(state, mfirst, envf, sigf)
+        final, produced_s = encoder.apply(mid, msecond, envs, sigs)
+        defined = [envf[name] == value for name, value in produced_f.items()]
+        defined += [envs[name] == value for name, value in produced_s.items()]
+        return final, (z3.And(*defined) if len(defined) > 1
+                       else defined[0] if defined else z3.BoolVal(True))
+
+    state = encoder.fresh_state("s")
+    a = (m1, sig1, env1)
+    b = (m2, sig2, env2)
+    final_ab, def_ab = compose(state, a, b)
+    final_ba, def_ba = compose(state, b, a)
+
+    phi = _encode_formula(z3, encoder, spec.formula_for(m1, m2), env1, env2)
+    disagree = z3.Or(
+        z3.And(def_ab, def_ba, z3.Not(encoder.state_eq(final_ab, final_ba))),
+        z3.And(def_ab, z3.Not(def_ba)),
+        z3.And(def_ba, z3.Not(def_ab)))
+
+    solver = z3.Solver()
+    solver.set("timeout", timeout_ms)
+    for constraint in encoder.state_invariant(state):
+        solver.add(constraint)
+    for constraint in encoder.value_constraints(m1, env1):
+        solver.add(constraint)
+    for constraint in encoder.value_constraints(m2, env2):
+        solver.add(constraint)
+    solver.add(phi)
+    solver.add(disagree)
+
+    outcome = solver.check()
+    if outcome == z3.unsat:
+        return SmtResult(kind, m1, m2, "verified")
+    if outcome == z3.sat:
+        model = solver.model()
+        assigns = sorted(f"{d.name()} = {model[d]}" for d in model.decls())
+        return SmtResult(kind, m1, m2, "counterexample",
+                         detail="; ".join(assigns))
+    return SmtResult(kind, m1, m2, "unsupported",
+                     detail=f"solver returned {outcome}")
+
+
+def verify_pair_smt(kind: str, spec: CommutativitySpec, m1: str, m2: str,
+                    timeout_ms: int = 10_000) -> SmtResult:
+    """Symbolically verify one pair's soundness; degrades gracefully."""
+    z3 = _z3()
+    if z3 is None:
+        return SmtResult(kind, m1, m2, "unavailable",
+                         detail="z3-solver is not installed")
+    factory = _ENCODERS.get(kind)
+    if factory is None:
+        return SmtResult(kind, m1, m2, "unsupported",
+                         detail=f"no symbolic encoding for kind {kind!r}")
+    try:
+        return _run(z3, factory(z3), spec, kind, m1, m2, timeout_ms)
+    except _Unsupported as exc:
+        return SmtResult(kind, m1, m2, "unsupported", detail=str(exc))
+
+
+def verify_spec_smt(kind: str, spec: CommutativitySpec,
+                    timeout_ms: int = 10_000) -> List[SmtResult]:
+    """Run the symbolic soundness query for every pair of a spec."""
+    results = []
+    for m1, m2, _ in sorted(spec.pairs(), key=lambda p: (p[0], p[1])):
+        results.append(verify_pair_smt(kind, spec, m1, m2,
+                                       timeout_ms=timeout_ms))
+    return results

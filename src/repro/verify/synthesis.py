@@ -1,0 +1,322 @@
+"""Condition synthesis: re-derive ECL commutativity conditions from data.
+
+Given only the *executable semantics* — no formula — this module proposes
+a candidate ``ϕ_{m1,m2}`` for a method pair and validates it through the
+exhaustive bounded checker.  It is the constructive companion to
+verification: the checker says a shipped formula is right, synthesis shows
+the formula is *recoverable* from the object's behaviour alone, which is
+the paper's "specifications could in principle be inferred" remark made
+executable.
+
+The algorithm is classic predicate-cover synthesis:
+
+1. **Label.**  Every realizable action pair over the bounded domain is
+   labelled by ground truth: *positive* if the composed effects agree at
+   every enumerated state, *negative* if some state distinguishes the two
+   orders.  Unrealizable pairs (neither order defined anywhere) carry no
+   information and are dropped.
+2. **Atom pool.**  Candidate atoms are drawn from the ECL fragment only:
+   cross-side disequalities ``u1 ≠ w2`` (LS atoms, Definition 6.1) and
+   single-side equalities — variable/variable within one invocation and
+   variable/constant against the values observed in the domain.
+3. **Cover.**  Conjunctions of at most ``max_literals`` atoms that are
+   false on *every* negative are admissible; a greedy set-cover picks
+   admissible conjunctions until every positive is covered, and their
+   disjunction is the candidate DNF.  To stay inside ECL, at most one
+   chosen conjunction may contain an LS atom (``X ∨ B`` — a disjunction
+   needs an LB disjunct), and disjuncts are ordered LS-first so the
+   nesting matches the grammar.
+4. **Validate.**  The candidate is installed in a fresh one-pair spec and
+   run back through :func:`~repro.verify.checker.verify_pair`; the result
+   records the verdict and whether the candidate agrees with the shipped
+   formula on every realizable pair (shipped specs are free to classify
+   unrealizable pairs arbitrarily, so those are excluded from the
+   equivalence check — see the set spec's add/add discussion).
+
+Everything is deterministic: samples, atoms and candidates are generated
+in sorted orders, and ties in the greedy cover break by literal count and
+then lexicographically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.events import NIL, Action
+from ..logic.formulas import (FALSE, TRUE, Atom, Formula, Side, Var,
+                              evaluate, eq, ne, swap_sides, var1, var2)
+from ..logic.fragments import is_ecl, is_ls_atom
+from ..logic.semantics import ObjectSemantics
+from ..logic.spec import CommutativitySpec, MethodSig
+from ..obs import NULL_REGISTRY
+from .checker import PairVerdict, verify_pair
+from .domains import BoundedDomain, state_size
+
+__all__ = ["SynthesisResult", "synthesize_condition"]
+
+#: cap on constants considered per variable — keeps the pool small and the
+#: candidates human-shaped (observed values are few for the bundled kinds)
+_MAX_CONSTS_PER_VAR = 4
+
+
+@dataclass(frozen=True)
+class _Sample:
+    """One labelled, realizable action pair."""
+
+    a: Action
+    b: Action
+    commutes: bool
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of synthesizing ``ϕ_{m1,m2}`` from samples."""
+
+    kind: str
+    m1: str
+    m2: str
+    #: the synthesized condition, or ``None`` when the pool cannot cover
+    formula: Optional[Formula]
+    positives: int
+    negatives: int
+    unrealizable: int
+    atoms_considered: int
+    #: disjuncts of the DNF, pretty-printed (empty for true/false/None)
+    disjuncts: List[str] = field(default_factory=list)
+    #: whether the candidate agrees with the shipped formula on every
+    #: realizable sample (unrealizable pairs are exempt, as in the checker)
+    matches_spec: Optional[bool] = None
+    #: checker verdict for the candidate (when validation ran)
+    verdict: Optional[PairVerdict] = None
+
+    @property
+    def synthesized(self) -> bool:
+        return self.formula is not None
+
+    @property
+    def ecl(self) -> bool:
+        return self.formula is not None and is_ecl(self.formula)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"m1": self.m1, "m2": self.m2,
+                "formula": str(self.formula) if self.formula else None,
+                "ecl": self.ecl,
+                "samples": {"positives": self.positives,
+                            "negatives": self.negatives,
+                            "unrealizable": self.unrealizable},
+                "atoms_considered": self.atoms_considered,
+                "matches_spec": self.matches_spec,
+                "validated": (self.verdict.ok if self.verdict is not None
+                              else None)}
+
+
+def _compose(semantics: ObjectSemantics, state: Any,
+             first: Action, second: Action) -> Optional[Any]:
+    from ..logic.semantics import apply_action
+    mid = apply_action(semantics, state, first)
+    if mid is None:
+        return None
+    return apply_action(semantics, mid, second)
+
+
+def _label_samples(semantics: ObjectSemantics, domain: BoundedDomain,
+                   m1: str, m2: str) -> Tuple[List[_Sample], int]:
+    """Ground-truth labels for every ordered action pair of the methods.
+
+    Self-pairs are enumerated as the full ordered product, so the sample
+    set is symmetric — the cover then has to explain both orientations,
+    which is what makes the synthesized self-pair formulas symmetric
+    predicates in practice.
+    """
+    samples: List[_Sample] = []
+    unrealizable = 0
+    for a in domain.actions_by_method[m1]:
+        for b in domain.actions_by_method[m2]:
+            agree = True
+            realizable = False
+            for state in domain.states:
+                ab = _compose(semantics, state, a, b)
+                ba = _compose(semantics, state, b, a)
+                if ab is not None or ba is not None:
+                    realizable = True
+                if ab != ba:
+                    agree = False
+                    break
+            if not realizable:
+                unrealizable += 1
+                continue
+            samples.append(_Sample(a, b, agree))
+    return samples, unrealizable
+
+
+def _holds(formula: Formula, sig1: MethodSig, sig2: MethodSig,
+           sample: _Sample) -> bool:
+    env1 = sig1.bind(sample.a)
+    env2 = sig2.bind(sample.b)
+
+    def lookup(var: Var) -> Any:
+        env = env1 if var.side is Side.FIRST else env2
+        return env[var.name]
+
+    return evaluate(formula, lookup)
+
+
+def _const_key(value: Any) -> Tuple[int, str]:
+    return (state_size(value), repr(value))
+
+
+def _atom_pool(sig1: MethodSig, sig2: MethodSig,
+               samples: Sequence[_Sample]) -> List[Atom]:
+    """ECL-only candidate atoms, deterministically ordered.
+
+    Constants per variable are the values that variable actually takes
+    across the samples (plus ``nil``, which the bundled formulas compare
+    against pervasively), smallest-first, capped at
+    :data:`_MAX_CONSTS_PER_VAR`.
+    """
+    observed: Dict[Var, set] = {}
+    for sample in samples:
+        for sig, maker, action in ((sig1, var1, sample.a),
+                                   (sig2, var2, sample.b)):
+            env = sig.bind(action)
+            for name, value in env.items():
+                observed.setdefault(maker(name), set()).add(value)
+
+    pool: List[Atom] = []
+    for u in sig1.value_names:               # LS: cross-side disequalities
+        for w in sig2.value_names:
+            pool.append(ne(var1(u), var2(w)))
+    for sig, maker in ((sig1, var1), (sig2, var2)):
+        for u, w in itertools.combinations(sig.value_names, 2):
+            pool.append(eq(maker(u), maker(w)))
+        for name in sig.value_names:         # LB: var = observed constant
+            var = maker(name)
+            consts = sorted(observed.get(var, ()) | {NIL}, key=_const_key)
+            for value in consts[:_MAX_CONSTS_PER_VAR]:
+                pool.append(eq(var, value))
+    return pool
+
+
+def _conj(parts: Sequence[Atom]) -> Formula:
+    """Left-to-right conjunction with LS atoms first (grammar-friendly)."""
+    ordered = sorted(parts, key=lambda a: (not is_ls_atom(a), str(a)))
+    out: Formula = ordered[0]
+    for atom in ordered[1:]:
+        out = out & atom
+    return out
+
+
+def synthesize_condition(spec: CommutativitySpec,
+                         semantics: ObjectSemantics,
+                         domain: BoundedDomain, m1: str, m2: str,
+                         max_literals: int = 2,
+                         validate: bool = True,
+                         obs=NULL_REGISTRY) -> SynthesisResult:
+    """Propose and validate an ECL condition for one method pair.
+
+    The shipped formula of ``spec`` is used only for the final
+    ``matches_spec`` comparison — labelling is purely semantic.
+    """
+    sig1, sig2 = spec.signature(m1), spec.signature(m2)
+    samples, unrealizable = _label_samples(semantics, domain, m1, m2)
+    positives = [s for s in samples if s.commutes]
+    negatives = [s for s in samples if not s.commutes]
+    obs.add("synth_pairs")
+    obs.add("synth_samples", len(samples))
+
+    result = SynthesisResult(
+        kind=domain.kind, m1=m1, m2=m2, formula=None,
+        positives=len(positives), negatives=len(negatives),
+        unrealizable=unrealizable, atoms_considered=0)
+
+    if not positives:
+        result.formula = FALSE
+    elif not negatives:
+        result.formula = TRUE
+    else:
+        pool = _atom_pool(sig1, sig2, samples)
+        result.atoms_considered = len(pool)
+        truth = {atom: [_holds(atom, sig1, sig2, s) for s in samples]
+                 for atom in pool}
+
+        pos_idx = [i for i, s in enumerate(samples) if s.commutes]
+        neg_idx = [i for i, s in enumerate(samples) if not s.commutes]
+
+        candidates = []   # (literals, covered positive indices)
+        for size in range(1, max_literals + 1):
+            for literals in itertools.combinations(pool, size):
+                rows = [truth[a] for a in literals]
+                if any(all(row[i] for row in rows) for i in neg_idx):
+                    continue   # true on a negative: inadmissible
+                covered = frozenset(
+                    i for i in pos_idx if all(row[i] for row in rows))
+                if covered:
+                    candidates.append((literals, covered))
+
+        uncovered = set(pos_idx)
+        chosen: List[Tuple[Atom, ...]] = []
+        ls_used = False
+        while uncovered:
+            best = None
+            for literals, covered in candidates:
+                has_ls = any(is_ls_atom(a) for a in literals)
+                if has_ls and ls_used:
+                    continue   # a second LS disjunct would leave ECL
+                gain = len(covered & uncovered)
+                if gain == 0:
+                    continue
+                key = (-gain, len(literals),
+                       str(_conj(literals)))
+                if best is None or key < best[0]:
+                    best = (key, literals, covered, has_ls)
+            if best is None:
+                break   # pool cannot express the condition
+            _, literals, covered, has_ls = best
+            chosen.append(literals)
+            uncovered -= covered
+            ls_used = ls_used or has_ls
+
+        if not uncovered:
+            # LS-bearing disjunct first, then LB disjuncts (X ∨ B nesting)
+            parts = sorted(
+                (_conj(lits) for lits in chosen),
+                key=lambda f: (is_lb_disjunct(f), str(f)))
+            formula: Formula = parts[0]
+            for part in parts[1:]:
+                formula = formula | part
+            if m1 == m2:
+                # the sample set is symmetric, so the swapped formula is
+                # admissible too; keep the plain one when it already is a
+                # symmetric predicate on the samples (always, in practice)
+                swapped = swap_sides(formula)
+                if any(_holds(formula, sig1, sig2, s)
+                       != _holds(swapped, sig1, sig2, s)
+                       for s in samples):
+                    formula = formula | swapped
+            result.formula = formula
+            result.disjuncts = [str(_conj(lits)) for lits in chosen]
+
+    if result.formula is not None:
+        result.matches_spec = all(
+            spec.commutes(s.a, s.b)
+            == _holds(result.formula, sig1, sig2, s)
+            for s in samples)
+        if validate:
+            candidate = CommutativitySpec(spec.kind)
+            for name in sorted(spec.methods):
+                sig = spec.signature(name)
+                candidate.method(name, sig.params, sig.returns)
+            candidate.pair(m1, m2, result.formula)
+            result.verdict = verify_pair(
+                candidate, semantics, domain, m1, m2,
+                waiver_reason=None, obs=obs)
+        obs.add("synth_conditions")
+    return result
+
+
+def is_lb_disjunct(formula: Formula) -> bool:
+    """Whether a disjunct is pure LB (no LS atom) — these sort last."""
+    from ..logic.formulas import atoms_of
+    return not any(is_ls_atom(a) for a in atoms_of(formula))

@@ -159,6 +159,21 @@ def multi_object_mixed():
 SCENARIOS = (fig3_dictionary, locked_dictionary, set_churn, counter_mixed,
              queue_pipeline, multi_object_mixed)
 
+#: frozen ``repro-verify-specs --json`` verdict document (all kinds,
+#: default depths); regenerated alongside the race corpus so any change
+#: to the specs, registry, or verdict schema shows up as a reviewable
+#: golden diff.
+VERIFY_GOLDEN = "verify_specs.json"
+
+
+def verify_golden(out_path):
+    from repro.verify.cli import run_verification
+
+    document = run_verification([])
+    with open(out_path, "w", encoding="utf-8") as out:
+        json.dump(document, out, indent=2, sort_keys=True)
+        out.write("\n")
+
 #: scenarios that also freeze a shard-merged (--workers 2) stats report
 SHARDED_STATS = ("multi_object_mixed",)
 
@@ -206,6 +221,8 @@ def main():
                          workers=2)
         print(f"{name}: {len(trace)} events, "
               f"{len(detector.races)} race(s)")
+    verify_golden(EXPECTED_DIR / VERIFY_GOLDEN)
+    print(f"{VERIFY_GOLDEN}: spec verification verdicts frozen")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the formula layer.
+
+Random structural formulas pin the algebraic contracts the rest of the
+pipeline leans on: the printer and parser are exact inverses, constant
+folding never changes meaning, side-swapping is an involution, and side
+erasure is idempotent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import NIL
+from repro.logic.formulas import (FALSE, TRUE, And, Atom, Const, Not, Or,
+                                  Side, Var, evaluate, normalize_sides,
+                                  swap_sides, vars_of)
+from repro.logic.parser import parse_formula
+from repro.logic.simplify import simplify
+
+# Terms drawn from the printable, re-parseable subset: sided variables
+# (the parser's trailing-digit convention) and NIL/int/string constants.
+# Bool constants are excluded on purpose — their repr is not grammar.
+_vars = st.builds(Var,
+                  st.sampled_from(["k", "v", "x", "delta"]),
+                  st.sampled_from([Side.FIRST, Side.SECOND]))
+_consts = st.builds(Const, st.sampled_from([NIL, 0, 1, 2, "a", "b"]))
+_terms = st.one_of(_vars, _consts)
+
+_atoms = st.builds(
+    lambda pred, a, b: Atom(pred, (a, b)),
+    st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+    _terms, _terms)
+
+_leaves = st.one_of(st.just(TRUE), st.just(FALSE), _atoms)
+
+formulas = st.recursive(
+    _leaves,
+    lambda sub: st.one_of(st.builds(Not, sub),
+                          st.builds(And, sub, sub),
+                          st.builds(Or, sub, sub)),
+    max_leaves=12)
+
+
+def _env(formula, first=1, second=2):
+    """A total environment: side-1 vars ↦ first, side-2 vars ↦ second."""
+    values = {Side.FIRST: first, Side.SECOND: second}
+
+    def lookup(var):
+        return values[var.side]
+    return lookup
+
+
+class TestParserRoundTrip:
+    @given(formulas)
+    @settings(max_examples=300)
+    def test_parse_inverts_str(self, formula):
+        assert parse_formula(str(formula)) == formula
+
+    @given(formulas)
+    def test_str_is_stable(self, formula):
+        assert str(parse_formula(str(formula))) == str(formula)
+
+
+class TestSimplify:
+    @given(formulas, st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=300)
+    def test_preserves_evaluation(self, formula, first, second):
+        lookup = _env(formula, first, second)
+        assert (evaluate(simplify(formula), lookup)
+                == evaluate(formula, lookup))
+
+    @given(formulas)
+    def test_idempotent(self, formula):
+        once = simplify(formula)
+        assert simplify(once) == once
+
+    @given(st.integers(0, 3), st.integers(0, 3))
+    def test_constant_formulas_fold_to_singletons(self, first, second):
+        assert simplify(And(TRUE, FALSE)) is FALSE
+        assert simplify(Or(Not(TRUE), TRUE)) is TRUE
+
+
+class TestSwapSides:
+    @given(formulas)
+    @settings(max_examples=300)
+    def test_involution(self, formula):
+        assert swap_sides(swap_sides(formula)) == formula
+
+    @given(formulas, st.integers(0, 3), st.integers(0, 3))
+    def test_swap_mirrors_environment(self, formula, first, second):
+        assert (evaluate(swap_sides(formula), _env(formula, first, second))
+                == evaluate(formula, _env(formula, second, first)))
+
+
+class TestNormalizeSides:
+    @given(formulas)
+    @settings(max_examples=300)
+    def test_idempotent(self, formula):
+        once = normalize_sides(formula)
+        assert normalize_sides(once) == once
+
+    @given(formulas)
+    def test_erases_every_side(self, formula):
+        assert all(var.side is None
+                   for var in vars_of(normalize_sides(formula)))
+
+    @given(formulas)
+    def test_swap_then_normalize_equals_normalize(self, formula):
+        assert (normalize_sides(swap_sides(formula))
+                == normalize_sides(formula))

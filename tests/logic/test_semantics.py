@@ -11,6 +11,7 @@ from repro.logic.semantics import (SoundnessCounterexample, apply_action,
 from repro.logic.spec import CommutativitySpec
 from repro.specs import bundled_objects
 from repro.specs.dictionary import DictionarySemantics
+from repro.verify import verifiable_objects, verify_spec
 
 KINDS = sorted(bundled_objects())
 
@@ -116,11 +117,14 @@ class TestFinalState:
 
 class TestSoundness:
     @pytest.mark.parametrize("kind", KINDS)
-    def test_all_bundled_specs_are_sound(self, kind):
-        bundled = bundled_objects()[kind]
-        result = check_soundness(bundled.spec(), bundled.semantics(),
-                                 samples=120)
-        assert result is None, f"{kind}: {result}"
+    def test_all_bundled_specs_verify_exhaustively(self, kind):
+        """Promoted from a 120-sample spot-check: every bundled spec is
+        sound and precise over its whole bounded universe."""
+        entry = verifiable_objects()[kind]
+        verdict = verify_spec(entry.spec(), entry.semantics(),
+                              entry.domain(), entry.waiver_map())
+        assert verdict.ok, "\n".join(
+            str(ce) for ce in verdict.counterexamples)
 
     def test_unsound_spec_is_caught(self):
         """A deliberately wrong dictionary spec claiming all puts commute."""
@@ -132,6 +136,22 @@ class TestSoundness:
         witness = check_soundness(spec, DictionarySemantics(), samples=200)
         assert isinstance(witness, SoundnessCounterexample)
         assert "commute" in str(witness)
+
+    def test_witness_carries_its_seed(self):
+        """Randomized failures must be replayable: the counterexample
+        message names the seed that produced it."""
+        spec = (CommutativitySpec("broken")
+                .method("put", params=("k", "v"), returns=("p",))
+                .method("get", params=("k",), returns=("v",))
+                .method("size", returns=("r",))
+                .default_true())
+        witness = check_soundness(spec, DictionarySemantics(), samples=200,
+                                  seed=7)
+        assert witness.seed == 7
+        assert "[seed=7]" in str(witness)
+        replay = check_soundness(spec, DictionarySemantics(), samples=200,
+                                 seed=witness.seed)
+        assert replay == witness
 
     def test_soundness_check_is_deterministic(self):
         bundled = bundled_objects()["dictionary"]

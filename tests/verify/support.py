@@ -1,0 +1,30 @@
+"""Shared helpers for the verification test-suite.
+
+Domains are pure functions of the registry entry, so they are built once
+per kind and shared across test modules — the exhaustive sweeps visit
+every (kind, method-pair) combination and would otherwise rebuild the
+same closure hundreds of times.
+"""
+
+import functools
+
+from repro.verify import verifiable_objects
+
+__all__ = ["entry_for", "domain_for", "spec_pairs", "ALL_KINDS"]
+
+ALL_KINDS = sorted(verifiable_objects())
+
+
+@functools.lru_cache(maxsize=None)
+def entry_for(kind):
+    return verifiable_objects()[kind]
+
+
+@functools.lru_cache(maxsize=None)
+def domain_for(kind, depth=None):
+    return entry_for(kind).domain(depth)
+
+
+def spec_pairs(kind):
+    """Sorted ``(m1, m2)`` method pairs of a kind's spec."""
+    return sorted((m1, m2) for m1, m2, _ in entry_for(kind).spec().pairs())

@@ -1,0 +1,210 @@
+"""The exhaustive bounded checker: every spec, every pair, both directions.
+
+This is the tentpole sweep: every shipped specification is proven sound
+AND precise (modulo audited waivers) over its bounded universe — the
+promotion of the old randomized ``check_soundness`` spot-checks to
+exhaustive verification.
+"""
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.logic.spec import CommutativitySpec
+from repro.obs import Registry
+from repro.specs import SetSemantics, queue_spec
+from repro.verify import verify_pair, verify_spec
+from repro.verify.checker import Counterexample
+
+from tests.verify.support import ALL_KINDS, domain_for, entry_for, spec_pairs
+
+
+def _pair_params():
+    for kind in ALL_KINDS:
+        for m1, m2 in spec_pairs(kind):
+            yield pytest.param(kind, m1, m2, id=f"{kind}:{m1}-{m2}")
+
+
+class TestEverySpecVerifies:
+    """The acceptance sweep: all specs sound and precise, per method pair."""
+
+    @pytest.mark.parametrize("kind,m1,m2", list(_pair_params()))
+    def test_pair_sound_and_precise(self, kind, m1, m2):
+        entry = entry_for(kind)
+        verdict = verify_pair(entry.spec(), entry.semantics(),
+                              domain_for(kind), m1, m2,
+                              waiver_reason=entry.waiver_map().get(
+                                  frozenset({m1, m2})))
+        assert verdict.ok, f"{kind} {m1}/{m2}: {verdict.counterexample}"
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_spec_verdict_ok(self, kind):
+        entry = entry_for(kind)
+        verdict = verify_spec(entry.spec(), entry.semantics(),
+                              domain_for(kind), entry.waiver_map())
+        assert verdict.ok, "\n".join(
+            str(ce) for ce in verdict.counterexamples)
+        assert verdict.unused_waivers == []
+
+
+class TestSoundnessCounterexamples:
+    def test_weakened_set_spec_yields_minimal_counterexample(self):
+        """An intentionally weakened spec (add/add := true) is refuted,
+        and the witness is minimal: the empty set and the two smallest
+        conflicting add actions."""
+        spec = (CommutativitySpec("set")
+                .method("add", params=("x",), returns=("b",))
+                .method("remove", params=("x",), returns=("b",))
+                .method("contains", params=("x",), returns=("b",))
+                .method("size", returns=("r",))
+                .default_true())
+        verdict = verify_pair(spec, SetSemantics(), domain_for("set"),
+                              "add", "add")
+        ce = verdict.counterexample
+        assert ce is not None and ce.direction == "soundness"
+        assert ce.state == frozenset()          # the smallest state
+        assert ce.a.method == "add" and ce.b.method == "add"
+        assert ce.a.args == ce.b.args == ("a",)  # the smallest element
+        assert {ce.a.returns, ce.b.returns} == {(0,), (1,)}
+
+    def test_counterexample_message_names_state_and_pair(self):
+        spec = (CommutativitySpec("set")
+                .method("add", params=("x",), returns=("b",))
+                .method("remove", params=("x",), returns=("b",))
+                .method("contains", params=("x",), returns=("b",))
+                .method("size", returns=("r",))
+                .default_true())
+        verdict = verify_pair(spec, SetSemantics(), domain_for("set"),
+                              "add", "add")
+        message = str(verdict.counterexample)
+        assert "frozenset()" in message
+        assert "o.add" in message
+        assert "claims" in message and "commute" in message
+
+    def test_sound_pair_has_no_counterexample(self):
+        entry = entry_for("set")
+        verdict = verify_pair(entry.spec(), entry.semantics(),
+                              domain_for("set"), "add", "add")
+        assert verdict.sound and verdict.counterexample is None
+
+
+class TestPrecisionAndRealizability:
+    def test_unrealizable_conflicts_are_exempt(self):
+        """Two effective same-element adds are declared conflicting by the
+        set spec but are unrealizable in composition — the paper allows
+        either classification, so they must not fail precision."""
+        entry = entry_for("set")
+        verdict = verify_pair(entry.spec(), entry.semantics(),
+                              domain_for("set"), "add", "add")
+        assert verdict.ok
+        assert verdict.unrealizable > 0
+        assert verdict.witnessed > 0
+
+    def test_imprecise_pair_without_waiver_fails(self):
+        """queue enq/enq := false is imprecise (equal elements commute);
+        without its waiver the checker reports the precision
+        counterexample — proof the waiver is *necessary*."""
+        entry = entry_for("queue")
+        verdict = verify_pair(entry.spec(), entry.semantics(),
+                              domain_for("queue"), "enq", "enq")
+        ce = verdict.counterexample
+        assert ce is not None and ce.direction == "precision"
+        assert ce.a.method == ce.b.method == "enq"
+        assert ce.a.args == ce.b.args          # the x1 = x2 case
+
+    @pytest.mark.parametrize("kind,m1,m2", [
+        pytest.param(kind, w.m1, w.m2, id=f"{kind}:{w.m1}-{w.m2}")
+        for kind in ALL_KINDS for w in entry_for(kind).waivers])
+    def test_every_waiver_is_necessary_and_exercised(self, kind, m1, m2):
+        """Each registry waiver (a) forgives at least one realizable
+        indistinguishable pair and (b) is required: removing it turns the
+        pair into a precision failure."""
+        entry = entry_for(kind)
+        with_waiver = verify_pair(
+            entry.spec(), entry.semantics(), domain_for(kind), m1, m2,
+            waiver_reason=entry.waiver_map()[frozenset({m1, m2})])
+        assert with_waiver.ok and with_waiver.waived > 0
+        without = verify_pair(entry.spec(), entry.semantics(),
+                              domain_for(kind), m1, m2)
+        assert not without.precise
+
+    def test_unused_waiver_fails_the_spec(self):
+        entry = entry_for("set")
+        waivers = {frozenset({"contains", "size"}): "bogus: reads commute"}
+        verdict = verify_spec(entry.spec(), entry.semantics(),
+                              domain_for("set"), waivers)
+        assert not verdict.ok
+        assert verdict.unused_waivers == [
+            "contains/size: bogus: reads commute"]
+
+
+class TestVerdictPlumbing:
+    def test_missing_method_raises_specification_error(self):
+        spec = queue_spec()
+        with pytest.raises(SpecificationError, match="no invocations"):
+            verify_pair(spec, entry_for("queue").semantics(),
+                        domain_for("set"), "enq", "deq")
+
+    def test_obs_counters(self):
+        obs = Registry(sample_interval=1)
+        entry = entry_for("counter")
+        verify_spec(entry.spec(), entry.semantics(), domain_for("counter"),
+                    entry.waiver_map(), obs=obs)
+        counters = obs.snapshot()["counters"]
+        assert counters["verify_specs"] == 1
+        assert counters["verify_specs_ok"] == 1
+        assert counters["verify_method_pairs"] == 3
+        assert counters["verify_action_pairs"] > 0
+
+    def test_pair_verdict_json_schema(self):
+        entry = entry_for("queue")
+        verdict = verify_spec(entry.spec(), entry.semantics(),
+                              domain_for("queue"), entry.waiver_map())
+        payload = verdict.to_json()
+        assert sorted(payload) == ["bound", "kind", "pairs",
+                                   "unused_waivers", "verified"]
+        pair = payload["pairs"][0]
+        assert sorted(pair) == ["action_pairs", "counterexample", "formula",
+                                "m1", "m2", "precision", "soundness"]
+        waived = [p for p in payload["pairs"]
+                  if p["precision"]["status"] == "waived"]
+        assert waived and all("waiver_reason" in p["precision"]
+                              for p in waived)
+
+    def test_counterexample_json(self):
+        ce = Counterexample(kind="set", direction="soundness",
+                            state=frozenset(),
+                            a=entry_for("set").spec().action(
+                                "o", "add", "a", returns=1),
+                            b=entry_for("set").spec().action(
+                                "o", "add", "a", returns=0),
+                            formula="true")
+        payload = ce.to_json()
+        assert payload["direction"] == "soundness"
+        assert "o.add" in payload["a"]
+        assert payload["message"] == str(ce)
+
+
+class TestSeqlogRegression:
+    """The checker-found fix: append/get must guard on the read index."""
+
+    def test_unconditional_append_get_is_refuted(self):
+        spec = (CommutativitySpec("seqlog")
+                .method("append", params=("x",), returns=("i",))
+                .method("snapshot", returns=("n",))
+                .method("get", params=("i",), returns=("x",))
+                .pair("append", "append", "false")
+                .pair("append", "snapshot", "false")
+                .pair("append", "get", "true")   # the refuted old formula
+                .default_true())
+        entry = entry_for("seqlog")
+        verdict = verify_pair(spec, entry.semantics(), domain_for("seqlog"),
+                              "append", "get")
+        ce = verdict.counterexample
+        assert ce is not None and ce.direction == "soundness"
+
+    def test_shipped_guard_verifies(self):
+        entry = entry_for("seqlog")
+        verdict = verify_pair(entry.spec(), entry.semantics(),
+                              domain_for("seqlog"), "append", "get")
+        assert verdict.ok
+        assert str(entry.spec().formula_for("append", "get")) == "i1 ≠ i2"

@@ -1,0 +1,105 @@
+"""Bounded universes: reachability, realizable actions, minimality order."""
+
+import pytest
+
+from repro.core.events import NIL
+from repro.specs import DictionarySemantics, SetSemantics
+from repro.verify.domains import (build_domain, enumerate_actions,
+                                  reachable_states, state_size)
+
+from tests.verify.support import ALL_KINDS, domain_for, entry_for
+
+INVOCATIONS = (("add", ("a",)), ("add", ("b",)), ("remove", ("a",)),
+               ("size", ()))
+
+
+class TestStateSize:
+    def test_containers_count_recursively(self):
+        assert state_size(()) == 0
+        assert state_size((("a", 1),)) == 4   # outer entry + inner pair + |1|
+        assert state_size(frozenset({"a"})) == 1
+
+    def test_integers_count_magnitude(self):
+        assert state_size(-3) == 3
+        assert state_size(0) == 0
+
+    def test_bools_do_not_explode(self):
+        assert state_size(True) == 1
+
+
+class TestReachableStates:
+    def test_initial_state_is_first(self):
+        states = reachable_states(SetSemantics(), INVOCATIONS, depth=2)
+        assert states[0] == frozenset()
+
+    def test_sorted_smallest_first(self):
+        states = reachable_states(SetSemantics(), INVOCATIONS, depth=3)
+        sizes = [state_size(s) for s in states]
+        assert sizes == sorted(sizes)
+
+    def test_no_duplicates(self):
+        states = reachable_states(SetSemantics(), INVOCATIONS, depth=3)
+        assert len(states) == len(set(states))
+
+    def test_depth_monotone(self):
+        shallow = set(reachable_states(SetSemantics(), INVOCATIONS, 1))
+        deep = set(reachable_states(SetSemantics(), INVOCATIONS, 2))
+        assert shallow <= deep
+
+    def test_depth_zero_is_initial_only(self):
+        states = reachable_states(SetSemantics(), INVOCATIONS, 0)
+        assert states == [frozenset()]
+
+
+class TestEnumerateActions:
+    def test_returns_are_realizable(self):
+        """Every enumerated action's returns come from an actual execution."""
+        sem = DictionarySemantics()
+        invocations = (("put", ("a", 1)), ("get", ("a",)), ("size", ()))
+        states = reachable_states(sem, invocations, 2)
+        by_method = enumerate_actions(sem, invocations, states)
+        for actions in by_method.values():
+            for action in actions:
+                assert any(
+                    sem.apply(s, action.method, action.args)[1]
+                    == action.returns
+                    for s in states), f"unrealizable action {action}"
+
+    def test_unrealizable_returns_absent(self):
+        # with one key and depth 2, size() can only ever observe 0 or 1
+        sem = DictionarySemantics()
+        invocations = (("put", ("a", 1)), ("size", ()))
+        states = reachable_states(sem, invocations, 2)
+        sizes = enumerate_actions(sem, invocations, states)["size"]
+        assert {a.returns for a in sizes} == {(0,), (1,)}
+
+    def test_nil_returns_enumerated(self):
+        sem = DictionarySemantics()
+        invocations = (("put", ("a", 1)), ("get", ("a",)))
+        states = reachable_states(sem, invocations, 2)
+        gets = enumerate_actions(sem, invocations, states)["get"]
+        assert (NIL,) in {a.returns for a in gets}
+
+
+class TestBoundedDomain:
+    def test_describe_schema_is_frozen(self):
+        domain = domain_for("set")
+        assert sorted(domain.describe()) == ["actions", "depth",
+                                             "invocations", "states"]
+
+    def test_build_domain_deterministic(self):
+        entry = entry_for("queue")
+        first = build_domain("queue", entry.semantics(), entry.invocations, 3)
+        second = build_domain("queue", entry.semantics(), entry.invocations, 3)
+        assert first.states == second.states
+        assert first.actions_by_method == second.actions_by_method
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_spec_method_has_actions(self, kind):
+        """The registry's invocation grid covers every spec method —
+        unlike the randomized samplers (the dictionary sampler never
+        draws the extended methods)."""
+        domain = domain_for(kind)
+        spec_methods = set(entry_for(kind).spec().methods)
+        assert spec_methods <= set(domain.actions_by_method)
+        assert all(domain.actions_by_method[m] for m in spec_methods)

@@ -1,0 +1,73 @@
+"""The optional Z3 soundness backend.
+
+The graceful-degradation paths (no z3, unsupported kind) run everywhere;
+the actual symbolic verification runs only where ``z3-solver`` is
+installed (the CI job's dedicated leg) and skips cleanly elsewhere.
+"""
+
+import pytest
+
+import repro.verify.smt as smt
+from repro.logic.spec import CommutativitySpec
+from repro.verify.smt import (SUPPORTED_KINDS, smt_available,
+                              verify_pair_smt, verify_spec_smt)
+
+from tests.verify.support import ALL_KINDS, entry_for, spec_pairs
+
+
+class TestGracefulDegradation:
+    def test_unavailable_without_z3(self, monkeypatch):
+        monkeypatch.setattr(smt, "_z3", lambda: None)
+        result = smt.verify_pair_smt("counter", entry_for("counter").spec(),
+                                     "add", "read")
+        assert result.status == "unavailable"
+        assert result.ok                      # absence is not a failure
+        assert "z3" in result.detail
+
+    def test_registry_marks_match_supported_kinds(self):
+        for kind in ALL_KINDS:
+            assert entry_for(kind).smt_supported == (kind in SUPPORTED_KINDS)
+
+    def test_result_json_schema(self):
+        payload = smt.SmtResult("counter", "add", "read",
+                                "verified").to_json()
+        assert sorted(payload) == ["detail", "m1", "m2", "status"]
+
+
+@pytest.mark.skipif(not smt_available(), reason="z3-solver not installed")
+class TestSymbolicSoundness:
+    """Unbounded-domain soundness for every encodable kind."""
+
+    @pytest.mark.parametrize("kind", sorted(SUPPORTED_KINDS))
+    def test_every_pair_verified(self, kind):
+        results = verify_spec_smt(kind, entry_for(kind).spec())
+        failures = [r for r in results if r.status == "counterexample"]
+        assert not failures, "\n".join(
+            f"{r.m1}/{r.m2}: {r.detail}" for r in failures)
+        verified = [r for r in results if r.status == "verified"]
+        assert verified, "no pair was actually discharged"
+
+    def test_unsound_register_spec_refuted(self):
+        spec = (CommutativitySpec("register")
+                .method("write", params=("v",), returns=("p",))
+                .method("read", returns=("v",))
+                .default_true())   # claims all writes commute: wrong
+        result = verify_pair_smt("register", spec, "write", "write")
+        assert result.status == "counterexample"
+        assert result.detail                   # a model is reported
+
+    def test_unsound_dictionary_put_get_refuted(self):
+        spec = (CommutativitySpec("dictionary")
+                .method("put", params=("k", "v"), returns=("p",))
+                .method("get", params=("k",), returns=("v",))
+                .method("size", returns=("r",))
+                .pair("put", "get", "true")
+                .default_true())
+        result = verify_pair_smt("dictionary", spec, "put", "get")
+        assert result.status == "counterexample"
+
+    def test_unsupported_kind_degrades(self):
+        result = verify_pair_smt("queue", entry_for("queue").spec(),
+                                 "enq", "deq")
+        assert result.status == "unsupported"
+        assert result.ok
