@@ -120,6 +120,20 @@ def _parse_prune_interval(args) -> int:
     return interval
 
 
+def _parse_batch_window(args) -> int:
+    """Validate ``--batch-window`` (0 = per-event checking, the default)."""
+    if args.batch_window is None:
+        return 0
+    try:
+        window = int(args.batch_window)
+    except ValueError:
+        _fail(f"--batch-window expects a positive integer, got "
+              f"{args.batch_window!r}", EXIT_USAGE)
+    if window < 1:
+        _fail(f"--batch-window must be >= 1, got {window}", EXIT_USAGE)
+    return window
+
+
 def _parse_follow_window(args) -> Optional[int]:
     """Validate ``--window`` (None when the flag was not given)."""
     if args.window is None:
@@ -171,8 +185,9 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                            workers: int = 1, obs=NULL_REGISTRY,
                            supervisor=None, checkpoint=None,
                            resume_from: Optional[str] = None,
-                           adaptive: bool = False,
+                           adaptive: bool = True,
                            prune_interval: int = 0,
+                           batch_window: int = 0,
                            ) -> Tuple[int, Optional[Dict[str, Any]]]:
     registry = bundled_objects()
     if not bindings:
@@ -185,6 +200,7 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
         detector = ShardedDetector(root=trace.root, workers=workers,
                                    adaptive=adaptive,
                                    prune_interval=prune_interval,
+                                   batch_window=batch_window,
                                    obs=obs, supervisor=supervisor,
                                    checkpoint=checkpoint,
                                    resume_from=resume_from)
@@ -193,6 +209,7 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
         detector = CommutativityRaceDetector(root=trace.root,
                                              adaptive=adaptive,
                                              prune_interval=prune_interval,
+                                             batch_window=batch_window,
                                              obs=obs)
     else:
         from .core.direct import DirectDetector
@@ -226,7 +243,8 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
 
 
 def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
-                    adaptive: bool = False, prune_interval: int = 0,
+                    adaptive: bool = True, prune_interval: int = 0,
+                    batch_window: int = 0,
                     window: int = 1024, idle_timeout: float = 10.0,
                     stats_json: Optional[str] = None,
                     meta_base: Optional[Dict[str, Any]] = None,
@@ -271,6 +289,7 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
         analyzer = StreamAnalyzer(root=root, on_race=on_race,
                                   prune_interval=prune_interval,
                                   window=window, adaptive=adaptive,
+                                  batch_window=batch_window,
                                   obs=obs, on_window=snapshot)
         for name, kind in bindings:
             analyzer.register_object(name, registry[kind].representation())
@@ -379,10 +398,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(a rejected checkpoint degrades to a full "
                              "restamp)")
     parser.add_argument("--adaptive", action="store_true",
-                        help="adaptive point clocks for rd2: keep a scalar "
-                             "epoch per access point while one thread "
-                             "touches it, promoting to a full vector clock "
-                             "on the second thread (verdict-preserving)")
+                        help="epoch-adaptive point clocks for rd2 (now the "
+                             "default; kept for compatibility): keep an "
+                             "O(1) epoch per access point until genuine "
+                             "cross-thread contention inflates it to a "
+                             "full vector clock (report-preserving)")
+    parser.add_argument("--no-epochs", action="store_true", dest="no_epochs",
+                        help="rd2 debug switch: disable epoch-adaptive "
+                             "point clocks and store a full vector clock "
+                             "per access point from the first touch")
+    parser.add_argument("--batch-window", default=None, metavar="N",
+                        dest="batch_window",
+                        help="rd2: buffer N stamped actions into columnar "
+                             "struct-of-arrays and run Algorithm 1 one "
+                             "window at a time instead of per event "
+                             "(report-preserving; default 0 = per-event)")
     parser.add_argument("--prune-interval", default=None, metavar="N",
                         dest="prune_interval",
                         help="rd2: every N actions, reclaim active points "
@@ -457,6 +487,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "only to the rd2 detector", EXIT_USAGE)
     if args.adaptive and (args.detector != "rd2" or args.atomicity):
         _fail("--adaptive applies only to the rd2 detector", EXIT_USAGE)
+    if args.no_epochs and (args.detector != "rd2" or args.atomicity):
+        _fail("--no-epochs applies only to the rd2 detector", EXIT_USAGE)
+    if args.no_epochs and args.adaptive:
+        _fail("--no-epochs contradicts --adaptive", EXIT_USAGE)
+    # Epoch adaptivity is report-preserving and the default; --adaptive
+    # survives as an explicit opt-in no-op, --no-epochs is the debug out.
+    adaptive = not args.no_epochs
+    batch_window = _parse_batch_window(args)
+    if batch_window and (args.detector != "rd2" or args.atomicity):
+        _fail("--batch-window applies only to the rd2 detector", EXIT_USAGE)
     prune_interval = _parse_prune_interval(args)
     if prune_interval and (args.detector != "rd2" or args.atomicity):
         _fail("--prune-interval applies only to the rd2 detector", EXIT_USAGE)
@@ -493,8 +533,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         bindings = _parse_bindings(args.objects)
         if args.follow:
             code, events_total = _analyze_follow(
-                args.trace, bindings, obs=obs, adaptive=args.adaptive,
-                prune_interval=prune_interval,
+                args.trace, bindings, obs=obs, adaptive=adaptive,
+                prune_interval=prune_interval, batch_window=batch_window,
                 window=window if window is not None else 1024,
                 idle_timeout=(follow_timeout if follow_timeout is not None
                               else 10.0),
@@ -513,8 +553,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 code, faults = _analyze_commutativity(
                     trace, bindings, args.detector, workers=workers, obs=obs,
                     supervisor=supervisor, checkpoint=checkpoint,
-                    resume_from=args.resume_from, adaptive=args.adaptive,
-                    prune_interval=prune_interval)
+                    resume_from=args.resume_from, adaptive=adaptive,
+                    prune_interval=prune_interval,
+                    batch_window=batch_window)
             else:
                 code, faults = _analyze_memory(trace, args.detector, obs=obs)
     except KeyboardInterrupt:

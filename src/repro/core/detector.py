@@ -1,18 +1,24 @@
 """The commutativity race detector — Algorithm 1 of the paper.
 
-Adaptive point clocks (``adaptive=True``)
------------------------------------------
+Adaptive point clocks (``adaptive=True``, the default)
+------------------------------------------------------
 
 FastTrack's insight — most variables are accessed by one thread at a time,
 so a scalar *epoch* ``c@t`` usually suffices in place of a vector clock —
-transfers to access points: a point touched so far by a single thread can
-keep just its latest touch epoch, because same-thread touches are totally
-ordered (the last one's clock *is* their join).  On the first touch by a
-second thread the point is promoted to a full vector clock, and unlike
-FastTrack's write-epoch (which forgets racy history and only guarantees
-the same *first* race per variable), this adaptation is exactly
-verdict-preserving — the property suite checks report-for-report equality
-with the plain detector.
+transfers to access points.  A point whose touches are totally ordered
+keeps an epoch: its latest toucher's ``(tid, stamp)`` plus the exact
+accumulated clock the pair certifies (see
+:class:`~repro.core.plan._PointEpoch`), so the phase-1 ordering test and
+the phase-2 join are one integer compare each.  Only a *concurrent*
+cross-thread touch — genuine contention, where no single-component
+certificate exists — inflates the point to a bare vector clock, and the
+next ordered touch (or a maintenance window, see
+:meth:`CommutativityRaceDetector.deflate_point_clocks`) deflates it
+back.  Unlike FastTrack's write-epoch (which forgets racy history and
+only guarantees the same *first* race per variable), this adaptation is
+exactly report-preserving — epochs carry the very clock the plain
+detector would store, so the equivalence suite checks byte-for-byte
+equality with the plain detector, reports included.
 
 
 The detector consumes a trace event-by-event.  Synchronization events update
@@ -49,14 +55,15 @@ import dataclasses
 import enum
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple,
-                    Union)
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .access_points import AccessPoint, AccessPointRepresentation, SchemaId
 from .errors import MonitorError, SpecificationError
 from .events import Action, Event, EventKind, ObjectId
 from .hb import HappensBeforeTracker
-from .plan import CheckPlan, compile_check_plan
+from .plan import (CheckPlan, _BatchBuffer, _PointClock, _PointEpoch,
+                   _as_clock, _point_ordered, _process_compiled,
+                   compile_check_plan)
 from .races import CommutativityRace
 from .vector_clock import Tid, VectorClock
 
@@ -67,35 +74,6 @@ UNTOUCHED = "∅"
 
 __all__ = ["Strategy", "DetectorStats", "CommutativityRaceDetector",
            "UNTOUCHED"]
-
-
-class _PointEpoch(NamedTuple):
-    """``c@t`` — the point's latest touch, while single-threaded.
-
-    Sound as the point's whole history because an event's own clock
-    component identifies it within its causal past: any later event whose
-    clock dominates ``c`` at ``t`` dominates the touch's entire clock.
-    """
-
-    tid: Tid
-    stamp: int
-
-    def as_clock(self) -> VectorClock:
-        return VectorClock({self.tid: self.stamp})
-
-
-_PointClock = Union[_PointEpoch, VectorClock]
-
-
-def _point_ordered(prior: _PointClock, clock: VectorClock) -> bool:
-    """``prior ⊑ vc(e)`` for either point-clock representation."""
-    if type(prior) is _PointEpoch:
-        return prior.stamp <= clock[prior.tid]
-    return prior.leq(clock)
-
-
-def _as_clock(prior: _PointClock) -> VectorClock:
-    return prior.as_clock() if type(prior) is _PointEpoch else prior
 
 
 class Strategy(enum.Enum):
@@ -120,8 +98,15 @@ class DetectorStats:
     points_touched: int = 0
     conflict_checks: int = 0
     races: int = 0
-    #: adaptive mode: how many points ever needed a full vector clock
+    #: adaptive mode: points inflated to a bare vector clock by a
+    #: concurrent cross-thread touch (a point can promote again after a
+    #: deflation, so this counts inflation *events*, not points)
     epoch_promotions: int = 0
+    #: adaptive mode: inflated points re-certified back to epochs at
+    #: maintenance windows (:meth:`~CommutativityRaceDetector.
+    #: deflate_point_clocks`; ordered-touch re-deflations on the hot path
+    #: are not counted — they are the representation's normal steady state)
+    epoch_deflations: int = 0
     #: active points reclaimed by :meth:`~CommutativityRaceDetector.
     #: prune_ordered_points` over the detector's lifetime
     points_pruned: int = 0
@@ -205,6 +190,15 @@ class CommutativityRaceDetector:
     keep_reports:
         When false, races are counted but not accumulated (used by long
         benchmark runs to keep memory flat).
+    adaptive:
+        When true (the default), per-point clocks are epoch-adaptive:
+        a clock-carrying ``(tid, stamp)`` epoch with O(1) ordering tests
+        and joins, inflated to a bare vector clock only on concurrent
+        cross-thread contention and deflated back on ordered touches or
+        at maintenance windows.  Exactly report-preserving;
+        ``adaptive=False`` keeps plain vector clocks everywhere (the
+        hot-path benchmark's PR 4 baseline, and the reference the
+        equivalence suite compares against byte for byte).
     obs:
         Optional :class:`~repro.obs.registry.Registry`.  When enabled, the
         detector attributes conflict checks, races and pruned points per
@@ -222,6 +216,18 @@ class CommutativityRaceDetector:
         cached candidate tuples, no per-action ηo validation).  Verdict
         and counter preserving; ``compiled=False`` keeps the generic
         interpreted path everywhere (the hot-path benchmark's baseline).
+    batch_window:
+        When > 0, compiled-plan actions are accumulated in a columnar
+        :class:`~repro.core.plan._BatchBuffer` of up to ``batch_window``
+        stamped actions and checked in one flat pass per window (struct-
+        of-arrays columns, per-event dispatch hoisted out).  Events are
+        still applied strictly in trace order, so verdicts, report order
+        and obs attribution are byte-identical to ``batch_window=0`` —
+        but races surface on the ``process`` call that *flushes* the
+        window, not necessarily the one that observed the racing action
+        (``races``/``on_race`` ordering is unaffected).  Callers driving
+        ``process`` directly must call :meth:`flush_batch` (``run`` and
+        every maintenance entry point flush automatically).
     """
 
     def __init__(
@@ -231,10 +237,14 @@ class CommutativityRaceDetector:
         on_race: Optional[Callable[[CommutativityRace], None]] = None,
         keep_reports: bool = True,
         prune_interval: int = 0,
-        adaptive: bool = False,
+        adaptive: bool = True,
         obs=None,
         compiled: bool = True,
+        batch_window: int = 0,
     ):
+        if batch_window < 0:
+            raise MonitorError(
+                f"batch_window must be >= 0, got {batch_window}")
         self._hb = HappensBeforeTracker(root=root)
         self._strategy = strategy
         self._on_race = on_race
@@ -242,6 +252,7 @@ class CommutativityRaceDetector:
         self._prune_interval = prune_interval
         self._adaptive = adaptive
         self._compiled = compiled
+        self._batch = _BatchBuffer(self, batch_window) if batch_window else None
         self._actions_since_prune = 0
         self._objects: Dict[ObjectId, _ObjectState] = {}
         self.races: List[CommutativityRace] = []
@@ -309,6 +320,19 @@ class CommutativityRaceDetector:
         """
         self._objects.pop(obj, None)
 
+    def flush_batch(self) -> Optional[List[CommutativityRace]]:
+        """Drain the columnar batch buffer, if one is pending.
+
+        Every maintenance entry point (pruning, compaction, deflation) and
+        :meth:`run` flushes automatically; callers that drive
+        :meth:`process` directly with ``batch_window > 0`` flush here
+        once the trace ends.  No-op without batching.
+        """
+        batch = self._batch
+        if batch is not None and batch.count:
+            return batch.flush()
+        return None
+
     def prune_ordered_points(self) -> int:
         """Reclaim active points that can never race again.
 
@@ -326,8 +350,8 @@ class CommutativityRaceDetector:
         Enable automatic invocation with the ``prune_interval`` constructor
         parameter (every N actions).
         """
-        live_clocks = [self._hb.clock_of(tid)
-                       for tid in self._hb.live_threads()]
+        self.flush_batch()
+        live_clocks = self._hb.live_clocks()
         reclaimed = 0
         for obj, state in self._objects.items():
             reclaimed += self._prune_state(obj, state, live_clocks)
@@ -344,6 +368,7 @@ class CommutativityRaceDetector:
         reaching the exact per-object state (and stats) the sequential
         detector's :meth:`prune_ordered_points` would at that boundary.
         """
+        self.flush_batch()
         state = self._objects.get(obj)
         if state is None:
             return 0
@@ -410,6 +435,56 @@ class CommutativityRaceDetector:
         return {obj: (len(state.active), len(state.interned))
                 for obj, state in self._objects.items()}
 
+    def deflate_point_clocks(self) -> int:
+        """Re-certify inflated points back to epochs where provably sound.
+
+        The coverage certificate: for a point clock ``V``, if every live
+        thread's clock covers ``V`` on all components except (at most)
+        one ``t``, then for any future event clock ``C`` — which dominates
+        some live thread's current clock through fork inheritance and
+        monotonicity — ``V ⊑ C ⟺ V[t] ≤ C[t]``.  The point can then carry
+        the epoch ``(t, V[t], V)`` instead of the bare clock: same stored
+        clock, same verdicts, same reports, but O(1) comparisons again
+        (``t`` may even be a dead thread's component — the certificate
+        only needs the live clocks to cover the rest).
+
+        A point covered on *every* component deflates on its first
+        component; pruning would reclaim it entirely, but deflation is
+        cheaper than a prune cycle and keeps the point reportable.
+        Points with two or more uncovered components stay inflated —
+        still-racy state is exactly where the full clock earns its keep.
+
+        Meant for maintenance windows (:class:`~repro.core.stream.
+        StreamAnalyzer` calls it every window); returns the number of
+        points deflated.  No-op for non-adaptive detectors.
+        """
+        if not self._adaptive:
+            return 0
+        self.flush_batch()
+        live_clocks = self._hb.live_clocks()
+        if not live_clocks:
+            return 0
+        deflated = 0
+        for state in self._objects.values():
+            point_clock = state.point_clock
+            for pt, prior in point_clock.items():
+                if type(prior) is _PointEpoch:
+                    continue
+                uncovered = prior.uncovered_components(live_clocks)
+                if len(uncovered) > 1:
+                    continue
+                if uncovered:
+                    tid = uncovered[0]
+                else:
+                    entries = list(prior.items())
+                    if not entries:
+                        continue  # bottom clock: nothing to certify
+                    tid = entries[0][0]
+                point_clock[pt] = _PointEpoch(tid, prior[tid], prior)
+                deflated += 1
+        self.stats.epoch_deflations += deflated
+        return deflated
+
     def compact_dead_clock_components(self) -> int:
         """Drop dead threads' clock components everywhere it is sound.
 
@@ -424,12 +499,13 @@ class CommutativityRaceDetector:
         removing the component from thread clocks, lock clocks and point
         clocks cannot change any verdict.  Reported clocks *narrow* (the
         dead entries disappear from race reports), so this is opt-in for
-        streaming mode — the same contract as ``adaptive``, and the
-        equivalence suite compares it via verdict keys.
+        streaming mode, and the equivalence suite compares it via verdict
+        keys.
 
         Returns the number of components retired.  Point clocks are
         rebuilt, never mutated: reported races may alias them.
         """
+        self.flush_batch()
         floors = []
         for state in self._objects.values():
             for prior in state.point_clock.values():
@@ -442,11 +518,25 @@ class CommutativityRaceDetector:
             point_clock = state.point_clock
             for pt, prior in point_clock.items():
                 if type(prior) is _PointEpoch:
+                    entries = dict(prior.clock.items())
+                    if not any(tid in dead for tid in entries):
+                        continue
+                    narrowed = VectorClock._trusted(
+                        {tid: stamp for tid, stamp in entries.items()
+                         if tid not in dead})
                     if prior.tid in dead:
-                        # The epoch's only component is dead and ⊑ every
-                        # future stamp (the floor condition): bottom
-                        # preserves "never races again" exactly.
-                        point_clock[pt] = VectorClock()
+                        # The certificate component itself is gone (a
+                        # future stamp would read 0 there): fall back to
+                        # the narrowed full clock.  A maintenance
+                        # deflation can re-certify it on a live component.
+                        point_clock[pt] = narrowed
+                    else:
+                        # The certificate's thread is live, so its
+                        # component survives compaction on both sides of
+                        # every future comparison: keep the epoch, narrow
+                        # its carried clock.
+                        point_clock[pt] = _PointEpoch(
+                            prior.tid, prior.stamp, narrowed)
                     continue
                 entries = dict(prior.items())
                 if any(tid in dead for tid in entries):
@@ -528,7 +618,15 @@ class CommutativityRaceDetector:
             return None
         self.stats.actions += 1
         if state.plan is not None:
-            return self._process_compiled(state, action, event, clock)
+            batch = self._batch
+            if batch is not None:
+                return batch.enqueue(state, action, event.index, event.tid,
+                                     clock)
+            return _process_compiled(self, state, action, event.tid, clock)
+        if self._batch is not None and self._batch.count:
+            # Plan-less objects run inline; drain the buffer first so the
+            # global race order stays the sequential one.
+            self._batch.flush()
         rep = state.representation
         points = rep.points_of(action)
         self.stats.points_touched += len(points)
@@ -562,173 +660,40 @@ class CommutativityRaceDetector:
 
         # Phase 2: update auxiliary state.
         tid = event.tid
+        adaptive = self._adaptive
         methods = state.point_method if sampled else None
+        point_clock = state.point_clock
         for pt in points:
             if methods is not None:
                 methods[pt] = action.method
-            prior = state.point_clock.get(pt)
+            prior = point_clock.get(pt)
             if prior is None:
-                if self._adaptive:
-                    state.point_clock[pt] = _PointEpoch(tid, clock[tid])
-                else:
-                    state.point_clock[pt] = clock
-                state.active[pt] = None
-            elif type(prior) is _PointEpoch:
-                if prior.tid == tid:
-                    # Same thread: its touches are totally ordered, so the
-                    # latest epoch subsumes the join.
-                    state.point_clock[pt] = _PointEpoch(tid, clock[tid])
-                else:
-                    # Second thread: promote to a full vector clock.
-                    self.stats.epoch_promotions += 1
-                    state.point_clock[pt] = prior.as_clock().join(clock)
-            else:
-                state.point_clock[pt] = prior.join(clock)
-        if sampled:
-            self._obs_check_timer.record(perf_counter_ns() - start,
-                                         self._obs_interval)
-        return found or None
-
-    def _process_compiled(self, state: _ObjectState, action: Action,
-                          event: Event, clock: VectorClock
-                          ) -> Optional[List[CommutativityRace]]:
-        """Algorithm 1 over a compiled :class:`CheckPlan`.
-
-        Semantically identical to the generic ENUMERATE path — same
-        verdicts in the same order, same counters, same sampled
-        attribution — but runs a closed loop over interned points and
-        cached candidate tuples: no ``points_of`` validation (moved to the
-        intern miss), no representation dispatch, no candidate generator.
-        """
-        interned = state.interned
-        stats = self.stats
-        # ηo: resolve each (schema, value) pair to its canonical point.
-        # The full list is built before phase 1 so an invalid pair raises
-        # before any state changes, exactly like points_of would.
-        touched: List[AccessPoint] = []
-        append = touched.append
-        for schema, value in state.plan.touches(action):
-            pt = interned.get((schema, value))
-            if pt is None:
-                pt = self._intern_point(state, action, schema, value)
-            append(pt)
-        stats.points_touched += len(touched)
-
-        sampled = self._obs is not None and self._obs_sampled
-        if sampled:
-            start = perf_counter_ns()
-
-        # Phase 1: check for commutativity races.
-        found: List[CommutativityRace] = []
-        checks = 0
-        point_clock = state.point_clock
-        candidate_map = state.candidates
-        for pt in touched:
-            cands = candidate_map.get(pt)
-            if cands is None:
-                cands = self._intern_candidates(state, pt)
-            checks += len(cands)
-            for candidate in cands:
-                prior_clock = point_clock.get(candidate)
-                if prior_clock is None:
-                    continue  # candidate not active
-                if type(prior_clock) is _PointEpoch:
-                    if prior_clock.stamp <= clock[prior_clock.tid]:
-                        continue
-                    prior = prior_clock.as_clock()
-                elif prior_clock.leq(clock):
-                    continue
-                else:
-                    prior = prior_clock
-                self._report(state, pt, candidate, prior, event, clock, found)
-        stats.conflict_checks += checks
-
-        if sampled:
-            delta = checks * self._obs_interval
-            table = self._obs_checks_by_object
-            table[action.obj] = table.get(action.obj, 0) + delta
-            for pt in touched:
-                self._attribute_checks(state, pt, action.method)
-
-        # Phase 2: update auxiliary state.
-        tid = event.tid
-        adaptive = self._adaptive
-        methods = state.point_method if sampled else None
-        active = state.active
-        for pt in touched:
-            if methods is not None:
-                methods[pt] = action.method
-            prior_clock = point_clock.get(pt)
-            if prior_clock is None:
                 if adaptive:
-                    point_clock[pt] = _PointEpoch(tid, clock[tid])
+                    point_clock[pt] = _PointEpoch(tid, clock[tid], clock)
                 else:
                     point_clock[pt] = clock
-                active[pt] = None
-            elif type(prior_clock) is _PointEpoch:
-                if prior_clock.tid == tid:
-                    point_clock[pt] = _PointEpoch(tid, clock[tid])
+                state.active[pt] = None
+            elif type(prior) is _PointEpoch:
+                if prior.tid == tid or prior.stamp <= clock[prior.tid]:
+                    # Ordered before this event (same thread, or the
+                    # epoch certificate holds): the join *is* this
+                    # event's clock, which certifies itself.
+                    point_clock[pt] = _PointEpoch(tid, clock[tid], clock)
                 else:
-                    stats.epoch_promotions += 1
-                    point_clock[pt] = prior_clock.as_clock().join(clock)
+                    # Concurrent cross-thread touch — genuine contention:
+                    # inflate to the full joined clock.
+                    self.stats.epoch_promotions += 1
+                    point_clock[pt] = prior.clock.join(clock)
+            elif adaptive and prior.leq(clock):
+                # The inflated clock is dominated again: this event's
+                # clock subsumes it, so the point deflates back.
+                point_clock[pt] = _PointEpoch(tid, clock[tid], clock)
             else:
-                point_clock[pt] = prior_clock.join(clock)
+                point_clock[pt] = prior.join(clock)
         if sampled:
             self._obs_check_timer.record(perf_counter_ns() - start,
                                          self._obs_interval)
         return found or None
-
-    def _intern_point(self, state: _ObjectState, action: Action,
-                      schema: SchemaId, value: Any) -> AccessPoint:
-        """Intern-miss path: validate the ηo output pair and canonicalize.
-
-        Raises the same :class:`SpecificationError`s ``points_of`` would —
-        invalid pairs never enter the table, so they take this path (and
-        fail) on every action, matching the generic behavior.
-        """
-        entry = state.plan.table.get(schema)
-        if entry is None:
-            raise SpecificationError(
-                f"ηo touched unknown schema {schema!r} for {action}")
-        if entry[0]:
-            if value is None:
-                raise SpecificationError(
-                    f"schema {schema!r} carries a value but ηo supplied "
-                    f"none for {action}")
-        elif value is not None:
-            raise SpecificationError(
-                f"plain schema {schema!r} was given value {value!r} "
-                f"for {action}")
-        pt = AccessPoint(action.obj, schema, value)
-        state.interned[(schema, value)] = pt
-        return pt
-
-    def _intern_candidates(self, state: _ObjectState,
-                           pt: AccessPoint) -> Tuple[AccessPoint, ...]:
-        """Build and cache ``Co(pt)`` as a tuple of canonical points.
-
-        Candidates are interned too, so a probe and a later real touch of
-        the same (schema, value) pair share one instance — dict hits then
-        ride the identity fast path with a cached hash.  Candidate pairs
-        are valid by construction: peers of a value schema carry the same
-        value, peers of a plain schema carry None (bounded representations
-        never declare mixed conflicts), so the intern table stays
-        validation-clean.
-        """
-        interned = state.interned
-        # pt.value is None exactly for plain schemas, so it doubles as the
-        # candidate value in both cases (same as conflicting_candidates).
-        value = pt.value
-        cands = []
-        for peer in state.plan.table[pt.schema][1]:
-            candidate = interned.get((peer, value))
-            if candidate is None:
-                candidate = AccessPoint(pt.obj, peer, value)
-                interned[(peer, value)] = candidate
-            cands.append(candidate)
-        tup = tuple(cands)
-        state.candidates[pt] = tup
-        return tup
 
     def _attribute_checks(self, state: _ObjectState, pt: AccessPoint,
                           method: str) -> None:
@@ -769,7 +734,7 @@ class CommutativityRaceDetector:
                 continue  # candidate not active
             if not _point_ordered(prior_clock, clock):
                 self._report(state, pt, candidate, _as_clock(prior_clock),
-                             event, clock, found)
+                             event.action, event.tid, clock, found)
 
     def _check_scan(self, state: _ObjectState, pt: AccessPoint,
                     event: Event, clock: VectorClock,
@@ -783,17 +748,17 @@ class CommutativityRaceDetector:
             prior_clock = state.point_clock[active_pt]
             if not _point_ordered(prior_clock, clock):
                 self._report(state, pt, active_pt, _as_clock(prior_clock),
-                             event, clock, found)
+                             event.action, event.tid, clock, found)
 
     def _report(self, state: _ObjectState, pt: AccessPoint,
                 prior_pt: AccessPoint, prior_clock: VectorClock,
-                event: Event, clock: VectorClock,
+                action: Action, tid: Tid, clock: VectorClock,
                 found: List[CommutativityRace]) -> None:
         race = CommutativityRace(
-            obj=event.action.obj,
-            current=event.action,
+            obj=action.obj,
+            current=action,
             current_clock=clock,
-            current_tid=event.tid,
+            current_tid=tid,
             point=pt,
             prior_point=prior_pt,
             prior_clock=prior_clock,
@@ -807,7 +772,7 @@ class CommutativityRaceDetector:
             obj_table = self._obs_races_by_object
             obj_table[race.obj] = obj_table.get(race.obj, 0) + 1
             if self._obs_sampled:
-                pair = (event.action.method,
+                pair = (action.method,
                         state.point_method.get(prior_pt, UNTOUCHED))
                 pair_table = self._obs_races_by_pair
                 pair_table[pair] = (pair_table.get(pair, 0)
@@ -824,6 +789,7 @@ class CommutativityRaceDetector:
         """Process an iterable of events; return all races found."""
         for event in events:
             self.process(event)
+        self.flush_batch()
         return self.races
 
     @property

@@ -32,7 +32,7 @@ stamps on distinct-thread events.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, List
 
 from .errors import MonitorError
 from .events import Event, EventKind
@@ -97,6 +97,17 @@ class HappensBeforeTracker:
     def clock_of(self, tid: Tid) -> VectorClock:
         """Snapshot of ``T(tid)``."""
         return self._thread(tid).freeze()
+
+    def live_clocks(self) -> List[VectorClock]:
+        """Frozen ``T(τ)`` snapshots for every live thread.
+
+        The certificates the detector's maintenance passes compare point
+        clocks against: any future event's clock dominates one of these
+        (fork inheritance plus per-thread monotonicity), so a point-clock
+        property that holds against all of them holds against every
+        future stamp.  Used by active-point pruning and epoch deflation.
+        """
+        return [self.clock_of(tid) for tid in self.live_threads()]
 
     def lock_clock(self, lock: Hashable) -> VectorClock:
         """Snapshot of ``L(lock)`` (⊥ if the lock was never released)."""

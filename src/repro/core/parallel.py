@@ -102,7 +102,8 @@ def partition_by_load(loads: Sequence[Tuple[ObjectId, int]],
 # triggering action, live-thread clocks at that moment)`` — what a shard
 # worker needs to prune exactly where (and with exactly the clocks) the
 # sequential detector's ``prune_interval`` counter would.
-_ShardPayload = Tuple[bool, Strategy, bool, Optional[int], bool,
+# ``batch_window`` turns on the worker detectors' columnar batch checking.
+_ShardPayload = Tuple[bool, Strategy, bool, Optional[int], bool, int,
                       List[Tuple[int, List[Any]]],
                       List[Tuple[ObjectId, Any, Optional[Strategy], Any,
                                  List[Tuple[Any, ...]]]]]
@@ -127,18 +128,25 @@ def _analyze_shard(payload: _ShardPayload):
     pool's cost for report-dense traces, mirroring why the sequential
     detector grew ``keep_reports=False`` for long benchmark runs.
     """
-    (adaptive, strategy, need_reports, obs_interval, compiled, prune_snaps,
-     objects) = payload
+    (adaptive, strategy, need_reports, obs_interval, compiled, batch_window,
+     prune_snaps, objects) = payload
     obs = None
     if obs_interval is not None:
         from ..obs.registry import Registry
         obs = Registry(sample_interval=obs_interval)
     detector = CommutativityRaceDetector(strategy=strategy, adaptive=adaptive,
                                          keep_reports=False, obs=obs,
-                                         compiled=compiled)
+                                         compiled=compiled,
+                                         batch_window=batch_window)
     for obj, representation, obj_strategy, plan, _ in objects:
         detector.register_object(obj, representation, obj_strategy, plan=plan)
     triples: List[Tuple[int, int, CommutativityRace]] = []
+    # With batching, _process_action's return value covers whole flushed
+    # windows, not single events — the buffer itself records every race as
+    # a (trace index, seq) triple straight into the merge format instead.
+    batch = detector._batch
+    if batch is not None and need_reports:
+        batch.tagged_races = triples
     # One reusable Event shell per shard: the detector reads (and the race
     # reports capture) only the per-iteration action/tid/clock values, so
     # rebuilding the carrier dataclass per event is avoidable overhead.
@@ -152,6 +160,12 @@ def _analyze_shard(payload: _ShardPayload):
         # determined by its own actions with index <= boundary, so
         # applying each snapshot between the surrounding actions replays
         # the sequential prune (and its stats) exactly.
+        #
+        # Only plan-backed objects go through the batch buffer (and hence
+        # the tagged_races sink); a plan-less object's races keep coming
+        # back inline from _process_action and must be collected here even
+        # when a buffer exists for the shard's other objects.
+        inline = batch is None or detector._objects[obj].plan is None
         snap_at = 0
         for packed in packed_actions:
             index, shell.tid, method, args, returns, shell.clock = packed
@@ -165,12 +179,13 @@ def _analyze_shard(payload: _ShardPayload):
             if obs is not None:
                 detector._obs_advance()
             found = detector._process_action(shell, shell.clock)
-            if found and need_reports:
+            if inline and found and need_reports:
                 triples.extend((index, seq, race)
                                for seq, race in enumerate(found))
         while snap_at < snap_count:
             detector.prune_object_with_clocks(obj, prune_snaps[snap_at][1])
             snap_at += 1
+    detector.flush_batch()
     if obs is not None:
         # One exact span per shard: merged, the "shard" timer sums replay
         # CPU time across shards (vs. the facade's "fanout" wall clock).
@@ -287,6 +302,12 @@ class ShardedDetector:
         ``interned_points_evicted`` all match the sequential detector's.
         Not combinable with ``checkpoint``/``resume_from`` (the boundary
         snapshots are not checkpointed).
+    batch_window:
+        As for the sequential detector: when > 0, each shard worker's
+        detector accumulates up to this many stamped actions in columnar
+        form and checks them in one pass per window.  Races come back as
+        ``(trace index, seq)``-tagged triples either way, so the merged
+        output is byte-identical to ``batch_window=0``.
     """
 
     def __init__(
@@ -295,7 +316,7 @@ class ShardedDetector:
         strategy: Strategy = Strategy.AUTO,
         on_race: Optional[Callable[[CommutativityRace], None]] = None,
         keep_reports: bool = True,
-        adaptive: bool = False,
+        adaptive: bool = True,
         workers: Optional[int] = None,
         mp_context: Optional[str] = None,
         obs=None,
@@ -305,7 +326,11 @@ class ShardedDetector:
         resume_from: Optional[str] = None,
         compiled: bool = True,
         prune_interval: int = 0,
+        batch_window: int = 0,
     ):
+        if batch_window < 0:
+            raise MonitorError(
+                f"batch_window must be >= 0, got {batch_window}")
         if prune_interval and (checkpoint is not None
                                or resume_from is not None):
             raise MonitorError(
@@ -330,6 +355,7 @@ class ShardedDetector:
         self._checkpoint = checkpoint
         self._resume_from = resume_from
         self._compiled = compiled
+        self._batch_window = batch_window
         self._registrations: Dict[
             ObjectId, Tuple[Any, Optional[Strategy], Any]] = {}
         self._hb: Optional[HappensBeforeTracker] = None
@@ -529,7 +555,7 @@ class ShardedDetector:
                        for obj in shard_objs]
             payloads.append((self._adaptive, self._strategy, need_reports,
                              obs_interval, self._compiled,
-                             self._prune_snaps, objects))
+                             self._batch_window, self._prune_snaps, objects))
         if not payloads:
             return []
         if self.workers <= 1 or len(payloads) == 1:

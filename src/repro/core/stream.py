@@ -17,10 +17,16 @@ footprint — what can still race — instead of the history:
   not the fork total.
 * **Clock compaction** (``compact_clocks=True``, opt-in): dead threads'
   components are stripped from every surviving clock where provably
-  verdict-preserving.  Reported clocks narrow, so — like ``adaptive`` —
-  equivalence is stated on verdict keys, and default streaming keeps it
-  off: with it off, streaming race reports are **byte-identical** to the
-  batch detector's on the same trace.
+  verdict-preserving.  Reported clocks narrow, so equivalence is stated
+  on verdict keys, and default streaming keeps it off: with it off,
+  streaming race reports are **byte-identical** to the batch detector's
+  on the same trace.
+* **Epoch deflation** (every ``window`` events, adaptive detectors):
+  points that contention inflated to full vector clocks are re-certified
+  back to O(1) epochs once the live thread clocks cover them on all but
+  one component — exactly report-preserving, see
+  :meth:`~repro.core.detector.CommutativityRaceDetector.
+  deflate_point_clocks`.
 
 Races are emitted incrementally (``on_race`` fires the moment phase 1
 reports), and each maintenance window publishes memory gauges
@@ -75,10 +81,11 @@ class StreamAnalyzer:
         keep_reports: bool = True,
         prune_interval: int = 256,
         window: int = 1024,
-        adaptive: bool = False,
+        adaptive: bool = True,
         compact_clocks: bool = False,
         obs=None,
         compiled: bool = True,
+        batch_window: int = 0,
         on_window: Optional[Callable[["StreamAnalyzer"], None]] = None,
     ):
         if window < 1:
@@ -86,7 +93,8 @@ class StreamAnalyzer:
         self._detector = CommutativityRaceDetector(
             root=root, strategy=strategy, on_race=on_race,
             keep_reports=keep_reports, prune_interval=prune_interval,
-            adaptive=adaptive, obs=obs, compiled=compiled)
+            adaptive=adaptive, obs=obs, compiled=compiled,
+            batch_window=batch_window)
         self._window = window
         self._compact_clocks = compact_clocks
         self._on_window = on_window
@@ -98,6 +106,7 @@ class StreamAnalyzer:
         self.peak_interned = 0
         self.threads_retired = 0
         self.components_compacted = 0
+        self.points_deflated = 0
 
     # -- delegation --------------------------------------------------------
 
@@ -138,15 +147,20 @@ class StreamAnalyzer:
         return self.finish()
 
     def maintain(self) -> None:
-        """One maintenance cycle: retire, compact, sample the gauges."""
+        """One maintenance cycle: flush, retire, compact, deflate, sample."""
         self._since_maintenance = 0
         self.windows_completed += 1
         detector = self._detector
+        detector.flush_batch()
         self.threads_retired += len(
             detector.happens_before.retire_joined_threads())
         if self._compact_clocks:
             self.components_compacted += (
                 detector.compact_dead_clock_components())
+        # Adaptive detectors re-certify inflated points back to O(1)
+        # epochs against the live clocks (no-op otherwise): contention
+        # that has since been ordered stops taxing every later check.
+        self.points_deflated += detector.deflate_point_clocks()
         active = detector.active_point_count()
         interned = detector.interned_point_count()
         if active > self.peak_active:

@@ -12,16 +12,27 @@ Comparison granularity differs deliberately:
 * ENUMERATE vs SCAN visit the same (point, candidate) pairs in different
   orders, so reports are compared as sorted full snapshots (clocks
   included) — content must match exactly, order may not.
-* adaptive mode reports a *narrower* prior clock (the epoch) while a point
-  is single-threaded, so adaptive-vs-plain equivalence is stated on
-  verdict keys (object, action, point pair) — the same identity
-  ``tests/core/test_adaptive.py`` uses.
+* adaptive (epoch) mode carries the exact accumulated clock inside each
+  epoch, so adaptive-vs-plain is compared **byte-identically** — same
+  reports, same clocks, same order.  (Before clock-carrying epochs this
+  suite had to fall back to verdict keys; the stronger identity is the
+  point of the representation.)
 * the compiled hot path (check plans + interned access points) is a pure
   execution strategy: it enumerates the same candidates in the same
   order as representation dispatch, so compiled-vs-uncompiled is the
   *strictest* comparison — reports equal in content **and order**, stats
   equal counter for counter.
+* columnar batch checking replays the same loop window-at-a-time, and
+  every window size must be invisible: reports and stats identical to
+  per-event processing for any ``batch_window``.
+
+The full-matrix test closes the loop: every configuration on the
+compiled × adaptive × batch-window × (sequential|sharded) axes — 24
+configurations — must report **byte-identically** to the one reference
+everything is defined against, the sequential uncompiled plain detector.
 """
+
+import os
 
 import pytest
 
@@ -34,6 +45,10 @@ from tests.support import (build_multi_object_trace, race_snapshot,
 
 CORPUS_SEEDS = range(40)
 
+# The CI matrix reruns this suite under both multiprocessing start
+# methods (fork and spawn): worker transport must not perturb a verdict.
+START_METHOD = os.environ.get("REPRO_TEST_START_METHOD") or None
+
 
 def corpus():
     for seed in CORPUS_SEEDS:
@@ -41,6 +56,8 @@ def corpus():
 
 
 def run_detector(trace, bindings, factory, **kw):
+    if factory is ShardedDetector and START_METHOD:
+        kw.setdefault("mp_context", START_METHOD)
     detector = register_bindings(factory(root=0, **kw), bindings)
     detector.run(trace)
     return detector
@@ -80,11 +97,12 @@ class TestStrategyEquivalence:
                                      ShardedDetector],
                          ids=["sequential", "sharded"])
 class TestAdaptiveEquivalence:
-    def test_adaptive_vs_plain_same_verdicts(self, factory):
+    def test_adaptive_vs_plain_byte_identical(self, factory):
         for trace, bindings in corpus():
-            plain = run_detector(trace, bindings, factory)
+            plain = run_detector(trace, bindings, factory, adaptive=False)
             adaptive = run_detector(trace, bindings, factory, adaptive=True)
-            assert verdict_keys(adaptive.races) == verdict_keys(plain.races)
+            assert ([race_snapshot(r) for r in adaptive.races]
+                    == [race_snapshot(r) for r in plain.races])
             assert adaptive.stats.races == plain.stats.races
 
 
@@ -118,9 +136,62 @@ class TestCompiledEquivalence:
                     assert compiled.stats == dispatch.stats
 
 
-class TestFullMatrixAgreesOnVerdicts:
-    def test_all_sixteen_configurations(self):
-        """compiled × adaptive × strategy × (sequential|sharded)."""
+@pytest.mark.parametrize("factory", [CommutativityRaceDetector,
+                                     ShardedDetector],
+                         ids=["sequential", "sharded"])
+class TestBatchEquivalence:
+    def test_batched_vs_per_event_identical(self, factory):
+        """Any window size is invisible: same reports in order, same stats."""
+        for trace, bindings in corpus():
+            per_event = run_detector(trace, bindings, factory)
+            for window in (1, 3, 64):
+                batched = run_detector(trace, bindings, factory,
+                                       batch_window=window)
+                assert batched.races == per_event.races
+                assert batched.stats == per_event.stats
+
+    def test_batching_composes_with_pruning(self, factory):
+        # Prune entry points drain the buffer first, so the prune cadence
+        # (and its counters) must be unchanged by batching.
+        for trace, bindings in corpus():
+            per_event = run_detector(trace, bindings, factory,
+                                     prune_interval=3)
+            batched = run_detector(trace, bindings, factory,
+                                   prune_interval=3, batch_window=7)
+            assert batched.races == per_event.races
+            assert batched.stats == per_event.stats
+
+
+class TestFullMatrix:
+    def test_all_twenty_four_configurations_byte_identical(self):
+        """compiled × adaptive × batch-window × (sequential|sharded).
+
+        Every one of the 24 configurations must report byte-identically
+        (clocks included, order included) to the reference everything is
+        specified against: the sequential uncompiled plain detector.
+        """
+        for trace, bindings in corpus():
+            reference = run_detector(trace, bindings,
+                                     CommutativityRaceDetector,
+                                     compiled=False, adaptive=False)
+            want = [race_snapshot(r) for r in reference.races]
+            for factory in (CommutativityRaceDetector, ShardedDetector):
+                for compiled in (False, True):
+                    for adaptive in (False, True):
+                        for batch_window in (0, 1, 7):
+                            det = run_detector(trace, bindings, factory,
+                                               compiled=compiled,
+                                               adaptive=adaptive,
+                                               batch_window=batch_window)
+                            got = [race_snapshot(r) for r in det.races]
+                            assert got == want, (
+                                f"{factory.__name__} compiled={compiled} "
+                                f"adaptive={adaptive} "
+                                f"batch_window={batch_window}")
+
+    def test_scan_matrix_agrees_on_verdicts(self):
+        """The SCAN strategy reorders reports, so its matrix leg is
+        compared on verdict keys (the old 16-config identity)."""
         for trace, bindings in corpus():
             verdicts = set()
             for factory in (CommutativityRaceDetector, ShardedDetector):

@@ -155,6 +155,104 @@ def build_multi_object_trace(program, registry=None):
     return builder.build(), bindings
 
 
+# -- contention-adversarial traces (the epoch machinery's worst case) --------------
+#
+# The epoch representation is cheapest when points stay thread-local; these
+# programs are built to deny it that: operations re-target recently touched
+# arguments from *other* threads (non-commutative method pairs on the same
+# access point → promotions and races), and workers are continuously joined
+# and replaced by fresh tids (dead components inside carried epoch clocks →
+# deflation, compaction and pruning all get real work).
+
+
+def contention_program(seed: int, kinds: Tuple[str, ...] = DEFAULT_KINDS,
+                       max_objects: int = 3, max_threads: int = 6,
+                       max_ops: int = 60):
+    """A deterministic adversarial program for plain seed loops."""
+    rng = random.Random(seed ^ 0xC0117E57)
+    count = rng.randint(1, max_objects)
+    object_kinds = tuple(rng.choice(kinds) for _ in range(count))
+    threads = rng.randint(2, max_threads)
+    ops = rng.randint(10, max_ops)
+    lock_rate = rng.choice((0.0, 0.1, 0.3))
+    churn_rate = rng.choice((0.0, 0.1, 0.25))
+    return (object_kinds, seed, threads, ops, lock_rate, churn_rate)
+
+
+def build_contention_trace(program, registry=None, repeat_bias: float = 0.75,
+                           lookback: int = 8):
+    """Expand a contention program into (stamped trace, bindings).
+
+    Like :func:`build_multi_object_trace` (every recorded return value is
+    realizable at its linearization point), with two adversarial twists:
+
+    * **argument re-targeting** — with probability ``repeat_bias`` an
+      operation redraws its invocation a few times, preferring one whose
+      arguments match something another thread touched within the last
+      ``lookback`` actions on the same object.  Conflicting-schema pairs
+      on the *same point value* (put/put, put/get on one key...) are
+      exactly the non-commutative pairs Algorithm 1 must catch, and the
+      cross-thread re-touch is what forces epoch promotions.
+    * **tid churn** — with probability ``churn_rate`` per step, a live
+      worker is joined into the root and replaced by a brand-new tid that
+      inherits its remaining budget.  The tid space keeps growing, old
+      components go dead inside carried epoch clocks, and every
+      maintenance pass (deflation, compaction, pruning) sees the state it
+      exists for.
+    """
+    object_kinds, seed, threads, ops, lock_rate, churn_rate = program
+    registry = registry or bundled_objects()
+    bindings = {f"o{i}": kind for i, kind in enumerate(object_kinds)}
+    semantics = {name: registry[kind].semantics()
+                 for name, kind in bindings.items()}
+    states = {name: sem.initial_state() for name, sem in semantics.items()}
+    names = list(bindings)
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    workers = list(range(1, threads + 1))
+    next_tid = threads + 1
+    for tid in workers:
+        builder.fork(0, tid)
+    remaining = {tid: ops for tid in workers}
+    recent: Dict[str, List[Tuple[int, str, tuple]]] = {n: [] for n in names}
+    while any(remaining.values()):
+        live = [t for t, n in remaining.items() if n]
+        tid = rng.choice(live)
+        if rng.random() < churn_rate:
+            # Retire this worker and hand its budget to a fresh tid: the
+            # replacement is ordered after everything the old tid did
+            # (join into root, fork from root), so the old component goes
+            # dead while its stamps live on inside point clocks.
+            builder.join(0, tid)
+            budget = remaining.pop(tid)
+            builder.fork(0, next_tid)
+            remaining[next_tid] = budget
+            tid = next_tid
+            next_tid += 1
+        name = rng.choice(names)
+        use_lock = rng.random() < lock_rate
+        if use_lock:
+            builder.acquire(tid, "L")
+        method, args = semantics[name].sample_invocation(rng)
+        if rng.random() < repeat_bias:
+            history = recent[name]
+            for _ in range(4):
+                if any(h_args == args and h_tid != tid
+                       for h_tid, _, h_args in history):
+                    break  # cross-thread re-touch found: keep it
+                method, args = semantics[name].sample_invocation(rng)
+        states[name], returns = semantics[name].apply(states[name],
+                                                      method, args)
+        builder.action(tid, Action(name, method, args, returns))
+        history = recent[name]
+        history.append((tid, method, args))
+        del history[:-lookback]
+        if use_lock:
+            builder.release(tid, "L")
+        remaining[tid] -= 1
+    return builder.build(), bindings
+
+
 def register_bindings(detector, bindings, registry=None, **register_kw):
     """Register every bound object's bundled representation on a detector."""
     registry = registry or bundled_objects()
