@@ -259,6 +259,7 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
     merged registry — publishing cumulative detector counters into ``obs``
     every window would double-count them.
     """
+    from .core.serialize import TailReader
     from .core.stream import StreamAnalyzer, follow_analyze
     registry = bundled_objects()
     if not bindings:
@@ -296,9 +297,13 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
         return analyzer
 
     try:
+        # The reader carries the obs handle so frame-cap violations are
+        # counted (stream_frame_errors) before the error surfaces.
+        reader = TailReader(path, obs=obs)
         analyzer, status = follow_analyze(path, build,
                                           poll_interval=poll_interval,
-                                          idle_timeout=idle_timeout)
+                                          idle_timeout=idle_timeout,
+                                          reader=reader)
     except (ReproError, ValueError) as exc:
         _fail(f"invalid trace file {path!r}: {exc}", EXIT_DATA)
     if analyzer is None:
@@ -310,6 +315,12 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
         print(f"repro-analyze: follow: no new events for {idle_timeout:g}s; "
               f"trace incomplete ({status.events_read} of {declared} events, "
               f"resume offset {status.resume_offset})", file=sys.stderr)
+    if meta_base is not None:
+        # Keep the final report on the follow-mode snapshot schema: the
+        # periodic snapshots carry a "windows" count, and so must the
+        # closing rewrite (an idle timeout inside a maintenance window
+        # still flushed that window via finish()).
+        meta_base["windows"] = analyzer.windows_completed
     publish_detector_stats(obs, analyzer.stats)
     hb = analyzer.detector.happens_before
     obs.gauge("hb_threads", len(hb.known_threads()))
@@ -579,8 +590,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = build_report(obs, meta=dict(meta_base, events=events_total),
                               faults=faults)
         if args.stats_json:
-            with open(args.stats_json, "w", encoding="utf-8") as out:
+            # Write-then-rename, like the periodic --follow snapshots: a
+            # reader polling the report must never observe a half-written
+            # file, least of all from the final rewrite on exit.
+            tmp = f"{args.stats_json}.tmp"
+            with open(tmp, "w", encoding="utf-8") as out:
                 write_report(report, out)
+            os.replace(tmp, args.stats_json)
         if args.stats:
             print(render_table(report), file=sys.stderr)
     return code

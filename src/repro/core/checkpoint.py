@@ -59,6 +59,8 @@ __all__ = [
     "CheckpointWriter",
     "save_checkpoint",
     "load_checkpoint",
+    "write_sealed_payload",
+    "read_sealed_payload",
 ]
 
 MAGIC = b"repro-checkpoint\n"
@@ -123,15 +125,22 @@ class CheckpointConfig:
                 f"checkpoint interval must be >= 1, got {self.interval}")
 
 
-def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
-    """Atomically write ``checkpoint`` to ``path``."""
-    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+def write_sealed_payload(path: str, payload: bytes,
+                         magic: bytes = MAGIC) -> None:
+    """Atomically write a length- and digest-sealed payload to ``path``.
+
+    The on-disk layout is the module docstring's (magic, 8-byte length,
+    SHA-256, payload); ``magic`` is parameterized so other checkpoint
+    families — the detection service's per-tenant stream checkpoints —
+    share the exact same atomic-write/verified-read machinery without
+    masquerading as phase-A checkpoints.
+    """
     digest = hashlib.sha256(payload).digest()
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(prefix=".repro-ckpt-", dir=directory)
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(MAGIC)
+            handle.write(magic)
             handle.write(_LENGTH.pack(len(payload)))
             handle.write(digest)
             handle.write(payload)
@@ -146,26 +155,38 @@ def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
         raise
 
 
-def load_checkpoint(path: str) -> Checkpoint:
-    """Read and verify a checkpoint; :class:`CheckpointError` on any defect."""
+def read_sealed_payload(path: str, magic: bytes = MAGIC) -> bytes:
+    """Read and verify a sealed payload; :class:`CheckpointError` on defect."""
     try:
         with open(path, "rb") as handle:
             blob = handle.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if not blob.startswith(MAGIC):
+    if not blob.startswith(magic):
         raise CheckpointError(f"{path} is not a repro checkpoint (bad magic)")
-    header_end = len(MAGIC) + _LENGTH.size + hashlib.sha256().digest_size
+    header_end = len(magic) + _LENGTH.size + hashlib.sha256().digest_size
     if len(blob) < header_end:
         raise CheckpointError(f"{path} is truncated (incomplete header)")
-    (length,) = _LENGTH.unpack_from(blob, len(MAGIC))
-    digest = blob[len(MAGIC) + _LENGTH.size:header_end]
+    (length,) = _LENGTH.unpack_from(blob, len(magic))
+    digest = blob[len(magic) + _LENGTH.size:header_end]
     payload = blob[header_end:]
     if len(payload) != length:
         raise CheckpointError(
             f"{path} is truncated ({len(payload)} of {length} payload bytes)")
     if hashlib.sha256(payload).digest() != digest:
         raise CheckpointError(f"{path} failed its integrity digest")
+    return payload
+
+
+def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
+    """Atomically write ``checkpoint`` to ``path``."""
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    write_sealed_payload(path, payload)
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read and verify a checkpoint; :class:`CheckpointError` on any defect."""
+    payload = read_sealed_payload(path)
     try:
         checkpoint = pickle.loads(payload)
     except Exception as exc:

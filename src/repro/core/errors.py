@@ -16,6 +16,7 @@ __all__ = [
     "MonitorError",
     "SchedulerError",
     "CheckpointError",
+    "FrameTooLargeError",
 ]
 
 
@@ -73,6 +74,19 @@ class SchedulerError(ReproError):
 
     Examples: deadlock (no runnable task while unfinished tasks remain) or a
     task yielding after it already completed.
+    """
+
+
+class FrameTooLargeError(ReproError):
+    """A streamed trace record exceeds the configured size cap.
+
+    Raised by :class:`~repro.core.serialize.TailReader` (and the detection
+    service's ingest readers) when a single JSONL record — complete or
+    still unterminated — grows past ``max_record_bytes``.  Distinct from a
+    partial tail: a partial record within the cap means "not yet flushed"
+    and the reader parks at a resume offset, while a record that can never
+    fit is poison — without this error the reader would retry the same
+    offset forever.
     """
 
 

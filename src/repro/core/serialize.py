@@ -24,17 +24,23 @@ import json
 import time as _time
 from typing import Any, IO, Iterable, Iterator, List, Optional, Union
 
-from .errors import ReproError
+from .errors import FrameTooLargeError, ReproError
 from .events import (NIL, Action, Event, EventKind, acquire_event,
                      action_event, begin_event, commit_event, fork_event,
                      join_event, read_event, release_event, write_event)
 from .trace import Trace
 
 __all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace",
-           "TailReader", "follow_trace"]
+           "MAX_RECORD_BYTES", "TailReader", "follow_trace"]
 
 _FORMAT_KEY = "repro-trace"
 _FORMAT_VERSION = 1
+
+#: Default single-record size cap for incremental readers.  Far above any
+#: legitimate event line (events are a handful of scalars), far below a
+#: footprint that could hurt the process — a frame past this cap is a
+#: corrupt or adversarial stream, not a slow writer.
+MAX_RECORD_BYTES = 1 << 20
 
 
 class _TraceFormatError(ReproError):
@@ -194,13 +200,27 @@ class TailReader:
     ``done`` turns true once the header's declared event count has been
     read; headerless writers never report done and the caller decides
     when to stop (idle timeout).
+
+    One pathology is *not* retried: a record larger than
+    ``max_record_bytes`` (complete or still growing) raises
+    :class:`~repro.core.errors.FrameTooLargeError` and bumps the
+    ``stream_frame_errors`` obs counter.  Without the cap a corrupt
+    length-runaway line would park the reader at a poisoned resume
+    offset forever — every poll re-reading a "partial" record that can
+    never complete.
     """
 
     def __init__(self, path: str, resume_offset: Optional[int] = None,
                  root: Any = None, declared_events: Optional[int] = None,
-                 events_read: int = 0, chunk_size: int = 1 << 16):
+                 events_read: int = 0, chunk_size: int = 1 << 16,
+                 max_record_bytes: int = MAX_RECORD_BYTES, obs=None):
+        if max_record_bytes < 1:
+            raise ValueError(
+                f"max_record_bytes must be >= 1, got {max_record_bytes}")
         self._path = path
         self._chunk_size = chunk_size
+        self._max_record = max_record_bytes
+        self._obs = obs if (obs is not None and obs.enabled) else None
         #: True when the last poll ended on a partially written record.
         self.truncated = False
         if resume_offset is None:
@@ -258,6 +278,8 @@ class TailReader:
             if newline < 0:
                 break
             line = buffer[start:newline]
+            if len(line) > self._max_record:
+                self._frame_error(len(line))
             consumed = newline + 1 - start
             start = newline + 1
             self.offset += consumed
@@ -270,8 +292,21 @@ class TailReader:
                 continue
             events.append(_decode_event(record))
             self.events_read += 1
+        remainder = len(buffer) - start
+        if remainder > self._max_record:
+            # The unterminated tail can only grow; parking at this resume
+            # offset would retry a record that will never fit the cap.
+            self._frame_error(remainder)
         self.truncated = start < len(buffer)
         return events
+
+    def _frame_error(self, size: int) -> None:
+        if self._obs is not None:
+            self._obs.add("stream_frame_errors")
+        raise FrameTooLargeError(
+            f"trace record at byte offset {self.offset} of {self._path} "
+            f"spans {size} bytes (cap {self._max_record}); refusing to "
+            f"park at a poisoned resume offset")
 
     def _read_header(self, record: dict) -> None:
         if record.get(_FORMAT_KEY) != _FORMAT_VERSION:

@@ -57,7 +57,97 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
 from .faults import FaultLog
 
-__all__ = ["DEFAULT_SHARD_TIMEOUT", "SupervisorConfig", "ShardSupervisor"]
+__all__ = ["DEFAULT_SHARD_TIMEOUT", "ANALYZER_POLICIES", "QuarantinePolicy",
+           "SupervisorConfig", "ShardSupervisor"]
+
+#: Valid fault policies for components that isolate analyzer exceptions:
+#: ``"raise"`` propagates, ``"log"`` records and keeps going, ``"disable"``
+#: records and quarantines the faulty analyzer after ``max_faults``.
+ANALYZER_POLICIES = ("raise", "disable", "log")
+
+
+class QuarantinePolicy:
+    """Shared analyzer-fault policy: raise, log, or disable-after-N.
+
+    Both the runtime :class:`~repro.runtime.monitor.Monitor` (many
+    analyzers, one monitored process) and the detection service's tenant
+    sessions (one analyzer per tenant, many tenants) need the same
+    decision procedure for "the analyzer raised — now what?": propagate
+    the exception (``raise``), record it and continue (``log``), or
+    record it and drop the analyzer from further dispatch once it has
+    faulted ``max_faults`` times (``disable``).  This class owns that
+    decision plus its bookkeeping — the per-analyzer fault counts, the
+    :class:`~repro.core.faults.FaultLog` records, and the obs counters —
+    so the two layers cannot drift apart.
+
+    Keys are caller-chosen hashables (the monitor keys by analyzer
+    identity, the service by tenant name).  :meth:`record_failure`
+    returns the verdict for this fault: ``"raise"``, ``"continue"`` or
+    ``"quarantine"`` (returned exactly once, on the fault that crosses
+    the threshold; later faults on a quarantined key should not occur —
+    callers stop dispatching — but degrade to ``"continue"``).
+    """
+
+    def __init__(self, policy: str = "raise", max_faults: int = 5,
+                 obs=None, faults: Optional[FaultLog] = None,
+                 site: str = "analyzer"):
+        if policy not in ANALYZER_POLICIES:
+            raise ValueError(
+                f"analyzer policy must be one of {ANALYZER_POLICIES}, "
+                f"got {policy!r}")
+        if max_faults < 1:
+            raise ValueError(f"max_faults must be >= 1, got {max_faults}")
+        self.policy = policy
+        self.max_faults = max_faults
+        self.site = site
+        self.faults = faults if faults is not None else FaultLog()
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self._obs_faults = (self._obs.breakdown(f"{site}_faults")
+                            if self._obs is not None else None)
+        self._counts: Dict[Any, int] = {}
+        self._quarantined: set = set()
+
+    @property
+    def isolates(self) -> bool:
+        """True when exceptions should be caught rather than propagate."""
+        return self.policy != "raise"
+
+    def is_quarantined(self, key: Any) -> bool:
+        return key in self._quarantined
+
+    def fault_count(self, key: Any) -> int:
+        return self._counts.get(key, 0)
+
+    def quarantined_keys(self) -> set:
+        return set(self._quarantined)
+
+    def record_failure(self, key: Any, name: str, exc: Exception) -> str:
+        """Account one analyzer exception; return the verdict.
+
+        ``name`` is the human label used in fault records and obs
+        breakdowns (the monitor passes the analyzer's class name, the
+        service the tenant id).
+        """
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        self.faults.record(
+            site=self.site, kind="exception", attempt=count,
+            detail=f"{name}: {type(exc).__name__}: {exc}")
+        if self._obs_faults is not None:
+            self._obs_faults[name] = self._obs_faults.get(name, 0) + 1
+        if self.policy == "raise":
+            return "raise"
+        if self.policy == "disable" and count >= self.max_faults \
+                and key not in self._quarantined:
+            self._quarantined.add(key)
+            self.faults.record(
+                site=self.site, kind="quarantined", attempt=count,
+                detail=f"{name}: dropped from dispatch after {count} faults")
+            if self._obs is not None:
+                self._obs.add(f"{self.site}s_quarantined")
+                self._obs.count_in(f"{self.site}_quarantined", name)
+            return "quarantine"
+        return "continue"
 
 #: Per-round shard deadline, in seconds.  Generous — a shard replay is
 #: seconds, not minutes — because the timeout's job is to detect hung and

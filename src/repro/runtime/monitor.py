@@ -44,6 +44,7 @@ from ..core.events import (Action, Event, acquire_event, action_event,
                            begin_event, commit_event, fork_event, join_event,
                            read_event, release_event, write_event)
 from ..core.faults import FaultLog
+from ..core.supervise import ANALYZER_POLICIES, QuarantinePolicy
 from ..core.trace import Trace
 from ..core.vector_clock import Tid
 
@@ -51,8 +52,9 @@ __all__ = ["Monitor", "ROOT_TID", "ANALYZER_POLICIES"]
 
 ROOT_TID: Tid = 0
 
-#: Valid ``analyzer_policy`` values (see the module docstring).
-ANALYZER_POLICIES = ("raise", "disable", "log")
+# ANALYZER_POLICIES is re-exported from repro.core.supervise, where the
+# shared QuarantinePolicy (monitor + detection-service tenant sessions)
+# now lives.
 
 
 class Monitor:
@@ -117,11 +119,10 @@ class Monitor:
         self.max_analyzer_faults = max_analyzer_faults
         #: Isolated analyzer failures (empty under the ``raise`` policy).
         self.faults = FaultLog()
-        self._isolate = analyzer_policy != "raise"
-        self._quarantined: set = set()          # id(analyzer)
-        self._fault_counts: dict = {}           # id(analyzer) -> int
-        self._obs_analyzer_faults = (self.obs.breakdown("analyzer_faults")
-                                     if self.obs is not None else None)
+        self._policy = QuarantinePolicy(
+            policy=analyzer_policy, max_faults=max_analyzer_faults,
+            obs=self.obs, faults=self.faults, site="analyzer")
+        self._isolate = self._policy.isolates
 
     # -- configuration -----------------------------------------------------
 
@@ -214,44 +215,23 @@ class Monitor:
                     analyzer.process(event)
                 return
             for analyzer in self._analyzers:
-                if id(analyzer) in self._quarantined:
+                if self._policy.is_quarantined(id(analyzer)):
                     continue
                 try:
                     analyzer.process(event)
                 except Exception as exc:
-                    self._on_analyzer_fault(analyzer, exc)
-
-    def _on_analyzer_fault(self, analyzer, exc: Exception) -> None:
-        """Record an isolated analyzer exception; maybe quarantine.
-
-        Only ever called with ``self._isolate`` true, under the dispatch
-        mutex.  The count passed as ``attempt`` is this analyzer's running
-        fault total, so the fault log reads as a progression toward the
-        quarantine threshold.
-        """
-        name = getattr(analyzer, "name", type(analyzer).__name__)
-        count = self._fault_counts.get(id(analyzer), 0) + 1
-        self._fault_counts[id(analyzer)] = count
-        self.faults.record(
-            site="analyzer", kind="exception", attempt=count,
-            detail=f"{name}: {type(exc).__name__}: {exc}")
-        if self._obs_analyzer_faults is not None:
-            self._obs_analyzer_faults[name] = \
-                self._obs_analyzer_faults.get(name, 0) + 1
-        if (self.analyzer_policy == "disable"
-                and count >= self.max_analyzer_faults):
-            self._quarantined.add(id(analyzer))
-            self.faults.record(
-                site="analyzer", kind="quarantined", attempt=count,
-                detail=f"{name}: dropped from dispatch after {count} faults")
-            if self.obs is not None:
-                self.obs.add("analyzers_quarantined")
-                self.obs.count_in("analyzer_quarantined", name)
+                    # The shared QuarantinePolicy does all the accounting
+                    # (fault records, obs counters, the disable-after-N
+                    # decision); isolation means the verdict is never
+                    # "raise" here.
+                    name = getattr(analyzer, "name",
+                                   type(analyzer).__name__)
+                    self._policy.record_failure(id(analyzer), name, exc)
 
     def quarantined_analyzers(self) -> Tuple:
         """Analyzers currently dropped from dispatch (``disable`` policy)."""
         return tuple(a for a in self._analyzers
-                     if id(a) in self._quarantined)
+                     if self._policy.is_quarantined(id(a)))
 
     def on_action(self, obj_id: Hashable, method: str,
                   args: Tuple[Any, ...], returns: Tuple[Any, ...]) -> None:

@@ -1,0 +1,94 @@
+"""Consistent synthetic workloads for service tests, chaos and soak runs.
+
+The chaos harness (:mod:`repro.service.chaos`) and the soak benchmark
+need the same thing the test-suite's ``tests/support.py`` provides —
+deterministic multi-object traces whose recorded return values are
+realizable at their linearization points — but from *inside* the
+installed package, where CI jobs and operators can reach them without a
+checkout of the test tree.  The generator here is the same
+program-expansion idea: a compact integer "program" (seed, object kinds,
+thread count, op count, lock rate) deterministically expands through the
+bundled executable semantics into a consistent trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from ..core.events import Action
+from ..core.serialize import dumps_trace
+from ..core.trace import Trace, TraceBuilder
+from ..specs import bundled_objects
+
+__all__ = ["WORKLOAD_KINDS", "tenant_program", "build_tenant_trace",
+           "tenant_trace_text"]
+
+WORKLOAD_KINDS: Tuple[str, ...] = ("dictionary", "set", "counter",
+                                   "register", "msetlog", "accumulator",
+                                   "queue")
+
+
+def tenant_program(seed: int, kinds: Tuple[str, ...] = WORKLOAD_KINDS,
+                   max_objects: int = 3, max_threads: int = 4,
+                   min_ops: int = 10, max_ops: int = 60):
+    """A deterministic multi-object trace program for one tenant."""
+    rng = random.Random(seed)
+    count = rng.randint(1, max_objects)
+    object_kinds = tuple(rng.choice(kinds) for _ in range(count))
+    threads = rng.randint(1, max_threads)
+    ops = rng.randint(min_ops, max_ops)
+    lock_rate = rng.choice((0.0, 0.3, 1.0))
+    join_all = rng.random() < 0.6
+    return (object_kinds, seed, threads, ops, lock_rate, join_all)
+
+
+def build_tenant_trace(program, registry=None
+                       ) -> Tuple[Trace, Dict[str, str]]:
+    """Expand a program into ``(stamped trace, name->kind bindings)``.
+
+    Every object evolves its own semantics state, so all recorded return
+    values are consistent — the detector never sees an unrealizable
+    history (those are the quarantine tests' job, built by hand).
+    """
+    object_kinds, seed, threads, ops, lock_rate, join_all = program
+    registry = registry or bundled_objects()
+    bindings = {f"o{i}": kind for i, kind in enumerate(object_kinds)}
+    semantics = {name: registry[kind].semantics()
+                 for name, kind in bindings.items()}
+    states = {name: sem.initial_state() for name, sem in semantics.items()}
+    names = list(bindings)
+    rng = random.Random(seed)
+    builder = TraceBuilder(root=0)
+    worker_tids = list(range(1, threads + 1))
+    for tid in worker_tids:
+        builder.fork(0, tid)
+    remaining = {tid: ops for tid in worker_tids}
+    while any(remaining.values()):
+        tid = rng.choice([t for t, n in remaining.items() if n])
+        name = rng.choice(names)
+        use_lock = rng.random() < lock_rate
+        if use_lock:
+            builder.acquire(tid, "L")
+        method, args = semantics[name].sample_invocation(rng)
+        states[name], returns = semantics[name].apply(states[name],
+                                                      method, args)
+        builder.action(tid, Action(name, method, args, returns))
+        if use_lock:
+            builder.release(tid, "L")
+        remaining[tid] -= 1
+    if join_all:
+        builder.join_all(0, worker_tids)
+        name = rng.choice(names)
+        method, args = semantics[name].sample_invocation(rng)
+        states[name], returns = semantics[name].apply(states[name],
+                                                      method, args)
+        builder.action(0, Action(name, method, args, returns))
+    return builder.build(), bindings
+
+
+def tenant_trace_text(seed: int, **program_kw
+                      ) -> Tuple[str, Dict[str, str], Trace]:
+    """Convenience: ``(JSONL text, bindings, trace)`` for one seed."""
+    trace, bindings = build_tenant_trace(tenant_program(seed, **program_kw))
+    return dumps_trace(trace), bindings, trace

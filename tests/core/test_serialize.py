@@ -123,3 +123,56 @@ class TestErrors:
         text = dumps_trace(rich_trace())
         padded = text.replace("\n", "\n\n", 3)
         assert len(loads_trace(padded)) == len(rich_trace())
+
+
+class TestFrameCap:
+    """TailReader must refuse oversized records instead of parking forever."""
+
+    def _write(self, tmp_path, text):
+        path = str(tmp_path / "capped.jsonl")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(text)
+        return path
+
+    def test_small_partial_tail_parks(self, tmp_path):
+        from repro.core.serialize import TailReader
+        text = dumps_trace(rich_trace())
+        path = self._write(tmp_path, text[:-7])  # torn mid-record
+        reader = TailReader(path, max_record_bytes=4096)
+        reader.poll()
+        assert reader.truncated  # parked, not raised
+
+    def test_oversized_complete_line_raises(self, tmp_path):
+        from repro.core.errors import FrameTooLargeError
+        from repro.core.serialize import TailReader
+        from repro.obs import Registry
+        text = dumps_trace(rich_trace())
+        poison = '{"kind": "action", "pad": "' + "x" * 8192 + '"}\n'
+        path = self._write(tmp_path, text + poison)
+        obs = Registry(sample_interval=1)
+        reader = TailReader(path, max_record_bytes=4096, obs=obs)
+        with pytest.raises(FrameTooLargeError, match="cap 4096"):
+            reader.poll()
+        assert obs.snapshot()["counters"]["stream_frame_errors"] == 1
+
+    def test_runaway_unterminated_tail_raises(self, tmp_path):
+        """A growing never-terminated record must not poison the resume
+        offset: once it exceeds the cap the reader raises instead of
+        reporting one more truncated tail."""
+        from repro.core.errors import FrameTooLargeError
+        from repro.core.serialize import TailReader
+        text = dumps_trace(rich_trace())
+        path = self._write(tmp_path, text + '{"kind": "' + "y" * 8192)
+        reader = TailReader(path, max_record_bytes=4096)
+        with pytest.raises(FrameTooLargeError):
+            reader.poll()
+        # Every complete record before the poison was still consumed.
+        assert reader.events_read == len(rich_trace())
+
+    def test_default_cap_is_generous(self, tmp_path):
+        from repro.core.serialize import MAX_RECORD_BYTES, TailReader
+        assert MAX_RECORD_BYTES >= 1 << 20
+        text = dumps_trace(rich_trace())
+        reader = TailReader(self._write(tmp_path, text))
+        assert len(reader.poll()) == len(rich_trace())
+        assert reader.done

@@ -269,3 +269,46 @@ class TestFollowCli:
                          "--follow-timeout", "0.2")
         assert "trace incomplete" in result.stderr
         assert "resume offset" in result.stderr
+
+    def test_idle_timeout_inside_window_still_flushes_stats_json(
+            self, tmp_path):
+        """Regression: a --follow run whose idle timeout fires mid-window
+        (here the window is far larger than the trace, so no periodic
+        boundary ever fires) must still leave a complete, atomic
+        --stats-json snapshot on the follow-mode schema."""
+        import json
+        text = open(TRACE, encoding="utf-8").read()
+        path = str(tmp_path / "partial.jsonl")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(text)
+        truncate_file(path, drop_bytes=20)
+        stats = str(tmp_path / "follow.stats.json")
+        result = run_cli(path, *OBJECTS, "--follow",
+                         "--follow-timeout", "0.3",
+                         "--window", "100000", "--stats-json", stats)
+        assert "trace incomplete" in result.stderr
+        report = json.loads(open(stats, encoding="utf-8").read())
+        # The pending window was flushed on exit: exactly the finish()
+        # maintenance ran, and the event count covers everything read
+        # after the last (never-reached) periodic boundary.
+        assert report["meta"]["windows"] >= 1
+        declared = json.loads(text.splitlines()[0])["events"]
+        assert 0 < report["meta"]["events"] < declared
+        assert "trace incomplete" in result.stderr
+        # Atomic rewrite: no half-written temp file may survive.
+        assert not os.path.exists(stats + ".tmp")
+
+    def test_oversized_frame_fails_cleanly(self, tmp_path):
+        """A poisoned (runaway) record ends the follow with a clean data
+        error instead of wedging at the same resume offset forever."""
+        text = open(TRACE, encoding="utf-8").read()
+        lines = text.splitlines(keepends=True)
+        path = str(tmp_path / "poison.jsonl")
+        with open(path, "w", encoding="utf-8") as out:
+            out.writelines(lines[:5])
+            out.write('{"kind": "action", "pad": "' + "x" * (2 << 20)
+                      + '"}\n')
+        result = run_cli(path, *OBJECTS, "--follow",
+                         "--follow-timeout", "0.3")
+        assert result.returncode == 3
+        assert "spans" in result.stderr and "cap" in result.stderr

@@ -1,0 +1,107 @@
+"""Per-tenant memory budgets: forced windows, strikes, suspension."""
+
+import pytest
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.stream import StreamAnalyzer
+from repro.obs import Registry
+from repro.service.budget import BudgetConfig, TenantBudget
+from repro.specs import bundled_objects
+from repro.testing.workloads import build_tenant_trace, tenant_program
+from tests.support import race_snapshot
+
+RACY_SEED = 18  # a seeded tenant workload with races and a real footprint
+
+
+def analyzed_pair(seed=RACY_SEED):
+    """(trace, bindings) plus a fresh registered StreamAnalyzer."""
+    trace, bindings = build_tenant_trace(tenant_program(seed))
+    registry = bundled_objects()
+    analyzer = StreamAnalyzer(root=trace.root, window=16)
+    for name, kind in bindings.items():
+        analyzer.register_object(name, registry[kind].representation())
+    return trace, bindings, analyzer
+
+
+class TestConfig:
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError, match="max_points"):
+            BudgetConfig(max_points=0)
+
+    def test_rejects_nonpositive_suspend_after(self):
+        with pytest.raises(ValueError, match="suspend_after"):
+            BudgetConfig(suspend_after=0)
+
+    def test_unlimited_is_always_ok(self):
+        _, _, analyzer = analyzed_pair()
+        budget = TenantBudget(BudgetConfig(), "t")
+        assert budget.check(analyzer) == "ok"
+        assert budget.forced_windows == 0
+
+
+class TestEnforcement:
+    def test_squeeze_forces_windows_and_preserves_reports(self):
+        trace, bindings, analyzer = analyzed_pair()
+        obs = Registry()
+        budget = TenantBudget(BudgetConfig(max_points=8,
+                                           suspend_after=1_000_000),
+                              "t", obs=obs)
+        for index, event in enumerate(trace):
+            analyzer.process(event)
+            if index % 16 == 0:
+                assert budget.check(analyzer) in ("ok", "forced")
+        analyzer.finish()
+        assert budget.forced_windows > 0
+        assert not budget.suspended
+        counters = obs.snapshot()["counters"]
+        assert counters["budget_forced_windows"] == budget.forced_windows
+
+        # The squeezed run's report is byte-identical to an unconstrained
+        # offline analysis — forced maintenance is report-preserving.
+        registry = bundled_objects()
+        offline = CommutativityRaceDetector(root=trace.root)
+        for name, kind in bindings.items():
+            offline.register_object(name, registry[kind].representation())
+        offline.run(trace)
+        assert [race_snapshot(r) for r in analyzer.races] \
+            == [race_snapshot(r) for r in offline.races]
+
+    def test_hopeless_budget_suspends_after_strikes(self):
+        trace, _, analyzer = analyzed_pair()
+        obs = Registry()
+        budget = TenantBudget(BudgetConfig(max_points=1, suspend_after=2),
+                              "t", obs=obs)
+        verdicts = []
+        for event in trace:
+            analyzer.process(event)
+            verdict = budget.check(analyzer)
+            verdicts.append(verdict)
+            if verdict == "suspend":
+                break
+        assert budget.suspended
+        assert verdicts[-1] == "suspend"
+        # Two strikes means exactly two failed forced windows preceded it.
+        assert verdicts.count("forced") >= 1
+        assert obs.snapshot()["counters"]["budget_suspensions"] == 1
+        # Idempotent once tripped.
+        assert budget.check(analyzer) == "suspend"
+
+    def test_recovery_resets_strikes(self):
+        trace, _, analyzer = analyzed_pair()
+        budget = TenantBudget(BudgetConfig(max_points=60, suspend_after=2),
+                              "t")
+        for event in trace:
+            analyzer.process(event)
+            if budget.check(analyzer) == "suspend":
+                pytest.fail("a recoverable footprint must never suspend "
+                            "with a generous limit")
+
+    def test_gauge_tracks_footprint_hwm(self):
+        trace, _, analyzer = analyzed_pair()
+        obs = Registry()
+        budget = TenantBudget(BudgetConfig(max_points=10_000), "t", obs=obs)
+        for event in trace:
+            analyzer.process(event)
+            budget.check(analyzer)
+        gauges = obs.snapshot()["gauges"]
+        assert gauges["tenant_points_hwm[t]"] > 0

@@ -1,0 +1,110 @@
+"""Per-tenant checkpoint files: namespacing, integrity, atomicity."""
+
+import os
+
+import pytest
+
+from repro.core.errors import CheckpointError
+from repro.service.checkpoints import (TENANT_CHECKPOINT_VERSION,
+                                       TenantCheckpoint,
+                                       discard_tenant_checkpoint,
+                                       load_tenant_checkpoint,
+                                       save_tenant_checkpoint,
+                                       tenant_checkpoint_path)
+
+
+def checkpoint_for(tenant, events=10):
+    return TenantCheckpoint(
+        version=TENANT_CHECKPOINT_VERSION, tenant=tenant, root=0,
+        events_processed=events, prefix_digest="d" * 64,
+        bindings={"o": "counter"}, analyzer=None)
+
+
+class TestNamespacing:
+    def test_colliding_slugs_get_distinct_paths(self):
+        # "a/b" and "a_b" sanitize to the same slug; the content-hash
+        # suffix is what keeps two such tenants from sharing a file.
+        first = tenant_checkpoint_path("/ckpt", "a/b")
+        second = tenant_checkpoint_path("/ckpt", "a_b")
+        assert first != second
+        assert os.path.dirname(first) == "/ckpt"
+
+    def test_hostile_names_stay_inside_the_directory(self):
+        path = tenant_checkpoint_path("/ckpt", "../../etc/passwd")
+        assert os.path.dirname(path) == "/ckpt"
+
+    def test_long_names_are_bounded(self):
+        path = tenant_checkpoint_path("/ckpt", "x" * 128)
+        assert len(os.path.basename(path)) < 100
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        directory = str(tmp_path)
+        saved = checkpoint_for("web-1")
+        path = save_tenant_checkpoint(directory, saved)
+        assert os.path.exists(path)
+        loaded = load_tenant_checkpoint(directory, "web-1")
+        assert loaded.events_processed == 10
+        assert loaded.bindings == {"o": "counter"}
+
+    def test_absent_is_none(self, tmp_path):
+        assert load_tenant_checkpoint(str(tmp_path), "ghost") is None
+
+    def test_two_tenants_share_a_directory(self, tmp_path):
+        directory = str(tmp_path)
+        save_tenant_checkpoint(directory, checkpoint_for("a", events=1))
+        save_tenant_checkpoint(directory, checkpoint_for("b", events=2))
+        assert load_tenant_checkpoint(directory, "a").events_processed == 1
+        assert load_tenant_checkpoint(directory, "b").events_processed == 2
+
+    def test_discard_is_idempotent(self, tmp_path):
+        directory = str(tmp_path)
+        save_tenant_checkpoint(directory, checkpoint_for("a"))
+        discard_tenant_checkpoint(directory, "a")
+        discard_tenant_checkpoint(directory, "a")
+        assert load_tenant_checkpoint(directory, "a") is None
+
+    def test_no_tmp_droppings(self, tmp_path):
+        directory = str(tmp_path)
+        save_tenant_checkpoint(directory, checkpoint_for("a"))
+        save_tenant_checkpoint(directory, checkpoint_for("a", events=20))
+        assert [name for name in os.listdir(directory)
+                if name.startswith(".repro-ckpt-")] == []
+
+
+class TestIntegrity:
+    def test_truncation_is_detected(self, tmp_path):
+        directory = str(tmp_path)
+        path = save_tenant_checkpoint(directory, checkpoint_for("a"))
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-3])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_tenant_checkpoint(directory, "a")
+
+    def test_corruption_is_detected(self, tmp_path):
+        directory = str(tmp_path)
+        path = save_tenant_checkpoint(directory, checkpoint_for("a"))
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_tenant_checkpoint(directory, "a")
+
+    def test_version_skew_is_rejected(self, tmp_path):
+        directory = str(tmp_path)
+        bad = checkpoint_for("a")
+        bad.version = TENANT_CHECKPOINT_VERSION + 1
+        save_tenant_checkpoint(directory, bad)
+        with pytest.raises(CheckpointError, match="version"):
+            load_tenant_checkpoint(directory, "a")
+
+    def test_phase_a_checkpoints_are_not_tenant_checkpoints(self, tmp_path):
+        # Same sealed container, different magic: the families must not
+        # masquerade as one another.
+        from repro.core.checkpoint import write_sealed_payload
+        directory = str(tmp_path)
+        path = tenant_checkpoint_path(directory, "a")
+        write_sealed_payload(path, b"payload")  # phase-A magic
+        with pytest.raises(CheckpointError, match="magic"):
+            load_tenant_checkpoint(directory, "a")

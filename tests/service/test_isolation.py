@@ -1,0 +1,105 @@
+"""Per-tenant fault isolation: one bad tenant never hurts its neighbors.
+
+The service reuses the PR 3 ``analyzer_policy`` semantics through the
+shared :class:`~repro.core.supervise.QuarantinePolicy` (``site=
+"tenant"``): ``log`` tolerates every fault, ``disable`` quarantines the
+tenant after ``max_faults`` strikes, ``raise`` stops the daemon.
+"""
+
+import json
+import socket
+
+from repro.service import ControlClient, ServiceClient
+from repro.service.chaos import offline_race_lines
+from repro.service.protocol import encode_hello
+from repro.testing.workloads import tenant_trace_text
+
+GOOD_SEED = 8
+
+
+def poison_stream(socket_path, tenant, bindings, garbage=b"{not json}\n"):
+    """Hello + valid header + a malformed record; the final ERR line."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10)
+    try:
+        sock.connect(socket_path)
+        reader = sock.makefile("rb")
+        sock.sendall((encode_hello(tenant, bindings) + "\n").encode())
+        ack = reader.readline().decode().rstrip("\n")
+        if not ack.startswith("OK"):
+            return ack
+        header = json.dumps({"repro-trace": 1, "root": 0, "events": 50})
+        sock.sendall(header.encode() + b"\n" + garbage)
+        return reader.readline().decode().rstrip("\n")
+    finally:
+        sock.close()
+
+
+class TestLogPolicy:
+    def test_faults_are_tolerated_and_counted(self, make_server):
+        host = make_server(analyzer_policy="log")
+        _, bindings, _ = tenant_trace_text(GOOD_SEED)
+        for _ in range(3):
+            reply = poison_stream(host.config.socket_path, "clumsy",
+                                  bindings)
+            assert reply.startswith("ERR analyzer-fault")
+        # Never quarantined, however often it faults.
+        assert not host.server._policy.is_quarantined("clumsy")
+        assert host.server._policy.fault_count("clumsy") == 3
+        counters = host.server.merged_stats()["breakdowns"]["tenant_faults"]
+        assert counters == {"clumsy": 3}
+
+
+class TestDisablePolicy:
+    def test_quarantine_after_max_faults(self, make_server):
+        host = make_server(analyzer_policy="disable", max_faults=2)
+        control = ControlClient(host.config.control_path)
+        _, bindings, _ = tenant_trace_text(GOOD_SEED)
+        first = poison_stream(host.config.socket_path, "hostile", bindings)
+        assert first.startswith("ERR analyzer-fault")
+        second = poison_stream(host.config.socket_path, "hostile", bindings)
+        assert second == "ERR quarantined"
+        # Further connects are refused at the handshake.
+        third = poison_stream(host.config.socket_path, "hostile", bindings)
+        assert third == "ERR quarantined"
+        (line,) = control.status()
+        assert line.startswith("hostile state=quarantined")
+        stats = control.stats()
+        assert stats["counters"]["tenants_quarantined"] == 1
+
+    def test_neighbors_are_untouched(self, make_server):
+        host = make_server(analyzer_policy="disable", max_faults=1)
+        client = ServiceClient(host.config.socket_path)
+        control = ControlClient(host.config.control_path)
+        _, bad_bindings, _ = tenant_trace_text(GOOD_SEED)
+        assert poison_stream(host.config.socket_path, "hostile",
+                             bad_bindings) == "ERR quarantined"
+        # A healthy tenant on the same daemon gets full, correct service.
+        text, bindings, trace = tenant_trace_text(9)
+        result = client.stream_text("innocent", bindings, text)
+        assert result.status == "done", result
+        observed = [line for line in control.races("innocent")
+                    if line != "(no races)"]
+        assert observed == offline_race_lines(trace, bindings)
+        assert host.server._policy.fault_count("innocent") == 0
+
+    def test_oversized_event_frame_is_a_tenant_fault(self, make_server):
+        host = make_server(analyzer_policy="disable", max_faults=1,
+                           max_record_bytes=4096)
+        _, bindings, _ = tenant_trace_text(GOOD_SEED)
+        reply = poison_stream(host.config.socket_path, "bloated", bindings,
+                              garbage=b'{"kind": "x' + b"x" * 8192 + b"\n")
+        assert reply == "ERR quarantined"
+        counters = host.server.merged_stats()["counters"]
+        assert counters["stream_frame_errors"] >= 1
+
+
+class TestRaisePolicy:
+    def test_a_fault_stops_the_daemon(self, make_server):
+        host = make_server(analyzer_policy="raise")
+        _, bindings, _ = tenant_trace_text(GOOD_SEED)
+        reply = poison_stream(host.config.socket_path, "fatal", bindings)
+        assert reply.startswith("ERR analyzer-fault")
+        host.stop()
+        assert host.error is not None
+        assert "malformed" in str(host.error)
