@@ -188,6 +188,7 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                            adaptive: bool = True,
                            prune_interval: int = 0,
                            batch_window: int = 0,
+                           backend: str = "pickle",
                            ) -> Tuple[int, Optional[Dict[str, Any]]]:
     registry = bundled_objects()
     if not bindings:
@@ -203,7 +204,11 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                                    batch_window=batch_window,
                                    obs=obs, supervisor=supervisor,
                                    checkpoint=checkpoint,
-                                   resume_from=resume_from)
+                                   resume_from=resume_from,
+                                   backend=backend)
+        if detector.backend.reason is not None:
+            print(f"backend: {detector.backend.requested} -> "
+                  f"{detector.backend.describe()}", file=sys.stderr)
     elif detector_kind == "rd2":
         from .core.detector import CommutativityRaceDetector
         detector = CommutativityRaceDetector(root=trace.root,
@@ -392,6 +397,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fan the rd2 per-object race checks out to N "
                              "worker processes (two-phase sharded pipeline; "
                              "default 1 = sequential)")
+    parser.add_argument("--backend", default="pickle",
+                        choices=["auto", "pickle", "shm", "thread",
+                                 "subinterp"],
+                        help="shard fan-out transport for --workers > 1: "
+                             "pickle pool (default), shared-memory record "
+                             "rings (shm), in-process threads, "
+                             "subinterpreters, or auto; a request the "
+                             "runtime cannot honor falls back with a "
+                             "reason logged to stderr")
     parser.add_argument("--shard-timeout", default=None, metavar="SECONDS",
                         help="per-shard supervision timeout for --workers "
                              "runs (default 120)")
@@ -511,6 +525,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     prune_interval = _parse_prune_interval(args)
     if prune_interval and (args.detector != "rd2" or args.atomicity):
         _fail("--prune-interval applies only to the rd2 detector", EXIT_USAGE)
+    if args.backend != "pickle":
+        if args.detector != "rd2" or args.atomicity:
+            _fail("--backend applies only to the rd2 detector", EXIT_USAGE)
+        if workers <= 1:
+            _fail("--backend selects the shard fan-out transport; it "
+                  "requires --workers > 1", EXIT_USAGE)
     if prune_interval and (checkpoint is not None or args.resume_from):
         # Phase-A prune-boundary snapshots are not part of the checkpoint
         # format; a resumed run would skip worker-side pruning and diverge
@@ -566,7 +586,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     supervisor=supervisor, checkpoint=checkpoint,
                     resume_from=args.resume_from, adaptive=adaptive,
                     prune_interval=prune_interval,
-                    batch_window=batch_window)
+                    batch_window=batch_window, backend=args.backend)
             else:
                 code, faults = _analyze_memory(trace, args.detector, obs=obs)
     except KeyboardInterrupt:

@@ -1,0 +1,219 @@
+"""Runtime selection of the shard fan-out execution backend.
+
+The sharded pipeline can push stamped actions to workers four ways:
+
+``pickle``
+    The original path: full payload pickled per shard into a
+    ``multiprocessing.Pool``.  Always available; the fallback of last
+    resort.
+``shm``
+    Zero-pickle: stamped actions encoded into per-shard
+    ``multiprocessing.shared_memory`` record rings
+    (:mod:`repro.core.shmem`); only the per-worker init payload
+    (registrations, plans, knobs) is pickled, once.
+``thread``
+    A thread pool running the shard worker in-process.  Only a true
+    parallelism win on free-threaded (PEP 703, 3.13t) interpreters;
+    on a GIL build it is selected only when explicitly requested
+    (useful for debugging — zero IPC of any kind).
+``subinterp``
+    One subinterpreter per shard via the low-level
+    ``_interpreters``/``_xxsubinterpreters`` module where a *usable*
+    implementation exists.  Payloads cross as pickled bytes, but
+    workers escape the main interpreter's GIL on per-interpreter-GIL
+    builds (3.12+).
+
+``resolve_backend`` turns a user request (including ``auto``) into a
+:class:`BackendChoice` with the selected mode and a human-readable
+reason whenever the selection differs from the request — the CLI prints
+it, tests assert on it, and nothing ever fails hard just because an
+optional runtime feature is missing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import sysconfig
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["BACKENDS", "BackendChoice", "resolve_backend", "shm_available",
+           "free_threaded", "subinterpreters_available",
+           "run_pickled_in_subinterpreter"]
+
+BACKENDS = ("auto", "pickle", "shm", "thread", "subinterp")
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """What the user asked for, what they got, and why (if different)."""
+
+    requested: str
+    selected: str
+    reason: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.reason is None:
+            return self.selected
+        return f"{self.selected} ({self.reason})"
+
+
+_SHM_PROBE: Optional[bool] = None
+_SUBINTERP_PROBE: Optional[Tuple[bool, str]] = None
+
+
+def shm_available() -> bool:
+    """Can this host actually create shared-memory segments?
+
+    Some sandboxes mount ``/dev/shm`` read-only or not at all; probing
+    with a real 1-byte segment is the only reliable signal.
+    """
+    global _SHM_PROBE
+    if _SHM_PROBE is None:
+        try:
+            from multiprocessing import shared_memory
+            seg = shared_memory.SharedMemory(create=True, size=1)
+            seg.close()
+            seg.unlink()
+            _SHM_PROBE = True
+        except Exception:
+            _SHM_PROBE = False
+    return _SHM_PROBE
+
+
+def free_threaded() -> bool:
+    """True only on a free-threaded build *with the GIL actually off*."""
+    gil_check = getattr(sys, "_is_gil_enabled", None)
+    if gil_check is not None:
+        try:
+            return not gil_check()
+        except Exception:
+            return False
+    return bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+
+
+def _subinterp_module():
+    try:
+        import _interpreters  # 3.13+
+        return _interpreters
+    except ImportError:
+        pass
+    try:
+        import _xxsubinterpreters  # 3.8–3.12 (API drifts per version)
+        return _xxsubinterpreters
+    except ImportError:
+        return None
+
+
+def _run_in_new_interpreter(code: str) -> None:
+    """Create → run → destroy one subinterpreter; raise on any failure."""
+    mod = _subinterp_module()
+    if mod is None:
+        raise RuntimeError("no subinterpreter module")
+    interp = mod.create()
+    try:
+        runner = getattr(mod, "run_string", None) or getattr(mod, "exec", None)
+        if runner is None:
+            raise RuntimeError("no run entry point")
+        result = runner(interp, code)
+        # 3.13's _interpreters.exec returns an error snapshot instead of
+        # raising; older run_string raises RunFailedError itself.
+        if result is not None:
+            raise RuntimeError(str(result))
+    finally:
+        try:
+            mod.destroy(interp)
+        except Exception:
+            pass
+
+
+def subinterpreters_available() -> Tuple[bool, str]:
+    """(usable, detail) — probed by actually running code in one."""
+    global _SUBINTERP_PROBE
+    if _SUBINTERP_PROBE is None:
+        if _subinterp_module() is None:
+            _SUBINTERP_PROBE = (False, "no _interpreters module")
+        else:
+            try:
+                _run_in_new_interpreter("x = 1 + 1")
+                _SUBINTERP_PROBE = (True, "")
+            except Exception as exc:
+                _SUBINTERP_PROBE = (False, f"probe failed: {exc}")
+    return _SUBINTERP_PROBE
+
+
+def run_pickled_in_subinterpreter(payload_blob: bytes, run_code: str) -> bytes:
+    """Execute ``run_code`` in a fresh subinterpreter and return its bytes.
+
+    The payload and result cross the interpreter boundary through temp
+    files — the lowest common denominator across every ``_interpreters``
+    API generation (channel APIs exist but differ per version).
+    ``run_code`` is formatted with ``{payload!r}``/``{result!r}`` paths
+    and must pickle its result to the ``{result}`` file.
+    """
+    with tempfile.NamedTemporaryFile(delete=False) as fin:
+        fin.write(payload_blob)
+        payload_path = fin.name
+    result_path = payload_path + ".out"
+    code = run_code.format(payload=payload_path, result=result_path,
+                           sys_path=sys.path)
+    try:
+        _run_in_new_interpreter(code)
+        with open(result_path, "rb") as fout:
+            return fout.read()
+    finally:
+        for path in (payload_path, result_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def resolve_backend(requested: str) -> BackendChoice:
+    """Map a requested backend to a usable one, never failing hard.
+
+    Fallback chains: ``shm → pickle``, ``subinterp → shm → pickle``,
+    ``auto → thread`` (free-threaded only) ``→ shm → pickle``.
+    ``thread`` and ``pickle`` are always honored as requested.
+    """
+    if requested not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {requested!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    if requested == "pickle" or requested == "thread":
+        return BackendChoice(requested, requested)
+    if requested == "shm":
+        if shm_available():
+            return BackendChoice(requested, "shm")
+        return BackendChoice(requested, "pickle",
+                             "shared memory unavailable on this host")
+    if requested == "subinterp":
+        usable, detail = subinterpreters_available()
+        if usable:
+            return BackendChoice(requested, "subinterp")
+        if shm_available():
+            return BackendChoice(requested, "shm",
+                                 f"subinterpreters unusable ({detail})")
+        return BackendChoice(
+            requested, "pickle",
+            f"subinterpreters unusable ({detail}); shared memory "
+            f"unavailable")
+    # auto
+    if free_threaded():
+        return BackendChoice(requested, "thread",
+                             "free-threaded interpreter detected")
+    if shm_available():
+        return BackendChoice(requested, "shm",
+                             "GIL enabled; shared-memory rings selected")
+    return BackendChoice(requested, "pickle",
+                         "GIL enabled and shared memory unavailable")
+
+
+def _reset_probe_cache() -> None:
+    """Test hook: forget cached probe results."""
+    global _SHM_PROBE, _SUBINTERP_PROBE
+    _SHM_PROBE = None
+    _SUBINTERP_PROBE = None

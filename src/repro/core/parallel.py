@@ -49,9 +49,12 @@ import hashlib
 import itertools
 import multiprocessing
 import pickle
+import time
 from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .backend import (BackendChoice, resolve_backend,
+                      run_pickled_in_subinterpreter)
 from .checkpoint import (CHECKPOINT_VERSION, Checkpoint, CheckpointConfig,
                          CheckpointWriter, event_fingerprint, load_checkpoint)
 from .detector import CommutativityRaceDetector, DetectorStats, Strategy
@@ -62,6 +65,8 @@ from .events import (Action, Event, EventKind, ObjectId,
 from .faults import FaultLog
 from .hb import HappensBeforeTracker
 from .races import CommutativityRace
+from .shmem import (DEFAULT_RING_SLOTS, DEFAULT_SIDE_BYTES, RecordRing,
+                    StampedDecoder, StampedEncoder, feed_shard)
 from .supervise import ShardSupervisor, SupervisorConfig
 from .vector_clock import Tid
 
@@ -130,6 +135,24 @@ def _analyze_shard(payload: _ShardPayload):
     """
     (adaptive, strategy, need_reports, obs_interval, compiled, batch_window,
      prune_snaps, objects) = payload
+    detector, obs, triples, batch = _build_shard_detector(
+        adaptive, strategy, need_reports, obs_interval, compiled,
+        batch_window, [entry[:4] for entry in objects])
+    _replay_stamped(detector, obs, triples, batch, need_reports, prune_snaps,
+                    ((obj, packed_actions)
+                     for obj, _, _, _, packed_actions in objects))
+    return triples, detector.stats, obs
+
+
+def _build_shard_detector(adaptive, strategy, need_reports, obs_interval,
+                          compiled, batch_window, registrations):
+    """Construct one shard worker's detector from its registrations.
+
+    ``registrations`` is ``(obj, representation, strategy, plan)`` tuples —
+    the shard payload minus the stamped actions, which arrive either
+    inside the payload (pickle backend) or through a shared-memory ring
+    (shm backend).  Returns ``(detector, obs, triples, batch)``.
+    """
     obs = None
     if obs_interval is not None:
         from ..obs.registry import Registry
@@ -138,7 +161,7 @@ def _analyze_shard(payload: _ShardPayload):
                                          keep_reports=False, obs=obs,
                                          compiled=compiled,
                                          batch_window=batch_window)
-    for obj, representation, obj_strategy, plan, _ in objects:
+    for obj, representation, obj_strategy, plan in registrations:
         detector.register_object(obj, representation, obj_strategy, plan=plan)
     triples: List[Tuple[int, int, CommutativityRace]] = []
     # With batching, _process_action's return value covers whole flushed
@@ -147,6 +170,18 @@ def _analyze_shard(payload: _ShardPayload):
     batch = detector._batch
     if batch is not None and need_reports:
         batch.tagged_races = triples
+    return detector, obs, triples, batch
+
+
+def _replay_stamped(detector, obs, triples, batch, need_reports, prune_snaps,
+                    streams) -> None:
+    """Replay per-object stamped-action streams through Algorithm 1.
+
+    ``streams`` yields ``(obj, iterable_of_packed_actions)`` — a list per
+    object for the pickle backend, a live ring-decoder iterator for the
+    shm backend; the replay is oblivious to which, so both backends run
+    the *identical* code path and stay byte-identical by construction.
+    """
     # One reusable Event shell per shard: the detector reads (and the race
     # reports capture) only the per-iteration action/tid/clock values, so
     # rebuilding the carrier dataclass per event is avoidable overhead.
@@ -154,7 +189,7 @@ def _analyze_shard(payload: _ShardPayload):
     stats = detector.stats
     snap_count = len(prune_snaps)
     replay_start = perf_counter_ns() if obs is not None else 0
-    for obj, _, _, _, packed_actions in objects:
+    for obj, packed_actions in streams:
         # The sequential detector prunes *all* objects after the action at
         # each boundary index; this object's state at that moment is fully
         # determined by its own actions with index <= boundary, so
@@ -190,7 +225,6 @@ def _analyze_shard(payload: _ShardPayload):
         # One exact span per shard: merged, the "shard" timer sums replay
         # CPU time across shards (vs. the facade's "fanout" wall clock).
         obs.timer("shard").record(perf_counter_ns() - replay_start)
-    return triples, detector.stats, obs
 
 
 def _shard_job(index: int, payload: _ShardPayload, attempt: int):
@@ -239,6 +273,134 @@ def _diagnose_unpicklable(payload: _ShardPayload,
             f"shard payload cannot be pickled for worker processes "
             f"({type(probe).__name__}: {probe})")
     return None
+
+
+# -- shared-memory / thread / subinterpreter backends -------------------------
+
+def _shm_worker_main(ring_name: str, init_blob: bytes, conn) -> None:
+    """Process target for the shm backend: decode-from-ring and replay.
+
+    The init blob carries everything *except* the stamped actions — the
+    detector knobs, prune snapshots and per-object registrations, pickled
+    once per worker.  Actions stream in through the shard's record ring
+    and are replayed as they arrive (pipelined with phase-A encoding).
+    The result (or a classified failure) goes back over ``conn`` as
+    ``("ok", result)`` / ``("error", kind, detail)``.
+    """
+    try:
+        (adaptive, strategy, need_reports, obs_interval, compiled,
+         batch_window, prune_snaps, registrations) = pickle.loads(init_blob)
+        ring = RecordRing.attach(ring_name)
+        try:
+            detector, obs, triples, batch = _build_shard_detector(
+                adaptive, strategy, need_reports, obs_interval, compiled,
+                batch_window, registrations)
+            objs = [entry[0] for entry in registrations]
+            decoder = StampedDecoder(ring)
+            _replay_stamped(
+                detector, obs, triples, batch, need_reports, prune_snaps,
+                ((objs[position], actions)
+                 for position, actions in decoder.streams()))
+            result = (triples, detector.stats, obs)
+        finally:
+            ring.close()
+        try:
+            conn.send(("ok", result))
+        except Exception as exc:
+            conn.send(("error", "result-unpicklable",
+                       f"{type(exc).__name__}: {exc}"))
+    except Exception as exc:
+        try:
+            conn.send(("error", "worker-raised",
+                       f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _ShmJob:
+    """Parent-side state for one in-flight shm shard."""
+
+    __slots__ = ("index", "attempt", "ring", "conn", "proc", "encoder",
+                 "feeder", "fed", "failure")
+
+    def __init__(self, index, attempt, ring, conn, proc, encoder, feeder):
+        self.index = index
+        self.attempt = attempt
+        self.ring = ring
+        self.conn = conn
+        self.proc = proc
+        self.encoder = encoder
+        self.feeder = feeder
+        self.fed = False
+        self.failure = None
+
+    def fail(self, kind: str, detail: str, retryable: bool) -> None:
+        self.failure = (self.index, self.attempt, kind, detail, retryable)
+
+
+#: Subinterpreter shard script: rehydrate the payload from its temp file,
+#: run the ordinary shard worker, pickle the result back out.  Formatted
+#: by :func:`repro.core.backend.run_pickled_in_subinterpreter`.
+_SUBINTERP_RUN = """\
+import pickle, sys
+for _p in {sys_path!r}:
+    if _p not in sys.path:
+        sys.path.append(_p)
+from repro.core.parallel import _analyze_shard
+with open({payload!r}, "rb") as _f:
+    _payload = pickle.load(_f)
+_result = _analyze_shard(_payload)
+with open({result!r}, "wb") as _f:
+    pickle.dump(_result, _f, protocol=pickle.HIGHEST_PROTOCOL)
+"""
+
+
+def _futures_round(config: SupervisorConfig, task):
+    """Build a supervisor round runner over an in-process thread pool.
+
+    Shared by the ``thread`` backend (task = the supervised worker) and
+    the ``subinterp`` backend (task = run-payload-in-a-subinterpreter):
+    both execute shards from threads of this process, so pool-generation
+    management reduces to a ``ThreadPoolExecutor`` with the supervisor's
+    per-round deadline.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeout
+
+    def runner(payloads, jobs, results):
+        failures = []
+        pool = ThreadPoolExecutor(max_workers=len(jobs))
+        try:
+            handles = [(index, attempt,
+                        pool.submit(task, index, payloads[index], attempt))
+                       for index, attempt in jobs]
+            deadline = (time.monotonic() + config.shard_timeout
+                        if config.shard_timeout is not None else None)
+            for index, attempt, handle in handles:
+                try:
+                    remaining = (None if deadline is None
+                                 else max(0.0, deadline - time.monotonic()))
+                    results[index] = handle.result(remaining)
+                except FuturesTimeout:
+                    failures.append((
+                        index, attempt, "timeout",
+                        f"no result within {config.shard_timeout:g}s",
+                        True))
+                except Exception as exc:
+                    failures.append((index, attempt, "worker-raised",
+                                     f"{type(exc).__name__}: {exc}", True))
+        finally:
+            # Abandon (don't join) anything still running: a hung shard
+            # thread must not hang the supervisor's round loop.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return failures
+
+    return runner
 
 
 class ShardedDetector:
@@ -308,6 +470,22 @@ class ShardedDetector:
         form and checks them in one pass per window.  Races come back as
         ``(trace index, seq)``-tagged triples either way, so the merged
         output is byte-identical to ``batch_window=0``.
+    backend:
+        Phase-B transport: ``"pickle"`` (the default; payloads pickled
+        into a process pool), ``"shm"`` (stamped actions streamed through
+        per-shard ``multiprocessing.shared_memory`` record rings — only
+        the per-worker registrations/knobs are pickled, once),
+        ``"thread"`` (in-process thread pool; a parallelism win only on
+        free-threaded interpreters), ``"subinterp"`` (one subinterpreter
+        per shard where the runtime supports it), or ``"auto"``.
+        Requests the runtime cannot honor fall back (shm → pickle,
+        subinterp → shm → pickle) — the outcome, with its reason, is in
+        :attr:`backend`, a :class:`~repro.core.backend.BackendChoice`.
+        All backends produce byte-identical merged reports.
+    ring_slots / ring_side_bytes:
+        shm backend ring geometry (records per ring / side-region bytes);
+        defaults suit typical shards.  A full ring blocks the producer
+        (and interleaves other shards' feeds), never drops records.
     """
 
     def __init__(
@@ -327,6 +505,9 @@ class ShardedDetector:
         compiled: bool = True,
         prune_interval: int = 0,
         batch_window: int = 0,
+        backend: str = "pickle",
+        ring_slots: Optional[int] = None,
+        ring_side_bytes: Optional[int] = None,
     ):
         if batch_window < 0:
             raise MonitorError(
@@ -356,6 +537,12 @@ class ShardedDetector:
         self._resume_from = resume_from
         self._compiled = compiled
         self._batch_window = batch_window
+        #: Resolved execution backend for phase B (request, selection,
+        #: fallback reason) — resolved eagerly so callers can log the
+        #: outcome before the first run.
+        self.backend: BackendChoice = resolve_backend(backend)
+        self._ring_slots = ring_slots or DEFAULT_RING_SLOTS
+        self._ring_side_bytes = ring_side_bytes or DEFAULT_SIDE_BYTES
         self._registrations: Dict[
             ObjectId, Tuple[Any, Optional[Strategy], Any]] = {}
         self._hb: Optional[HappensBeforeTracker] = None
@@ -372,7 +559,11 @@ class ShardedDetector:
         """Attach an access point representation to a shared object."""
         if obj in self._registrations:
             raise MonitorError(f"object {obj!r} registered twice")
-        if self.workers > 1:
+        # The thread backend never crosses a process boundary, so it is
+        # exempt from the picklability requirement; every other backend
+        # ships registrations to workers (shm ships them in the one-shot
+        # init blob, so the probe still guards it).
+        if self.workers > 1 and self.backend.selected != "thread":
             try:
                 pickle.dumps(representation)
             except Exception as exc:
@@ -560,7 +751,8 @@ class ShardedDetector:
             return []
         if self.workers <= 1 or len(payloads) == 1:
             return [_analyze_shard(payload) for payload in payloads]
-        if not self._supervise:
+        selected = self.backend.selected
+        if selected == "pickle" and not self._supervise:
             # Unsupervised baseline: the original bare pool.map.  Kept for
             # the supervisor-overhead benchmark gate and as an escape
             # hatch; any worker failure here takes the whole run down.
@@ -568,12 +760,177 @@ class ShardedDetector:
                    if self._mp_context else multiprocessing.get_context())
             with ctx.Pool(processes=len(payloads)) as pool:
                 return pool.map(_analyze_shard, payloads)
+        config = self._supervisor_config or SupervisorConfig()
         supervisor = ShardSupervisor(
             _shard_job, processes=len(payloads), mp_context=self._mp_context,
-            config=self._supervisor_config, obs=self._obs, faults=self.faults,
+            config=config, obs=self._obs, faults=self.faults,
             diagnose=lambda index, exc: _diagnose_unpicklable(
                 payloads[index], exc))
-        return supervisor.run(payloads)
+        if selected == "pickle":
+            return supervisor.run(payloads)
+        # The alternative transports bring their own round executor but
+        # keep the supervisor's retry/backoff/fault-accounting loop and
+        # its inline fallback — degraded shards replay in-process with
+        # identical results under every backend.
+        if selected == "thread":
+            runner = _futures_round(config, supervisor.worker)
+        elif selected == "subinterp":
+            def subinterp_task(index, payload, attempt):
+                blob = supervisor.payload_blob(index, payload)
+                return pickle.loads(
+                    run_pickled_in_subinterpreter(blob, _SUBINTERP_RUN))
+            runner = _futures_round(config, subinterp_task)
+        else:
+            runner = self._shm_round(config)
+        return supervisor.run_rounds(payloads, runner)
+
+    def _shm_round(self, config: SupervisorConfig):
+        """Build the shm backend's supervisor round runner.
+
+        Each job gets a private record ring and worker process; the
+        parent round-robins phase-A encoding across all rings (a full
+        ring yields the CPU to other shards, then to the consumer) and
+        collects results over a pipe.  Init payloads — registrations and
+        knobs, no actions — are pickled once per shard and reused
+        verbatim on retry, mirroring the pool backend's serialize-once
+        behavior.
+        """
+        ctx = (multiprocessing.get_context(self._mp_context)
+               if self._mp_context else multiprocessing.get_context())
+        obs = self._obs
+        init_blobs: Dict[int, bytes] = {}
+        hwm = 0
+
+        def init_blob(index: int, payload) -> bytes:
+            blob = init_blobs.get(index)
+            if blob is not None:
+                if obs is not None:
+                    obs.add("shard_payload_reuse")
+                return blob
+            start = perf_counter_ns()
+            blob = pickle.dumps(
+                payload[:7] + ([entry[:4] for entry in payload[7]],),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            if obs is not None:
+                obs.add("ipc_bytes_pickled", len(blob))
+                obs.timer("ipc_serialize").record(perf_counter_ns() - start)
+            init_blobs[index] = blob
+            return blob
+
+        def runner(payloads, jobs, results):
+            nonlocal hwm
+            failures = []
+            states: List[_ShmJob] = []
+            encode_ns = 0
+            try:
+                for index, attempt in jobs:
+                    ring = RecordRing.create(self._ring_slots,
+                                             self._ring_side_bytes)
+                    recv_conn, send_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_shm_worker_main,
+                        args=(ring.name, init_blob(index, payloads[index]),
+                              send_conn),
+                        daemon=True)
+                    proc.start()
+                    send_conn.close()
+                    encoder = StampedEncoder(ring)
+                    states.append(_ShmJob(
+                        index, attempt, ring, recv_conn, proc, encoder,
+                        feed_shard(encoder, payloads[index][7])))
+                deadline = (time.monotonic() + config.shard_timeout
+                            if config.shard_timeout is not None else None)
+                # Feed phase: interleave all shards' encodes; a blocked
+                # ring never busy-waits while another shard could progress.
+                active = [job for job in states]
+                while active:
+                    if deadline is not None and time.monotonic() > deadline:
+                        for job in active:
+                            job.fail("timeout",
+                                     f"ring not drained within "
+                                     f"{config.shard_timeout:g}s "
+                                     f"(stalled worker)", True)
+                        break
+                    progressed = False
+                    for job in list(active):
+                        start = perf_counter_ns()
+                        try:
+                            step = next(job.feeder)
+                        except StopIteration:
+                            encode_ns += perf_counter_ns() - start
+                            occupancy = job.ring.occupancy_bytes()
+                            if occupancy > hwm:
+                                hwm = occupancy
+                            job.fed = True
+                            active.remove(job)
+                            progressed = True
+                            continue
+                        encode_ns += perf_counter_ns() - start
+                        occupancy = job.ring.occupancy_bytes()
+                        if occupancy > hwm:
+                            hwm = occupancy
+                        if step:
+                            progressed = True
+                        elif not job.proc.is_alive():
+                            # Dead consumer: stop feeding; the collect
+                            # phase reads its (possibly classified) last
+                            # words off the pipe.
+                            active.remove(job)
+                    if not progressed and active:
+                        time.sleep(0.0005)
+                # Collect phase.
+                for job in states:
+                    if job.failure is not None:
+                        failures.append(job.failure)
+                        continue
+                    remaining = (max(0.0, deadline - time.monotonic())
+                                 if deadline is not None else None)
+                    msg = None
+                    try:
+                        if job.conn.poll(remaining):
+                            msg = job.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    if msg is None:
+                        if job.proc.is_alive():
+                            job.fail("timeout",
+                                     f"no result within "
+                                     f"{config.shard_timeout:g}s "
+                                     f"(hung worker)", True)
+                        else:
+                            job.fail("worker-raised",
+                                     f"shard worker died "
+                                     f"(exitcode {job.proc.exitcode})", True)
+                    elif msg[0] == "ok" and job.fed:
+                        results[job.index] = msg[1]
+                    elif msg[0] == "ok":
+                        job.fail("worker-raised",
+                                 "worker returned before consuming its "
+                                 "stream", True)
+                    else:
+                        _, kind, detail = msg
+                        job.fail(kind, detail, kind != "result-unpicklable")
+                    if job.failure is not None:
+                        failures.append(job.failure)
+            finally:
+                for job in states:
+                    if job.proc.is_alive():
+                        job.proc.terminate()
+                    job.proc.join()
+                    try:
+                        job.conn.close()
+                    except Exception:
+                        pass
+                    job.ring.close()
+                    job.ring.unlink()
+                if obs is not None:
+                    obs.add("shm_bytes_written",
+                            sum(job.encoder.bytes_written for job in states))
+                    obs.timer("shm_encode").record(encode_ns)
+                    obs.gauge("shm_ring_hwm", hwm)
+            return failures
+
+        return runner
 
     # Merge: stable event-index order, summed counters.
     def _merge(self, results, total_events: int) -> None:

@@ -23,7 +23,10 @@ identity across processes depends on it.
 
 Plans are picklable (a callable plus a dict of tuples), so the sharded
 analyzer compiles once in the facade and ships the plan to every worker
-instead of recompiling per shard.
+instead of recompiling per shard.  Under the shared-memory backend
+(:mod:`repro.core.shmem`) the plan travels exactly once per worker, in
+the pickled *init blob* that configures the shard process; the per-action
+stream that follows it through the ring is plan-free fixed-width records.
 
 Epoch-adaptive point clocks
 ---------------------------

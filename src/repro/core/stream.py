@@ -37,6 +37,12 @@ snapshots there.
 :func:`follow_analyze` pairs the analyzer with
 :class:`~repro.core.serialize.TailReader` to consume a trace file that is
 still being written, surviving writers killed mid-record.
+
+The daemon (``repro-serve``) wraps this analyzer per tenant; its ingest
+bytes can arrive over the unix socket or, with the ``shm`` handshake key,
+through a client-owned :class:`~repro.core.shmem.ByteRing` — same
+newline-delimited records, same backpressure (a full ring blocks the
+writer), no kernel socket copies.  See :mod:`repro.service.server`.
 """
 
 from __future__ import annotations

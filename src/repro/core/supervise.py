@@ -51,6 +51,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.pool
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
@@ -59,6 +60,18 @@ from .faults import FaultLog
 
 __all__ = ["DEFAULT_SHARD_TIMEOUT", "ANALYZER_POLICIES", "QuarantinePolicy",
            "SupervisorConfig", "ShardSupervisor"]
+
+
+def _run_serialized(worker: Callable, index: int, blob: bytes,
+                    attempt: int):
+    """Pool trampoline: the payload crosses as pre-pickled bytes.
+
+    The parent serializes each payload exactly once (and reuses the same
+    bytes verbatim on every retry); this rehydrates it worker-side.  The
+    pool still pickles the ``bytes`` object itself, but that is a flat
+    memcpy-sized frame, not a re-walk of the payload's object graph.
+    """
+    return worker(index, pickle.loads(blob), attempt)
 
 #: Valid fault policies for components that isolate analyzer exceptions:
 #: ``"raise"`` propagates, ``"log"`` records and keeps going, ``"disable"``
@@ -242,19 +255,52 @@ class ShardSupervisor:
             from ..testing.faults import FaultPlan
             wrap = FaultPlan.from_env().wrap
         self._worker = wrap(worker) if wrap is not None else worker
+        self._blobs: Dict[int, bytes] = {}
 
     # -- the supervision loop ----------------------------------------------
 
+    #: Obs counter bumped per failure kind (fault records carry the precise
+    #: kind either way; unknown kinds from external round runners count as
+    #: worker errors).
+    _FAILURE_COUNTERS = {
+        "timeout": "shard_timeouts",
+        "result-unpicklable": "shard_result_errors",
+        "task-unpicklable": "shard_result_errors",
+        "worker-raised": "shard_worker_errors",
+    }
+
     def run(self, payloads: Sequence[Any]) -> List[Any]:
         """Compute one result per payload, in payload order."""
+        return self._supervise(payloads, self._pool_round)
+
+    def run_rounds(self, payloads: Sequence[Any],
+                   round_runner: Callable) -> List[Any]:
+        """Supervise an externally provided round executor.
+
+        The shared-memory / thread / subinterpreter backends bring their
+        own transport but want this class's retry, backoff, fault
+        accounting and inline-fallback semantics.  ``round_runner`` is
+        called as ``round_runner(payloads, jobs, results)`` with ``jobs``
+        a list of ``(index, attempt)`` pairs; it must fill ``results``
+        for the jobs it completed and return a list of
+        ``(index, attempt, kind, detail, retryable)`` failures.  The
+        inline fallback still runs ``self._worker`` directly.
+        """
+        return self._supervise(payloads, round_runner)
+
+    def _supervise(self, payloads: Sequence[Any],
+                   round_runner: Callable) -> List[Any]:
         results: Dict[int, Any] = {}
         pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(payloads))]
         degraded: List[Tuple[int, int]] = []
         round_index = 0
         while pending:
-            failures = self._pool_round(payloads, pending, results)
+            failures = round_runner(payloads, pending, results)
             pending = []
-            for index, attempt, retryable in failures:
+            for index, attempt, kind, detail, retryable in failures:
+                self._record(kind, shard=index, attempt=attempt, detail=detail)
+                self._count(self._FAILURE_COUNTERS.get(
+                    kind, "shard_worker_errors"))
                 done = attempt + 1
                 if not retryable or done > self._config.max_retries:
                     degraded.append((index, done))
@@ -275,10 +321,31 @@ class ShardSupervisor:
             results[index] = self._worker(index, payloads[index], attempt)
         return [results[index] for index in range(len(payloads))]
 
+    @property
+    def worker(self) -> Callable:
+        """The (possibly fault-wrapped) worker callable."""
+        return self._worker
+
+    def payload_blob(self, index: int, payload: Any) -> bytes:
+        """Serialize ``payload`` once; retries reuse the identical bytes."""
+        blob = self._blobs.get(index)
+        if blob is not None:
+            self._count("shard_payload_reuse")
+            return blob
+        start = time.perf_counter_ns()
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._obs is not None:
+            self._obs.add("ipc_bytes_pickled", len(blob))
+            self._obs.timer("ipc_serialize").record(
+                time.perf_counter_ns() - start)
+        self._blobs[index] = blob
+        return blob
+
     def _pool_round(self, payloads: Sequence[Any],
                     jobs: List[Tuple[int, int]],
-                    results: Dict[int, Any]) -> List[Tuple[int, int, bool]]:
-        """One pool generation; returns ``(index, attempt, retryable)`` fails.
+                    results: Dict[int, Any]
+                    ) -> List[Tuple[int, int, str, str, bool]]:
+        """One pool generation; returns the round's failures.
 
         Any failure dirties the round and the whole pool is ``terminate``d
         (a timed-out job may be a hung worker still squatting on a CPU);
@@ -289,15 +356,34 @@ class ShardSupervisor:
         config = self._config
         ctx = (multiprocessing.get_context(self._mp_context)
                if self._mp_context else multiprocessing.get_context())
-        pool = ctx.Pool(processes=min(self._processes, len(jobs)))
-        failures: List[Tuple[int, int, bool]] = []
+        failures: List[Tuple[int, int, str, str, bool]] = []
+        handles: List[Tuple[int, int, Any]] = []
+        submittable: List[Tuple[int, int, bytes]] = []
+        for index, attempt in jobs:
+            try:
+                blob = self.payload_blob(index, payloads[index])
+            except Exception as exc:
+                # The payload itself will not pickle — deterministic, so
+                # never retried: diagnose (usually a precise MonitorError
+                # naming the object) or degrade straight to inline.
+                diagnosed = (self._diagnose(index, exc)
+                             if self._diagnose is not None else None)
+                if diagnosed is not None:
+                    raise diagnosed from exc
+                failures.append((index, attempt, "task-unpicklable",
+                                 f"{type(exc).__name__}: {exc}", False))
+                continue
+            submittable.append((index, attempt, blob))
+        if not submittable:
+            return failures
+        pool = ctx.Pool(processes=min(self._processes, len(submittable)))
         dirty = False
         try:
             handles = [
                 (index, attempt,
-                 pool.apply_async(self._worker, (index, payloads[index],
-                                                 attempt)))
-                for index, attempt in jobs]
+                 pool.apply_async(_run_serialized,
+                                  (self._worker, index, blob, attempt)))
+                for index, attempt, blob in submittable]
             deadline = (time.monotonic() + config.shard_timeout
                         if config.shard_timeout is not None else None)
             for index, attempt, handle in handles:
@@ -305,31 +391,25 @@ class ShardSupervisor:
                     results[index] = self._await(handle, deadline)
                 except multiprocessing.TimeoutError:
                     dirty = True
-                    self._record(
-                        "timeout", shard=index, attempt=attempt,
-                        detail=f"no result within {config.shard_timeout:g}s "
-                               f"(hung or killed worker)")
-                    self._count("shard_timeouts")
-                    failures.append((index, attempt, True))
+                    failures.append((
+                        index, attempt, "timeout",
+                        f"no result within {config.shard_timeout:g}s "
+                        f"(hung or killed worker)", True))
                 except multiprocessing.pool.MaybeEncodingError as exc:
                     # The worker finished but its *result* would not pickle.
                     # Retrying in a pool reproduces the failure; the inline
                     # fallback needs no pickling, so degrade immediately.
                     dirty = True
-                    self._record("result-unpicklable", shard=index,
-                                 attempt=attempt, detail=str(exc))
-                    self._count("shard_result_errors")
-                    failures.append((index, attempt, False))
+                    failures.append((index, attempt, "result-unpicklable",
+                                     str(exc), False))
                 except Exception as exc:
                     dirty = True
                     diagnosed = (self._diagnose(index, exc)
                                  if self._diagnose is not None else None)
                     if diagnosed is not None:
                         raise diagnosed from exc
-                    self._record("worker-raised", shard=index, attempt=attempt,
-                                 detail=f"{type(exc).__name__}: {exc}")
-                    self._count("shard_worker_errors")
-                    failures.append((index, attempt, True))
+                    failures.append((index, attempt, "worker-raised",
+                                     f"{type(exc).__name__}: {exc}", True))
         except BaseException:
             pool.terminate()
             pool.join()

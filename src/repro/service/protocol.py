@@ -60,16 +60,28 @@ class ProtocolError(ReproError):
 
 @dataclass(frozen=True)
 class Hello:
-    """A validated ingest handshake."""
+    """A validated ingest handshake.
+
+    ``shm`` is the optional shared-memory ingest transport: the name of a
+    :class:`~repro.core.shmem.ByteRing` the client created and will write
+    its header + event lines into (the socket then carries only the
+    handshake, acks, and the final status line).  ``None`` = stream the
+    trace over the socket as before.
+    """
 
     tenant: str
     objects: Dict[str, str]
+    shm: "str | None" = None
 
 
-def encode_hello(tenant: str, objects: Dict[str, str]) -> str:
+def encode_hello(tenant: str, objects: Dict[str, str],
+                 shm: "str | None" = None) -> str:
     """The handshake line a client sends (newline not included)."""
-    return json.dumps({PROTOCOL_KEY: PROTOCOL_VERSION, "tenant": tenant,
-                       "objects": dict(objects)})
+    record = {PROTOCOL_KEY: PROTOCOL_VERSION, "tenant": tenant,
+              "objects": dict(objects)}
+    if shm is not None:
+        record["shm"] = shm
+    return json.dumps(record)
 
 
 def parse_hello(line: str, known_kinds) -> Hello:
@@ -97,7 +109,11 @@ def parse_hello(line: str, known_kinds) -> Hello:
             raise ProtocolError(
                 f"unknown object kind {kind!r} for {name!r}; "
                 f"available: {sorted(known_kinds)}")
-    return Hello(tenant=tenant, objects=dict(objects))
+    shm = record.get("shm")
+    if shm is not None and (not isinstance(shm, str) or not shm
+                            or len(shm) > MAX_TENANT_NAME):
+        raise ProtocolError(f"bad shm segment name {shm!r}")
+    return Hello(tenant=tenant, objects=dict(objects), shm=shm)
 
 
 def ok_new() -> str:

@@ -36,6 +36,8 @@ import os
 
 import pytest
 
+from repro.core.backend import (free_threaded, shm_available,
+                                subinterpreters_available)
 from repro.core.detector import CommutativityRaceDetector, Strategy
 from repro.core.parallel import ShardedDetector
 
@@ -204,3 +206,93 @@ class TestFullMatrix:
                                                strategy=strategy)
                             verdicts.add(tuple(verdict_keys(det.races)))
             assert len(verdicts) == 1
+
+
+# Shard-transport axes.  ``shm`` is expected everywhere CI runs; the
+# ``thread`` axis only means true parallelism on a free-threaded (PEP
+# 703) build and *skips* elsewhere rather than testing a degenerate
+# configuration.  The CI matrix reruns this file under both fork and
+# spawn (``REPRO_TEST_START_METHOD``), so each axis is proven under both
+# start methods.
+BACKEND_AXES = [
+    pytest.param("shm", marks=pytest.mark.skipif(
+        not shm_available(), reason="no shared memory on this host")),
+    pytest.param("thread", marks=pytest.mark.skipif(
+        not free_threaded(),
+        reason="requires a free-threaded (PEP 703) interpreter")),
+]
+
+BACKEND_SEEDS = list(CORPUS_SEEDS)[:16]
+
+
+@pytest.mark.parametrize("backend", BACKEND_AXES)
+class TestBackendEquivalence:
+    """The execution backend must be invisible, byte for byte.
+
+    Every transport — pickled pool, shared-memory rings, free-threaded
+    thread pool — replays the same stamped actions through the same
+    detector, so reports must match the sequential uncompiled plain
+    reference exactly: same races, same clocks, same order.
+    """
+
+    def test_byte_identical_to_sequential_reference(self, backend):
+        for seed in BACKEND_SEEDS:
+            program = random_multi_object_program(seed)
+            trace, bindings = build_multi_object_trace(program)
+            reference = run_detector(trace, bindings,
+                                     CommutativityRaceDetector,
+                                     compiled=False, adaptive=False)
+            det = run_detector(trace, bindings, ShardedDetector,
+                               workers=2, backend=backend)
+            assert det.backend.selected == backend, det.backend
+            assert ([race_snapshot(r) for r in det.races]
+                    == [race_snapshot(r) for r in reference.races]), seed
+
+    def test_stats_match_the_pickle_backend(self, backend):
+        # Same transport-invisibility claim for the counters: whatever
+        # crosses the process boundary, the detector work is identical.
+        for seed in BACKEND_SEEDS[:6]:
+            program = random_multi_object_program(seed)
+            trace, bindings = build_multi_object_trace(program)
+            pickled = run_detector(trace, bindings, ShardedDetector,
+                                   workers=2, backend="pickle")
+            other = run_detector(trace, bindings, ShardedDetector,
+                                 workers=2, backend=backend)
+            assert other.races == pickled.races
+            assert other.stats == pickled.stats
+
+    def test_composes_with_prune_batch_and_adaptive(self, backend):
+        for seed in (3, 17, 41):
+            program = random_multi_object_program(seed)
+            trace, bindings = build_multi_object_trace(program)
+            reference = run_detector(trace, bindings,
+                                     CommutativityRaceDetector,
+                                     compiled=False, adaptive=False)
+            det = run_detector(trace, bindings, ShardedDetector,
+                               workers=2, backend=backend, adaptive=True,
+                               prune_interval=7, batch_window=16)
+            assert ([race_snapshot(r) for r in det.races]
+                    == [race_snapshot(r) for r in reference.races]), seed
+
+
+class TestSubinterpreterAxis:
+    """Optional axis: per-shard subinterpreters where the runtime has a
+    usable implementation; skips (never fails) everywhere else."""
+
+    pytestmark = pytest.mark.skipif(
+        not subinterpreters_available()[0],
+        reason=f"subinterpreters unusable "
+               f"({subinterpreters_available()[1] or 'no module'})")
+
+    def test_byte_identical_to_sequential_reference(self):
+        for seed in (3, 17, 41, 77):
+            program = random_multi_object_program(seed, max_ops=60)
+            trace, bindings = build_multi_object_trace(program)
+            reference = run_detector(trace, bindings,
+                                     CommutativityRaceDetector,
+                                     compiled=False, adaptive=False)
+            det = run_detector(trace, bindings, ShardedDetector,
+                               workers=2, backend="subinterp")
+            assert det.backend.selected == "subinterp", det.backend
+            assert ([race_snapshot(r) for r in det.races]
+                    == [race_snapshot(r) for r in reference.races]), seed

@@ -147,3 +147,49 @@ def test_config_validation():
 def test_backoff_schedule_is_exponential():
     config = SupervisorConfig(backoff_base=0.1, backoff_factor=2.0)
     assert [config.backoff(i) for i in range(3)] == [0.1, 0.2, 0.4]
+
+
+def test_payloads_serialize_once_across_retries():
+    # Retried shards must reuse the payload bytes pickled on attempt 0 —
+    # the serialize-once contract, visible as the shard_payload_reuse
+    # counter and an ipc_bytes_pickled volume that does not grow.
+    plan = FaultPlan.build({0: FaultSpec("raise", times=2)})
+    obs = Registry(sample_interval=1)
+    sup = supervisor(plan=plan, retries=3, obs=obs)
+    assert sup.run(["a", "b"]) == EXPECT
+    counters = obs.snapshot()["counters"]
+    assert counters["shard_retries"] == 2
+    assert counters["shard_payload_reuse"] == 2     # one per retry
+    assert counters["ipc_bytes_pickled"] > 0
+    # A fault-free run pickles each payload exactly once: same volume.
+    clean_obs = Registry(sample_interval=1)
+    clean = supervisor(obs=clean_obs)
+    assert clean.run(["a", "b"]) == EXPECT
+    clean_counters = clean_obs.snapshot()["counters"]
+    assert "shard_payload_reuse" not in clean_counters
+    assert counters["ipc_bytes_pickled"] \
+        == clean_counters["ipc_bytes_pickled"]
+
+
+def test_payload_blob_is_cached_per_index():
+    sup = supervisor()
+    blob_a = sup.payload_blob(0, "a")
+    assert sup.payload_blob(0, "a") is blob_a       # cache hit, same bytes
+    assert sup.payload_blob(1, "b") != blob_a
+    import pickle
+    assert pickle.loads(blob_a) == "a"
+
+
+def test_unpicklable_task_degrades_or_diagnoses():
+    # A payload that cannot pickle can never reach a pool worker; the
+    # supervisor must complete it via the inline fallback (no retries)
+    # — or raise the caller's diagnosis when one is installed.
+    sup = supervisor()
+    results = sup.run(["a", lambda: None])          # lambdas cannot pickle
+    assert results[0] == ("ok", 0, "a")
+    assert results[1][:2] == ("ok", 1) and callable(results[1][2])
+    assert sup.faults.count(kind="task-unpicklable") == 1
+    assert sup.faults.count(kind="fallback") == 1
+    diag = supervisor(diagnose=lambda index, exc: MonitorError(f"bad {index}"))
+    with pytest.raises(MonitorError, match="bad 1"):
+        diag.run(["a", lambda: None])

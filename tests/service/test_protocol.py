@@ -20,6 +20,21 @@ class TestHello:
         with pytest.raises(ProtocolError, match="not JSON"):
             parse_hello("{nope", KINDS)
 
+    def test_shm_key_roundtrip_and_default(self):
+        line = encode_hello("t", {"o": "counter"}, shm="psm_abc123")
+        assert parse_hello(line, KINDS).shm == "psm_abc123"
+        plain = encode_hello("t", {"o": "counter"})
+        assert "shm" not in plain
+        assert parse_hello(plain, KINDS).shm is None
+
+    @pytest.mark.parametrize("shm", ["", 7, "x" * 200])
+    def test_bad_shm_names(self, shm):
+        import json
+        line = json.dumps({"repro-serve": 1, "tenant": "t",
+                           "objects": {"o": "counter"}, "shm": shm})
+        with pytest.raises(ProtocolError, match="shm"):
+            parse_hello(line, KINDS)
+
     def test_wrong_version_key(self):
         with pytest.raises(ProtocolError, match="handshake"):
             parse_hello('{"repro-serve": 99, "tenant": "t", '

@@ -124,6 +124,43 @@ class TestWorkersFlag:
                   "--workers", "0"])
 
 
+class TestBackendFlag:
+    def test_shm_backend_reports_the_same_races(self, racy_trace_file,
+                                                capsys):
+        import repro.core.backend as backend_mod
+        if not backend_mod.shm_available():
+            pytest.skip("no shared memory on this host")
+        sequential = main([racy_trace_file, "--object", "o=dictionary"])
+        seq_out = capsys.readouterr().out
+        sharded = main([racy_trace_file, "--object", "o=dictionary",
+                        "--workers", "2", "--backend", "shm"])
+        shard_out = capsys.readouterr().out
+        assert sharded == sequential == 1
+        assert (seq_out.replace("rd2:", "rd2 [2 workers]:")
+                == shard_out)
+
+    def test_fallback_is_announced_on_stderr(self, racy_trace_file,
+                                             monkeypatch, capsys):
+        import repro.core.backend as backend_mod
+        monkeypatch.setattr(backend_mod, "_SHM_PROBE", False)
+        code = main([racy_trace_file, "--object", "o=dictionary",
+                     "--workers", "2", "--backend", "shm"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "backend: shm -> pickle" in err
+
+    def test_backend_needs_rd2_and_workers(self, racy_trace_file):
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--detector", "fasttrack",
+                  "--backend", "shm"])
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--backend", "shm"])          # workers defaults to 1
+        with pytest.raises(SystemExit):
+            main([racy_trace_file, "--object", "o=dictionary",
+                  "--workers", "2", "--backend", "laser"])
+
+
 class TestAdaptiveFlag:
     def test_adaptive_reports_the_same_races(self, racy_trace_file, capsys):
         plain = main([racy_trace_file, "--object", "o=dictionary",
