@@ -134,6 +134,20 @@ def _parse_batch_window(args) -> int:
     return window
 
 
+def _parse_predict(args) -> int:
+    """Validate ``--predict[=WINDOW]`` (0 = prediction off, the default)."""
+    if args.predict is None:
+        return 0
+    try:
+        window = int(args.predict)
+    except ValueError:
+        _fail(f"--predict expects a positive integer window, got "
+              f"{args.predict!r}", EXIT_USAGE)
+    if window < 1:
+        _fail(f"--predict window must be >= 1, got {window}", EXIT_USAGE)
+    return window
+
+
 def _parse_follow_window(args) -> Optional[int]:
     """Validate ``--window`` (None when the flag was not given)."""
     if args.window is None:
@@ -189,7 +203,9 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                            prune_interval: int = 0,
                            batch_window: int = 0,
                            backend: str = "pickle",
-                           ) -> Tuple[int, Optional[Dict[str, Any]]]:
+                           predict_window: int = 0,
+                           ) -> Tuple[int, Optional[Dict[str, Any]],
+                                      Optional[List[Any]]]:
     registry = bundled_objects()
     if not bindings:
         _fail("commutativity analysis needs at least one --object NAME=KIND",
@@ -205,7 +221,8 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                                    obs=obs, supervisor=supervisor,
                                    checkpoint=checkpoint,
                                    resume_from=resume_from,
-                                   backend=backend)
+                                   backend=backend,
+                                   predict_window=predict_window)
         if detector.backend.reason is not None:
             print(f"backend: {detector.backend.requested} -> "
                   f"{detector.backend.describe()}", file=sys.stderr)
@@ -215,7 +232,8 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
                                              adaptive=adaptive,
                                              prune_interval=prune_interval,
                                              batch_window=batch_window,
-                                             obs=obs)
+                                             obs=obs,
+                                             predict_window=predict_window)
     else:
         from .core.direct import DirectDetector
         detector = DirectDetector(root=trace.root)
@@ -236,15 +254,22 @@ def _analyze_commutativity(trace, bindings, detector_kind: str,
         obs.gauge("active_points", detector.active_point_count())
         obs.gauge("interned_points", detector.interned_point_count())
     races = detector.races
+    predicted = (list(detector.predicted) if predict_window else None)
     suffix = f" [{workers} workers]" if workers > 1 else ""
     with obs.span("report"):
         print(f"{detector_kind}{suffix}: {tally(races)} "
               f"commutativity race report(s)")
         for group in group_races(races):
             print(f"  {group}")
+        if predicted is not None:
+            print(f"{detector_kind}{suffix}: {len(predicted)} predicted "
+                  f"race(s) in sound reorderings")
+            for prediction in predicted:
+                print(f"  {prediction}")
     fault_log = getattr(detector, "faults", None)
     faults = fault_log.snapshot() if fault_log else None
-    return (EXIT_REPORTS if races else EXIT_CLEAN), faults
+    code = EXIT_REPORTS if (races or predicted) else EXIT_CLEAN
+    return code, faults, predicted
 
 
 def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
@@ -254,7 +279,8 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
                     stats_json: Optional[str] = None,
                     meta_base: Optional[Dict[str, Any]] = None,
                     poll_interval: float = 0.05,
-                    ) -> Tuple[int, int]:
+                    predict_window: int = 0,
+                    ) -> Tuple[int, int, Optional[List[Any]]]:
     """Stream a trace that may still be growing; returns (code, events).
 
     Races print the moment phase 1 reports them (the whole point of
@@ -284,6 +310,9 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
         meta["events"] = analyzer.events_processed
         meta["windows"] = analyzer.windows_completed
         report = build_report(merged, meta=meta)
+        if predict_window:
+            report["predicted"] = [prediction.snapshot()
+                                   for prediction in analyzer.predicted]
         # Write-then-rename so a reader polling the snapshot never sees a
         # half-written report.
         tmp = f"{stats_json}.tmp"
@@ -296,7 +325,8 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
                                   prune_interval=prune_interval,
                                   window=window, adaptive=adaptive,
                                   batch_window=batch_window,
-                                  obs=obs, on_window=snapshot)
+                                  obs=obs, on_window=snapshot,
+                                  predict_window=predict_window)
         for name, kind in bindings:
             analyzer.register_object(name, registry[kind].representation())
         return analyzer
@@ -331,11 +361,18 @@ def _analyze_follow(path: str, bindings, obs=NULL_REGISTRY,
     obs.gauge("hb_threads", len(hb.known_threads()))
     obs.gauge("hb_locks", len(hb.known_locks()))
     races = analyzer.races
+    predicted = (list(analyzer.predicted) if predict_window else None)
     with obs.span("report"):
         print(f"rd2 [follow]: {tally(races)} commutativity race report(s)")
         for group in group_races(races):
             print(f"  {group}")
-    return (EXIT_REPORTS if races else EXIT_CLEAN), status.events_read
+        if predicted is not None:
+            print(f"rd2 [follow]: {len(predicted)} predicted race(s) in "
+                  f"sound reorderings")
+            for prediction in predicted:
+                print(f"  {prediction}")
+    code = EXIT_REPORTS if (races or predicted) else EXIT_CLEAN
+    return code, status.events_read, predicted
 
 
 def _analyze_memory(trace, detector_kind: str, obs=NULL_REGISTRY,
@@ -445,6 +482,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "every live thread — bounds memory by the "
                              "concurrent footprint (verdict-preserving; "
                              "works sequentially and with --workers)")
+    parser.add_argument("--predict", nargs="?", const="256", default=None,
+                        metavar="WINDOW",
+                        help="rd2: additionally report *predicted* "
+                             "commutativity races — conflicting pairs at "
+                             "most WINDOW same-object actions apart "
+                             "(default 256) that some sound reordering of "
+                             "the trace makes concurrent; each prediction "
+                             "ships with a concrete witness reordering, "
+                             "validated by replay through the standard "
+                             "detector (strictly more races, never "
+                             "different ones)")
     parser.add_argument("--follow", action="store_true",
                         help="stream the trace as it is being written: "
                              "analyze incrementally, print races as they "
@@ -537,6 +585,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # from the original's stats.
         _fail("--prune-interval cannot be combined with --checkpoint or "
               "--resume-from", EXIT_USAGE)
+    predict_window = _parse_predict(args)
+    if predict_window and (args.detector != "rd2" or args.atomicity):
+        _fail("--predict applies only to the rd2 detector", EXIT_USAGE)
+    if predict_window and (checkpoint is not None or args.resume_from):
+        # Prediction replays the full stamped event log, which is not
+        # part of the checkpoint format.
+        _fail("--predict cannot be combined with --checkpoint or "
+              "--resume-from", EXIT_USAGE)
     window = _parse_follow_window(args)
     follow_timeout = _parse_follow_timeout(args)
     if args.follow:
@@ -559,17 +615,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     mode = "atomicity" if args.atomicity else args.detector
     meta_base = {"detector": mode, "workers": workers,
                  "trace": os.path.basename(args.trace)}
+    if predict_window:
+        # Conditional, like "faults": witnessed-mode reports stay on the
+        # frozen schema byte for byte when --predict is off.
+        meta_base["predict_window"] = predict_window
     faults: Optional[Dict[str, Any]] = None
+    predicted: Optional[List[Any]] = None
     try:
         bindings = _parse_bindings(args.objects)
         if args.follow:
-            code, events_total = _analyze_follow(
+            code, events_total, predicted = _analyze_follow(
                 args.trace, bindings, obs=obs, adaptive=adaptive,
                 prune_interval=prune_interval, batch_window=batch_window,
                 window=window if window is not None else 1024,
                 idle_timeout=(follow_timeout if follow_timeout is not None
                               else 10.0),
-                stats_json=args.stats_json, meta_base=meta_base)
+                stats_json=args.stats_json, meta_base=meta_base,
+                predict_window=predict_window)
         else:
             with obs.span("load"):
                 trace = _load_trace_file(args.trace)
@@ -581,12 +643,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.atomicity:
                 code, faults = _analyze_atomicity(trace, bindings, obs=obs)
             elif args.detector in ("rd2", "direct"):
-                code, faults = _analyze_commutativity(
+                code, faults, predicted = _analyze_commutativity(
                     trace, bindings, args.detector, workers=workers, obs=obs,
                     supervisor=supervisor, checkpoint=checkpoint,
                     resume_from=args.resume_from, adaptive=adaptive,
                     prune_interval=prune_interval,
-                    batch_window=batch_window, backend=args.backend)
+                    batch_window=batch_window, backend=args.backend,
+                    predict_window=predict_window)
             else:
                 code, faults = _analyze_memory(trace, args.detector, obs=obs)
     except KeyboardInterrupt:
@@ -609,6 +672,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if want_obs:
         report = build_report(obs, meta=dict(meta_base, events=events_total),
                               faults=faults)
+        if predicted is not None:
+            # Frozen-schema extension, conditional like "faults": present
+            # only when --predict ran.
+            report["predicted"] = [prediction.snapshot()
+                                   for prediction in predicted]
         if args.stats_json:
             # Write-then-rename, like the periodic --follow snapshots: a
             # reader polling the report must never observe a half-written

@@ -228,6 +228,16 @@ class CommutativityRaceDetector:
         (``races``/``on_race`` ordering is unaffected).  Callers driving
         ``process`` directly must call :meth:`flush_batch` (``run`` and
         every maintenance entry point flush automatically).
+    predict_window:
+        When > 0, the detector additionally runs the predictive pass of
+        :mod:`repro.core.predict` over the processed trace: every event
+        is logged (stamped), and :meth:`predict` — called by ``run``
+        automatically, or at maintenance windows by the streaming
+        analyzer — resolves candidate conflicting pairs at most
+        ``predict_window`` same-object actions apart into ``predicted``.
+        The witnessed ``races`` list is untouched: prediction only adds
+        ``predicted:`` reports, each validated by replaying its witness
+        reordering through a fresh standard detector.
     """
 
     def __init__(
@@ -241,10 +251,15 @@ class CommutativityRaceDetector:
         obs=None,
         compiled: bool = True,
         batch_window: int = 0,
+        predict_window: int = 0,
     ):
         if batch_window < 0:
             raise MonitorError(
                 f"batch_window must be >= 0, got {batch_window}")
+        if predict_window < 0:
+            raise MonitorError(
+                f"predict_window must be >= 0, got {predict_window}")
+        self._root = root
         self._hb = HappensBeforeTracker(root=root)
         self._strategy = strategy
         self._on_race = on_race
@@ -257,6 +272,19 @@ class CommutativityRaceDetector:
         self._objects: Dict[ObjectId, _ObjectState] = {}
         self.races: List[CommutativityRace] = []
         self.stats = DetectorStats()
+        self._predict_window = predict_window
+        self._predict_log: Optional[List[Event]] = (
+            [] if predict_window else None)
+        # Touched-point capture: the compiled loop resolves ηo for every
+        # action anyway, so in predict mode it stashes the tuple and the
+        # predictor reuses it instead of re-evaluating the formulas on
+        # refeed.  Keyed by log position; missing entries (batch path,
+        # plan-less objects) fall back to recomputing.
+        self._predict_points: Optional[Dict[int, tuple]] = (
+            {} if predict_window else None)
+        self._predict_last: Optional[tuple] = None
+        self._predictor = None
+        self.predicted: List = []
         # Every _obs_* attribute is assigned in both modes so enabled and
         # disabled instances share one attribute layout: CPython keeps
         # instance dicts on the class's shared-key table only while all
@@ -579,10 +607,16 @@ class CommutativityRaceDetector:
                 clock = self._hb.observe(event)
         else:
             clock = self._hb.observe(event)
+        if self._predict_log is not None:
+            self._predict_log.append(event)
+            self._predict_last = None
         self.stats.events += 1
         if event.kind is not EventKind.ACTION:
             return None
         found = self._process_action(event, clock)
+        if self._predict_log is not None and self._predict_last is not None:
+            self._predict_points[len(self._predict_log) - 1] = (
+                self._predict_last)
         if self._prune_interval:
             self._actions_since_prune += 1
             if self._actions_since_prune >= self._prune_interval:
@@ -603,10 +637,17 @@ class CommutativityRaceDetector:
             raise MonitorError(
                 f"process_stamped needs a stamped event (clock is None): "
                 f"{event}")
+        if self._predict_log is not None:
+            self._predict_log.append(event)
+            self._predict_last = None
         self.stats.events += 1
         if event.kind is not EventKind.ACTION:
             return None
-        return self._process_action(event, event.clock)
+        found = self._process_action(event, event.clock)
+        if self._predict_log is not None and self._predict_last is not None:
+            self._predict_points[len(self._predict_log) - 1] = (
+                self._predict_last)
+        return found
 
     def _process_action(self, event: Event,
                         clock: VectorClock) -> Optional[List[CommutativityRace]]:
@@ -790,7 +831,43 @@ class CommutativityRaceDetector:
         for event in events:
             self.process(event)
         self.flush_batch()
+        if self._predict_log is not None:
+            self.predict()
         return self.races
+
+    def predict(self) -> List:
+        """Resolve queued predictive candidates; return new predictions.
+
+        Requires ``predict_window > 0``.  Incremental: feeds only events
+        logged since the previous call, so the streaming analyzer can
+        invoke it every maintenance window; ``predicted`` accumulates
+        (sorted by original-index pair) and equals a single end-of-trace
+        pass.  Witnessed ``races`` are never touched.
+        """
+        if self._predict_log is None:
+            raise MonitorError("predict() requires predict_window > 0")
+        self.flush_batch()
+        predictor = self._predictor
+        if predictor is None:
+            from .predict import Predictor
+            predictor = Predictor(
+                {obj: state.representation
+                 for obj, state in self._objects.items()},
+                window=self._predict_window, root=self._root,
+                obs=self._obs,
+                plan_states={obj: state
+                             for obj, state in self._objects.items()
+                             if state.plan is not None},
+                captured_points=self._predict_points)
+            self._predictor = predictor
+        if self._obs is not None:
+            start = perf_counter_ns()
+        predictor.feed_many(self._predict_log[predictor.events_fed:])
+        fresh = predictor.flush()
+        self.predicted = predictor.predicted
+        if self._obs is not None:
+            self._obs.timer("predict").record(perf_counter_ns() - start)
+        return fresh
 
     @property
     def happens_before(self) -> HappensBeforeTracker:

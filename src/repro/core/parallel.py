@@ -486,6 +486,16 @@ class ShardedDetector:
         shm backend ring geometry (records per ring / side-region bytes);
         defaults suit typical shards.  A full ring blocks the producer
         (and interleaves other shards' feeds), never drops records.
+    predict_window:
+        When > 0, a predictive pass (:mod:`repro.core.predict`) runs
+        after the merge: per-object candidate pairs fan out over the
+        same greedy load split as phase B (thread pool — candidate
+        resolution is pure Python over the shared immutable dependence
+        index) and validated predictions land in :attr:`predicted`,
+        sorted by original-index pair so every backend and worker count
+        agrees byte for byte.  Incompatible with checkpoint/resume
+        (the event log prediction needs is not part of the checkpoint
+        format).
     """
 
     def __init__(
@@ -508,10 +518,14 @@ class ShardedDetector:
         backend: str = "pickle",
         ring_slots: Optional[int] = None,
         ring_side_bytes: Optional[int] = None,
+        predict_window: int = 0,
     ):
         if batch_window < 0:
             raise MonitorError(
                 f"batch_window must be >= 0, got {batch_window}")
+        if predict_window < 0:
+            raise MonitorError(
+                f"predict_window must be >= 0, got {predict_window}")
         if prune_interval and (checkpoint is not None
                                or resume_from is not None):
             raise MonitorError(
@@ -519,6 +533,12 @@ class ShardedDetector:
                 "phase-A prune-boundary snapshots are not part of the "
                 "checkpoint format, so a resumed run would prune "
                 "differently than the run it resumes")
+        if predict_window and (checkpoint is not None
+                               or resume_from is not None):
+            raise MonitorError(
+                "predict_window cannot be combined with checkpointing: "
+                "prediction needs the full stamped event log, which is "
+                "not part of the checkpoint format")
         self._root = root
         self._prune_interval = prune_interval
         self._prune_snaps: List[Tuple[int, List[Any]]] = []
@@ -548,6 +568,10 @@ class ShardedDetector:
         self._hb: Optional[HappensBeforeTracker] = None
         self.races: List[CommutativityRace] = []
         self.stats = DetectorStats()
+        self._predict_window = predict_window
+        #: Validated predictive races from the most recent :meth:`run`
+        #: (``predict_window > 0``), sorted by original-index pair.
+        self.predicted: List = []
         #: Tolerated failures from the most recent :meth:`run` (shard
         #: supervision and checkpoint rejection; cleared per run).
         self.faults = FaultLog()
@@ -602,11 +626,18 @@ class ShardedDetector:
         one complete trace, like a fresh sequential detector would.
         """
         self.faults.clear()
+        self.predicted = []
+        if self._predict_window:
+            # Phase A stamps events in place; keep the stamped list so
+            # the post-merge predictive pass can replay it.
+            events = list(events)
         obs = self._obs
         if obs is None:
             groups, total_events = self._stamp_and_partition(events)
             results = self._fan_out(groups)
             self._merge(results, total_events)
+            if self._predict_window:
+                self._run_predict(events)
             return self.races
         with obs.span("stamp"):
             groups, total_events = self._stamp_and_partition(events)
@@ -617,7 +648,47 @@ class ShardedDetector:
         obs.gauge("shards", len(results))
         with obs.span("merge"):
             self._merge(results, total_events)
+        if self._predict_window:
+            with obs.span("predict"):
+                self._run_predict(events)
         return self.races
+
+    def _run_predict(self, stamped_events) -> None:
+        """Post-merge predictive pass, sharded like phase B.
+
+        The dependence index is built once, sequentially (it is cheap —
+        one pass over the already-stamped events); candidate resolution
+        is the expensive part (closures + witness replays), so *that*
+        fans out per object over the phase-B greedy load split.  Worker
+        counters come back as local dicts — the obs registry is not
+        thread-safe — and merge here.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+        from .predict import Predictor
+        predictor = Predictor(
+            {obj: registration[0]
+             for obj, registration in self._registrations.items()},
+            window=self._predict_window, root=self._root, obs=self._obs)
+        predictor.feed_many(stamped_events)
+        loads = predictor.pending_loads()
+        shard_count = min(self.workers or 1, len(loads)) or 1
+        results: List = []
+        if shard_count <= 1:
+            outcome, counts = predictor.process_objects(
+                [obj for obj, _ in loads])
+            results.extend(outcome)
+            predictor.absorb_counts(counts)
+        else:
+            shards = partition_by_load(loads, shard_count)
+            with ThreadPoolExecutor(max_workers=shard_count) as pool:
+                futures = [pool.submit(predictor.process_objects, shard)
+                           for shard in shards if shard]
+                for future in futures:
+                    outcome, counts = future.result()
+                    results.extend(outcome)
+                    predictor.absorb_counts(counts)
+        results.sort(key=lambda prediction: prediction.pair)
+        self.predicted = results
 
     # Phase A: one sequential happens-before pass over the full trace.
     def _stamp_and_partition(self, events):

@@ -262,6 +262,11 @@ def _process_compiled(det, state, action: Action, tid: Tid,
             pt = _intern_point(state, action, schema, value)
         append(pt)
     stats.points_touched += len(touched)
+    if det._predict_log is not None:
+        # Predict mode: stash the resolved tuple so the predictive refeed
+        # reuses it instead of re-evaluating ηo (process() files it under
+        # the event's log position).
+        det._predict_last = tuple(touched)
 
     sampled = det._obs is not None and det._obs_sampled
     if sampled:

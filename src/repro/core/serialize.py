@@ -240,6 +240,28 @@ class TailReader:
             self.events_read = events_read
             self._header_done = True
 
+    @classmethod
+    def from_status(cls, path: str, status, **kwargs) -> "TailReader":
+        """Resume from a :class:`~repro.core.stream.FollowStatus`.
+
+        A reader resumed from a bare byte offset has no header fields:
+        with ``declared_events`` unknown, ``done`` can never turn true
+        and every resumed follow runs to its idle timeout even when the
+        writer finished cleanly.  The follow status carries the full
+        resume metadata — offset, root, declared count, events already
+        read — so this constructor is the one that preserves completion
+        detection across a killed-writer resume.
+        """
+        if status.resume_offset == 0:
+            # The previous follow never got past the header: nothing was
+            # consumed, so resume as a fresh reader (a resume_offset of 0
+            # with ``_header_done`` set would skip header parsing).
+            return cls(path, **kwargs)
+        return cls(path, resume_offset=status.resume_offset,
+                   root=status.root,
+                   declared_events=status.declared_events,
+                   events_read=status.events_read, **kwargs)
+
     @property
     def header_ready(self) -> bool:
         """True once the header line has been read and validated."""

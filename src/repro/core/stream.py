@@ -93,6 +93,7 @@ class StreamAnalyzer:
         compiled: bool = True,
         batch_window: int = 0,
         on_window: Optional[Callable[["StreamAnalyzer"], None]] = None,
+        predict_window: int = 0,
     ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -100,7 +101,8 @@ class StreamAnalyzer:
             root=root, strategy=strategy, on_race=on_race,
             keep_reports=keep_reports, prune_interval=prune_interval,
             adaptive=adaptive, obs=obs, compiled=compiled,
-            batch_window=batch_window)
+            batch_window=batch_window, predict_window=predict_window)
+        self._predict = bool(predict_window)
         self._window = window
         self._compact_clocks = compact_clocks
         self._on_window = on_window
@@ -135,6 +137,11 @@ class StreamAnalyzer:
     def stats(self):
         return self._detector.stats
 
+    @property
+    def predicted(self) -> List:
+        """Validated predictive races so far (``predict_window > 0``)."""
+        return self._detector.predicted
+
     # -- the streaming loop ------------------------------------------------
 
     def process(self, event: Event) -> Optional[List[CommutativityRace]]:
@@ -167,6 +174,11 @@ class StreamAnalyzer:
         # epochs against the live clocks (no-op otherwise): contention
         # that has since been ordered stops taxing every later check.
         self.points_deflated += detector.deflate_point_clocks()
+        if self._predict:
+            # Bounded prediction windows flush here: candidates queued
+            # since the last window resolve now (closures only look
+            # backward, so incremental flushes equal one final pass).
+            detector.predict()
         active = detector.active_point_count()
         interned = detector.interned_point_count()
         if active > self.peak_active:
@@ -205,6 +217,12 @@ class FollowStatus:
     resume_offset: int
     #: The file ended mid-record (writer killed or still flushing).
     truncated_tail: bool
+    #: The header's root thread id (``None`` if the header never
+    #: appeared).  Together with ``declared_events`` this makes the
+    #: status complete resume metadata: feed it to
+    #: :meth:`~repro.core.serialize.TailReader.from_status` so a resumed
+    #: reader can still recognize end-of-trace.
+    root: Any = None
 
 
 def follow_analyze(
@@ -252,5 +270,6 @@ def follow_analyze(
         declared_events=reader.declared_events,
         resume_offset=reader.offset,
         truncated_tail=reader.truncated,
+        root=reader.root,
     )
     return analyzer, status

@@ -81,11 +81,23 @@ class ExplorationResult:
         """Findings deduplicated across seeds (by object + schema pair)."""
         return group_races(self.all_reports())
 
+    #: ``summary()`` shows at most this many racy seeds; a large sweep
+    #: where most interleavings race would otherwise dump thousands of
+    #: seed numbers into one log line.  ``race_frequency`` and the
+    #: "N raced" count stay exact regardless.
+    SUMMARY_SEED_CAP = 12
+
     def summary(self) -> str:
+        racy = self.racy_seeds
+        shown = racy[:self.SUMMARY_SEED_CAP]
+        elided = len(racy) - len(shown)
+        listing = ", ".join(str(seed) for seed in shown)
+        if elided > 0:
+            listing += f", … +{elided} more"
         lines = [f"explored {len(self.outcomes)} interleavings: "
-                 f"{len(self.racy_seeds)} raced "
+                 f"{len(racy)} raced "
                  f"({self.race_frequency:.0%}); "
-                 f"racy seeds: {self.racy_seeds}"]
+                 f"racy seeds: [{listing}]"]
         for group in self.all_groups():
             lines.append(f"  {group}")
         return "\n".join(lines)

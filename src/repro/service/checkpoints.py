@@ -40,7 +40,12 @@ __all__ = ["TENANT_CHECKPOINT_VERSION", "TenantCheckpoint",
            "load_tenant_checkpoint", "discard_tenant_checkpoint"]
 
 TENANT_MAGIC = b"repro-tenant-checkpoint\n"
-TENANT_CHECKPOINT_VERSION = 1
+# Version 2 added ``declared_events``: a resumed tenant whose reconnect
+# hello omits the declared count (killed writer, headerless re-stream)
+# adopts the checkpointed one, so completion detection survives resume.
+# Version-1 files fail the version guard below and degrade to a fresh
+# analysis — safe, the documented skew behavior.
+TENANT_CHECKPOINT_VERSION = 2
 
 _SLUG_BAD = re.compile(r"[^A-Za-z0-9._-]")
 
@@ -56,6 +61,10 @@ class TenantCheckpoint:
     prefix_digest: str
     bindings: Dict[str, str]
     analyzer: object  # the pickled StreamAnalyzer, hooks detached
+    #: The trace header's declared event count at checkpoint time (None
+    #: for headerless streams) — resume metadata so a reconnecting
+    #: tenant can still recognize end-of-trace.
+    declared_events: Optional[int] = None
 
 
 def tenant_checkpoint_path(directory: str, tenant: str) -> str:

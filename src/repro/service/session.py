@@ -124,6 +124,11 @@ class TenantSession:
         self.root = root
         self.declared_events = declared_events
         checkpoint = self._checkpoint
+        if checkpoint is not None and declared_events is None:
+            # Reconnect hello without a declared count (killed writer,
+            # headerless re-stream): adopt the checkpointed one so the
+            # resumed session can still recognize end-of-trace.
+            self.declared_events = checkpoint.declared_events
         if checkpoint is not None and checkpoint.root != root:
             self.reject_checkpoint()
             raise CheckpointError(
@@ -250,7 +255,8 @@ class TenantSession:
             events_processed=self.events_seen,
             prefix_digest=self._digest.hexdigest(),
             bindings=dict(self.bindings),
-            analyzer=self.analyzer)
+            analyzer=self.analyzer,
+            declared_events=self.declared_events)
         path = save_tenant_checkpoint(directory, checkpoint)
         if self._obs is not None:
             self._obs.add("tenant_checkpoints_written")

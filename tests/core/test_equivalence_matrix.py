@@ -164,6 +164,60 @@ class TestBatchEquivalence:
             assert batched.stats == per_event.stats
 
 
+PREDICT_SEEDS = list(CORPUS_SEEDS)[:12]
+
+
+@pytest.mark.parametrize("factory", [CommutativityRaceDetector,
+                                     ShardedDetector],
+                         ids=["sequential", "sharded"])
+class TestPredictiveEquivalence:
+    """The predictive pass rides every engine without perturbing it.
+
+    Witnessed reports must stay byte-identical with prediction on, and
+    the prediction list itself must be engine-independent: sequential
+    and sharded (and, via its own suite, streaming) agree pair for pair,
+    race for race.
+    """
+
+    def test_witnessed_reports_unchanged_by_prediction(self, factory):
+        for seed in PREDICT_SEEDS:
+            trace, bindings = build_multi_object_trace(
+                random_multi_object_program(seed))
+            plain = run_detector(trace, bindings, factory)
+            predictive = run_detector(trace, bindings, factory,
+                                      predict_window=32)
+            assert ([race_snapshot(r) for r in predictive.races]
+                    == [race_snapshot(r) for r in plain.races]), seed
+            assert predictive.stats.races == plain.stats.races
+
+    def test_predictions_match_the_sequential_reference(self, factory):
+        for seed in PREDICT_SEEDS:
+            trace, bindings = build_multi_object_trace(
+                random_multi_object_program(seed))
+            reference = run_detector(trace, bindings,
+                                     CommutativityRaceDetector,
+                                     predict_window=32)
+            kw = ({"workers": 2} if factory is ShardedDetector else {})
+            det = run_detector(trace, bindings, factory,
+                               predict_window=32, **kw)
+            assert ([(p.pair, race_snapshot(p.race)) for p in det.predicted]
+                    == [(p.pair, race_snapshot(p.race))
+                        for p in reference.predicted]), seed
+
+    def test_prediction_composes_with_batch_and_adaptive(self, factory):
+        for seed in PREDICT_SEEDS[:6]:
+            trace, bindings = build_multi_object_trace(
+                random_multi_object_program(seed))
+            reference = run_detector(trace, bindings,
+                                     CommutativityRaceDetector,
+                                     predict_window=32)
+            det = run_detector(trace, bindings, factory, predict_window=32,
+                               adaptive=False, batch_window=7)
+            assert ([(p.pair, race_snapshot(p.race)) for p in det.predicted]
+                    == [(p.pair, race_snapshot(p.race))
+                        for p in reference.predicted]), seed
+
+
 class TestFullMatrix:
     def test_all_twenty_four_configurations_byte_identical(self):
         """compiled × adaptive × batch-window × (sequential|sharded).

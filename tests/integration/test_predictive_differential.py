@@ -1,0 +1,132 @@
+"""Predictive differential sweep: validated supersets, replayable witnesses.
+
+The predictive mode's contract (``docs/prediction.md``): strictly more
+races, never different ones.  Concretely, over a 120-seed randomized
+multi-object corpus:
+
+1. the witnessed report is untouched — byte-identical with prediction on
+   and off (prediction only *adds*, so witnessed ∪ predicted ⊇ witnessed);
+2. every prediction ships a witness reordering that replays through the
+   standard detector to the very race reported — byte-identically — and
+   zero candidates survive unvalidated;
+3. trace families that cannot race (single-threaded, fully serialized by
+   one lock) predict nothing;
+4. the engines agree: sequential, sharded and streaming prediction
+   produce identical prediction lists.
+"""
+
+import random
+
+from repro.core.detector import CommutativityRaceDetector
+from repro.core.parallel import ShardedDetector
+from repro.core.stream import StreamAnalyzer
+
+from tests.support import (build_multi_object_trace,
+                           random_multi_object_program, race_snapshot,
+                           register_bindings)
+
+PREDICT_WINDOW = 64
+
+# 120 seeds, sized so the full sweep (closures + witness replays) stays
+# inside a test budget: ops per thread is the candidate-count lever.
+CORPUS_SEEDS = range(120)
+
+
+def corpus_program(seed):
+    return random_multi_object_program(seed, max_threads=3, max_ops=16)
+
+
+def run_sequential(trace, bindings, predict_window=0):
+    detector = register_bindings(
+        CommutativityRaceDetector(root=0, predict_window=predict_window),
+        bindings)
+    detector.run(trace)
+    return detector
+
+
+def prediction_key(prediction):
+    return (prediction.pair, tuple(sorted(race_snapshot(
+        prediction.race).items())))
+
+
+class TestPredictiveDifferential:
+    def test_validated_superset_across_the_corpus(self):
+        for seed in CORPUS_SEEDS:
+            trace, bindings = build_multi_object_trace(corpus_program(seed))
+            witnessed = run_sequential(trace, bindings)
+            predictive = run_sequential(trace, bindings,
+                                        predict_window=PREDICT_WINDOW)
+            # (1) witnessed report byte-identical with prediction on.
+            assert ([race_snapshot(r) for r in predictive.races]
+                    == [race_snapshot(r) for r in witnessed.races]), seed
+            # (2) zero unvalidated predictions: every candidate either
+            # dropped for a proven reason or shipped validated.
+            predictor = predictive._predictor
+            counts = predictor.counts
+            assert counts.get("predict_candidates", 0) == (
+                counts.get("predict_validated", 0)
+                + counts.get("predict_dropped_ordered", 0)
+                + counts.get("predict_dropped_stuck", 0)), seed
+            assert counts.get("predict_dropped_unvalidated", 0) == 0, seed
+            assert len(predictive.predicted) == counts.get(
+                "predict_validated", 0), seed
+
+    def test_every_witness_replays_byte_identically(self):
+        replayed = 0
+        for seed in CORPUS_SEEDS:
+            trace, bindings = build_multi_object_trace(corpus_program(seed))
+            predictive = run_sequential(trace, bindings,
+                                        predict_window=PREDICT_WINDOW)
+            for prediction in predictive.predicted:
+                replay = register_bindings(
+                    CommutativityRaceDetector(root=0), bindings)
+                races = replay.run(list(prediction.witness))
+                snapshots = [race_snapshot(r) for r in races]
+                assert race_snapshot(prediction.race) in snapshots, (
+                    seed, prediction.pair)
+                replayed += 1
+        # The corpus must actually exercise the claim.
+        assert replayed >= 20
+
+    def test_race_free_families_predict_nothing(self):
+        rng = random.Random(0xF4EE)
+        checked = 0
+        for seed in range(40):
+            program = corpus_program(seed)
+            object_kinds, _, _, ops, _, join_all = program
+            if rng.random() < 0.5:
+                # Single-threaded: no cross-thread pairs at all.
+                program = (object_kinds, seed, 1, ops, 0.0, join_all)
+            else:
+                # Fully serialized: every action in its own critical
+                # section on one global lock — mutual exclusion pins the
+                # observed order of every conflicting pair.
+                program = (object_kinds, seed, 3, ops, 1.0, join_all)
+            trace, bindings = build_multi_object_trace(program)
+            predictive = run_sequential(trace, bindings,
+                                        predict_window=PREDICT_WINDOW)
+            assert predictive.races == [], seed
+            assert predictive.predicted == [], seed
+            checked += 1
+        assert checked == 40
+
+    def test_engines_agree_on_predictions(self):
+        for seed in list(CORPUS_SEEDS)[:24]:
+            trace, bindings = build_multi_object_trace(corpus_program(seed))
+            sequential = run_sequential(trace, bindings,
+                                        predict_window=PREDICT_WINDOW)
+            want = [prediction_key(p) for p in sequential.predicted]
+
+            sharded = register_bindings(
+                ShardedDetector(root=0, workers=2,
+                                predict_window=PREDICT_WINDOW), bindings)
+            sharded.run(trace)
+            assert [prediction_key(p) for p in sharded.predicted] \
+                == want, seed
+
+            streaming = register_bindings(
+                StreamAnalyzer(root=0, window=16,
+                               predict_window=PREDICT_WINDOW), bindings)
+            streaming.run(trace)
+            assert [prediction_key(p) for p in streaming.predicted] \
+                == want, seed

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.analyzers import FastTrackAnalyzer
+from repro.runtime.analyzers import FastTrackAnalyzer, Rd2Analyzer
 from repro.runtime.collections_rt import MonitoredDict
 from repro.runtime.shared import SharedVar
 from repro.sched.explore import explore
@@ -55,6 +55,36 @@ class TestExplore:
         assert len(result.outcomes) == 1
         assert result.outcomes[0].raced
 
+    def test_stop_at_first_builds_exactly_one_analyzer(self):
+        # Regression audit of the docstring promise ("returns as soon as
+        # one racy interleaving is found"): an immediately-racy program
+        # must construct exactly one analyzer — the seed loop breaks
+        # before building the next run's.
+        constructed = []
+
+        def counting_factory():
+            analyzer = Rd2Analyzer()
+            constructed.append(analyzer)
+            return analyzer
+
+        result = explore(racy_program, seeds=range(100),
+                         analyzer_factory=counting_factory,
+                         stop_at_first=True)
+        assert len(constructed) == 1
+        assert len(result.outcomes) == 1
+
+    def test_stop_at_first_keeps_scanning_clean_seeds(self):
+        constructed = []
+
+        def counting_factory():
+            analyzer = Rd2Analyzer()
+            constructed.append(analyzer)
+            return analyzer
+
+        explore(clean_program, seeds=range(4),
+                analyzer_factory=counting_factory, stop_at_first=True)
+        assert len(constructed) == 4
+
     def test_alternate_analyzer(self):
         def field_racer(monitor, scheduler):
             var = SharedVar(monitor, 0, name="f")
@@ -75,10 +105,39 @@ class TestExplore:
         assert "100%" in text
         assert "[" in text
 
+    def test_summary_caps_racy_seed_listing(self):
+        from repro.sched.explore import ExplorationResult
+        cap = ExplorationResult.SUMMARY_SEED_CAP
+        result = explore(racy_program, seeds=range(cap + 9))
+        first_line = result.summary().splitlines()[0]
+        # Exact counts survive the cap; the listing itself elides.
+        assert f"{cap + 9} raced" in first_line
+        assert f"+9 more" in first_line
+        assert str(cap - 1) in first_line
+        assert f" {cap + 5}," not in first_line
+
+    def test_summary_below_cap_lists_every_seed(self):
+        result = explore(racy_program, seeds=range(3))
+        first_line = result.summary().splitlines()[0]
+        assert "racy seeds: [0, 1, 2]" in first_line
+        assert "more" not in first_line
+
     def test_empty_seed_set(self):
         result = explore(racy_program, seeds=())
         assert result.race_frequency == 0.0
         assert result.outcomes == []
+        # Zero-outcome edge: no division by zero, empty dedup.
+        assert result.all_groups() == ()
+        assert "0 interleavings: 0 raced (0%)" in result.summary()
+
+    def test_all_racy_edge(self):
+        result = explore(racy_program, seeds=range(4))
+        assert result.race_frequency == 1.0
+        groups = result.all_groups()
+        # Dedup across seeds: one group carrying every report.
+        assert len(groups) == 1
+        assert groups[0].count == len(result.all_reports())
+        assert len(result.all_reports()) >= 4
 
     def test_seeds_are_independent(self):
         first = explore(racy_program, seeds=[7])

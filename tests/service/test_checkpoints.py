@@ -73,6 +73,34 @@ class TestRoundtrip:
                 if name.startswith(".repro-ckpt-")] == []
 
 
+class TestResumeMetadata:
+    def test_declared_events_round_trips(self, tmp_path):
+        directory = str(tmp_path)
+        saved = checkpoint_for("web-1")
+        saved.declared_events = 133
+        save_tenant_checkpoint(directory, saved)
+        assert load_tenant_checkpoint(directory,
+                                      "web-1").declared_events == 133
+
+    def test_headerless_reconnect_adopts_checkpointed_count(self, tmp_path):
+        # A writer killed before re-sending the header reconnects with no
+        # declared count; the session adopts the checkpointed one so the
+        # resumed analysis can still recognize end-of-trace.
+        from repro.service.session import FAST_FORWARD, SessionConfig, \
+            TenantSession
+        directory = str(tmp_path)
+        saved = checkpoint_for("web-1")
+        saved.declared_events = 133
+        save_tenant_checkpoint(directory, saved)
+        session = TenantSession(
+            "web-1", {"o": "counter"},
+            SessionConfig(checkpoint_dir=directory))
+        assert session.prepare_resume() == 10
+        session.start(root=0, declared_events=None)
+        assert session.state is FAST_FORWARD
+        assert session.declared_events == 133
+
+
 class TestIntegrity:
     def test_truncation_is_detected(self, tmp_path):
         directory = str(tmp_path)

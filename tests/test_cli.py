@@ -307,6 +307,124 @@ class TestPruneIntervalFlag:
             assert err.value.code == 2
 
 
+@pytest.fixture()
+def predictable_trace_file(tmp_path):
+    """Witnessed-clean, but a correct reordering races: t0's put is
+    ordered before t1's only by an empty lock hand-off."""
+    trace = (TraceBuilder(root=0)
+             .fork(0, 1)
+             .acquire(0, "L")
+             .invoke(0, "o", "put", "k", 1, returns=NIL)
+             .release(0, "L")
+             .acquire(1, "L")
+             .release(1, "L")
+             .invoke(1, "o", "put", "k", 2, returns=1)
+             .join(0, 1)
+             .build())
+    path = tmp_path / "predictable.jsonl"
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_trace(trace, stream)
+    return str(path)
+
+
+class TestPredictFlag:
+    def test_predicted_race_reported_and_exit_one(self,
+                                                  predictable_trace_file,
+                                                  capsys):
+        witnessed = main([predictable_trace_file, "--object", "o=dictionary"])
+        witnessed_out = capsys.readouterr().out
+        assert witnessed == 0
+        assert "predicted" not in witnessed_out
+        code = main([predictable_trace_file, "--object", "o=dictionary",
+                     "--predict"])
+        out = capsys.readouterr().out
+        assert code == 1                      # predictions count as reports
+        assert "0 (0) commutativity race report(s)" in out
+        assert "1 predicted race(s) in sound reorderings" in out
+        assert "  predicted: commutativity race on o" in out
+        # Witnessed-mode output is byte-identical: the predict run's
+        # output is the witnessed output plus the predicted section.
+        assert out.startswith(witnessed_out)
+
+    def test_predict_off_is_byte_identical_to_before(self, racy_trace_file,
+                                                     capsys):
+        code = main([racy_trace_file, "--object", "o=dictionary"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "predicted" not in out
+
+    def test_predict_composes_with_workers(self, predictable_trace_file,
+                                           capsys):
+        sequential = main([predictable_trace_file, "--object", "o=dictionary",
+                           "--predict"])
+        seq_out = capsys.readouterr().out
+        sharded = main([predictable_trace_file, "--object", "o=dictionary",
+                        "--predict", "--workers", "2"])
+        shard_out = capsys.readouterr().out
+        assert sharded == sequential == 1
+        assert (seq_out.replace("rd2:", "rd2 [2 workers]:") == shard_out)
+
+    def test_predict_composes_with_follow(self, predictable_trace_file,
+                                          capsys):
+        code = main([predictable_trace_file, "--object", "o=dictionary",
+                     "--predict", "--follow", "--window", "3",
+                     "--follow-timeout", "5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rd2 [follow]: 1 predicted race(s)" in out
+
+    def test_predict_stats_json_schema_extension(self, predictable_trace_file,
+                                                 tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        main([predictable_trace_file, "--object", "o=dictionary",
+              "--predict=32", "--stats-json", str(stats)])
+        capsys.readouterr()
+        report = json.loads(stats.read_text(encoding="utf-8"))
+        assert report["meta"]["predict_window"] == 32
+        (entry,) = report["predicted"]
+        assert entry["object"] == "o"
+        assert entry["pair"] == [2, 6]
+        assert entry["race"].startswith("commutativity race on o")
+        assert entry["witness"][-1].startswith("1: o.put")
+        assert report["stats"]["counters"]["predict_validated"] == 1
+
+    def test_stats_json_schema_frozen_without_predict(self,
+                                                      predictable_trace_file,
+                                                      tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        main([predictable_trace_file, "--object", "o=dictionary",
+              "--stats-json", str(stats)])
+        capsys.readouterr()
+        report = json.loads(stats.read_text(encoding="utf-8"))
+        assert "predicted" not in report
+        assert "predict_window" not in report["meta"]
+
+    def test_predict_rejected_outside_rd2(self, racy_trace_file):
+        for extra in (["--detector", "direct"],
+                      ["--detector", "fasttrack"],
+                      ["--atomicity"]):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      "--predict", *extra])
+            assert err.value.code == 2
+
+    def test_predict_rejected_with_checkpointing(self, racy_trace_file,
+                                                 tmp_path):
+        ck = str(tmp_path / "ck")
+        for extra in (["--checkpoint", ck], ["--resume-from", ck]):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      "--predict", *extra])
+            assert err.value.code == 2
+
+    def test_bad_predict_window_rejected(self, racy_trace_file):
+        for bad in ("0", "-4", "soon"):
+            with pytest.raises(SystemExit) as err:
+                main([racy_trace_file, "--object", "o=dictionary",
+                      f"--predict={bad}"])
+            assert err.value.code == 2
+
+
 class TestFollowFlag:
     def test_follow_streams_and_matches_batch_summary(self, racy_trace_file,
                                                       capsys):
